@@ -1,0 +1,254 @@
+// Command rai is the student client (paper §IV "RAI Client"): a single
+// dependency-free executable that submits the current project directory
+// to the RAI service, streams the build output back to the terminal, and
+// checks the team's competition ranking.
+//
+// Usage:
+//
+//	rai [flags] run       submit a development job (rai-build.yml or default)
+//	rai [flags] submit    make a final submission (enforced build file)
+//	rai [flags] session   open an interactive container (worker must allow it)
+//	rai [flags] ranking   show the anonymized competition leaderboard
+//	rai version           print embedded build information
+//
+// Credentials are read from $HOME/.rai.profile (Listing 3) or -profile.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"rai/internal/archivex"
+	"rai/internal/auth"
+	"rai/internal/build"
+	"rai/internal/core"
+	"rai/internal/docstore"
+	"rai/internal/objstore"
+	"rai/internal/ranking"
+	"rai/internal/release"
+)
+
+// buildInfo is stamped by the CI pipeline; the dev build carries
+// placeholders (paper §VII: commit and date are embedded so bug reports
+// pinpoint the responsible commit).
+var buildInfo = release.BuildInfo{
+	Version: "0.2.0-dev", Commit: "worktree", Branch: "devel",
+	BuildDate: time.Date(2017, 5, 1, 0, 0, 0, 0, time.UTC),
+	OS:        "linux", Arch: "amd64",
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rai", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	projectDir := fs.String("p", ".", "project directory")
+	profilePath := fs.String("profile", "", "credentials file (default $HOME/.rai.profile)")
+	brokerAddr := fs.String("broker", "127.0.0.1:7400", "broker address")
+	fsURL := fs.String("fs", "http://127.0.0.1:7401", "file server URL")
+	dbURL := fs.String("db", "http://127.0.0.1:7402", "database URL")
+	timeout := fs.Duration("timeout", 30*time.Minute, "job wait timeout")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: rai [flags] run|submit|session|ranking|version")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return 2
+	}
+	cmd := fs.Arg(0)
+	if cmd == "version" {
+		fmt.Fprintln(stdout, buildInfo)
+		return 0
+	}
+
+	creds, err := loadProfile(*profilePath)
+	if err != nil {
+		fmt.Fprintf(stderr, "rai: %v\n", err)
+		fmt.Fprintln(stderr, "rai: create $HOME/.rai.profile with the keys from your course email")
+		return 1
+	}
+
+	switch cmd {
+	case "run", "submit":
+		return submit(cmd, creds, *projectDir, *brokerAddr, *fsURL, *timeout, stdout, stderr)
+	case "ranking":
+		return showRanking(creds, *dbURL, stdout, stderr)
+	case "session":
+		return session(creds, *projectDir, *brokerAddr, *fsURL, *timeout, os.Stdin, stdout, stderr)
+	default:
+		fmt.Fprintf(stderr, "rai: unknown command %q\n", cmd)
+		return 2
+	}
+}
+
+// session opens an interactive container and relays stdin commands —
+// the §VIII future-work feature ("interactive sessions to enable more
+// debugging and profiling tools").
+func session(creds auth.Credentials, dir, brokerAddr, fsURL string, timeout time.Duration, stdin io.Reader, stdout, stderr io.Writer) int {
+	archive, err := archivex.PackDir(dir)
+	if err != nil {
+		fmt.Fprintf(stderr, "rai: packing project: %v\n", err)
+		return 1
+	}
+	queue, err := core.NewRemoteQueue(brokerAddr)
+	if err != nil {
+		fmt.Fprintf(stderr, "rai: connecting to broker: %v\n", err)
+		return 1
+	}
+	defer queue.Close()
+	client := &core.Client{
+		Creds: creds, Queue: queue,
+		Objects: objstore.NewClient(fsURL),
+		Stdout:  stdout,
+		LogWait: timeout,
+	}
+	sess, err := client.OpenSession(archive)
+	if err != nil {
+		fmt.Fprintf(stderr, "rai: opening session: %v\n", err)
+		return 1
+	}
+	defer sess.Close()
+	fmt.Fprintln(stdout, "interactive session open; type commands, 'exit' to finish")
+	scanner := bufio.NewScanner(stdin)
+	for {
+		fmt.Fprint(stdout, "rai> ")
+		if !scanner.Scan() {
+			break
+		}
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		if line == "exit" {
+			break
+		}
+		res, err := sess.Run(line)
+		if err != nil {
+			fmt.Fprintf(stderr, "rai: %v\n", err)
+			return 1
+		}
+		if res.ExitCode != 0 {
+			fmt.Fprintf(stdout, "(exit %d)\n", res.ExitCode)
+		}
+	}
+	if err := sess.Close(); err != nil {
+		fmt.Fprintf(stderr, "rai: closing session: %v\n", err)
+		return 1
+	}
+	if sess.Result != nil && sess.Result.BuildKey != "" {
+		fmt.Fprintf(stdout, "session build output: %s/%s\n", sess.Result.BuildBucket, sess.Result.BuildKey)
+	}
+	return 0
+}
+
+// submit runs the §V client sequence against a live deployment.
+func submit(cmd string, creds auth.Credentials, dir, brokerAddr, fsURL string, timeout time.Duration, stdout, stderr io.Writer) int {
+	// Client step 1: the project directory must exist; rai-build.yml is
+	// optional (the Listing 1 default applies).
+	info, err := os.Stat(dir)
+	if err != nil || !info.IsDir() {
+		fmt.Fprintf(stderr, "rai: project directory %s does not exist\n", dir)
+		return 1
+	}
+	var spec *build.Spec
+	specPath := filepath.Join(dir, build.FileName)
+	if data, err := os.ReadFile(specPath); err == nil {
+		spec, err = build.Parse(data)
+		if err != nil {
+			fmt.Fprintf(stderr, "rai: %s: %v\n", build.FileName, err)
+			return 1
+		}
+	} else {
+		spec = build.Default()
+		fmt.Fprintf(stdout, "no %s found; using the course default\n", build.FileName)
+	}
+	kind := core.KindRun
+	if cmd == "submit" {
+		kind = core.KindSubmit
+		// Final submissions require USAGE and report.pdf (§V).
+		for _, f := range []string{"USAGE", "report.pdf"} {
+			if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+				fmt.Fprintf(stderr, "rai: final submission requires %s\n", f)
+				return 1
+			}
+		}
+	}
+
+	// Step 3: compress the project directory.
+	archive, err := archivex.PackDir(dir)
+	if err != nil {
+		fmt.Fprintf(stderr, "rai: packing project: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "uploading %d byte project archive\n", len(archive))
+
+	queue, err := core.NewRemoteQueue(brokerAddr)
+	if err != nil {
+		fmt.Fprintf(stderr, "rai: connecting to broker: %v\n", err)
+		return 1
+	}
+	defer queue.Close()
+	client := &core.Client{
+		Creds:   creds,
+		Queue:   queue,
+		Objects: objstore.NewClient(fsURL),
+		Stdout:  stdout,
+		LogWait: timeout,
+	}
+	res, err := client.Submit(kind, spec, archive)
+	if err != nil {
+		fmt.Fprintf(stderr, "rai: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "job %s %s (elapsed %.1fs)\n", res.JobID, res.Status, res.Elapsed.Seconds())
+	if res.BuildKey != "" {
+		fmt.Fprintf(stdout, "build output: %s/%s\n", res.BuildBucket, res.BuildKey)
+	}
+	if res.Status != core.StatusSucceeded {
+		return 1
+	}
+	return 0
+}
+
+// showRanking prints the anonymized leaderboard (§VI).
+func showRanking(creds auth.Credentials, dbURL string, stdout, stderr io.Writer) int {
+	lb := &ranking.Leaderboard{DB: docstore.NewClient(dbURL)}
+	entries, err := lb.View(creds.UserName)
+	if err != nil {
+		fmt.Fprintf(stderr, "rai: %v\n", err)
+		return 1
+	}
+	fmt.Fprint(stdout, ranking.Format(entries))
+	if rank, total, err := lb.RankOf(creds.UserName); err == nil {
+		fmt.Fprintf(stdout, "\nyour team is ranked %d of %d\n", rank, total)
+	}
+	return 0
+}
+
+// loadProfile reads credentials from path or $HOME/.rai.profile.
+func loadProfile(path string) (auth.Credentials, error) {
+	if path == "" {
+		home, err := os.UserHomeDir()
+		if err != nil {
+			return auth.Credentials{}, err
+		}
+		path = filepath.Join(home, auth.ProfileFileName)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return auth.Credentials{}, err
+	}
+	return auth.ParseProfile(data)
+}

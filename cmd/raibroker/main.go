@@ -1,0 +1,57 @@
+// Command raibroker runs the RAI message broker as a standalone TCP
+// daemon — the queue service of the paper's Figure 1. Clients publish
+// job requests onto rai/tasks; workers subscribe and stream job output
+// back on ephemeral log_${job_id} topics.
+//
+// Usage:
+//
+//	raibroker [-addr host:port]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"rai/internal/broker"
+	"rai/internal/brokerd"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil, nil))
+}
+
+// run starts the daemon; ready (when non-nil) receives the bound address
+// once listening — tests use it, main passes nil and blocks on signals.
+func run(args []string, stdout, stderr io.Writer, ready chan<- string, quit <-chan struct{}) int {
+	fs := flag.NewFlagSet("raibroker", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:7400", "listen address")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	b := broker.New()
+	srv, err := brokerd.NewServer(b, *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "raibroker: %v\n", err)
+		return 1
+	}
+	defer srv.Close()
+	defer b.Close()
+	fmt.Fprintf(stdout, "raibroker listening on %s\n", srv.Addr())
+	if ready != nil {
+		ready <- srv.Addr()
+	}
+	if quit != nil {
+		<-quit
+		return 0
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintln(stdout, "raibroker shutting down")
+	return 0
+}

@@ -1,0 +1,69 @@
+// Command raidb runs the RAI metadata database: the MongoDB-like
+// document store holding submission records, execution times, logs
+// pointers, and competition rankings (paper §IV "MongoDB Database").
+//
+// Usage:
+//
+//	raidb [-addr host:port]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"rai/internal/docstore"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil, nil))
+}
+
+func run(args []string, stdout, stderr io.Writer, ready chan<- string, quit <-chan struct{}) int {
+	fs := flag.NewFlagSet("raidb", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:7402", "listen address")
+	journal := fs.String("journal", "", "journal file for durability (empty = in-memory only)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	var handler http.Handler
+	if *journal != "" {
+		pdb, err := docstore.OpenPersistent(*journal)
+		if err != nil {
+			fmt.Fprintf(stderr, "raidb: opening journal: %v\n", err)
+			return 1
+		}
+		defer pdb.Close()
+		handler = docstore.HandlerStore(pdb, nil)
+		fmt.Fprintf(stdout, "raidb journaling to %s\n", *journal)
+	} else {
+		handler = docstore.Handler(docstore.New(), nil)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "raidb: %v\n", err)
+		return 1
+	}
+	srv := &http.Server{Handler: handler}
+	go srv.Serve(ln)
+	defer srv.Close()
+	fmt.Fprintf(stdout, "raidb listening on %s\n", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+	if quit != nil {
+		<-quit
+		return 0
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintln(stdout, "raidb shutting down")
+	return 0
+}

@@ -1,0 +1,118 @@
+// Command raifs runs the RAI file server: the S3-like object store that
+// holds student project uploads and worker /build outputs (paper §IV
+// "File Storage Server"), with per-object lifetimes measured from last
+// use.
+//
+// Usage:
+//
+//	raifs [-addr host:port] [-capacity bytes] [-ttl duration] [-keys keys.json] [-dir objects/]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rai/internal/auth"
+	"rai/internal/objstore"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil, nil))
+}
+
+func run(args []string, stdout, stderr io.Writer, ready chan<- string, quit <-chan struct{}) int {
+	fs := flag.NewFlagSet("raifs", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:7401", "listen address")
+	capacity := fs.Int64("capacity", 0, "total byte capacity (0 = unlimited)")
+	ttl := fs.Duration("ttl", 30*24*time.Hour, "default object lifetime from last use")
+	keysPath := fs.String("keys", "", "credentials file for request authentication (empty = open)")
+	dataDir := fs.String("dir", "", "directory for durable object storage (empty = in-memory)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	var store *objstore.Store
+	if *dataDir != "" {
+		var err error
+		store, err = objstore.Open(*dataDir, objstore.WithCapacity(*capacity), objstore.WithDefaultTTL(*ttl))
+		if err != nil {
+			fmt.Fprintf(stderr, "raifs: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "raifs persisting to %s\n", *dataDir)
+	} else {
+		store = objstore.New(objstore.WithCapacity(*capacity), objstore.WithDefaultTTL(*ttl))
+	}
+	var authFn objstore.AuthFunc
+	if *keysPath != "" {
+		reg, err := loadKeys(*keysPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "raifs: %v\n", err)
+			return 1
+		}
+		authFn = objstore.AuthFunc(reg.HTTPAuth())
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "raifs: %v\n", err)
+		return 1
+	}
+	srv := &http.Server{Handler: objstore.Handler(store, authFn)}
+	go srv.Serve(ln)
+	defer srv.Close()
+	fmt.Fprintf(stdout, "raifs listening on %s\n", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+	if quit != nil {
+		<-quit
+		return 0
+	}
+	// Periodic expired-object sweep.
+	stopSweep := make(chan struct{})
+	go func() {
+		t := time.NewTicker(time.Hour)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				store.Sweep()
+			case <-stopSweep:
+				return
+			}
+		}
+	}()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	close(stopSweep)
+	fmt.Fprintln(stdout, "raifs shutting down")
+	return 0
+}
+
+// loadKeys reads a keygen-produced credentials file into a registry.
+func loadKeys(path string) (*auth.Registry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var creds []auth.Credentials
+	if err := json.Unmarshal(data, &creds); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	reg := auth.NewRegistry()
+	for _, c := range creds {
+		if err := reg.Register(c); err != nil {
+			return nil, err
+		}
+	}
+	return reg, nil
+}

@@ -1,0 +1,170 @@
+// Command raiworker runs a RAI worker agent (paper §IV "RAI Worker"): it
+// subscribes to the rai/tasks queue route, executes accepted jobs inside
+// sandboxed containers with the paper's limits (no network, 8 GB memory,
+// 1 h lifetime, 30 s per-user rate limit — all configurable), streams
+// output to the job's log topic, and uploads /build to the file server.
+//
+// Usage:
+//
+//	raiworker -broker host:port -fs url -db url -keys keys.json
+//	          [-id worker-1] [-concurrency 1] [-mem bytes]
+//	          [-lifetime 1h] [-rate-limit 30s] [-seed 408] [-full-images 100]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rai/internal/auth"
+	"rai/internal/cnn"
+	"rai/internal/core"
+	"rai/internal/docstore"
+	"rai/internal/objstore"
+	"rai/internal/registry"
+	"rai/internal/vfs"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil, nil))
+}
+
+func run(args []string, stdout, stderr io.Writer, ready chan<- struct{}, quit <-chan struct{}) int {
+	fs := flag.NewFlagSet("raiworker", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	brokerAddr := fs.String("broker", "127.0.0.1:7400", "broker address")
+	fsURL := fs.String("fs", "http://127.0.0.1:7401", "file server URL")
+	dbURL := fs.String("db", "http://127.0.0.1:7402", "database URL")
+	keysPath := fs.String("keys", "", "credentials file (from raiadmin keygen)")
+	id := fs.String("id", "worker-1", "worker id recorded in job documents")
+	concurrency := fs.Int("concurrency", 1, "jobs accepted at once (single-job mode = 1)")
+	mem := fs.Int64("mem", 8<<30, "container memory limit in bytes")
+	lifetime := fs.Duration("lifetime", time.Hour, "container lifetime limit")
+	rateLimit := fs.Duration("rate-limit", 30*time.Second, "per-user submission spacing")
+	allowSessions := fs.Bool("allow-sessions", false, "accept interactive sessions (§VIII future work)")
+	sessionIdle := fs.Duration("session-idle", 10*time.Minute, "idle timeout for interactive sessions")
+	seed := fs.Uint64("seed", 408, "course model/dataset seed")
+	fullImages := fs.Int("full-images", 100, "images stored in testfull.hdf5")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *keysPath == "" {
+		fmt.Fprintln(stderr, "raiworker: -keys is required (run raiadmin keygen first)")
+		return 2
+	}
+	reg, err := loadKeys(*keysPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "raiworker: %v\n", err)
+		return 1
+	}
+	queue, err := core.NewRemoteQueue(*brokerAddr)
+	if err != nil {
+		fmt.Fprintf(stderr, "raiworker: connecting to broker: %v\n", err)
+		return 1
+	}
+	defer queue.Close()
+
+	dataFS, err := buildDataVolume(*seed, *fullImages)
+	if err != nil {
+		fmt.Fprintf(stderr, "raiworker: building data volume: %v\n", err)
+		return 1
+	}
+	w := &core.Worker{
+		Cfg: core.WorkerConfig{
+			ID:                 *id,
+			MaxConcurrent:      *concurrency,
+			MemoryBytes:        *mem,
+			Lifetime:           *lifetime,
+			RateLimit:          *rateLimit,
+			AllowSessions:      *allowSessions,
+			SessionIdleTimeout: *sessionIdle,
+		},
+		Queue:    queue,
+		Objects:  objstore.NewClient(*fsURL),
+		DB:       docstore.NewClient(*dbURL),
+		Auth:     reg,
+		Images:   registry.NewCourseRegistry(),
+		DataFS:   dataFS,
+		DataPath: "/data",
+	}
+	fmt.Fprintf(stdout, "raiworker %s accepting jobs (concurrency %d)\n", *id, *concurrency)
+	done := make(chan struct{})
+	go func() {
+		w.Run()
+		close(done)
+	}()
+	if ready != nil {
+		close(ready)
+	}
+	if quit != nil {
+		<-quit
+	} else {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+	}
+	w.Stop()
+	<-done
+	fmt.Fprintf(stdout, "raiworker %s handled %d jobs\n", *id, w.Handled())
+	return 0
+}
+
+// buildDataVolume materializes the course /data volume: the pre-trained
+// model and the small/full test datasets the build specs reference.
+func buildDataVolume(seed uint64, fullImages int) (*vfs.FS, error) {
+	dataFS := vfs.New()
+	nw := cnn.NewNetwork(seed)
+	model, err := nw.SaveModel()
+	if err != nil {
+		return nil, err
+	}
+	if err := dataFS.WriteFile("/data/model.hdf5", model); err != nil {
+		return nil, err
+	}
+	small, err := cnn.SynthesizeDataset(nw, seed+1, 10)
+	if err != nil {
+		return nil, err
+	}
+	blob, err := small.Encode()
+	if err != nil {
+		return nil, err
+	}
+	if err := dataFS.WriteFile("/data/test10.hdf5", blob); err != nil {
+		return nil, err
+	}
+	full, err := cnn.SynthesizeDataset(nw, seed+2, fullImages)
+	if err != nil {
+		return nil, err
+	}
+	blob, err = full.Encode()
+	if err != nil {
+		return nil, err
+	}
+	if err := dataFS.WriteFile("/data/testfull.hdf5", blob); err != nil {
+		return nil, err
+	}
+	return dataFS, nil
+}
+
+func loadKeys(path string) (*auth.Registry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var creds []auth.Credentials
+	if err := json.Unmarshal(data, &creds); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	reg := auth.NewRegistry()
+	for _, c := range creds {
+		if err := reg.Register(c); err != nil {
+			return nil, err
+		}
+	}
+	return reg, nil
+}

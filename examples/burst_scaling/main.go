@@ -1,0 +1,52 @@
+// Burst scaling: the §III/§VII provisioning story quantified. Replays
+// the fall 2016 deadline burst (the paper's Figure 4 trace: ~30k
+// submissions in the final two weeks) against a fixed local cluster, a
+// generously over-provisioned fixed fleet, and RAI's elastic policy —
+// then reprints the per-phase resource usage of §VII.
+//
+//	go run ./examples/burst_scaling
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"rai/internal/scaling"
+	"rai/internal/sim"
+	"rai/internal/workload"
+)
+
+func main() {
+	fmt.Println("generating the fall 2016 course (seeded, deterministic)...")
+	course := workload.Generate(workload.Fall2016())
+	fmt.Printf("teams: %d, submissions: %d (%d in the final two weeks)\n\n",
+		len(course.Teams), len(course.Submissions), len(course.LastTwoWeeks()))
+
+	// Figure 4: the submission timeline being replayed.
+	fig4 := sim.Figure4(course)
+	fmt.Print(fig4.Text)
+
+	// The deadline-burst comparison (final two weeks, single-job workers).
+	from := course.Cfg.Deadline.Add(-14 * 24 * time.Hour)
+	to := course.Cfg.Deadline.Add(time.Hour)
+	fmt.Println("\n== queue delay and cost under the burst ==")
+	_, table, err := sim.ComparePolicies(course, from, to, []scaling.Policy{
+		scaling.FixedPolicy{N: 4},  // an oversubscribed local cluster (§III)
+		scaling.FixedPolicy{N: 10}, // mid-course RAI capacity
+		scaling.FixedPolicy{N: 30}, // always-on peak capacity
+		scaling.ElasticPolicy{Min: 4, Max: 30, SlotsPerInstance: 1},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(table)
+
+	// §VII: the three provisioning eras of the real deployment.
+	fmt.Println("\n== resource usage phases (G2 -> P2, multi-job -> single-job) ==")
+	_, phases, err := sim.ResourceUsagePhases(course)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(phases)
+}

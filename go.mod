@@ -1,0 +1,3 @@
+module rai
+
+go 1.22

@@ -1,0 +1,245 @@
+// Package archivex packs and unpacks the .tar.bz2 archives RAI moves
+// between clients, the file server, and workers: the student's project
+// directory on submission and the container's /build directory on
+// completion.
+//
+// Compression uses internal/bzip2w (writing) and compress/bzip2
+// (reading). Unpacking is hardened the way a grading pipeline must be:
+// entry paths are validated against traversal, and byte/file-count limits
+// bound decompression bombs.
+package archivex
+
+import (
+	"archive/tar"
+	"bytes"
+	"compress/bzip2"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path"
+	"path/filepath"
+	"strings"
+
+	"rai/internal/bzip2w"
+	"rai/internal/vfs"
+)
+
+// Limits bounds unpacking. Zero fields mean "use the default".
+type Limits struct {
+	MaxBytes   int64 // total decompressed bytes (default 1 GiB)
+	MaxFiles   int   // number of entries (default 100_000)
+	MaxPerFile int64 // per-file bytes (default 256 MiB)
+}
+
+// Defaults chosen for a student project archive.
+const (
+	defaultMaxBytes   = 1 << 30
+	defaultMaxFiles   = 100_000
+	defaultMaxPerFile = 256 << 20
+)
+
+func (l Limits) withDefaults() Limits {
+	if l.MaxBytes == 0 {
+		l.MaxBytes = defaultMaxBytes
+	}
+	if l.MaxFiles == 0 {
+		l.MaxFiles = defaultMaxFiles
+	}
+	if l.MaxPerFile == 0 {
+		l.MaxPerFile = defaultMaxPerFile
+	}
+	return l
+}
+
+// Errors reported by unpacking.
+var (
+	ErrTraversal = errors.New("archive entry escapes destination")
+	ErrTooLarge  = errors.New("archive exceeds size limits")
+	ErrBadEntry  = errors.New("unsupported archive entry")
+)
+
+// PackVFS produces a .tar.bz2 of the subtree at root inside f. Entry
+// names are relative to root and sorted (vfs walk order), so output is
+// deterministic for a given tree.
+func PackVFS(f *vfs.FS, root string) ([]byte, error) {
+	var buf bytes.Buffer
+	bz, err := bzip2w.NewWriterLevel(&buf, 6)
+	if err != nil {
+		return nil, err
+	}
+	tw := tar.NewWriter(bz)
+	rootClean := path.Clean(root)
+	err = f.Walk(rootClean, func(p string, fi vfs.FileInfo) error {
+		rel := strings.TrimPrefix(p, rootClean)
+		rel = strings.TrimPrefix(rel, "/")
+		if rel == "" {
+			return nil // the root itself
+		}
+		if fi.Dir {
+			return tw.WriteHeader(&tar.Header{
+				Name:     rel + "/",
+				Typeflag: tar.TypeDir,
+				Mode:     0o755,
+				ModTime:  fi.ModTime,
+			})
+		}
+		data, err := f.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		if err := tw.WriteHeader(&tar.Header{
+			Name:    rel,
+			Mode:    0o644,
+			Size:    int64(len(data)),
+			ModTime: fi.ModTime,
+		}); err != nil {
+			return err
+		}
+		_, err = tw.Write(data)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := tw.Close(); err != nil {
+		return nil, err
+	}
+	if err := bz.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// UnpackVFS extracts a .tar.bz2 into f under dest, enforcing limits.
+func UnpackVFS(data []byte, f *vfs.FS, dest string, lim Limits) error {
+	lim = lim.withDefaults()
+	tr := tar.NewReader(bzip2.NewReader(bytes.NewReader(data)))
+	var total int64
+	files := 0
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("archivex: reading tar: %w", err)
+		}
+		rel, err := safeRel(hdr.Name)
+		if err != nil {
+			return err
+		}
+		files++
+		if files > lim.MaxFiles {
+			return fmt.Errorf("%w: more than %d entries", ErrTooLarge, lim.MaxFiles)
+		}
+		switch hdr.Typeflag {
+		case tar.TypeDir:
+			if err := f.MkdirAll(path.Join(dest, rel)); err != nil {
+				return err
+			}
+		case tar.TypeReg:
+			if hdr.Size > lim.MaxPerFile {
+				return fmt.Errorf("%w: entry %s is %d bytes", ErrTooLarge, rel, hdr.Size)
+			}
+			limited := io.LimitReader(tr, lim.MaxPerFile+1)
+			content, err := io.ReadAll(limited)
+			if err != nil {
+				return err
+			}
+			if int64(len(content)) > lim.MaxPerFile {
+				return fmt.Errorf("%w: entry %s larger than declared", ErrTooLarge, rel)
+			}
+			total += int64(len(content))
+			if total > lim.MaxBytes {
+				return fmt.Errorf("%w: total exceeds %d bytes", ErrTooLarge, lim.MaxBytes)
+			}
+			if err := f.WriteFile(path.Join(dest, rel), content); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("%w: %s (type %c)", ErrBadEntry, rel, hdr.Typeflag)
+		}
+	}
+}
+
+// safeRel validates an archive entry name and returns a clean relative
+// path that cannot escape the destination.
+func safeRel(name string) (string, error) {
+	name = strings.TrimSuffix(name, "/")
+	if name == "" {
+		return "", fmt.Errorf("%w: empty entry name", ErrBadEntry)
+	}
+	if strings.HasPrefix(name, "/") || strings.Contains(name, "\\") {
+		return "", fmt.Errorf("%w: %q", ErrTraversal, name)
+	}
+	cleaned := path.Clean(name)
+	if cleaned == ".." || strings.HasPrefix(cleaned, "../") || cleaned == "." {
+		return "", fmt.Errorf("%w: %q", ErrTraversal, name)
+	}
+	return cleaned, nil
+}
+
+// PackDir produces a .tar.bz2 of a host directory (used by the client to
+// upload the student's project). Hidden VCS directories (.git, .hg) are
+// skipped, matching the RAI client's behaviour of not shipping history.
+func PackDir(dir string) ([]byte, error) {
+	mem := vfs.New()
+	err := filepath.WalkDir(dir, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(dir, p)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		if rel == "." {
+			return nil
+		}
+		base := path.Base(rel)
+		if d.IsDir() && (base == ".git" || base == ".hg" || base == ".svn") {
+			return filepath.SkipDir
+		}
+		if d.IsDir() {
+			return mem.MkdirAll("/" + rel)
+		}
+		if !d.Type().IsRegular() {
+			return nil // sockets, symlinks, devices are not shipped
+		}
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		return mem.WriteFile("/"+rel, data)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return PackVFS(mem, "/")
+}
+
+// UnpackDir extracts a .tar.bz2 into a host directory, enforcing limits.
+func UnpackDir(data []byte, dest string, lim Limits) error {
+	mem := vfs.New()
+	if err := UnpackVFS(data, mem, "/", lim); err != nil {
+		return err
+	}
+	return mem.Walk("/", func(p string, fi vfs.FileInfo) error {
+		if p == "/" {
+			return nil
+		}
+		hostPath := filepath.Join(dest, filepath.FromSlash(strings.TrimPrefix(p, "/")))
+		if fi.Dir {
+			return os.MkdirAll(hostPath, 0o755)
+		}
+		content, err := mem.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		if err := os.MkdirAll(filepath.Dir(hostPath), 0o755); err != nil {
+			return err
+		}
+		return os.WriteFile(hostPath, content, 0o644)
+	})
+}

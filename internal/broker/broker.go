@@ -1,0 +1,445 @@
+// Package broker implements the publish/subscribe message broker at the
+// center of the RAI architecture (paper §IV, §V "Message Broker
+// Operations"). It follows the topic/channel model the paper describes:
+//
+//   - Producers publish messages to a topic.
+//   - Every channel of a topic receives a copy of each message.
+//   - Within one channel, each message is delivered to exactly one
+//     subscriber (load balancing) — this is how a job on rai/tasks goes to
+//     exactly one worker while many workers listen.
+//   - Names containing '#' (the paper's log_${job_id}/#ch) are ephemeral:
+//     the channel is deleted when its last consumer leaves, and an
+//     ephemeral topic is deleted when its last channel goes away.
+//
+// Messages held by a subscriber are "in flight" until acknowledged;
+// closing a subscription requeues its unacknowledged messages, which is
+// what makes a worker crash safe for the submission it was running.
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"rai/internal/clock"
+)
+
+// Errors returned by broker operations.
+var (
+	ErrClosed       = errors.New("broker: closed")
+	ErrSubClosed    = errors.New("broker: subscription closed")
+	ErrUnknownMsg   = errors.New("broker: message not in flight")
+	ErrBadName      = errors.New("broker: invalid topic or channel name")
+	ErrTopicMissing = errors.New("broker: no such topic")
+)
+
+// Message is a queued unit of work or log output.
+type Message struct {
+	ID        uint64
+	Body      []byte
+	Timestamp time.Time
+	Attempts  int
+	topic     string
+}
+
+// Topic returns the topic the message was published to.
+func (m *Message) Topic() string { return m.topic }
+
+// Broker routes messages between topics, channels, and subscriptions.
+type Broker struct {
+	mu     sync.Mutex
+	topics map[string]*topic
+	nextID uint64
+	clk    clock.Clock
+	closed bool
+}
+
+// Option configures a Broker.
+type Option func(*Broker)
+
+// WithClock substitutes the time source (virtual clock in simulations).
+func WithClock(c clock.Clock) Option { return func(b *Broker) { b.clk = c } }
+
+// New creates an empty broker.
+func New(opts ...Option) *Broker {
+	b := &Broker{topics: map[string]*topic{}, clk: clock.Real{}}
+	for _, o := range opts {
+		o(b)
+	}
+	return b
+}
+
+type topic struct {
+	name      string
+	ephemeral bool
+	channels  map[string]*channel
+	// backlog holds messages published before any channel exists, so a
+	// client that subscribes shortly after a worker starts logging does
+	// not lose output (the paper's step ordering allows this race).
+	backlog []*Message
+}
+
+type channel struct {
+	name      string
+	ephemeral bool
+	queue     []*Message
+	subs      []*Subscription
+	rr        int // round-robin cursor
+}
+
+// Subscription is one consumer attached to a topic/channel.
+type Subscription struct {
+	b           *Broker
+	topicName   string
+	channelName string
+	c           chan *Message
+	maxInFlight int
+	inFlight    map[uint64]*Message
+	closed      bool
+}
+
+// validName enforces the queue-route naming used throughout RAI.
+func validName(s string) bool {
+	if s == "" || len(s) > 128 {
+		return false
+	}
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+		case r == '_' || r == '-' || r == '.' || r == '#':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func isEphemeralName(s string) bool { return strings.Contains(s, "#") }
+
+// Publish enqueues body on the named topic, fanning it out to every
+// existing channel (or to the topic backlog when none exists yet).
+func (b *Broker) Publish(topicName string, body []byte) (uint64, error) {
+	if !validName(topicName) {
+		return 0, fmt.Errorf("%w: topic %q", ErrBadName, topicName)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return 0, ErrClosed
+	}
+	t := b.getTopicLocked(topicName)
+	b.nextID++
+	msg := &Message{ID: b.nextID, Body: append([]byte(nil), body...), Timestamp: b.clk.Now(), topic: topicName}
+	if len(t.channels) == 0 {
+		t.backlog = append(t.backlog, msg)
+		return msg.ID, nil
+	}
+	for _, ch := range t.channels {
+		// Each channel gets its own copy so per-channel Attempts tracking
+		// does not interfere.
+		cp := *msg
+		ch.queue = append(ch.queue, &cp)
+		b.dispatchLocked(ch)
+	}
+	return msg.ID, nil
+}
+
+func (b *Broker) getTopicLocked(name string) *topic {
+	t, ok := b.topics[name]
+	if !ok {
+		t = &topic{name: name, ephemeral: isEphemeralName(name), channels: map[string]*channel{}}
+		b.topics[name] = t
+	}
+	return t
+}
+
+// Subscribe attaches a consumer to topic/channel, creating both as
+// needed. maxInFlight bounds unacknowledged deliveries (the paper's
+// "constraints on the number of jobs that can be executed concurrently").
+func (b *Broker) Subscribe(topicName, channelName string, maxInFlight int) (*Subscription, error) {
+	if !validName(topicName) || !validName(channelName) {
+		return nil, fmt.Errorf("%w: %q/%q", ErrBadName, topicName, channelName)
+	}
+	if maxInFlight < 1 {
+		maxInFlight = 1
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil, ErrClosed
+	}
+	t := b.getTopicLocked(topicName)
+	ch, ok := t.channels[channelName]
+	if !ok {
+		ch = &channel{name: channelName, ephemeral: isEphemeralName(channelName) || t.ephemeral}
+		t.channels[channelName] = ch
+		// First channel drains the topic backlog.
+		if len(t.backlog) > 0 {
+			ch.queue = append(ch.queue, t.backlog...)
+			t.backlog = nil
+		}
+	}
+	sub := &Subscription{
+		b:           b,
+		topicName:   topicName,
+		channelName: channelName,
+		c:           make(chan *Message, maxInFlight+1024),
+		maxInFlight: maxInFlight,
+		inFlight:    map[uint64]*Message{},
+	}
+	ch.subs = append(ch.subs, sub)
+	b.dispatchLocked(ch)
+	return sub, nil
+}
+
+// dispatchLocked hands queued messages to subscribers with spare
+// in-flight capacity, round-robin. Caller holds b.mu.
+func (b *Broker) dispatchLocked(ch *channel) {
+	for len(ch.queue) > 0 && len(ch.subs) > 0 {
+		delivered := false
+		for probe := 0; probe < len(ch.subs); probe++ {
+			sub := ch.subs[(ch.rr+probe)%len(ch.subs)]
+			if sub.closed || len(sub.inFlight) >= sub.maxInFlight {
+				continue
+			}
+			msg := ch.queue[0]
+			ch.queue = ch.queue[1:]
+			msg.Attempts++
+			sub.inFlight[msg.ID] = msg
+			sub.c <- msg
+			ch.rr = (ch.rr + probe + 1) % len(ch.subs)
+			delivered = true
+			break
+		}
+		if !delivered {
+			return // everyone is at capacity
+		}
+	}
+}
+
+// C is the delivery channel. It is closed when the subscription closes.
+func (s *Subscription) C() <-chan *Message { return s.c }
+
+// Ack marks a delivered message as done.
+func (s *Subscription) Ack(m *Message) error {
+	s.b.mu.Lock()
+	defer s.b.mu.Unlock()
+	if s.closed {
+		return ErrSubClosed
+	}
+	if _, ok := s.inFlight[m.ID]; !ok {
+		return fmt.Errorf("%w: id %d", ErrUnknownMsg, m.ID)
+	}
+	delete(s.inFlight, m.ID)
+	if ch := s.b.lookupChannelLocked(s.topicName, s.channelName); ch != nil {
+		s.b.dispatchLocked(ch)
+	}
+	return nil
+}
+
+// Requeue returns a delivered message to the front of the channel queue
+// for redelivery (possibly to another subscriber).
+func (s *Subscription) Requeue(m *Message) error {
+	s.b.mu.Lock()
+	defer s.b.mu.Unlock()
+	if s.closed {
+		return ErrSubClosed
+	}
+	msg, ok := s.inFlight[m.ID]
+	if !ok {
+		return fmt.Errorf("%w: id %d", ErrUnknownMsg, m.ID)
+	}
+	delete(s.inFlight, m.ID)
+	ch := s.b.lookupChannelLocked(s.topicName, s.channelName)
+	if ch != nil {
+		ch.queue = append([]*Message{msg}, ch.queue...)
+		s.b.dispatchLocked(ch)
+	}
+	return nil
+}
+
+// Close detaches the subscription. In-flight and undelivered messages are
+// requeued; ephemeral channels/topics with no remaining consumers are
+// garbage collected (the paper's log_${job_id} cleanup).
+func (s *Subscription) Close() error {
+	s.b.mu.Lock()
+	defer s.b.mu.Unlock()
+	return s.b.closeSubLocked(s)
+}
+
+func (b *Broker) closeSubLocked(s *Subscription) error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	ch := b.lookupChannelLocked(s.topicName, s.channelName)
+	if ch != nil {
+		// Pull undelivered messages back out of the buffer.
+		var undelivered []*Message
+	drain:
+		for {
+			select {
+			case m := <-s.c:
+				undelivered = append(undelivered, m)
+			default:
+				break drain
+			}
+		}
+		var requeue []*Message
+		for _, m := range undelivered {
+			delete(s.inFlight, m.ID)
+			requeue = append(requeue, m)
+		}
+		for _, m := range s.inFlight {
+			requeue = append(requeue, m)
+		}
+		sort.Slice(requeue, func(i, j int) bool { return requeue[i].ID < requeue[j].ID })
+		ch.queue = append(requeue, ch.queue...)
+		// Remove the subscription.
+		for i, sub := range ch.subs {
+			if sub == s {
+				ch.subs = append(ch.subs[:i], ch.subs[i+1:]...)
+				break
+			}
+		}
+		if ch.rr >= len(ch.subs) {
+			ch.rr = 0
+		}
+		b.gcLocked(s.topicName, ch)
+		if t, ok := b.topics[s.topicName]; ok {
+			if c2, ok := t.channels[s.channelName]; ok {
+				b.dispatchLocked(c2)
+			}
+		}
+	}
+	close(s.c)
+	s.inFlight = nil
+	return nil
+}
+
+// gcLocked deletes ephemeral channels with no subscribers and ephemeral
+// topics with no channels.
+func (b *Broker) gcLocked(topicName string, ch *channel) {
+	t, ok := b.topics[topicName]
+	if !ok {
+		return
+	}
+	if ch.ephemeral && len(ch.subs) == 0 {
+		delete(t.channels, ch.name)
+	}
+	if t.ephemeral && len(t.channels) == 0 {
+		delete(b.topics, topicName)
+	}
+}
+
+func (b *Broker) lookupChannelLocked(topicName, channelName string) *channel {
+	t, ok := b.topics[topicName]
+	if !ok {
+		return nil
+	}
+	return t.channels[channelName]
+}
+
+// DeleteTopic removes a topic and all its channels, discarding messages.
+func (b *Broker) DeleteTopic(topicName string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	t, ok := b.topics[topicName]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrTopicMissing, topicName)
+	}
+	for _, ch := range t.channels {
+		for _, sub := range ch.subs {
+			sub.closed = true
+			close(sub.c)
+		}
+	}
+	delete(b.topics, topicName)
+	return nil
+}
+
+// Close shuts the broker down; all subscriptions are closed.
+func (b *Broker) Close() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil
+	}
+	b.closed = true
+	for _, t := range b.topics {
+		for _, ch := range t.channels {
+			for _, sub := range ch.subs {
+				sub.closed = true
+				close(sub.c)
+			}
+		}
+	}
+	b.topics = map[string]*topic{}
+	return nil
+}
+
+// TopicStats is a snapshot of one topic for monitoring and autoscaling.
+type TopicStats struct {
+	Topic    string
+	Backlog  int // messages waiting for a first channel
+	Channels []ChannelStats
+}
+
+// ChannelStats is a snapshot of one channel.
+type ChannelStats struct {
+	Channel     string
+	Depth       int // queued, not yet delivered
+	InFlight    int
+	Subscribers int
+}
+
+// Stats returns a deterministic (name-sorted) snapshot of the broker.
+func (b *Broker) Stats() []TopicStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]TopicStats, 0, len(b.topics))
+	for name, t := range b.topics {
+		ts := TopicStats{Topic: name, Backlog: len(t.backlog)}
+		for cname, ch := range t.channels {
+			inFlight := 0
+			for _, sub := range ch.subs {
+				inFlight += len(sub.inFlight)
+			}
+			ts.Channels = append(ts.Channels, ChannelStats{
+				Channel: cname, Depth: len(ch.queue), InFlight: inFlight, Subscribers: len(ch.subs),
+			})
+		}
+		sort.Slice(ts.Channels, func(i, j int) bool { return ts.Channels[i].Channel < ts.Channels[j].Channel })
+		out = append(out, ts)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Topic < out[j].Topic })
+	return out
+}
+
+// Depth reports the total undelivered message count for topic/channel
+// (backlog included when the channel does not exist yet).
+func (b *Broker) Depth(topicName, channelName string) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	t, ok := b.topics[topicName]
+	if !ok {
+		return 0
+	}
+	ch, ok := t.channels[channelName]
+	if !ok {
+		return len(t.backlog)
+	}
+	return len(ch.queue)
+}
+
+// HasTopic reports whether the topic currently exists (used by tests to
+// observe ephemeral garbage collection).
+func (b *Broker) HasTopic(name string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	_, ok := b.topics[name]
+	return ok
+}

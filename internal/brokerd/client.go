@@ -1,0 +1,192 @@
+package brokerd
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Client is a TCP connection to a brokerd server. One client may publish
+// freely and hold at most one subscription, mirroring the server side.
+// Client is safe for concurrent use.
+type Client struct {
+	conn net.Conn
+
+	writeMu sync.Mutex // serializes frame writes
+
+	mu      sync.Mutex
+	nextSeq uint64
+	pending map[uint64]chan *Frame
+	msgs    chan *Delivery
+	closed  bool
+	readErr error
+	done    chan struct{}
+}
+
+// Delivery is a message received from a subscription.
+type Delivery struct {
+	MsgID    uint64
+	Topic    string
+	Body     []byte
+	Attempts int
+	Time     time.Time
+}
+
+// ErrClientClosed is returned after Close.
+var ErrClientClosed = errors.New("brokerd: client closed")
+
+// Dial connects to a brokerd server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		conn:    conn,
+		pending: map[uint64]chan *Frame{},
+		msgs:    make(chan *Delivery, 1024),
+		done:    make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *Client) readLoop() {
+	defer close(c.done)
+	for {
+		f, err := ReadFrame(c.conn)
+		if err != nil {
+			c.mu.Lock()
+			c.readErr = err
+			for _, ch := range c.pending {
+				close(ch)
+			}
+			c.pending = map[uint64]chan *Frame{}
+			c.mu.Unlock()
+			close(c.msgs)
+			return
+		}
+		switch f.Op {
+		case OpMsg:
+			c.msgs <- &Delivery{MsgID: f.MsgID, Topic: f.Topic, Body: f.Body, Attempts: f.Attempts, Time: f.Time}
+		case OpOK, OpErr:
+			c.mu.Lock()
+			ch, ok := c.pending[f.Seq]
+			if ok {
+				delete(c.pending, f.Seq)
+			}
+			c.mu.Unlock()
+			if ok {
+				ch <- f
+			}
+		}
+	}
+}
+
+// call sends a request frame and waits for its reply.
+func (c *Client) call(f *Frame) (*Frame, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClientClosed
+	}
+	if c.readErr != nil {
+		err := c.readErr
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.nextSeq++
+	f.Seq = c.nextSeq
+	ch := make(chan *Frame, 1)
+	c.pending[f.Seq] = ch
+	c.mu.Unlock()
+
+	c.writeMu.Lock()
+	err := WriteFrame(c.conn, f)
+	c.writeMu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, f.Seq)
+		c.mu.Unlock()
+		return nil, err
+	}
+	reply, ok := <-ch
+	if !ok {
+		return nil, fmt.Errorf("brokerd: connection lost awaiting reply")
+	}
+	if reply.Op == OpErr {
+		return nil, errors.New(reply.Error)
+	}
+	return reply, nil
+}
+
+// Publish sends body to topic and returns the broker-assigned message ID.
+func (c *Client) Publish(topic string, body []byte) (uint64, error) {
+	reply, err := c.call(&Frame{Op: OpPub, Topic: topic, Body: body})
+	if err != nil {
+		return 0, err
+	}
+	return reply.MsgID, nil
+}
+
+// Subscribe attaches this connection to topic/channel. Deliveries arrive
+// on C(); the channel closes when the connection drops or Close is
+// called.
+func (c *Client) Subscribe(topic, channel string, maxInFlight int) error {
+	_, err := c.call(&Frame{Op: OpSub, Topic: topic, Channel: channel, MaxInFlight: maxInFlight})
+	return err
+}
+
+// C returns the delivery stream for the connection's subscription.
+func (c *Client) C() <-chan *Delivery { return c.msgs }
+
+// Ack acknowledges a delivery.
+func (c *Client) Ack(d *Delivery) error {
+	_, err := c.call(&Frame{Op: OpAck, MsgID: d.MsgID})
+	return err
+}
+
+// Requeue returns a delivery to the queue for redelivery.
+func (c *Client) Requeue(d *Delivery) error {
+	_, err := c.call(&Frame{Op: OpReq, MsgID: d.MsgID})
+	return err
+}
+
+// Ping checks server liveness.
+func (c *Client) Ping() error {
+	_, err := c.call(&Frame{Op: OpPing})
+	return err
+}
+
+// Stats fetches the broker's queue snapshot — the depth signal the
+// elastic provisioner consumes.
+func (c *Client) Stats() ([]TopicStats, error) {
+	reply, err := c.call(&Frame{Op: OpStats})
+	if err != nil {
+		return nil, err
+	}
+	return reply.Stats, nil
+}
+
+// CloseSubscription detaches the subscription without dropping the
+// connection (unacknowledged messages are requeued server-side).
+func (c *Client) CloseSubscription() error {
+	_, err := c.call(&Frame{Op: OpClose})
+	return err
+}
+
+// Close tears down the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	err := c.conn.Close()
+	<-c.done
+	return err
+}

@@ -1,0 +1,110 @@
+// Package brokerd exposes an internal/broker engine over TCP so RAI
+// clients and workers on different machines can exchange messages, the
+// way the paper's deployment ran a shared queue service between student
+// laptops and AWS workers.
+//
+// The wire protocol is deliberately simple: each frame is a 4-byte
+// big-endian length followed by a JSON object. Requests carry a client
+// sequence number that the matching reply echoes, so one connection can
+// pipeline publishes while a subscription streams messages.
+package brokerd
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Op codes used on the wire.
+const (
+	OpPub   = "PUB"   // client -> server: publish Body to Topic
+	OpSub   = "SUB"   // client -> server: subscribe Topic/Channel
+	OpAck   = "ACK"   // client -> server: acknowledge MsgID
+	OpReq   = "REQ"   // client -> server: requeue MsgID
+	OpPing  = "PING"  // client -> server: liveness check
+	OpOK    = "OK"    // server -> client: success reply to Seq
+	OpErr   = "ERR"   // server -> client: failure reply to Seq
+	OpMsg   = "MSG"   // server -> client: delivered message
+	OpClose = "CLOSE" // client -> server: close subscription
+	OpStats = "STATS" // client -> server: queue statistics snapshot
+)
+
+// Frame is the single wire message shape for both directions.
+type Frame struct {
+	Op      string `json:"op"`
+	Seq     uint64 `json:"seq,omitempty"`
+	Topic   string `json:"topic,omitempty"`
+	Channel string `json:"channel,omitempty"`
+	// MaxInFlight applies to SUB.
+	MaxInFlight int `json:"max_in_flight,omitempty"`
+	// MsgID identifies the message for ACK/REQ and deliveries.
+	MsgID    uint64    `json:"msg_id,omitempty"`
+	Body     []byte    `json:"body,omitempty"`
+	Attempts int       `json:"attempts,omitempty"`
+	Time     time.Time `json:"time"`
+	Error    string    `json:"error,omitempty"`
+	// Stats carries the broker snapshot in OpStats replies (the queue
+	// depth signal provisioning watches, paper §VII).
+	Stats []TopicStats `json:"stats,omitempty"`
+}
+
+// TopicStats mirrors broker.TopicStats on the wire.
+type TopicStats struct {
+	Topic    string         `json:"topic"`
+	Backlog  int            `json:"backlog"`
+	Channels []ChannelStats `json:"channels,omitempty"`
+}
+
+// ChannelStats mirrors broker.ChannelStats on the wire.
+type ChannelStats struct {
+	Channel     string `json:"channel"`
+	Depth       int    `json:"depth"`
+	InFlight    int    `json:"in_flight"`
+	Subscribers int    `json:"subscribers"`
+}
+
+// maxFrameSize bounds a single frame (a project archive travels through
+// the object store, not the queue, so frames stay small; 16 MiB is ample
+// and caps memory per connection).
+const maxFrameSize = 16 << 20
+
+// WriteFrame encodes f with a length prefix.
+func WriteFrame(w io.Writer, f *Frame) error {
+	payload, err := json.Marshal(f)
+	if err != nil {
+		return err
+	}
+	if len(payload) > maxFrameSize {
+		return fmt.Errorf("brokerd: frame of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(payload)
+	return err
+}
+
+// ReadFrame decodes one length-prefixed frame.
+func ReadFrame(r io.Reader) (*Frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrameSize {
+		return nil, fmt.Errorf("brokerd: frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	var f Frame
+	if err := json.Unmarshal(payload, &f); err != nil {
+		return nil, fmt.Errorf("brokerd: bad frame: %w", err)
+	}
+	return &f, nil
+}

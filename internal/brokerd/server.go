@@ -1,0 +1,200 @@
+package brokerd
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+
+	"rai/internal/broker"
+)
+
+// Server serves a broker engine over TCP.
+type Server struct {
+	b      *broker.Broker
+	ln     net.Listener
+	logf   func(format string, args ...any)
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// WithLogf sets the server's log function (default: log.Printf).
+func WithLogf(f func(string, ...any)) ServerOption { return func(s *Server) { s.logf = f } }
+
+// NewServer starts serving b on addr (e.g. "127.0.0.1:0") and returns
+// once the listener is bound.
+func NewServer(b *broker.Broker, addr string, opts ...ServerOption) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{b: b, ln: ln, logf: log.Printf, conns: map[net.Conn]struct{}{}}
+	for _, o := range opts {
+		o(s)
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and drops all connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	err := s.ln.Close()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// serveConn handles one client connection: a read loop executing
+// commands, plus (once subscribed) a pump goroutine streaming deliveries.
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+
+	var writeMu sync.Mutex
+	send := func(f *Frame) error {
+		writeMu.Lock()
+		defer writeMu.Unlock()
+		return WriteFrame(conn, f)
+	}
+	reply := func(seq uint64, err error, msgID uint64) {
+		if err != nil {
+			_ = send(&Frame{Op: OpErr, Seq: seq, Error: err.Error()})
+			return
+		}
+		_ = send(&Frame{Op: OpOK, Seq: seq, MsgID: msgID})
+	}
+
+	var (
+		sub      *broker.Subscription
+		inFlight sync.Map // msgID -> *broker.Message
+		pumpDone chan struct{}
+	)
+	defer func() {
+		if sub != nil {
+			sub.Close()
+			<-pumpDone
+		}
+	}()
+
+	for {
+		f, err := ReadFrame(conn)
+		if err != nil {
+			return // disconnect (EOF or broken frame)
+		}
+		switch f.Op {
+		case OpPing:
+			reply(f.Seq, nil, 0)
+		case OpPub:
+			id, err := s.b.Publish(f.Topic, f.Body)
+			reply(f.Seq, err, id)
+		case OpSub:
+			if sub != nil {
+				reply(f.Seq, errors.New("brokerd: connection already subscribed"), 0)
+				continue
+			}
+			newSub, err := s.b.Subscribe(f.Topic, f.Channel, f.MaxInFlight)
+			if err != nil {
+				reply(f.Seq, err, 0)
+				continue
+			}
+			sub = newSub
+			pumpDone = make(chan struct{})
+			go func() {
+				defer close(pumpDone)
+				for m := range sub.C() {
+					inFlight.Store(m.ID, m)
+					if err := send(&Frame{
+						Op: OpMsg, MsgID: m.ID, Topic: m.Topic(),
+						Body: m.Body, Attempts: m.Attempts, Time: m.Timestamp,
+					}); err != nil {
+						return
+					}
+				}
+			}()
+			reply(f.Seq, nil, 0)
+		case OpAck, OpReq:
+			if sub == nil {
+				reply(f.Seq, errors.New("brokerd: not subscribed"), 0)
+				continue
+			}
+			v, ok := inFlight.LoadAndDelete(f.MsgID)
+			if !ok {
+				reply(f.Seq, fmt.Errorf("brokerd: message %d not in flight", f.MsgID), 0)
+				continue
+			}
+			m := v.(*broker.Message)
+			if f.Op == OpAck {
+				reply(f.Seq, sub.Ack(m), 0)
+			} else {
+				reply(f.Seq, sub.Requeue(m), 0)
+			}
+		case OpStats:
+			snap := s.b.Stats()
+			stats := make([]TopicStats, 0, len(snap))
+			for _, ts := range snap {
+				out := TopicStats{Topic: ts.Topic, Backlog: ts.Backlog}
+				for _, cs := range ts.Channels {
+					out.Channels = append(out.Channels, ChannelStats{
+						Channel: cs.Channel, Depth: cs.Depth,
+						InFlight: cs.InFlight, Subscribers: cs.Subscribers,
+					})
+				}
+				stats = append(stats, out)
+			}
+			_ = send(&Frame{Op: OpOK, Seq: f.Seq, Stats: stats})
+		case OpClose:
+			if sub != nil {
+				sub.Close()
+				<-pumpDone
+				sub = nil
+			}
+			reply(f.Seq, nil, 0)
+		default:
+			reply(f.Seq, fmt.Errorf("brokerd: unknown op %q", f.Op), 0)
+		}
+	}
+}

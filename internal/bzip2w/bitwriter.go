@@ -1,0 +1,50 @@
+package bzip2w
+
+import "io"
+
+// bitWriter emits bits MSB-first, the bit order the bzip2 container uses.
+type bitWriter struct {
+	w    io.Writer
+	bits uint64
+	n    uint // number of pending bits in the high end of bits<<?
+	buf  []byte
+	err  error
+}
+
+func newBitWriter(w io.Writer) *bitWriter {
+	return &bitWriter{w: w, buf: make([]byte, 0, 4096)}
+}
+
+// writeBits appends the low n bits of v (n <= 48), most significant first.
+func (b *bitWriter) writeBits(v uint64, n uint) {
+	if b.err != nil {
+		return
+	}
+	b.bits = b.bits<<n | v&(1<<n-1)
+	b.n += n
+	for b.n >= 8 {
+		b.n -= 8
+		b.buf = append(b.buf, byte(b.bits>>b.n))
+		if len(b.buf) >= 4096 {
+			b.flushBuf()
+		}
+	}
+}
+
+func (b *bitWriter) flushBuf() {
+	if b.err != nil || len(b.buf) == 0 {
+		return
+	}
+	_, b.err = b.w.Write(b.buf)
+	b.buf = b.buf[:0]
+}
+
+// close pads the final partial byte with zero bits and flushes.
+func (b *bitWriter) close() error {
+	if b.n > 0 {
+		pad := 8 - b.n
+		b.writeBits(0, pad)
+	}
+	b.flushBuf()
+	return b.err
+}

@@ -1,0 +1,114 @@
+package bzip2w
+
+// Burrows–Wheeler transform of a block, computed by sorting all cyclic
+// rotations with prefix-doubling (Manber–Myers) and counting-sort radix
+// passes: O(n log n) time, O(n) extra space, no pathological inputs.
+
+// bwtTransform returns the BWT of data (last column of the sorted cyclic
+// rotation matrix) and origPtr, the row index at which the original string
+// appears — the two artifacts the bzip2 block header carries.
+func bwtTransform(data []byte, out []byte) (origPtr int) {
+	n := len(data)
+	if n == 0 {
+		return 0
+	}
+	if n == 1 {
+		out[0] = data[0]
+		return 0
+	}
+	sa := sortRotations(data)
+	for i, p := range sa {
+		if p == 0 {
+			origPtr = i
+			out[i] = data[n-1]
+		} else {
+			out[i] = data[p-1]
+		}
+	}
+	return origPtr
+}
+
+// sortRotations returns the indices of the cyclic rotations of data in
+// lexicographic order (prefix doubling with counting sort).
+func sortRotations(data []byte) []int32 {
+	n := len(data)
+	sa := make([]int32, n)
+	rank := make([]int32, n)
+	tmp := make([]int32, n)
+	cnt := make([]int32, maxInt(256, n)+1)
+
+	// Initial ranks are byte values; counting-sort positions by first byte.
+	for i := 0; i < n; i++ {
+		rank[i] = int32(data[i])
+	}
+	for i := range cnt {
+		cnt[i] = 0
+	}
+	for i := 0; i < n; i++ {
+		cnt[rank[i]+1]++
+	}
+	for i := 1; i < 257; i++ {
+		cnt[i] += cnt[i-1]
+	}
+	for i := 0; i < n; i++ {
+		sa[cnt[rank[i]]] = int32(i)
+		cnt[rank[i]]++
+	}
+
+	classes := int32(256)
+	for k := 1; ; k <<= 1 {
+		// Sort by (rank[i], rank[(i+k) mod n]). sa is already ordered by
+		// rank of the k-length prefix; shifting each start left by k yields
+		// the order of second keys, and a stable counting sort on the
+		// first key finishes the pass.
+		sh := int32(k % n)
+		for i := 0; i < n; i++ {
+			tmp[i] = sa[i] - sh
+			if tmp[i] < 0 {
+				tmp[i] += int32(n)
+			}
+		}
+		for i := int32(0); i <= classes; i++ {
+			cnt[i] = 0
+		}
+		for i := 0; i < n; i++ {
+			cnt[rank[i]+1]++
+		}
+		for i := int32(1); i <= classes; i++ {
+			cnt[i] += cnt[i-1]
+		}
+		for i := 0; i < n; i++ {
+			s := tmp[i]
+			sa[cnt[rank[s]]] = s
+			cnt[rank[s]]++
+		}
+		// Re-rank: rotations equal on their first 2k characters share
+		// ranks. tmp doubles as the new-rank buffer now that the shifted
+		// order has been consumed.
+		tmp[sa[0]] = 0
+		newClasses := int32(1)
+		for i := 1; i < n; i++ {
+			a, b := sa[i-1], sa[i]
+			same := rank[a] == rank[b] && rank[(int(a)+k)%n] == rank[(int(b)+k)%n]
+			if !same {
+				newClasses++
+			}
+			tmp[b] = newClasses - 1
+		}
+		copy(rank, tmp)
+		classes = newClasses
+		if classes == int32(n) || k >= n {
+			// Fully ordered, or the input is periodic (equal rotations
+			// can never separate); either way the order is final.
+			break
+		}
+	}
+	return sa
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,267 @@
+// Package bzip2w implements a bzip2 compressor. The Go standard library
+// ships only the decompressor (compress/bzip2); RAI submissions travel as
+// .tar.bz2 archives, so the writer is built here from scratch: RLE1,
+// Burrows–Wheeler transform, move-to-front, RLE2, and the multi-table
+// Huffman entropy coder, framed in the standard bzip2 container.
+//
+// Output is verified round-trip against compress/bzip2 in the tests.
+package bzip2w
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// DefaultLevel is the block-size level used by NewWriter (bzip2's own
+// default). Level k uses k*100_000-byte blocks.
+const DefaultLevel = 9
+
+const (
+	blockMagic = 0x314159265359 // BCD of pi: block header
+	eosMagic   = 0x177245385090 // BCD of sqrt(pi): end of stream
+)
+
+// Writer compresses data written to it into a bzip2 stream on the
+// underlying writer. Close must be called to flush the final block and
+// the stream footer.
+type Writer struct {
+	bw         *bitWriter
+	level      int
+	block      []byte // RLE1-encoded block contents
+	blockLimit int
+	crc        blockCRC
+	combined   uint32
+	headerDone bool
+	closed     bool
+	err        error
+	// RLE1 run state
+	last   int // previous byte value, -1 when no run is open
+	runLen int
+}
+
+// NewWriter returns a Writer at DefaultLevel.
+func NewWriter(w io.Writer) *Writer {
+	bw, err := NewWriterLevel(w, DefaultLevel)
+	if err != nil {
+		panic(err) // unreachable: DefaultLevel is valid
+	}
+	return bw
+}
+
+// NewWriterLevel returns a Writer using level*100kB blocks; level must be
+// in [1,9].
+func NewWriterLevel(w io.Writer, level int) (*Writer, error) {
+	if level < 1 || level > 9 {
+		return nil, fmt.Errorf("bzip2w: invalid level %d (want 1..9)", level)
+	}
+	return &Writer{
+		bw:         newBitWriter(w),
+		level:      level,
+		blockLimit: level * 100_000,
+		crc:        newBlockCRC(),
+		last:       -1,
+	}, nil
+}
+
+// Write implements io.Writer.
+func (w *Writer) Write(p []byte) (int, error) {
+	if w.closed {
+		return 0, errors.New("bzip2w: write after Close")
+	}
+	if w.err != nil {
+		return 0, w.err
+	}
+	for _, b := range p {
+		w.crc = w.crc.updateByte(b)
+		w.rle1Add(b)
+		// Leave room to close the open run (count byte) when cutting.
+		if len(w.block) >= w.blockLimit-5 {
+			if err := w.endBlock(); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return len(p), nil
+}
+
+// rle1Add feeds one byte through the RLE1 stage into the block buffer.
+func (w *Writer) rle1Add(b byte) {
+	if int(b) == w.last {
+		w.runLen++
+		if w.runLen <= 4 {
+			w.block = append(w.block, b)
+		}
+		if w.runLen == 4+255 {
+			w.block = append(w.block, 255)
+			w.last, w.runLen = -1, 0
+		}
+		return
+	}
+	w.finishRun()
+	w.last, w.runLen = int(b), 1
+	w.block = append(w.block, b)
+}
+
+// finishRun closes an open RLE1 run, appending the count byte when the
+// run reached length 4.
+func (w *Writer) finishRun() {
+	if w.runLen >= 4 {
+		w.block = append(w.block, byte(w.runLen-4))
+	}
+	w.last, w.runLen = -1, 0
+}
+
+// endBlock compresses and emits the current block.
+func (w *Writer) endBlock() error {
+	w.finishRun()
+	if len(w.block) == 0 {
+		return nil
+	}
+	if !w.headerDone {
+		w.writeStreamHeader()
+	}
+	crc := w.crc.sum()
+	w.combined = combineCRC(w.combined, crc)
+	w.emitBlock(w.block, crc)
+	w.block = w.block[:0]
+	w.crc = newBlockCRC()
+	return w.bw.err
+}
+
+// Close flushes the final block and stream footer. It does not close the
+// underlying writer.
+func (w *Writer) Close() error {
+	if w.closed {
+		return w.err
+	}
+	w.closed = true
+	if err := w.endBlock(); err != nil {
+		w.err = err
+		return err
+	}
+	if !w.headerDone {
+		w.writeStreamHeader()
+	}
+	w.bw.writeBits(eosMagic, 48)
+	w.bw.writeBits(uint64(w.combined), 32)
+	w.err = w.bw.close()
+	return w.err
+}
+
+func (w *Writer) writeStreamHeader() {
+	w.bw.writeBits('B', 8)
+	w.bw.writeBits('Z', 8)
+	w.bw.writeBits('h', 8)
+	w.bw.writeBits(uint64('0'+w.level), 8)
+	w.headerDone = true
+}
+
+// emitBlock runs the BWT→MTF→Huffman pipeline and writes one block.
+func (w *Writer) emitBlock(block []byte, crc uint32) {
+	used, symMap, nUsed := symbolMap(block)
+	bwt := make([]byte, len(block))
+	origPtr := bwtTransform(block, bwt)
+	mtf := mtfRLE2(bwt, &symMap, nUsed)
+	alphaSize := nUsed + 2
+	plan := planHuffman(mtf, alphaSize)
+
+	bw := w.bw
+	bw.writeBits(blockMagic, 48)
+	bw.writeBits(uint64(crc), 32)
+	bw.writeBits(0, 1) // "randomized" flag: deprecated, always 0
+	bw.writeBits(uint64(origPtr), 24)
+
+	// Symbol map: a 16-bit bitmap of used 16-symbol ranges, then one
+	// 16-bit bitmap per used range.
+	var rangeUsed uint16
+	for r := 0; r < 16; r++ {
+		for s := 0; s < 16; s++ {
+			if used[r*16+s] {
+				rangeUsed |= 1 << (15 - r)
+				break
+			}
+		}
+	}
+	bw.writeBits(uint64(rangeUsed), 16)
+	for r := 0; r < 16; r++ {
+		if rangeUsed&(1<<(15-r)) == 0 {
+			continue
+		}
+		var bits uint16
+		for s := 0; s < 16; s++ {
+			if used[r*16+s] {
+				bits |= 1 << (15 - s)
+			}
+		}
+		bw.writeBits(uint64(bits), 16)
+	}
+
+	bw.writeBits(uint64(plan.nGroups), 3)
+	bw.writeBits(uint64(len(plan.selectors)), 15)
+
+	// Selectors, MTF-coded in unary.
+	var order [maxGroups]uint8
+	for i := range order {
+		order[i] = uint8(i)
+	}
+	for _, sel := range plan.selectors {
+		var j int
+		for order[j] != sel {
+			j++
+		}
+		copy(order[1:j+1], order[:j])
+		order[0] = sel
+		for k := 0; k < j; k++ {
+			bw.writeBits(1, 1)
+		}
+		bw.writeBits(0, 1)
+	}
+
+	// Code-length tables, delta coded.
+	for g := 0; g < plan.nGroups; g++ {
+		lens := plan.lens[g]
+		cur := int(lens[0])
+		bw.writeBits(uint64(cur), 5)
+		for _, l := range lens {
+			for cur < int(l) {
+				bw.writeBits(0b10, 2) // increment
+				cur++
+			}
+			for cur > int(l) {
+				bw.writeBits(0b11, 2) // decrement
+				cur--
+			}
+			bw.writeBits(0, 1) // done
+		}
+	}
+
+	// Payload: each 50-symbol group uses its selected table.
+	for i, s := range mtf {
+		g := plan.selectors[i/groupSize]
+		bw.writeBits(uint64(plan.codes[g][s]), uint(plan.lens[g][s]))
+	}
+}
+
+// Compress is a convenience helper that compresses p in one call.
+func Compress(p []byte) ([]byte, error) {
+	var buf sliceWriter
+	w, err := NewWriterLevel(&buf, DefaultLevel)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := w.Write(p); err != nil {
+		return nil, err
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+type sliceWriter []byte
+
+func (s *sliceWriter) Write(p []byte) (int, error) {
+	*s = append(*s, p...)
+	return len(p), nil
+}

@@ -1,0 +1,326 @@
+package bzip2w
+
+import (
+	"bytes"
+	"compress/bzip2"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// roundTrip compresses p at the given level and decodes it with the
+// standard library's decompressor.
+func roundTrip(t *testing.T, p []byte, level int) {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriterLevel(&buf, level)
+	if err != nil {
+		t.Fatalf("NewWriterLevel: %v", err)
+	}
+	if _, err := w.Write(p); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	got, err := io.ReadAll(bzip2.NewReader(&buf))
+	if err != nil {
+		t.Fatalf("stdlib decompressor rejected our stream (input %d bytes): %v", len(p), err)
+	}
+	if !bytes.Equal(got, p) {
+		t.Fatalf("round trip mismatch: wrote %d bytes, read %d", len(p), len(got))
+	}
+}
+
+func TestRoundTripEmpty(t *testing.T) { roundTrip(t, nil, 9) }
+
+func TestRoundTripSmall(t *testing.T) {
+	cases := []string{
+		"a",
+		"ab",
+		"hello, bzip2 world\n",
+		"aaaa",
+		"aaaaa",
+		"aaaabaaaab",
+		strings.Repeat("a", 4+255),  // exactly max RLE1 run
+		strings.Repeat("a", 4+256),  // one past max run
+		strings.Repeat("ab", 1000),  // period-2 rotations
+		strings.Repeat("abc", 5000), // period-3
+		"\x00\x01\x02\xff\xfe\x00\x00\x00\x00\x00",
+	}
+	for _, s := range cases {
+		roundTrip(t, []byte(s), 9)
+	}
+}
+
+func TestRoundTripAllByteValues(t *testing.T) {
+	p := make([]byte, 256*7)
+	for i := range p {
+		p[i] = byte(i % 256)
+	}
+	roundTrip(t, p, 9)
+}
+
+func TestRoundTripUniformRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(408))
+	for _, n := range []int{1, 100, 5_000, 60_000} {
+		p := make([]byte, n)
+		rng.Read(p)
+		roundTrip(t, p, 9)
+	}
+}
+
+func TestRoundTripBiasedRandom(t *testing.T) {
+	// Text-like distribution exercises the Huffman refinement path.
+	rng := rand.New(rand.NewSource(598))
+	p := make([]byte, 80_000)
+	letters := []byte("etaoin shrdlu\n")
+	for i := range p {
+		if rng.Intn(10) == 0 {
+			p[i] = byte(rng.Intn(256))
+		} else {
+			p[i] = letters[rng.Intn(len(letters))]
+		}
+	}
+	roundTrip(t, p, 9)
+}
+
+func TestRoundTripMultiBlock(t *testing.T) {
+	// Level 1 → 100kB blocks; 350kB input spans 4 blocks and exercises
+	// the combined CRC.
+	rng := rand.New(rand.NewSource(176))
+	p := make([]byte, 350_000)
+	for i := range p {
+		p[i] = byte('a' + rng.Intn(4))
+	}
+	roundTrip(t, p, 1)
+}
+
+func TestRoundTripLongRuns(t *testing.T) {
+	var b bytes.Buffer
+	for i := 0; i < 50; i++ {
+		b.WriteString(strings.Repeat(string(rune('a'+i%3)), 100+i*37))
+	}
+	roundTrip(t, b.Bytes(), 9)
+}
+
+func TestRoundTripWriteByteAtATime(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	msg := []byte("the quick brown fox jumps over the lazy dog, repeatedly. ")
+	for i := 0; i < 40; i++ {
+		for _, c := range msg {
+			if _, err := w.Write([]byte{c}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(bzip2.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 40*len(msg) {
+		t.Fatalf("got %d bytes, want %d", len(got), 40*len(msg))
+	}
+}
+
+func TestInvalidLevel(t *testing.T) {
+	for _, lv := range []int{0, 10, -3} {
+		if _, err := NewWriterLevel(io.Discard, lv); err == nil {
+			t.Errorf("NewWriterLevel(%d) succeeded, want error", lv)
+		}
+	}
+}
+
+func TestWriteAfterClose(t *testing.T) {
+	w := NewWriter(io.Discard)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("x")); err == nil {
+		t.Fatal("Write after Close succeeded")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("double Close: %v", err)
+	}
+}
+
+func TestCompressHelper(t *testing.T) {
+	data := []byte(strings.Repeat("rai submission payload ", 1000))
+	z, err := Compress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(z) >= len(data) {
+		t.Errorf("compressible input did not shrink: %d -> %d", len(data), len(z))
+	}
+	got, err := io.ReadAll(bzip2.NewReader(bytes.NewReader(z)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("Compress round trip mismatch")
+	}
+}
+
+// TestQuickRoundTrip is the property-based check: any byte slice survives
+// compress → stdlib decompress unchanged.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(p []byte, seed int64) bool {
+		var buf bytes.Buffer
+		w, _ := NewWriterLevel(&buf, 1)
+		if _, err := w.Write(p); err != nil {
+			return false
+		}
+		if err := w.Close(); err != nil {
+			return false
+		}
+		got, err := io.ReadAll(bzip2.NewReader(&buf))
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, p)
+	}
+	cfg := &quick.Config{MaxCount: 60}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRunHeavy targets the RLE1 edge cases with run-structured input.
+func TestQuickRunHeavy(t *testing.T) {
+	f := func(runs []uint16, b byte) bool {
+		var in bytes.Buffer
+		for i, r := range runs {
+			in.Write(bytes.Repeat([]byte{b + byte(i%3)}, int(r%600)))
+		}
+		p := in.Bytes()
+		var buf bytes.Buffer
+		w, _ := NewWriterLevel(&buf, 1)
+		w.Write(p)
+		if err := w.Close(); err != nil {
+			return false
+		}
+		got, err := io.ReadAll(bzip2.NewReader(&buf))
+		return err == nil && bytes.Equal(got, p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBWTKnownVector(t *testing.T) {
+	// Classic example: BWT of "banana" (cyclic) is "nnbaaa" with the
+	// original at row 3.
+	in := []byte("banana")
+	out := make([]byte, len(in))
+	ptr := bwtTransform(in, out)
+	if string(out) != "nnbaaa" {
+		t.Errorf("BWT(banana) = %q, want nnbaaa", out)
+	}
+	if ptr != 3 {
+		t.Errorf("origPtr = %d, want 3", ptr)
+	}
+}
+
+func TestBWTPeriodicInput(t *testing.T) {
+	// All rotations equal: must terminate and produce a valid transform.
+	in := bytes.Repeat([]byte{'x'}, 1024)
+	out := make([]byte, len(in))
+	ptr := bwtTransform(in, out)
+	if ptr < 0 || ptr >= len(in) {
+		t.Fatalf("origPtr = %d out of range", ptr)
+	}
+	for _, b := range out {
+		if b != 'x' {
+			t.Fatal("BWT of constant input must be constant")
+		}
+	}
+}
+
+func TestMTFRLE2SmallVector(t *testing.T) {
+	// Alphabet {a,b}; input "aab": a is front → two zeros → RUNB (run of
+	// 2), then b at position 1 → symbol 2, then EOB (=3).
+	block := []byte("aab")
+	_, symMap, nUsed := symbolMap(block)
+	if nUsed != 2 {
+		t.Fatalf("nUsed = %d", nUsed)
+	}
+	got := mtfRLE2(block, &symMap, nUsed)
+	want := []uint16{runB, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("mtf = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("mtf = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestHuffmanLengthsValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(256)
+		freq := make([]int32, n)
+		for i := range freq {
+			if rng.Intn(4) != 0 {
+				freq[i] = int32(rng.Intn(100000))
+			}
+		}
+		lens := buildCodeLengths(freq)
+		// Kraft inequality must hold with equality ≤ 1 and lengths in range.
+		var kraft float64
+		for _, l := range lens {
+			if l < 1 || l > maxCodeLen {
+				t.Fatalf("length %d out of range", l)
+			}
+			kraft += 1 / float64(int64(1)<<l)
+		}
+		if kraft > 1.0000001 {
+			t.Fatalf("Kraft sum %v > 1 (not decodable)", kraft)
+		}
+	}
+}
+
+func TestAssignCodesPrefixFree(t *testing.T) {
+	lens := buildCodeLengths([]int32{50, 30, 10, 5, 3, 1, 1})
+	codes := assignCodes(lens)
+	for i := range codes {
+		for j := range codes {
+			if i == j {
+				continue
+			}
+			li, lj := uint(lens[i]), uint(lens[j])
+			if li > lj {
+				continue
+			}
+			if codes[j]>>(lj-li) == codes[i] {
+				t.Fatalf("code %d (%b/%d) is a prefix of code %d (%b/%d)", i, codes[i], li, j, codes[j], lj)
+			}
+		}
+	}
+}
+
+func TestChooseNumGroups(t *testing.T) {
+	cases := map[int]int{0: 2, 199: 2, 200: 3, 599: 3, 600: 4, 1199: 4, 1200: 5, 2399: 5, 2400: 6, 1_000_000: 6}
+	for n, want := range cases {
+		if got := chooseNumGroups(n); got != want {
+			t.Errorf("chooseNumGroups(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestCombineCRCRotates(t *testing.T) {
+	if got := combineCRC(0x80000000, 0); got != 1 {
+		t.Errorf("combineCRC(0x80000000, 0) = %#x, want 1 (rotate-left)", got)
+	}
+	if got := combineCRC(1, 0xff); got != 2^0xff {
+		t.Errorf("combineCRC(1, 0xff) = %#x", got)
+	}
+}

@@ -1,0 +1,252 @@
+package bzip2w
+
+import "sort"
+
+// Huffman coding for the bzip2 entropy stage. The encoder follows the
+// reference implementation's shape: 2–6 tables chosen by stream length,
+// greedy table assignment per 50-symbol group, a few refinement
+// iterations, and canonical code assignment with a 17-bit length cap
+// (lengths are legal up to 20; the reference encoder also caps at 17).
+
+const (
+	groupSize   = 50
+	maxCodeLen  = 17
+	maxGroups   = 6
+	nIterations = 4
+)
+
+// buildCodeLengths computes Huffman code lengths (capped at maxCodeLen)
+// for the given symbol frequencies using a standard heap-free two-queue
+// construction; when the tree exceeds the cap, frequencies are flattened
+// and the tree rebuilt, exactly as bzip2's hbMakeCodeLengths does.
+func buildCodeLengths(freq []int32) []uint8 {
+	n := len(freq)
+	lens := make([]uint8, n)
+	w := make([]int64, n)
+	for i, f := range freq {
+		if f == 0 {
+			w[i] = 1 // every symbol must be encodable
+		} else {
+			w[i] = int64(f)
+		}
+	}
+	for {
+		if tryBuild(w, lens) {
+			return lens
+		}
+		// Flatten: halve (plus one) so depth shrinks but order persists.
+		for i := range w {
+			w[i] = w[i]/2 + 1
+		}
+	}
+}
+
+// tryBuild assigns code lengths for weights w; reports false when some
+// length exceeds maxCodeLen.
+func tryBuild(w []int64, lens []uint8) bool {
+	n := len(w)
+	if n == 1 {
+		lens[0] = 1
+		return true
+	}
+	type node struct {
+		weight      int64
+		left, right int32 // child node indices, -1 for leaf
+		sym         int32
+	}
+	nodes := make([]node, 0, 2*n)
+	order := make([]int32, n)
+	for i := 0; i < n; i++ {
+		nodes = append(nodes, node{weight: w[i], left: -1, right: -1, sym: int32(i)})
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if nodes[order[a]].weight != nodes[order[b]].weight {
+			return nodes[order[a]].weight < nodes[order[b]].weight
+		}
+		return order[a] < order[b]
+	})
+	// Two-queue merge: leaves (sorted) + internal nodes (created in
+	// nondecreasing weight order).
+	var internal []int32
+	li, ii := 0, 0
+	pop := func() int32 {
+		if li < len(order) && (ii >= len(internal) || nodes[order[li]].weight <= nodes[internal[ii]].weight) {
+			li++
+			return order[li-1]
+		}
+		ii++
+		return internal[ii-1]
+	}
+	remaining := n
+	for remaining > 1 {
+		a := pop()
+		b := pop()
+		nodes = append(nodes, node{weight: nodes[a].weight + nodes[b].weight, left: a, right: b, sym: -1})
+		internal = append(internal, int32(len(nodes)-1))
+		remaining--
+	}
+	root := pop()
+	// Depth-first traversal assigning depths.
+	type frame struct {
+		idx   int32
+		depth uint8
+	}
+	stack := []frame{{root, 0}}
+	ok := true
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nd := nodes[f.idx]
+		if nd.left < 0 {
+			d := f.depth
+			if d == 0 {
+				d = 1
+			}
+			if d > maxCodeLen {
+				ok = false
+				d = maxCodeLen
+			}
+			lens[nd.sym] = d
+			continue
+		}
+		stack = append(stack, frame{nd.left, f.depth + 1}, frame{nd.right, f.depth + 1})
+	}
+	return ok
+}
+
+// assignCodes produces canonical MSB-first codes from lengths.
+func assignCodes(lens []uint8) []uint32 {
+	codes := make([]uint32, len(lens))
+	var minLen, maxLen uint8 = 32, 0
+	for _, l := range lens {
+		if l < minLen {
+			minLen = l
+		}
+		if l > maxLen {
+			maxLen = l
+		}
+	}
+	code := uint32(0)
+	for l := minLen; l <= maxLen; l++ {
+		for i, ll := range lens {
+			if ll == l {
+				codes[i] = code
+				code++
+			}
+		}
+		code <<= 1
+	}
+	return codes
+}
+
+// chooseNumGroups mirrors the reference encoder's table-count heuristic.
+func chooseNumGroups(nMTF int) int {
+	switch {
+	case nMTF < 200:
+		return 2
+	case nMTF < 600:
+		return 3
+	case nMTF < 1200:
+		return 4
+	case nMTF < 2400:
+		return 5
+	default:
+		return 6
+	}
+}
+
+// huffmanPlan is the output of the entropy-planning stage: per-table code
+// lengths and codes, plus the table selector for every 50-symbol group.
+type huffmanPlan struct {
+	nGroups   int
+	lens      [][]uint8  // [group][symbol]
+	codes     [][]uint32 // [group][symbol]
+	selectors []uint8    // table index per group of 50 symbols
+}
+
+// planHuffman runs the iterative group-assignment refinement from
+// bzip2's sendMTFValues over the MTF symbol stream.
+func planHuffman(mtf []uint16, alphaSize int) *huffmanPlan {
+	nGroups := chooseNumGroups(len(mtf))
+	// Initial tables: partition the alphabet by cumulative frequency so
+	// each table starts responsible for ~1/nGroups of the mass.
+	freq := make([]int32, alphaSize)
+	for _, s := range mtf {
+		freq[s]++
+	}
+	lens := make([][]uint8, nGroups)
+	for g := range lens {
+		lens[g] = make([]uint8, alphaSize)
+	}
+	remaining := int32(len(mtf))
+	lo := 0
+	for g := nGroups; g > 0; g-- {
+		target := remaining / int32(g)
+		var acc int32
+		hi := lo
+		for hi < alphaSize-1 && acc < target {
+			acc += freq[hi]
+			hi++
+		}
+		// Tables favour "their" slice with short codes and punish the rest.
+		for s := 0; s < alphaSize; s++ {
+			if s >= lo && s < hi {
+				lens[nGroups-g][s] = 0
+			} else {
+				lens[nGroups-g][s] = 15
+			}
+		}
+		remaining -= acc
+		lo = hi
+	}
+
+	nSel := (len(mtf) + groupSize - 1) / groupSize
+	selectors := make([]uint8, nSel)
+	gfreq := make([][]int32, nGroups)
+	for g := range gfreq {
+		gfreq[g] = make([]int32, alphaSize)
+	}
+	for iter := 0; iter < nIterations; iter++ {
+		for g := 0; g < nGroups; g++ {
+			for s := range gfreq[g] {
+				gfreq[g][s] = 0
+			}
+		}
+		// Assign every group of 50 to the cheapest table under current lens.
+		for sel := 0; sel < nSel; sel++ {
+			start := sel * groupSize
+			end := start + groupSize
+			if end > len(mtf) {
+				end = len(mtf)
+			}
+			best, bestCost := 0, int64(1)<<62
+			for g := 0; g < nGroups; g++ {
+				var cost int64
+				for _, s := range mtf[start:end] {
+					l := lens[g][s]
+					if l == 0 {
+						l = 1 // "free" placeholder from initialization
+					}
+					cost += int64(l)
+				}
+				if cost < bestCost {
+					best, bestCost = g, cost
+				}
+			}
+			selectors[sel] = uint8(best)
+			for _, s := range mtf[start:end] {
+				gfreq[best][s]++
+			}
+		}
+		// Recompute each table from the frequencies it actually won.
+		for g := 0; g < nGroups; g++ {
+			lens[g] = buildCodeLengths(gfreq[g])
+		}
+	}
+	codes := make([][]uint32, nGroups)
+	for g := 0; g < nGroups; g++ {
+		codes[g] = assignCodes(lens[g])
+	}
+	return &huffmanPlan{nGroups: nGroups, lens: lens, codes: codes, selectors: selectors}
+}

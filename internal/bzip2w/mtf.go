@@ -1,0 +1,77 @@
+package bzip2w
+
+// Move-to-front transform plus bzip2's RLE2 stage: zero runs from MTF are
+// re-expressed in bijective base 2 over the RUNA/RUNB symbols, ordinary
+// symbols shift up by one, and a block-terminating EOB symbol is appended.
+
+const (
+	runA = 0
+	runB = 1
+)
+
+// mtfRLE2 encodes bwt (whose bytes use the compacted alphabet of nUsed
+// symbols given by symMap: byte value -> compact index) into the MTF+RLE2
+// symbol stream. The output alphabet has nUsed+2 symbols:
+// RUNA=0, RUNB=1, compact symbols at index j encode as j+1, EOB=nUsed+1.
+func mtfRLE2(bwt []byte, symMap *[256]uint16, nUsed int) []uint16 {
+	out := make([]uint16, 0, len(bwt)/2+32)
+	var order [256]byte
+	for i := 0; i < nUsed; i++ {
+		order[i] = byte(i)
+	}
+	eob := uint16(nUsed + 1)
+	zeroRun := 0
+	flushRun := func() {
+		// Bijective base-2: digits RUNA (=1) and RUNB (=2).
+		n := zeroRun
+		for n > 0 {
+			if n&1 == 1 {
+				out = append(out, runA)
+				n = (n - 1) >> 1
+			} else {
+				out = append(out, runB)
+				n = (n - 2) >> 1
+			}
+		}
+		zeroRun = 0
+	}
+	for _, b := range bwt {
+		sym := byte(symMap[b])
+		if order[0] == sym {
+			zeroRun++
+			continue
+		}
+		flushRun()
+		// Move sym to front, recording its previous position.
+		var pos int
+		prev := order[0]
+		for i := 1; ; i++ {
+			cur := order[i]
+			order[i] = prev
+			prev = cur
+			if cur == sym {
+				pos = i
+				break
+			}
+		}
+		order[0] = sym
+		out = append(out, uint16(pos)+1)
+	}
+	flushRun()
+	return append(out, eob)
+}
+
+// symbolMap scans the block and produces the compacted alphabet: used
+// flags per byte, the byte->compact-index map, and the used-symbol count.
+func symbolMap(block []byte) (used [256]bool, symMap [256]uint16, nUsed int) {
+	for _, b := range block {
+		used[b] = true
+	}
+	for i := 0; i < 256; i++ {
+		if used[i] {
+			symMap[i] = uint16(nUsed)
+			nUsed++
+		}
+	}
+	return used, symMap, nUsed
+}

@@ -1,0 +1,88 @@
+package bzip2w
+
+import (
+	"runtime"
+	"sync"
+)
+
+// CompressParallel compresses p using up to workers goroutines by
+// splitting the input into independently compressed bzip2 streams and
+// concatenating them. The bzip2 format (and compress/bzip2) accepts
+// concatenated streams, so the output decodes to exactly p.
+//
+// Each worker chunk spans a whole number of blocks at the given level,
+// so the compression-ratio loss versus serial compression is limited to
+// one RLE1 run potentially split per boundary. Workers <= 1 (or input
+// smaller than one block) falls back to the serial path.
+func CompressParallel(p []byte, level, workers int) ([]byte, error) {
+	if level < 1 || level > 9 {
+		level = DefaultLevel
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	chunk := level * 100_000
+	if workers <= 1 || len(p) <= chunk {
+		return compressSerial(p, level)
+	}
+	// Split into worker-count-bounded chunks of whole blocks.
+	nChunks := (len(p) + chunk - 1) / chunk
+	if nChunks > workers*4 {
+		// Larger chunks amortize per-stream header overhead.
+		chunk = ((len(p)/(workers*4) + 99_999) / 100_000) * 100_000
+		if chunk == 0 {
+			chunk = level * 100_000
+		}
+		nChunks = (len(p) + chunk - 1) / chunk
+	}
+	type result struct {
+		data []byte
+		err  error
+	}
+	results := make([]result, nChunks)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := 0; i < nChunks; i++ {
+		lo := i * chunk
+		hi := lo + chunk
+		if hi > len(p) {
+			hi = len(p)
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, part []byte) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			data, err := compressSerial(part, level)
+			results[i] = result{data, err}
+		}(i, p[lo:hi])
+	}
+	wg.Wait()
+	var total int
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+		total += len(r.data)
+	}
+	out := make([]byte, 0, total)
+	for _, r := range results {
+		out = append(out, r.data...)
+	}
+	return out, nil
+}
+
+func compressSerial(p []byte, level int) ([]byte, error) {
+	var buf sliceWriter
+	w, err := NewWriterLevel(&buf, level)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := w.Write(p); err != nil {
+		return nil, err
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}

@@ -1,0 +1,120 @@
+package bzip2w
+
+import (
+	"bytes"
+	"compress/bzip2"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func decompress(t *testing.T, z []byte) []byte {
+	t.Helper()
+	out, err := io.ReadAll(bzip2.NewReader(bytes.NewReader(z)))
+	if err != nil {
+		t.Fatalf("decompress: %v", err)
+	}
+	return out
+}
+
+func TestParallelRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	// Compressible multi-block input (spans several 100k blocks at level 1).
+	var b bytes.Buffer
+	for b.Len() < 450_000 {
+		b.WriteString(strings.Repeat(string(rune('a'+rng.Intn(6))), 1+rng.Intn(80)))
+	}
+	p := b.Bytes()
+	for _, workers := range []int{1, 2, 4, 8} {
+		z, err := CompressParallel(p, 1, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got := decompress(t, z); !bytes.Equal(got, p) {
+			t.Fatalf("workers=%d: round trip mismatch", workers)
+		}
+	}
+}
+
+func TestParallelSmallInputFallsBack(t *testing.T) {
+	p := []byte("tiny input")
+	z, err := CompressParallel(p, 9, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := compressSerial(p, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(z, serial) {
+		t.Error("small input did not take the serial path")
+	}
+}
+
+func TestParallelEmptyInput(t *testing.T) {
+	z, err := CompressParallel(nil, 9, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := decompress(t, z); len(got) != 0 {
+		t.Fatalf("empty round trip = %d bytes", len(got))
+	}
+}
+
+func TestParallelBadLevelNormalized(t *testing.T) {
+	p := bytes.Repeat([]byte("x"), 1000)
+	z, err := CompressParallel(p, 42, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := decompress(t, z); !bytes.Equal(got, p) {
+		t.Fatal("round trip after level normalization")
+	}
+}
+
+func TestParallelRatioCloseToSerial(t *testing.T) {
+	// The concatenated-streams trick must not cost much ratio.
+	var b bytes.Buffer
+	for b.Len() < 600_000 {
+		b.WriteString("int main(void) { return forward(x, y, k); } // kernel driver\n")
+	}
+	p := b.Bytes()
+	serial, err := compressSerial(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := CompressParallel(p, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(len(par)) > 1.25*float64(len(serial)) {
+		t.Errorf("parallel output %d bytes vs serial %d (+%.0f%%)",
+			len(par), len(serial), 100*(float64(len(par))/float64(len(serial))-1))
+	}
+}
+
+func BenchmarkCompressSerialVsParallel(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	var buf bytes.Buffer
+	for buf.Len() < 2_000_000 {
+		buf.WriteString(strings.Repeat(string(rune('a'+rng.Intn(20))), 1+rng.Intn(30)))
+	}
+	p := buf.Bytes()
+	b.Run("serial", func(b *testing.B) {
+		b.SetBytes(int64(len(p)))
+		for i := 0; i < b.N; i++ {
+			if _, err := compressSerial(p, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		b.SetBytes(int64(len(p)))
+		for i := 0; i < b.N; i++ {
+			if _, err := CompressParallel(p, 1, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,323 @@
+package cnn
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Impl selects a functionally identical implementation of the compute
+// layers at a given optimization level. The levels mirror the
+// optimization journey the course project expects from students.
+type Impl int
+
+// Implementations, slowest to fastest.
+const (
+	// ImplNaiveSerial is the provided baseline: direct quadruple-nested
+	// loops, no blocking, bounds math in the inner loop.
+	ImplNaiveSerial Impl = iota
+	// ImplLoopReorder hoists invariant indexing and reorders loops for
+	// sequential memory access.
+	ImplLoopReorder
+	// ImplTiled adds output-tile blocking for cache reuse.
+	ImplTiled
+	// ImplIm2col lowers convolution to im2col + GEMM.
+	ImplIm2col
+	// ImplParallel is the "device" version: im2col + GEMM parallelized
+	// across goroutines over the batch (the reproduction's stand-in for
+	// a CUDA kernel).
+	ImplParallel
+)
+
+// Impls lists all implementations (for tests and ablation benches).
+var Impls = []Impl{ImplNaiveSerial, ImplLoopReorder, ImplTiled, ImplIm2col, ImplParallel}
+
+func (im Impl) String() string {
+	switch im {
+	case ImplNaiveSerial:
+		return "naive-serial"
+	case ImplLoopReorder:
+		return "loop-reorder"
+	case ImplTiled:
+		return "tiled"
+	case ImplIm2col:
+		return "im2col"
+	case ImplParallel:
+		return "parallel"
+	default:
+		return "unknown"
+	}
+}
+
+// Conv2D computes a valid (no padding, stride 1) cross-correlation:
+// out[n,m,y,x] = bias[m] + sum_{c,p,q} in[n,c,y+p,x+q] * w[m,c,p,q].
+// Weights are shaped (M out-channels, C in-channels, K, K).
+func Conv2D(im Impl, in, weights *Tensor, bias []float32) *Tensor {
+	k := weights.H
+	outH, outW := in.H-k+1, in.W-k+1
+	out := NewTensor(in.N, weights.N, outH, outW)
+	switch im {
+	case ImplNaiveSerial:
+		convNaive(in, weights, bias, out)
+	case ImplLoopReorder:
+		convReorder(in, weights, bias, out)
+	case ImplTiled:
+		convTiled(in, weights, bias, out)
+	case ImplIm2col:
+		convIm2col(in, weights, bias, out, false)
+	case ImplParallel:
+		convIm2col(in, weights, bias, out, true)
+	default:
+		convNaive(in, weights, bias, out)
+	}
+	return out
+}
+
+func convNaive(in, w *Tensor, bias []float32, out *Tensor) {
+	k := w.H
+	for n := 0; n < out.N; n++ {
+		for m := 0; m < out.C; m++ {
+			for y := 0; y < out.H; y++ {
+				for x := 0; x < out.W; x++ {
+					acc := bias[m]
+					for c := 0; c < in.C; c++ {
+						for p := 0; p < k; p++ {
+							for q := 0; q < k; q++ {
+								acc += in.At(n, c, y+p, x+q) * w.At(m, c, p, q)
+							}
+						}
+					}
+					out.Set(n, m, y, x, acc)
+				}
+			}
+		}
+	}
+}
+
+func convReorder(in, w *Tensor, bias []float32, out *Tensor) {
+	k := w.H
+	for n := 0; n < out.N; n++ {
+		for m := 0; m < out.C; m++ {
+			base := out.Index(n, m, 0, 0)
+			for i := 0; i < out.H*out.W; i++ {
+				out.Data[base+i] = bias[m]
+			}
+			for c := 0; c < in.C; c++ {
+				for p := 0; p < k; p++ {
+					for q := 0; q < k; q++ {
+						wv := w.At(m, c, p, q)
+						for y := 0; y < out.H; y++ {
+							inRow := in.Index(n, c, y+p, q)
+							outRow := base + y*out.W
+							for x := 0; x < out.W; x++ {
+								out.Data[outRow+x] += in.Data[inRow+x] * wv
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// tile is the output tile edge used by ImplTiled.
+const tile = 8
+
+func convTiled(in, w *Tensor, bias []float32, out *Tensor) {
+	k := w.H
+	for n := 0; n < out.N; n++ {
+		for m := 0; m < out.C; m++ {
+			base := out.Index(n, m, 0, 0)
+			for i := 0; i < out.H*out.W; i++ {
+				out.Data[base+i] = bias[m]
+			}
+			for ty := 0; ty < out.H; ty += tile {
+				yEnd := min(ty+tile, out.H)
+				for tx := 0; tx < out.W; tx += tile {
+					xEnd := min(tx+tile, out.W)
+					for c := 0; c < in.C; c++ {
+						for p := 0; p < k; p++ {
+							for q := 0; q < k; q++ {
+								wv := w.At(m, c, p, q)
+								for y := ty; y < yEnd; y++ {
+									inRow := in.Index(n, c, y+p, q)
+									outRow := base + y*out.W
+									for x := tx; x < xEnd; x++ {
+										out.Data[outRow+x] += in.Data[inRow+x] * wv
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// convIm2col lowers each image to a (C*K*K) x (outH*outW) matrix and
+// multiplies by the (M) x (C*K*K) weight matrix.
+func convIm2col(in, w *Tensor, bias []float32, out *Tensor, parallel bool) {
+	k := w.H
+	rows := in.C * k * k
+	cols := out.H * out.W
+	wMat := w.Data // already (M, C*K*K) contiguous
+
+	work := func(n int, col []float32) {
+		// im2col
+		idx := 0
+		for c := 0; c < in.C; c++ {
+			for p := 0; p < k; p++ {
+				for q := 0; q < k; q++ {
+					for y := 0; y < out.H; y++ {
+						inRow := in.Index(n, c, y+p, q)
+						copy(col[idx+y*out.W:idx+(y+1)*out.W], in.Data[inRow:inRow+out.W])
+					}
+					idx += cols
+				}
+			}
+		}
+		// GEMM: out[m, :] = wMat[m, :] * col + bias[m]
+		for m := 0; m < out.C; m++ {
+			outRow := out.Index(n, m, 0, 0)
+			dst := out.Data[outRow : outRow+cols]
+			for i := range dst {
+				dst[i] = bias[m]
+			}
+			wRow := wMat[m*rows : (m+1)*rows]
+			for r := 0; r < rows; r++ {
+				wv := wRow[r]
+				src := col[r*cols : (r+1)*cols]
+				for i, sv := range src {
+					dst[i] += wv * sv
+				}
+			}
+		}
+	}
+
+	if !parallel || in.N == 1 {
+		col := make([]float32, rows*cols)
+		for n := 0; n < in.N; n++ {
+			work(n, col)
+		}
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > in.N {
+		workers = in.N
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			col := make([]float32, rows*cols)
+			for n := range next {
+				work(n, col)
+			}
+		}()
+	}
+	for n := 0; n < in.N; n++ {
+		next <- n
+	}
+	close(next)
+	wg.Wait()
+}
+
+// ReLU applies max(0, x) elementwise, in place, and returns t.
+func ReLU(t *Tensor) *Tensor {
+	for i, v := range t.Data {
+		if v < 0 {
+			t.Data[i] = 0
+		}
+	}
+	return t
+}
+
+// AvgPool2 performs 2x2 average pooling with stride 2 (dimensions must
+// be even).
+func AvgPool2(in *Tensor) *Tensor {
+	out := NewTensor(in.N, in.C, in.H/2, in.W/2)
+	for n := 0; n < in.N; n++ {
+		for c := 0; c < in.C; c++ {
+			for y := 0; y < out.H; y++ {
+				for x := 0; x < out.W; x++ {
+					s := in.At(n, c, 2*y, 2*x) + in.At(n, c, 2*y, 2*x+1) +
+						in.At(n, c, 2*y+1, 2*x) + in.At(n, c, 2*y+1, 2*x+1)
+					out.Set(n, c, y, x, s/4)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// FullyConnected computes out[n, j] = bias[j] + sum_i in[n, i] * w[j, i],
+// treating the input as (N, C*H*W). Weights are shaped (outDim, inDim)
+// in w.N and w.C with H=W=1.
+func FullyConnected(im Impl, in, w *Tensor, bias []float32) *Tensor {
+	inDim := in.C * in.H * in.W
+	outDim := w.N
+	out := NewTensor(in.N, outDim, 1, 1)
+	run := func(n int) {
+		inRow := in.Data[n*inDim : (n+1)*inDim]
+		for j := 0; j < outDim; j++ {
+			acc := bias[j]
+			wRow := w.Data[j*inDim : (j+1)*inDim]
+			for i, v := range inRow {
+				acc += v * wRow[i]
+			}
+			out.Data[n*outDim+j] = acc
+		}
+	}
+	if im == ImplParallel && in.N > 1 {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		workers := runtime.GOMAXPROCS(0)
+		if workers > in.N {
+			workers = in.N
+		}
+		for g := 0; g < workers; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for n := range next {
+					run(n)
+				}
+			}()
+		}
+		for n := 0; n < in.N; n++ {
+			next <- n
+		}
+		close(next)
+		wg.Wait()
+	} else {
+		for n := 0; n < in.N; n++ {
+			run(n)
+		}
+	}
+	return out
+}
+
+// ArgMax returns the index of the largest logit per batch element.
+func ArgMax(t *Tensor) []int {
+	dim := t.C * t.H * t.W
+	out := make([]int, t.N)
+	for n := 0; n < t.N; n++ {
+		best, bestIdx := t.Data[n*dim], 0
+		for i := 1; i < dim; i++ {
+			if v := t.Data[n*dim+i]; v > best {
+				best, bestIdx = v, i
+			}
+		}
+		out[n] = bestIdx
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

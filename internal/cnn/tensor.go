@@ -1,0 +1,102 @@
+// Package cnn implements the course project workload: the forward
+// (inference) pass of a fixed convolutional neural network. The fall 2016
+// Applied Parallel Programming project asked student teams for "a
+// high-performance CUDA implementation of a convolutional neural network
+// inference step" (paper §I); teams started from a serial CPU baseline
+// that took ~30 minutes on the full dataset and optimized until most ran
+// under a second (paper Figure 2).
+//
+// This package is the stand-in for that workload: a LeNet-style network
+// with several functionally identical implementations at increasing
+// optimization levels — naive serial loops, loop-reordered, cache-tiled,
+// im2col+GEMM, and a goroutine-parallel "device" version. Real arithmetic
+// runs on every path, so relative speedups are measured, not asserted.
+package cnn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tensor is a dense float32 array in NCHW layout (batch, channel,
+// height, width). Lower-rank tensors use leading dimensions of size 1.
+type Tensor struct {
+	N, C, H, W int
+	Data       []float32
+}
+
+// NewTensor allocates a zero tensor of the given shape.
+func NewTensor(n, c, h, w int) *Tensor {
+	if n <= 0 || c <= 0 || h <= 0 || w <= 0 {
+		panic(fmt.Sprintf("cnn: invalid tensor shape %dx%dx%dx%d", n, c, h, w))
+	}
+	return &Tensor{N: n, C: c, H: h, W: w, Data: make([]float32, n*c*h*w)}
+}
+
+// At returns the element at (n, c, h, w).
+func (t *Tensor) At(n, c, h, w int) float32 {
+	return t.Data[((n*t.C+c)*t.H+h)*t.W+w]
+}
+
+// Set writes the element at (n, c, h, w).
+func (t *Tensor) Set(n, c, h, w int, v float32) {
+	t.Data[((n*t.C+c)*t.H+h)*t.W+w] = v
+}
+
+// Index computes the flat offset of (n, c, h, w).
+func (t *Tensor) Index(n, c, h, w int) int {
+	return ((n*t.C+c)*t.H+h)*t.W + w
+}
+
+// Len returns the element count.
+func (t *Tensor) Len() int { return t.N * t.C * t.H * t.W }
+
+// Shape returns the shape as a slice.
+func (t *Tensor) Shape() []int { return []int{t.N, t.C, t.H, t.W} }
+
+// SameShape reports whether two tensors have identical shapes.
+func (t *Tensor) SameShape(o *Tensor) bool {
+	return t.N == o.N && t.C == o.C && t.H == o.H && t.W == o.W
+}
+
+// MaxAbsDiff returns the largest absolute element difference between two
+// same-shaped tensors (used by the equivalence tests across
+// implementations).
+func MaxAbsDiff(a, b *Tensor) (float64, error) {
+	if !a.SameShape(b) {
+		return 0, fmt.Errorf("cnn: shape mismatch %v vs %v", a.Shape(), b.Shape())
+	}
+	var m float64
+	for i := range a.Data {
+		d := math.Abs(float64(a.Data[i]) - float64(b.Data[i]))
+		if d > m {
+			m = d
+		}
+	}
+	return m, nil
+}
+
+// prng is a small deterministic generator (xorshift64*) used for weights
+// and synthetic data so models and datasets are reproducible from a seed
+// without math/rand's global state.
+type prng struct{ s uint64 }
+
+func newPRNG(seed uint64) *prng {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &prng{s: seed}
+}
+
+func (p *prng) next() uint64 {
+	p.s ^= p.s >> 12
+	p.s ^= p.s << 25
+	p.s ^= p.s >> 27
+	return p.s * 0x2545F4914F6CDD1D
+}
+
+// float returns a uniform float32 in [-scale, scale).
+func (p *prng) float(scale float32) float32 {
+	u := p.next() >> 40 // 24 bits
+	return (float32(u)/float32(1<<24)*2 - 1) * scale
+}

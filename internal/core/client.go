@@ -1,0 +1,197 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"rai/internal/auth"
+	"rai/internal/build"
+	"rai/internal/clock"
+	"rai/internal/vfs"
+)
+
+// Client implements the student-side workflow (paper §V "Client
+// Execution"): validate the project, upload it, enqueue the job, stream
+// the log topic to the terminal, and return the result carried by the
+// End message.
+type Client struct {
+	Creds   auth.Credentials
+	Queue   Queue
+	Objects Objects
+	// Stdout receives streamed job output (the student's terminal).
+	Stdout io.Writer
+	// Clock is the time source (virtual in simulations).
+	Clock clock.Clock
+	// LogWait bounds how long the client waits for the End message; zero
+	// means no timeout (daemon deployments rely on broker liveness).
+	LogWait time.Duration
+}
+
+// JobResult is what the client learns from the End message.
+type JobResult struct {
+	JobID         string
+	Status        string
+	Elapsed       time.Duration
+	InternalTimer time.Duration
+	Accuracy      float64
+	BuildBucket   string
+	BuildKey      string
+	// LogLines counts streamed output lines (useful for the paper's
+	// logs/meta-data accounting).
+	LogLines int
+}
+
+// PrepareProject inspects the project directory in fs, returning the
+// build spec: the student's rai-build.yml when present, otherwise the
+// Listing 1 default (client step 1).
+func PrepareProject(fs *vfs.FS, dir string) (*build.Spec, error) {
+	specPath := dir + "/" + build.FileName
+	if !fs.Exists(dir) {
+		return nil, fmt.Errorf("core: project directory %s does not exist", dir)
+	}
+	if fs.Exists(specPath) {
+		data, err := fs.ReadFile(specPath)
+		if err != nil {
+			return nil, err
+		}
+		spec, err := build.Parse(data)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s: %w", build.FileName, err)
+		}
+		return spec, nil
+	}
+	return build.Default(), nil
+}
+
+// CheckSubmissionFiles enforces the final-submission requirements: the
+// USAGE file and report.pdf must be present (paper §V "Student Final
+// Submission" step 2).
+func CheckSubmissionFiles(fs *vfs.FS, dir string) error {
+	for _, f := range []string{"USAGE", "report.pdf"} {
+		if !fs.Exists(dir + "/" + f) {
+			return fmt.Errorf("%w: missing %s", ErrMissingFiles, f)
+		}
+	}
+	return nil
+}
+
+// Submit runs the full client sequence for a packed project archive.
+// kind is KindRun or KindSubmit; spec is the parsed build file (ignored
+// by workers for KindSubmit). It blocks streaming logs to Stdout until
+// the End message arrives.
+func (c *Client) Submit(kind string, spec *build.Spec, archive []byte) (*JobResult, error) {
+	jobID := NewJobID()
+	// Step 3: compress (done by the caller via archivex) and upload the
+	// project directory; one-month lifetime from last use.
+	uploadKey := fmt.Sprintf("%s/%s/project.tar.bz2", c.Creds.UserName, jobID)
+	if err := c.Objects.Put(BucketUploads, uploadKey, archive, UploadTTL); err != nil {
+		return nil, fmt.Errorf("core: uploading project: %w", err)
+	}
+	return c.submitUploaded(jobID, kind, spec, BucketUploads, uploadKey)
+}
+
+// Resubmit enqueues a job against an archive already on the file server
+// — the grading path: instructors rerun a team's recorded final
+// submission multiple times and keep the best time (§VI, §VII).
+func (c *Client) Resubmit(kind, uploadBucket, uploadKey string) (*JobResult, error) {
+	return c.submitUploaded(NewJobID(), kind, nil, uploadBucket, uploadKey)
+}
+
+func (c *Client) submitUploaded(jobID, kind string, spec *build.Spec, uploadBucket, uploadKey string) (*JobResult, error) {
+	if kind != KindRun && kind != KindSubmit {
+		return nil, fmt.Errorf("core: unknown job kind %q", kind)
+	}
+	clk := c.Clock
+	if clk == nil {
+		clk = clock.Real{}
+	}
+
+	specBytes := []byte{}
+	if spec != nil {
+		enc, err := spec.Encode()
+		if err != nil {
+			return nil, err
+		}
+		specBytes = enc
+	}
+	req := &JobRequest{
+		ID:           jobID,
+		User:         c.Creds.UserName,
+		AccessKey:    c.Creds.AccessKey,
+		Kind:         kind,
+		BuildSpec:    specBytes,
+		UploadBucket: uploadBucket,
+		UploadKey:    uploadKey,
+		SubmittedAt:  clk.Now(),
+	}
+	req.Token = authToken(c, req)
+
+	// Step 5: subscribe to the log topic BEFORE publishing so no output
+	// is lost (the broker also buffers a backlog as a second defense).
+	sub, err := c.Queue.Subscribe(LogTopic(jobID), LogChannel, 1024)
+	if err != nil {
+		return nil, fmt.Errorf("core: subscribing to log topic: %w", err)
+	}
+	defer sub.Close()
+
+	// Step 4: push the job request onto the queue.
+	if err := c.Queue.Publish(TasksTopic, encodeJSON(req)); err != nil {
+		return nil, fmt.Errorf("core: publishing job: %w", err)
+	}
+
+	// Step 6: print messages until End (step 8: exit on End).
+	res := &JobResult{JobID: jobID}
+	var timeout <-chan time.Time
+	if c.LogWait > 0 {
+		timeout = clk.After(c.LogWait)
+	}
+	for {
+		select {
+		case m, ok := <-sub.C():
+			if !ok {
+				return res, fmt.Errorf("core: log stream closed before End message")
+			}
+			var lm LogMessage
+			if err := json.Unmarshal(m.Body, &lm); err != nil {
+				m.Ack()
+				continue // tolerate malformed log lines
+			}
+			m.Ack()
+			switch lm.Kind {
+			case LogStdout, LogStderr, LogSystem:
+				res.LogLines++
+				if c.Stdout != nil {
+					fmt.Fprintln(c.Stdout, lm.Line)
+				}
+			case LogEnd:
+				res.Status = lm.Status
+				res.Elapsed = time.Duration(lm.Elapsed * float64(time.Second))
+				res.InternalTimer = time.Duration(lm.InternalTimer * float64(time.Second))
+				res.Accuracy = lm.Accuracy
+				res.BuildBucket = lm.BuildBucket
+				res.BuildKey = lm.BuildKey
+				if lm.Status == StatusRejected {
+					return res, fmt.Errorf("%w: %s", ErrRejected, lm.Line)
+				}
+				return res, nil
+			}
+		case <-timeout:
+			return res, fmt.Errorf("core: timed out waiting for job %s output", jobID)
+		}
+	}
+}
+
+// authToken signs a job request with the client's credentials.
+func authToken(c *Client, req *JobRequest) string {
+	return auth.Token(c.Creds, req.CanonicalPayload())
+}
+
+// DownloadBuild fetches the /build archive produced by the worker.
+func (c *Client) DownloadBuild(res *JobResult) ([]byte, error) {
+	if res.BuildBucket == "" || res.BuildKey == "" {
+		return nil, fmt.Errorf("core: job %s has no build artifact", res.JobID)
+	}
+	return c.Objects.Get(res.BuildBucket, res.BuildKey)
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"time"
+
+	"rai/internal/broker"
+	"rai/internal/brokerd"
+	"rai/internal/objstore"
+)
+
+// Queue is the message-broker port. Both the in-process engine
+// (internal/broker) and the TCP client (internal/brokerd) satisfy it
+// through the adapters below, so the same client/worker code runs
+// embedded in simulations and distributed across machines.
+type Queue interface {
+	Publish(topic string, body []byte) error
+	Subscribe(topic, channel string, maxInFlight int) (Subscription, error)
+}
+
+// Subscription is one consumer attachment.
+type Subscription interface {
+	// C delivers messages; it closes when the subscription ends.
+	C() <-chan QueueMsg
+	Close() error
+}
+
+// QueueMsg is a delivered message with its settlement handles.
+type QueueMsg struct {
+	Body    []byte
+	Ack     func() error
+	Requeue func() error
+}
+
+// ---- in-process broker adapter ----
+
+// BrokerQueue adapts *broker.Broker to Queue.
+type BrokerQueue struct{ B *broker.Broker }
+
+// Publish implements Queue.
+func (q BrokerQueue) Publish(topic string, body []byte) error {
+	_, err := q.B.Publish(topic, body)
+	return err
+}
+
+// Subscribe implements Queue.
+func (q BrokerQueue) Subscribe(topic, channel string, maxInFlight int) (Subscription, error) {
+	sub, err := q.B.Subscribe(topic, channel, maxInFlight)
+	if err != nil {
+		return nil, err
+	}
+	out := make(chan QueueMsg, maxInFlight)
+	go func() {
+		defer close(out)
+		for m := range sub.C() {
+			m := m
+			out <- QueueMsg{
+				Body:    m.Body,
+				Ack:     func() error { return sub.Ack(m) },
+				Requeue: func() error { return sub.Requeue(m) },
+			}
+		}
+	}()
+	return brokerSub{sub: sub, c: out}, nil
+}
+
+type brokerSub struct {
+	sub *broker.Subscription
+	c   chan QueueMsg
+}
+
+func (s brokerSub) C() <-chan QueueMsg { return s.c }
+func (s brokerSub) Close() error       { return s.sub.Close() }
+
+// ---- TCP broker adapter ----
+
+// RemoteQueue adapts a brokerd server address to Queue. Publishes share
+// one connection; each subscription dials its own (the brokerd protocol
+// allows one subscription per connection).
+type RemoteQueue struct {
+	Addr string
+	pub  *brokerd.Client
+}
+
+// NewRemoteQueue connects the publish path.
+func NewRemoteQueue(addr string) (*RemoteQueue, error) {
+	pub, err := brokerd.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &RemoteQueue{Addr: addr, pub: pub}, nil
+}
+
+// Publish implements Queue.
+func (q *RemoteQueue) Publish(topic string, body []byte) error {
+	_, err := q.pub.Publish(topic, body)
+	return err
+}
+
+// Subscribe implements Queue.
+func (q *RemoteQueue) Subscribe(topic, channel string, maxInFlight int) (Subscription, error) {
+	conn, err := brokerd.Dial(q.Addr)
+	if err != nil {
+		return nil, err
+	}
+	if err := conn.Subscribe(topic, channel, maxInFlight); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	out := make(chan QueueMsg, maxInFlight)
+	go func() {
+		defer close(out)
+		for d := range conn.C() {
+			d := d
+			out <- QueueMsg{
+				Body:    d.Body,
+				Ack:     func() error { return conn.Ack(d) },
+				Requeue: func() error { return conn.Requeue(d) },
+			}
+		}
+	}()
+	return remoteSub{conn: conn, c: out}, nil
+}
+
+// Close shuts down the publish connection.
+func (q *RemoteQueue) Close() error { return q.pub.Close() }
+
+type remoteSub struct {
+	conn *brokerd.Client
+	c    chan QueueMsg
+}
+
+func (s remoteSub) C() <-chan QueueMsg { return s.c }
+func (s remoteSub) Close() error       { return s.conn.Close() }
+
+// ---- object store port ----
+
+// Objects is the file-server port, satisfied by the HTTP client
+// (objstore.Client) directly and by the engine through LocalObjects.
+type Objects interface {
+	Put(bucket, key string, data []byte, ttl time.Duration) error
+	Get(bucket, key string) ([]byte, error)
+	List(bucket, prefix string) ([]objstore.ObjectInfo, error)
+	Delete(bucket, key string) error
+}
+
+// LocalObjects adapts the in-process engine to Objects.
+type LocalObjects struct{ S *objstore.Store }
+
+// Put implements Objects.
+func (o LocalObjects) Put(bucket, key string, data []byte, ttl time.Duration) error {
+	_, err := o.S.Put(bucket, key, data, ttl)
+	return err
+}
+
+// Get implements Objects.
+func (o LocalObjects) Get(bucket, key string) ([]byte, error) {
+	data, _, err := o.S.Get(bucket, key)
+	return data, err
+}
+
+// List implements Objects.
+func (o LocalObjects) List(bucket, prefix string) ([]objstore.ObjectInfo, error) {
+	return o.S.List(bucket, prefix)
+}
+
+// Delete implements Objects.
+func (o LocalObjects) Delete(bucket, key string) error { return o.S.Delete(bucket, key) }
+
+var _ Objects = (*objstore.Client)(nil)
+var _ Objects = LocalObjects{}

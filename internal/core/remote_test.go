@@ -1,0 +1,130 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"rai/internal/broker"
+	"rai/internal/brokerd"
+	"rai/internal/build"
+	"rai/internal/cnn"
+	"rai/internal/project"
+)
+
+// TestRemoteQueueEndToEnd runs the whole client/worker protocol through
+// the TCP broker adapter instead of the in-process one.
+func TestRemoteQueueEndToEnd(t *testing.T) {
+	e := newEnv(t)
+	b := broker.New()
+	srv, err := brokerd.NewServer(b, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close(); b.Close() })
+
+	workerQueue, err := NewRemoteQueue(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { workerQueue.Close() })
+	e.worker.Queue = workerQueue
+	e.worker.Cfg.RateLimit = 0
+	go e.worker.Run()
+	t.Cleanup(e.worker.Stop)
+
+	clientQueue, err := NewRemoteQueue(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { clientQueue.Close() })
+	c := e.client(t, "team-tcp")
+	c.Queue = clientQueue
+	c.LogWait = 0 // real-time delivery; no virtual-clock timer
+
+	archive := packProject(t, project.Spec{Impl: cnn.ImplIm2col, Team: "team-tcp"})
+	res, err := c.Submit(KindRun, build.Default(), archive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusSucceeded || res.Accuracy != 1.0 {
+		t.Fatalf("res = %+v", res)
+	}
+	// List/Delete paths of the objects port.
+	infos, err := c.Objects.List(BucketUploads, "team-tcp/")
+	if err != nil || len(infos) != 1 {
+		t.Fatalf("list = %v, %v", infos, err)
+	}
+	if err := c.Objects.Delete(BucketUploads, infos[0].Key); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestResubmitReusesUpload is the grading rerun path: the same stored
+// archive is executed again without re-uploading.
+func TestResubmitReusesUpload(t *testing.T) {
+	e := newEnv(t)
+	c := e.client(t, "team-rerun")
+	archive := packProject(t, project.Spec{
+		Impl: cnn.ImplParallel, Tuning: 1, Team: "team-rerun", WithUsage: true, WithReport: true,
+	})
+	first, err := submitAndHandle(t, e, c, KindSubmit, nil, archive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Locate the stored upload from the job record.
+	job, err := e.db.FindOne(CollJobs, map[string]any{"job_id": first.JobID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bucket, _ := job["upload_bucket"].(string)
+	key, _ := job["upload_key"].(string)
+	if bucket == "" || key == "" {
+		t.Fatalf("job doc lacks upload location: %v", job)
+	}
+	uploadsBefore, _ := e.objects.List(BucketUploads, "team-rerun/")
+
+	e.clock.Advance(time.Minute)
+	type out struct {
+		res *JobResult
+		err error
+	}
+	done := make(chan out, 1)
+	go func() {
+		res, err := c.Resubmit(KindSubmit, bucket, key)
+		done <- out{res, err}
+	}()
+	if _, err := e.worker.HandleOne(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	o := <-done
+	if o.err != nil {
+		t.Fatal(o.err)
+	}
+	if o.res.Status != StatusSucceeded {
+		t.Fatalf("rerun status = %q", o.res.Status)
+	}
+	if o.res.InternalTimer != first.InternalTimer {
+		t.Errorf("rerun timer %v != original %v (same archive, same model)", o.res.InternalTimer, first.InternalTimer)
+	}
+	// No new upload was created.
+	uploadsAfter, _ := e.objects.List(BucketUploads, "team-rerun/")
+	if len(uploadsAfter) != len(uploadsBefore) {
+		t.Errorf("uploads grew from %d to %d on resubmit", len(uploadsBefore), len(uploadsAfter))
+	}
+}
+
+func TestResubmitBadKind(t *testing.T) {
+	e := newEnv(t)
+	c := e.client(t, "team-badkind")
+	if _, err := c.Resubmit("frobnicate", BucketUploads, "x"); err == nil {
+		t.Fatal("bad kind accepted")
+	}
+}
+
+func TestDownloadBuildWithoutArtifact(t *testing.T) {
+	e := newEnv(t)
+	c := e.client(t, "team-noartifact")
+	if _, err := c.DownloadBuild(&JobResult{JobID: "x"}); err == nil {
+		t.Fatal("download without artifact accepted")
+	}
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"rai/internal/cnn"
+	"rai/internal/project"
+)
+
+// openSession starts a session against a worker goroutine and returns
+// it with the worker running.
+func openSession(t *testing.T, e *env, team string) (*Session, *Client) {
+	t.Helper()
+	e.worker.Cfg.AllowSessions = true
+	e.worker.Cfg.RateLimit = 0
+	e.worker.Cfg.SessionIdleTimeout = time.Hour
+	go e.worker.Run()
+	t.Cleanup(e.worker.Stop)
+
+	c := e.client(t, team)
+	c.LogWait = 20 * time.Second
+	archive := packProject(t, project.Spec{Impl: cnn.ImplIm2col, Team: team})
+	s, err := c.OpenSession(archive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, c
+}
+
+func TestInteractiveSessionStatePersists(t *testing.T) {
+	e := newEnv(t)
+	s, _ := openSession(t, e, "team-interactive")
+
+	// The whole point of a session: state carries between commands —
+	// cmake writes the Makefile one round trip before make consumes it.
+	res, err := s.Run("cmake /src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitCode != 0 || !strings.Contains(res.Output, "Configuring done") {
+		t.Fatalf("cmake = %+v", res)
+	}
+	res, err = s.Run("make")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Output, "Built target ece408") {
+		t.Fatalf("make = %+v", res)
+	}
+	res, err = s.Run("./ece408 /data/test10.hdf5 /data/model.hdf5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Output, "Correctness: 1.0000") {
+		t.Fatalf("run = %+v", res)
+	}
+	// Debugging tools work interactively too (the §VIII motivation).
+	res, err = s.Run("nvprof --export-profile session.nvprof ./ece408 /data/test10.hdf5 /data/model.hdf5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Output, "Generated result file") {
+		t.Fatalf("nvprof = %+v", res)
+	}
+	// Failed commands report their exit code without ending the session.
+	res, err = s.Run("cat /no/such/file")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitCode == 0 {
+		t.Error("failed command reported exit 0")
+	}
+	if _, err := s.Run("echo still alive"); err != nil {
+		t.Fatalf("session died after failed command: %v", err)
+	}
+}
+
+func TestSessionCloseUploadsBuild(t *testing.T) {
+	e := newEnv(t)
+	s, c := openSession(t, e, "team-close")
+	if _, err := s.Run("cmake /src"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run("make"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Result == nil || s.Result.Status != StatusSucceeded {
+		t.Fatalf("session result = %+v", s.Result)
+	}
+	// The session's /build (with the compiled target) is downloadable.
+	blob, err := c.DownloadBuild(&JobResult{JobID: s.JobID, BuildBucket: s.Result.BuildBucket, BuildKey: s.Result.BuildKey})
+	if err != nil || len(blob) == 0 {
+		t.Fatalf("build download: %d bytes, %v", len(blob), err)
+	}
+	// Using a closed session errors cleanly.
+	if _, err := s.Run("echo nope"); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("run after close: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestSessionLimitsStillEnforced(t *testing.T) {
+	e := newEnv(t)
+	s, _ := openSession(t, e, "team-escape")
+	// Network is still off.
+	res, err := s.Run("curl http://example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitCode == 0 || !strings.Contains(res.Output, "Network is unreachable") {
+		t.Fatalf("curl in session = %+v", res)
+	}
+	// /src is still read-only (cp into it must fail).
+	res, err = s.Run("cp /src/CMakeLists.txt /src/copy.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitCode == 0 {
+		t.Error("write into read-only /src succeeded")
+	}
+}
+
+func TestSessionRejectedWhenDisabled(t *testing.T) {
+	e := newEnv(t)
+	// Worker without AllowSessions.
+	go e.worker.Run()
+	t.Cleanup(e.worker.Stop)
+	c := e.client(t, "team-nosess")
+	c.LogWait = 10 * time.Second
+	archive := packProject(t, project.Spec{Impl: cnn.ImplTiled, Team: "team-nosess"})
+	_, err := c.OpenSession(archive)
+	if !errors.Is(err, ErrRejected) {
+		t.Fatalf("session on non-session worker: %v", err)
+	}
+}
+
+func TestSessionEndsOnExitCommand(t *testing.T) {
+	e := newEnv(t)
+	s, _ := openSession(t, e, "team-exit")
+	if _, err := s.Run("echo hi"); err != nil {
+		t.Fatal(err)
+	}
+	// "exit" ends the session; the pending waitCmdDone sees End.
+	_, err := s.Run("exit")
+	if !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("exit command: %v", err)
+	}
+	if s.Result == nil || s.Result.Status != StatusSucceeded {
+		t.Fatalf("result after exit = %+v", s.Result)
+	}
+}
+
+func TestSessionRecordedInDatabase(t *testing.T) {
+	e := newEnv(t)
+	s, _ := openSession(t, e, "team-audit")
+	s.Run("echo audited")
+	s.Close()
+	doc, err := e.db.FindOne(CollJobs, map[string]any{"job_id": s.JobID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc["kind"] != KindSession || doc["status"] != StatusSucceeded {
+		t.Fatalf("session job doc = %v", doc)
+	}
+}

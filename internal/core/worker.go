@@ -1,0 +1,502 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"rai/internal/archivex"
+	"rai/internal/auth"
+	"rai/internal/build"
+	"rai/internal/clock"
+	"rai/internal/docstore"
+	"rai/internal/registry"
+	"rai/internal/sandbox"
+	"rai/internal/shell"
+	"rai/internal/vfs"
+)
+
+// WorkerConfig tunes a worker ("These limits can be changed using the
+// RAI worker configuration file", paper §V).
+type WorkerConfig struct {
+	// ID names the worker in job records.
+	ID string
+	// MaxConcurrent is the number of jobs accepted at once: multiple
+	// early in the course, one during the benchmarking weeks (§V, §VII).
+	MaxConcurrent int
+	// MemoryBytes, Lifetime and DisableNetwork are the container limits
+	// (defaults: 8 GiB, 1 h, network off).
+	MemoryBytes int64
+	Lifetime    time.Duration
+	// RateLimit is the per-user minimum spacing between jobs (30 s).
+	RateLimit time.Duration
+	// DefaultImage is used when a spec omits the image.
+	DefaultImage string
+	// Cost overrides the execution cost model (simulation calibration).
+	Cost shell.CostModel
+	// GPUs is the device count this worker offers; build specs that
+	// request more (the paper's reserved "machine requirements"
+	// extension, §V) are rejected so the broker can hand them to a
+	// bigger worker.
+	GPUs int
+	// AllowSessions enables interactive sessions on this worker (the
+	// paper's §VIII future work; an instructor configuration decision).
+	AllowSessions bool
+	// SessionIdleTimeout closes sessions with no commands (default 10m).
+	SessionIdleTimeout time.Duration
+}
+
+func (c WorkerConfig) withDefaults() WorkerConfig {
+	if c.ID == "" {
+		c.ID = "worker-0"
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 1
+	}
+	if c.MemoryBytes == 0 {
+		c.MemoryBytes = sandbox.DefaultMemoryBytes
+	}
+	if c.Lifetime == 0 {
+		c.Lifetime = sandbox.DefaultLifetime
+	}
+	if c.RateLimit == 0 {
+		c.RateLimit = 30 * time.Second
+	}
+	if c.DefaultImage == "" {
+		c.DefaultImage = "webgpu/rai:root"
+	}
+	if c.GPUs <= 0 {
+		c.GPUs = 1
+	}
+	return c
+}
+
+// Worker executes jobs from the queue inside sandboxed containers
+// (paper §V "Worker Operations").
+type Worker struct {
+	Cfg      WorkerConfig
+	Queue    Queue
+	Objects  Objects
+	DB       docstore.Store
+	Auth     *auth.Registry
+	Images   *registry.Registry
+	DataFS   *vfs.FS // course data volume mounted at /data
+	DataPath string  // path of the data directory inside DataFS
+	Clock    clock.Clock
+
+	runtime *sandbox.Runtime
+	mu      sync.Mutex
+	sub     Subscription
+	wg      sync.WaitGroup
+	handled int
+}
+
+// initRuntime lazily builds the container runtime.
+func (w *Worker) initRuntime() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.runtime == nil {
+		w.runtime = sandbox.NewRuntime(w.Images)
+	}
+	if w.Clock == nil {
+		w.Clock = clock.Real{}
+	}
+	w.Cfg = w.Cfg.withDefaults()
+}
+
+// Run subscribes to rai/tasks and processes jobs until Stop. Each job is
+// handled in its own goroutine, bounded by MaxConcurrent through the
+// queue's in-flight window (§V: "we place constraints on the number of
+// jobs that can be executed concurrently").
+func (w *Worker) Run() error {
+	w.initRuntime()
+	sub, err := w.Queue.Subscribe(TasksTopic, TasksChannel, w.Cfg.MaxConcurrent)
+	if err != nil {
+		return err
+	}
+	w.mu.Lock()
+	w.sub = sub
+	w.mu.Unlock()
+	for m := range sub.C() {
+		m := m
+		w.wg.Add(1)
+		go func() {
+			defer w.wg.Done()
+			w.process(m)
+		}()
+	}
+	w.wg.Wait()
+	return nil
+}
+
+// Stop detaches from the queue and waits for in-flight jobs.
+func (w *Worker) Stop() {
+	w.mu.Lock()
+	sub := w.sub
+	w.mu.Unlock()
+	if sub != nil {
+		sub.Close()
+	}
+	w.wg.Wait()
+}
+
+// HandleOne synchronously processes a single pending job (used by the
+// course simulator and tests). It waits up to wait (real time) for a job
+// to arrive and reports whether one was handled.
+func (w *Worker) HandleOne(wait time.Duration) (bool, error) {
+	w.initRuntime()
+	sub, err := w.Queue.Subscribe(TasksTopic, TasksChannel, 1)
+	if err != nil {
+		return false, err
+	}
+	defer sub.Close()
+	select {
+	case m, ok := <-sub.C():
+		if !ok {
+			return false, nil
+		}
+		w.process(m)
+		return true, nil
+	case <-time.After(wait):
+		return false, nil
+	}
+}
+
+// Handled reports how many jobs this worker has completed.
+func (w *Worker) Handled() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.handled
+}
+
+// process executes one queue message end to end.
+func (w *Worker) process(m QueueMsg) {
+	defer func() {
+		w.mu.Lock()
+		w.handled++
+		w.mu.Unlock()
+	}()
+	var req JobRequest
+	if err := json.Unmarshal(m.Body, &req); err != nil {
+		// Malformed message: nothing to reply to; drop it.
+		m.Ack()
+		return
+	}
+	logTopic := LogTopic(req.ID)
+	logf := func(kind, format string, args ...any) {
+		w.Queue.Publish(logTopic, encodeJSON(&LogMessage{
+			JobID: req.ID, Kind: kind, Line: fmt.Sprintf(format, args...),
+		}))
+	}
+	end := func(lm *LogMessage) {
+		lm.JobID = req.ID
+		lm.Kind = LogEnd
+		w.Queue.Publish(logTopic, encodeJSON(lm))
+	}
+	reject := func(reason string) {
+		logf(LogSystem, "job rejected: %s", reason)
+		end(&LogMessage{Status: StatusRejected, Line: reason})
+		w.recordJob(&req, docstore.M{"status": StatusRejected, "error": reason})
+		m.Ack()
+	}
+
+	// Worker step 2: check credentials and parse the embedded build file.
+	if err := w.Auth.VerifyToken(req.AccessKey, req.Token, req.CanonicalPayload()); err != nil {
+		reject("authentication failed: " + err.Error())
+		return
+	}
+	if req.Kind != KindRun && req.Kind != KindSubmit && req.Kind != KindSession {
+		reject("unknown job kind " + req.Kind)
+		return
+	}
+	if req.Kind == KindSession && !w.Cfg.AllowSessions {
+		reject(ErrSessionsDisabled.Error())
+		return
+	}
+	// Rate limit: one job per RateLimit per user (§V "Container
+	// Execution": "each student can only submit a job every 30 seconds").
+	if ok, wait := w.rateLimitOK(req.User); !ok {
+		reject(fmt.Sprintf("rate limited: retry in %v", wait.Round(time.Second)))
+		return
+	}
+
+	var result execResult
+	if req.Kind == KindSession {
+		w.recordJob(&req, docstore.M{"status": "running", "worker": w.Cfg.ID})
+		result = w.runSession(&req, logf)
+	} else {
+		spec, err := w.resolveSpec(&req)
+		if err != nil {
+			reject(err.Error())
+			return
+		}
+		if spec.RAI.Resources.GPUs > w.Cfg.GPUs {
+			reject(fmt.Sprintf("spec requests %d GPUs; this worker offers %d", spec.RAI.Resources.GPUs, w.Cfg.GPUs))
+			return
+		}
+		// Record the accepted job before running (auditing, §IV).
+		w.recordJob(&req, docstore.M{"status": "running", "worker": w.Cfg.ID})
+		result = w.execute(&req, spec, logf)
+	}
+
+	// Worker step 6: upload /build and advertise its location.
+	if result.buildArchive != nil {
+		buildKey := fmt.Sprintf("%s/%s/build.tar.bz2", req.User, req.ID)
+		if err := w.Objects.Put(BucketBuilds, buildKey, result.buildArchive, UploadTTL); err != nil {
+			logf(LogSystem, "failed to upload build directory: %v", err)
+		} else {
+			result.buildBucket, result.buildKey = BucketBuilds, buildKey
+			logf(LogSystem, "build directory uploaded to %s/%s", BucketBuilds, buildKey)
+		}
+	}
+
+	status := StatusSucceeded
+	if !result.ok {
+		status = StatusFailed
+	}
+	update := docstore.M{
+		"status":           status,
+		"elapsed_s":        result.elapsed.Seconds(),
+		"internal_timer_s": result.internalTimer.Seconds(),
+		"accuracy":         result.accuracy,
+		"time_report":      result.timeReport,
+		"build_bucket":     result.buildBucket,
+		"build_key":        result.buildKey,
+		"log_bytes":        result.logBytes,
+	}
+	w.recordJob(&req, update)
+
+	// Final submissions record timing onto the ranking database,
+	// overwriting existing records (§V "Student Final Submission").
+	if req.Kind == KindSubmit && result.ok {
+		w.DB.Upsert(CollRankings, docstore.M{"team": req.User}, docstore.M{"$set": docstore.M{
+			"runtime_s":  result.internalTimer.Seconds(),
+			"accuracy":   result.accuracy,
+			"job_id":     req.ID,
+			"updated_at": w.Clock.Now().UTC().Format(time.RFC3339Nano),
+		}})
+	}
+
+	end(&LogMessage{
+		Status:        status,
+		Elapsed:       result.elapsed.Seconds(),
+		InternalTimer: result.internalTimer.Seconds(),
+		Accuracy:      result.accuracy,
+		BuildBucket:   result.buildBucket,
+		BuildKey:      result.buildKey,
+	})
+	m.Ack()
+}
+
+// resolveSpec picks the effective build file: the enforced Listing 2
+// spec for final submissions, the embedded spec (or Listing 1 default)
+// otherwise.
+func (w *Worker) resolveSpec(req *JobRequest) (*build.Spec, error) {
+	if req.Kind == KindSubmit {
+		return build.Submission(), nil
+	}
+	if len(req.BuildSpec) == 0 {
+		return build.Default(), nil
+	}
+	spec, err := build.Parse(req.BuildSpec)
+	if err != nil {
+		return nil, fmt.Errorf("invalid build specification: %v", err)
+	}
+	return spec, nil
+}
+
+// rateLimitOK consults the job records for the user's last accepted job.
+func (w *Worker) rateLimitOK(user string) (bool, time.Duration) {
+	if w.Cfg.RateLimit <= 0 {
+		return true, 0
+	}
+	docs, err := w.DB.Find(CollJobs, docstore.M{
+		"user":   user,
+		"status": docstore.M{"$ne": StatusRejected},
+	}, docstore.FindOpts{Sort: []string{"-created_at"}, Limit: 1})
+	if err != nil || len(docs) == 0 {
+		return true, 0
+	}
+	createdStr, _ := docs[0]["created_at"].(string)
+	last, err := time.Parse(time.RFC3339Nano, createdStr)
+	if err != nil {
+		return true, 0
+	}
+	elapsed := w.Clock.Now().Sub(last)
+	if elapsed < w.Cfg.RateLimit {
+		return false, w.Cfg.RateLimit - elapsed
+	}
+	return true, 0
+}
+
+// recordJob upserts the job document.
+func (w *Worker) recordJob(req *JobRequest, fields docstore.M) {
+	set := docstore.M{
+		"user":          req.User,
+		"kind":          req.Kind,
+		"created_at":    req.SubmittedAt.UTC().Format(time.RFC3339Nano),
+		"upload_bucket": req.UploadBucket,
+		"upload_key":    req.UploadKey,
+	}
+	for k, v := range fields {
+		set[k] = v
+	}
+	w.DB.Upsert(CollJobs, docstore.M{"job_id": req.ID}, docstore.M{"$set": set})
+}
+
+// execResult aggregates one job execution.
+type execResult struct {
+	ok            bool
+	elapsed       time.Duration
+	internalTimer time.Duration
+	accuracy      float64
+	timeReport    string
+	buildArchive  []byte
+	buildBucket   string
+	buildKey      string
+	logBytes      int64
+}
+
+// execute downloads the project, runs the build spec in a container, and
+// packs /build (worker steps 3–6).
+func (w *Worker) execute(req *JobRequest, spec *build.Spec, logf func(kind, format string, args ...any)) execResult {
+	var res execResult
+
+	// Worker step 4: download and unpack the project archive.
+	archive, err := w.Objects.Get(req.UploadBucket, req.UploadKey)
+	if err != nil {
+		logf(LogSystem, "cannot download project archive: %v", err)
+		return res
+	}
+	hostFS := vfs.New()
+	if err := unpackProject(archive, hostFS); err != nil {
+		logf(LogSystem, "cannot unpack project archive: %v", err)
+		return res
+	}
+	if req.Kind == KindSubmit {
+		if err := CheckSubmissionFiles(hostFS, "/src"); err != nil {
+			logf(LogSystem, "%v", err)
+			return res
+		}
+	}
+
+	// Worker step 3: start the sandboxed container with the CUDA volume
+	// and pipes feeding the log topic.
+	stdout := newLineWriter(func(line string) { logf(LogStdout, "%s", line) })
+	stderr := newLineWriter(func(line string) { logf(LogStderr, "%s", line) })
+	ctr, err := w.runtime.Start(sandbox.Config{
+		Image: spec.RAI.Image,
+		Mounts: []sandbox.Mount{
+			{Source: hostFS, SourcePath: "/src", Target: "/src", ReadOnly: true},
+			{Source: w.DataFS, SourcePath: w.DataPath, Target: "/data", ReadOnly: true},
+		},
+		MemoryBytes: w.Cfg.MemoryBytes,
+		Lifetime:    w.Cfg.Lifetime,
+		Stdout:      stdout,
+		Stderr:      stderr,
+		Cost:        w.Cfg.Cost,
+	})
+	if err != nil {
+		logf(LogSystem, "cannot start container: %v", err)
+		return res
+	}
+	defer ctr.Destroy()
+	res.elapsed += ctr.PullLatency
+
+	// Worker step 5: run the build commands.
+	ok := true
+	for _, cmd := range spec.RAI.Commands.Build {
+		logf(LogSystem, "$ %s", cmd)
+		r, err := ctr.Exec(cmd)
+		res.elapsed += r.Wall
+		if r.RanInference {
+			res.internalTimer = r.InternalTimer
+			res.accuracy = r.Accuracy
+		}
+		if r.TimeReport != "" {
+			res.timeReport = r.TimeReport
+		}
+		if err != nil {
+			if errors.Is(err, sandbox.ErrLifetimeExceeded) || errors.Is(err, sandbox.ErrMemoryExceeded) {
+				logf(LogSystem, "container killed: %v", err)
+			} else {
+				logf(LogSystem, "command failed (exit %d)", r.ExitCode)
+			}
+			ok = false
+			break
+		}
+	}
+	stdout.Flush()
+	stderr.Flush()
+	res.ok = ok
+	res.logBytes = stdout.Bytes() + stderr.Bytes()
+
+	// Worker step 6: archive the container's /build directory.
+	res.buildArchive = packBuild(ctr.FS(), logf)
+	return res
+}
+
+// unpackProject extracts a submitted archive into hostFS at /src.
+func unpackProject(archive []byte, hostFS *vfs.FS) error {
+	return archivex.UnpackVFS(archive, hostFS, "/src", archivex.Limits{})
+}
+
+// packBuild archives the container's /build directory (nil on failure,
+// which the caller reports but tolerates).
+func packBuild(fs *vfs.FS, logf func(kind, format string, args ...any)) []byte {
+	blob, err := archivex.PackVFS(fs, "/build")
+	if err != nil {
+		logf(LogSystem, "cannot pack build directory: %v", err)
+		return nil
+	}
+	return blob
+}
+
+// lineWriter splits a stream into lines and hands each to a callback
+// (the pipe from the container to the log topic, §V worker step 3).
+type lineWriter struct {
+	mu    sync.Mutex
+	buf   strings.Builder
+	emit  func(string)
+	total int64
+}
+
+func newLineWriter(emit func(string)) *lineWriter {
+	return &lineWriter{emit: emit}
+}
+
+// Write implements io.Writer.
+func (l *lineWriter) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.total += int64(len(p))
+	for _, b := range p {
+		if b == '\n' {
+			l.emit(l.buf.String())
+			l.buf.Reset()
+			continue
+		}
+		l.buf.WriteByte(b)
+	}
+	return len(p), nil
+}
+
+// Flush emits any unterminated final line.
+func (l *lineWriter) Flush() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.buf.Len() > 0 {
+		l.emit(l.buf.String())
+		l.buf.Reset()
+	}
+}
+
+// Bytes reports total bytes written.
+func (l *lineWriter) Bytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}

@@ -1,0 +1,246 @@
+package docstore
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// The HTTP service exposes the database as a small JSON-RPC-ish API so a
+// standalone raidb daemon can serve workers and instructor tools:
+//
+//	POST /c/{coll}/insert  {"doc": {...}}                  -> {"id": "..."}
+//	POST /c/{coll}/find    {"filter": {...}, "opts": {..}} -> {"docs": [...]}
+//	POST /c/{coll}/count   {"filter": {...}}               -> {"n": 3}
+//	POST /c/{coll}/update  {"filter": {...}, "update":{}}  -> {"n": 2}
+//	POST /c/{coll}/upsert  {"filter": {...}, "update":{}}  -> {"id": "..."}
+//	POST /c/{coll}/delete  {"filter": {...}}               -> {"n": 1}
+//	GET  /healthz
+
+// AuthFunc validates credentials attached to a request; nil admits all.
+type AuthFunc func(accessKey, signature string, r *http.Request) bool
+
+// Auth header names shared with internal/auth.
+const (
+	HeaderAccessKey = "X-RAI-Access-Key"
+	HeaderSignature = "X-RAI-Signature"
+)
+
+type rpcRequest struct {
+	Doc    M        `json:"doc,omitempty"`
+	Filter M        `json:"filter,omitempty"`
+	Update M        `json:"update,omitempty"`
+	Opts   FindOpts `json:"opts,omitempty"`
+}
+
+type rpcResponse struct {
+	ID    string `json:"id,omitempty"`
+	N     int    `json:"n,omitempty"`
+	Docs  []M    `json:"docs,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
+// Handler serves an in-memory DB over HTTP.
+func Handler(db *DB, auth AuthFunc) http.Handler { return HandlerStore(db, auth) }
+
+// HandlerStore serves any Store implementation (in-memory or
+// journal-backed) over HTTP.
+func HandlerStore(db Store, auth AuthFunc) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/c/", func(w http.ResponseWriter, r *http.Request) {
+		if auth != nil && !auth(r.Header.Get(HeaderAccessKey), r.Header.Get(HeaderSignature), r) {
+			writeJSON(w, http.StatusForbidden, rpcResponse{Error: "forbidden"})
+			return
+		}
+		if r.Method != http.MethodPost {
+			writeJSON(w, http.StatusMethodNotAllowed, rpcResponse{Error: "POST only"})
+			return
+		}
+		rest := strings.TrimPrefix(r.URL.Path, "/c/")
+		coll, verb, ok := strings.Cut(rest, "/")
+		if !ok || coll == "" {
+			writeJSON(w, http.StatusBadRequest, rpcResponse{Error: "want /c/{collection}/{verb}"})
+			return
+		}
+		var req rpcRequest
+		body, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, rpcResponse{Error: err.Error()})
+			return
+		}
+		if len(body) > 0 {
+			if err := json.Unmarshal(body, &req); err != nil {
+				writeJSON(w, http.StatusBadRequest, rpcResponse{Error: "bad JSON: " + err.Error()})
+				return
+			}
+		}
+		if req.Filter == nil {
+			req.Filter = M{}
+		}
+		switch verb {
+		case "insert":
+			id, err := db.Insert(coll, req.Doc)
+			respond(w, rpcResponse{ID: id}, err)
+		case "find":
+			docs, err := db.Find(coll, req.Filter, req.Opts)
+			respond(w, rpcResponse{Docs: docs}, err)
+		case "count":
+			n, err := db.Count(coll, req.Filter)
+			respond(w, rpcResponse{N: n}, err)
+		case "update":
+			n, err := db.Update(coll, req.Filter, req.Update)
+			respond(w, rpcResponse{N: n}, err)
+		case "upsert":
+			id, err := db.Upsert(coll, req.Filter, req.Update)
+			respond(w, rpcResponse{ID: id}, err)
+		case "delete":
+			n, err := db.Delete(coll, req.Filter)
+			respond(w, rpcResponse{N: n}, err)
+		default:
+			writeJSON(w, http.StatusNotFound, rpcResponse{Error: "unknown verb " + verb})
+		}
+	})
+	return mux
+}
+
+func respond(w http.ResponseWriter, resp rpcResponse, err error) {
+	if err == nil {
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrBadFilter), errors.Is(err, ErrBadUpdate),
+		errors.Is(err, ErrBadName), errors.Is(err, ErrBadDocument):
+		status = http.StatusBadRequest
+	case errors.Is(err, ErrDuplicateID):
+		status = http.StatusConflict
+	}
+	writeJSON(w, status, rpcResponse{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// Client is an HTTP client for a docstore service, mirroring the DB API.
+type Client struct {
+	BaseURL string
+	HTTP    *http.Client
+	Sign    func(r *http.Request)
+}
+
+// NewClient returns a client for the service at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimSuffix(baseURL, "/"), HTTP: &http.Client{Timeout: 30 * time.Second}}
+}
+
+func (c *Client) call(coll, verb string, req rpcRequest) (rpcResponse, error) {
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return rpcResponse{}, err
+	}
+	hreq, err := http.NewRequest(http.MethodPost, c.BaseURL+"/c/"+coll+"/"+verb, strings.NewReader(string(payload)))
+	if err != nil {
+		return rpcResponse{}, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	if c.Sign != nil {
+		c.Sign(hreq)
+	}
+	hresp, err := c.HTTP.Do(hreq)
+	if err != nil {
+		return rpcResponse{}, err
+	}
+	defer hresp.Body.Close()
+	var resp rpcResponse
+	if err := json.NewDecoder(hresp.Body).Decode(&resp); err != nil {
+		return rpcResponse{}, fmt.Errorf("docstore client: bad response: %w", err)
+	}
+	if resp.Error != "" {
+		if hresp.StatusCode == http.StatusNotFound {
+			return resp, fmt.Errorf("%w: %s", ErrNotFound, resp.Error)
+		}
+		return resp, errors.New(resp.Error)
+	}
+	return resp, nil
+}
+
+// Insert stores a document and returns its id.
+func (c *Client) Insert(coll string, doc any) (string, error) {
+	d, err := normalize(doc)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.call(coll, "insert", rpcRequest{Doc: d})
+	return resp.ID, err
+}
+
+// Find runs a filtered query.
+func (c *Client) Find(coll string, filter M, opts FindOpts) ([]M, error) {
+	resp, err := c.call(coll, "find", rpcRequest{Filter: filter, Opts: opts})
+	return resp.Docs, err
+}
+
+// FindOne returns the first match or ErrNotFound.
+func (c *Client) FindOne(coll string, filter M) (M, error) {
+	docs, err := c.Find(coll, filter, FindOpts{Limit: 1})
+	if err != nil {
+		return nil, err
+	}
+	if len(docs) == 0 {
+		return nil, ErrNotFound
+	}
+	return docs[0], nil
+}
+
+// Count counts matches.
+func (c *Client) Count(coll string, filter M) (int, error) {
+	resp, err := c.call(coll, "count", rpcRequest{Filter: filter})
+	return resp.N, err
+}
+
+// Update applies an update to all matches.
+func (c *Client) Update(coll string, filter, update M) (int, error) {
+	resp, err := c.call(coll, "update", rpcRequest{Filter: filter, Update: update})
+	return resp.N, err
+}
+
+// Upsert updates or inserts and returns the document id.
+func (c *Client) Upsert(coll string, filter, update M) (string, error) {
+	resp, err := c.call(coll, "upsert", rpcRequest{Filter: filter, Update: update})
+	return resp.ID, err
+}
+
+// Delete removes matches.
+func (c *Client) Delete(coll string, filter M) (int, error) {
+	resp, err := c.call(coll, "delete", rpcRequest{Filter: filter})
+	return resp.N, err
+}
+
+// Store abstracts DB and Client so components can run embedded or remote.
+type Store interface {
+	Insert(coll string, doc any) (string, error)
+	Find(coll string, filter M, opts FindOpts) ([]M, error)
+	FindOne(coll string, filter M) (M, error)
+	Count(coll string, filter M) (int, error)
+	Update(coll string, filter, update M) (int, error)
+	Upsert(coll string, filter, update M) (string, error)
+	Delete(coll string, filter M) (int, error)
+}
+
+var (
+	_ Store = (*DB)(nil)
+	_ Store = (*Client)(nil)
+)

@@ -1,0 +1,292 @@
+package docstore
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// Durability: a PersistentDB wraps DB with an append-only journal so the
+// raidb daemon survives restarts — the role MongoDB's storage engine
+// played in the original deployment. Every mutation is recorded as one
+// JSON line; opening a journal replays it into a fresh DB.
+//
+// The journal format is deliberately simple and append-only: grading and
+// auditing care about never losing submission records (paper §IV: the
+// database holds "execution times, run-times, and logs ... useful for
+// grading or any other coursework auditing process"), not about
+// random-access update performance.
+
+// journalEntry is one logged mutation.
+type journalEntry struct {
+	Op     string `json:"op"` // insert | update | upsert | delete | drop
+	Coll   string `json:"coll"`
+	Doc    M      `json:"doc,omitempty"`
+	Filter M      `json:"filter,omitempty"`
+	Update M      `json:"update,omitempty"`
+	// ID pins the document id chosen at execution time so replay is
+	// byte-identical (Insert generates random ids otherwise).
+	ID string `json:"id,omitempty"`
+}
+
+// PersistentDB is a DB whose mutations are journaled to disk.
+type PersistentDB struct {
+	*DB
+	mu   sync.Mutex
+	file *os.File
+	w    *bufio.Writer
+}
+
+// OpenPersistent opens (or creates) a journal-backed database at path,
+// replaying any existing journal.
+func OpenPersistent(path string) (*PersistentDB, error) {
+	db := New()
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o600)
+	if err != nil {
+		return nil, err
+	}
+	if err := replay(f, db); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &PersistentDB{DB: db, file: f, w: bufio.NewWriter(f)}, nil
+}
+
+// replay applies every journal line to db.
+func replay(r io.Reader, db *DB) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var e journalEntry
+		if err := json.Unmarshal(raw, &e); err != nil {
+			return fmt.Errorf("docstore: journal line %d: %w", line, err)
+		}
+		if err := apply(db, &e); err != nil {
+			return fmt.Errorf("docstore: journal line %d (%s %s): %w", line, e.Op, e.Coll, err)
+		}
+	}
+	return sc.Err()
+}
+
+func apply(db *DB, e *journalEntry) error {
+	switch e.Op {
+	case "insert":
+		doc := e.Doc
+		if e.ID != "" {
+			doc["_id"] = e.ID
+		}
+		_, err := db.Insert(e.Coll, doc)
+		return err
+	case "update":
+		_, err := db.Update(e.Coll, e.Filter, e.Update)
+		return err
+	case "upsert":
+		// Replay exactly: if the id is recorded and absent, pin it.
+		if e.ID != "" {
+			if _, err := db.FindOne(e.Coll, M{"_id": e.ID}); err != nil {
+				// Will insert: reproduce the original id through the
+				// normal upsert path, then fix the id if it differs.
+				id, err := db.Upsert(e.Coll, e.Filter, e.Update)
+				if err != nil {
+					return err
+				}
+				if id != e.ID {
+					if _, err := db.Update(e.Coll, M{"_id": id}, M{"$set": M{"_replayed_from": id}}); err != nil {
+						return err
+					}
+					// Rewrite the id by delete+insert.
+					docs, err := db.Find(e.Coll, M{"_id": id}, FindOpts{})
+					if err != nil || len(docs) != 1 {
+						return fmt.Errorf("docstore: replay id fixup failed")
+					}
+					doc := docs[0]
+					doc["_id"] = e.ID
+					delete(doc, "_replayed_from")
+					if _, err := db.Delete(e.Coll, M{"_id": id}); err != nil {
+						return err
+					}
+					if _, err := db.Insert(e.Coll, doc); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+		}
+		_, err := db.Upsert(e.Coll, e.Filter, e.Update)
+		return err
+	case "delete":
+		_, err := db.Delete(e.Coll, e.Filter)
+		return err
+	case "drop":
+		db.Drop(e.Coll)
+		return nil
+	default:
+		return fmt.Errorf("unknown journal op %q", e.Op)
+	}
+}
+
+// log writes one entry and flushes it to the OS.
+func (p *PersistentDB) log(e *journalEntry) error {
+	raw, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.file == nil {
+		return fmt.Errorf("docstore: journal closed")
+	}
+	if _, err := p.w.Write(append(raw, '\n')); err != nil {
+		return err
+	}
+	return p.w.Flush()
+}
+
+// Insert journals and applies an insert.
+func (p *PersistentDB) Insert(coll string, doc any) (string, error) {
+	id, err := p.DB.Insert(coll, doc)
+	if err != nil {
+		return "", err
+	}
+	d, _ := normalize(doc)
+	if err := p.log(&journalEntry{Op: "insert", Coll: coll, Doc: d, ID: id}); err != nil {
+		return id, err
+	}
+	return id, nil
+}
+
+// Update journals and applies an update.
+func (p *PersistentDB) Update(coll string, filter, update M) (int, error) {
+	n, err := p.DB.Update(coll, filter, update)
+	if err != nil {
+		return n, err
+	}
+	if n > 0 {
+		if err := p.log(&journalEntry{Op: "update", Coll: coll, Filter: filter, Update: update}); err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// Upsert journals and applies an upsert.
+func (p *PersistentDB) Upsert(coll string, filter, update M) (string, error) {
+	id, err := p.DB.Upsert(coll, filter, update)
+	if err != nil {
+		return id, err
+	}
+	if err := p.log(&journalEntry{Op: "upsert", Coll: coll, Filter: filter, Update: update, ID: id}); err != nil {
+		return id, err
+	}
+	return id, nil
+}
+
+// Delete journals and applies a delete.
+func (p *PersistentDB) Delete(coll string, filter M) (int, error) {
+	n, err := p.DB.Delete(coll, filter)
+	if err != nil {
+		return n, err
+	}
+	if n > 0 {
+		if err := p.log(&journalEntry{Op: "delete", Coll: coll, Filter: filter}); err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// Drop journals and applies a collection drop.
+func (p *PersistentDB) Drop(coll string) error {
+	p.DB.Drop(coll)
+	return p.log(&journalEntry{Op: "drop", Coll: coll})
+}
+
+// Close flushes and closes the journal.
+func (p *PersistentDB) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.file == nil {
+		return nil
+	}
+	if err := p.w.Flush(); err != nil {
+		return err
+	}
+	err := p.file.Close()
+	p.file = nil
+	return err
+}
+
+// Compact rewrites the journal as a sequence of plain inserts of the
+// current state (dropping dead updates/deletes), shrinking long-lived
+// journals.
+func (p *PersistentDB) Compact(path string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o600)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	for _, coll := range p.DB.Collections() {
+		docs, err := p.DB.Find(coll, M{}, FindOpts{})
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+		for _, doc := range docs {
+			id, _ := doc["_id"].(string)
+			raw, err := json.Marshal(&journalEntry{Op: "insert", Coll: coll, Doc: doc, ID: id})
+			if err != nil {
+				f.Close()
+				os.Remove(tmp)
+				return err
+			}
+			if _, err := w.Write(append(raw, '\n')); err != nil {
+				f.Close()
+				os.Remove(tmp)
+				return err
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// Swap journals: close old, rename, reopen.
+	if p.file != nil {
+		p.w.Flush()
+		p.file.Close()
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	nf, err := os.OpenFile(path, os.O_RDWR|os.O_APPEND, 0o600)
+	if err != nil {
+		return err
+	}
+	p.file = nf
+	p.w = bufio.NewWriter(nf)
+	return nil
+}
+
+var _ Store = (*PersistentDB)(nil)

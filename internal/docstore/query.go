@@ -1,0 +1,365 @@
+package docstore
+
+import (
+	"fmt"
+	"strings"
+)
+
+// matches evaluates a Mongo-style filter against a document. Filter keys
+// are dotted paths; values are either literal equality tests or operator
+// objects ({"$gt": 3}). An empty filter matches everything.
+func matches(doc M, filter M) (bool, error) {
+	for path, cond := range filter {
+		if strings.HasPrefix(path, "$") {
+			switch path {
+			case "$or":
+				ok, err := matchOr(doc, cond)
+				if err != nil {
+					return false, err
+				}
+				if !ok {
+					return false, nil
+				}
+				continue
+			default:
+				return false, fmt.Errorf("%w: unsupported top-level operator %q", ErrBadFilter, path)
+			}
+		}
+		val, present := lookup(doc, path)
+		ok, err := matchCond(val, present, cond)
+		if err != nil {
+			return false, fmt.Errorf("%w (field %q)", err, path)
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+func matchOr(doc M, cond any) (bool, error) {
+	alts, ok := cond.([]any)
+	if !ok {
+		if malts, ok2 := cond.([]M); ok2 {
+			for _, alt := range malts {
+				m, err := matches(doc, alt)
+				if err != nil {
+					return false, err
+				}
+				if m {
+					return true, nil
+				}
+			}
+			return false, nil
+		}
+		return false, fmt.Errorf("%w: $or wants an array of filters", ErrBadFilter)
+	}
+	for _, alt := range alts {
+		sub, ok := alt.(map[string]any)
+		if !ok {
+			return false, fmt.Errorf("%w: $or element is not a filter", ErrBadFilter)
+		}
+		m, err := matches(doc, sub)
+		if err != nil {
+			return false, err
+		}
+		if m {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// matchCond checks one field condition: operator map or literal equality.
+func matchCond(val any, present bool, cond any) (bool, error) {
+	ops, isOps := cond.(map[string]any)
+	if isOps && hasOperator(ops) {
+		for op, arg := range ops {
+			ok, err := applyOp(op, val, present, arg)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+	if !present {
+		return cond == nil, nil
+	}
+	return equalValues(val, cond), nil
+}
+
+func hasOperator(m map[string]any) bool {
+	for k := range m {
+		if strings.HasPrefix(k, "$") {
+			return true
+		}
+	}
+	return false
+}
+
+func applyOp(op string, val any, present bool, arg any) (bool, error) {
+	switch op {
+	case "$exists":
+		want, ok := arg.(bool)
+		if !ok {
+			return false, fmt.Errorf("%w: $exists wants a bool", ErrBadFilter)
+		}
+		return present == want, nil
+	case "$eq":
+		return present && equalValues(val, arg), nil
+	case "$ne":
+		return !present || !equalValues(val, arg), nil
+	case "$gt", "$gte", "$lt", "$lte":
+		if !present {
+			return false, nil
+		}
+		c, ok := compareValues(val, arg)
+		if !ok {
+			return false, nil // incomparable types never match range ops
+		}
+		switch op {
+		case "$gt":
+			return c > 0, nil
+		case "$gte":
+			return c >= 0, nil
+		case "$lt":
+			return c < 0, nil
+		default:
+			return c <= 0, nil
+		}
+	case "$in":
+		list, ok := arg.([]any)
+		if !ok {
+			return false, fmt.Errorf("%w: $in wants an array", ErrBadFilter)
+		}
+		if !present {
+			return false, nil
+		}
+		for _, item := range list {
+			if equalValues(val, item) {
+				return true, nil
+			}
+		}
+		return false, nil
+	case "$prefix":
+		// RAI extension: string prefix match, used for key scans.
+		s, ok1 := val.(string)
+		p, ok2 := arg.(string)
+		return ok1 && ok2 && strings.HasPrefix(s, p), nil
+	default:
+		return false, fmt.Errorf("%w: unsupported operator %q", ErrBadFilter, op)
+	}
+}
+
+// lookup resolves a dotted path inside a document.
+func lookup(doc M, path string) (any, bool) {
+	parts := strings.Split(path, ".")
+	var cur any = map[string]any(doc)
+	for _, p := range parts {
+		m, ok := cur.(map[string]any)
+		if !ok {
+			return nil, false
+		}
+		cur, ok = m[p]
+		if !ok {
+			return nil, false
+		}
+	}
+	return cur, true
+}
+
+// equalValues compares two JSON-typed values.
+func equalValues(a, b any) bool {
+	if c, ok := compareValues(a, b); ok {
+		return c == 0
+	}
+	switch at := a.(type) {
+	case bool:
+		bt, ok := b.(bool)
+		return ok && at == bt
+	case nil:
+		return b == nil
+	case []any:
+		bt, ok := b.([]any)
+		if !ok || len(at) != len(bt) {
+			return false
+		}
+		for i := range at {
+			if !equalValues(at[i], bt[i]) {
+				return false
+			}
+		}
+		return true
+	case map[string]any:
+		bt, ok := b.(map[string]any)
+		if !ok || len(at) != len(bt) {
+			return false
+		}
+		for k, v := range at {
+			bv, ok := bt[k]
+			if !ok || !equalValues(v, bv) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// compareValues orders two values when they share a comparable type
+// (numbers with numbers, strings with strings).
+func compareValues(a, b any) (int, bool) {
+	af, aok := toFloat(a)
+	bf, bok := toFloat(b)
+	if aok && bok {
+		switch {
+		case af < bf:
+			return -1, true
+		case af > bf:
+			return 1, true
+		default:
+			return 0, true
+		}
+	}
+	as, aok2 := a.(string)
+	bs, bok2 := b.(string)
+	if aok2 && bok2 {
+		return strings.Compare(as, bs), true
+	}
+	return 0, false
+}
+
+func toFloat(v any) (float64, bool) {
+	switch t := v.(type) {
+	case float64:
+		return t, true
+	case float32:
+		return float64(t), true
+	case int:
+		return float64(t), true
+	case int64:
+		return float64(t), true
+	default:
+		return 0, false
+	}
+}
+
+// sortDocs sorts documents by the given dotted fields ('-' prefix =
+// descending). Missing fields sort before present ones; incomparable
+// pairs keep insertion order (stable sort).
+func sortDocs(docs []M, fields []string) {
+	type key struct {
+		name string
+		desc bool
+	}
+	keys := make([]key, len(fields))
+	for i, f := range fields {
+		if strings.HasPrefix(f, "-") {
+			keys[i] = key{name: f[1:], desc: true}
+		} else {
+			keys[i] = key{name: f}
+		}
+	}
+	stable := func(i, j int) bool {
+		for _, k := range keys {
+			vi, pi := lookup(docs[i], k.name)
+			vj, pj := lookup(docs[j], k.name)
+			if !pi && !pj {
+				continue
+			}
+			if !pi {
+				return !k.desc
+			}
+			if !pj {
+				return k.desc
+			}
+			c, ok := compareValues(vi, vj)
+			if !ok || c == 0 {
+				continue
+			}
+			if k.desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	}
+	sortStable(docs, stable)
+}
+
+func sortStable(docs []M, less func(i, j int) bool) {
+	// insertion sort: stable and fine for result-set sizes here; avoids
+	// pulling sort.SliceStable's reflect-based swapper into the hot path.
+	for i := 1; i < len(docs); i++ {
+		for j := i; j > 0 && less(j, j-1); j-- {
+			docs[j], docs[j-1] = docs[j-1], docs[j]
+		}
+	}
+}
+
+// applyUpdate mutates doc according to the normalized update spec.
+func applyUpdate(doc M, update M) error {
+	for op, arg := range update {
+		fields, ok := arg.(map[string]any)
+		if !ok {
+			return fmt.Errorf("%w: %s wants an object", ErrBadUpdate, op)
+		}
+		switch op {
+		case "$set":
+			for path, v := range fields {
+				setPath(doc, path, v)
+			}
+		case "$inc":
+			for path, v := range fields {
+				delta, ok := toFloat(v)
+				if !ok {
+					return fmt.Errorf("%w: $inc %s wants a number", ErrBadUpdate, path)
+				}
+				cur, present := lookup(doc, path)
+				base := 0.0
+				if present {
+					if f, ok := toFloat(cur); ok {
+						base = f
+					} else {
+						return fmt.Errorf("%w: $inc on non-number %s", ErrBadUpdate, path)
+					}
+				}
+				setPath(doc, path, base+delta)
+			}
+		case "$push":
+			for path, v := range fields {
+				cur, present := lookup(doc, path)
+				if !present {
+					setPath(doc, path, []any{v})
+					continue
+				}
+				arr, ok := cur.([]any)
+				if !ok {
+					return fmt.Errorf("%w: $push on non-array %s", ErrBadUpdate, path)
+				}
+				setPath(doc, path, append(arr, v))
+			}
+		default:
+			return fmt.Errorf("%w: unsupported operator %q", ErrBadUpdate, op)
+		}
+	}
+	return nil
+}
+
+// setPath writes v at a dotted path, creating intermediate objects.
+func setPath(doc M, path string, v any) {
+	parts := strings.Split(path, ".")
+	cur := map[string]any(doc)
+	for _, p := range parts[:len(parts)-1] {
+		next, ok := cur[p].(map[string]any)
+		if !ok {
+			next = map[string]any{}
+			cur[p] = next
+		}
+		cur = next
+	}
+	cur[parts[len(parts)-1]] = v
+}

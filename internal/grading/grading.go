@@ -1,0 +1,207 @@
+// Package grading implements the project grading workflow (paper §VII
+// "Project Grading"): the rubric combining performance (30%),
+// functionality and correctness (20%), code quality (10%), and the
+// written report (40%); the automated pieces — rerunning submissions
+// multiple times and keeping the best observed performance, recomputing
+// the ranking — and the grade report that merges automated and manual
+// feedback.
+package grading
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Rubric weights (paper §VII).
+const (
+	WeightPerformance   = 0.30
+	WeightFunctionality = 0.20
+	WeightCodeQuality   = 0.10
+	WeightReport        = 0.40
+)
+
+// Errors reported by the grader.
+var (
+	ErrNoRuns   = errors.New("grading: no successful reruns")
+	ErrBadScore = errors.New("grading: manual score outside [0,100]")
+)
+
+// RerunFunc executes one grading rerun of a team's final submission and
+// returns the measured runtime and accuracy.
+type RerunFunc func(team string) (time.Duration, float64, error)
+
+// RerunResult aggregates the rerun campaign for one team.
+type RerunResult struct {
+	Team string
+	// Best is the minimum observed runtime ("rerun the students'
+	// submissions multiple times and display the minimum time", §VI).
+	Best time.Duration
+	// Runs holds every successful measurement.
+	Runs []time.Duration
+	// Accuracy is from the best run.
+	Accuracy float64
+	// Failures counts reruns that errored.
+	Failures int
+}
+
+// RerunMin reruns a submission n times and keeps the minimum runtime.
+func RerunMin(team string, n int, run RerunFunc) (*RerunResult, error) {
+	if n <= 0 {
+		n = 1
+	}
+	res := &RerunResult{Team: team, Best: math.MaxInt64}
+	for i := 0; i < n; i++ {
+		rt, acc, err := run(team)
+		if err != nil {
+			res.Failures++
+			continue
+		}
+		res.Runs = append(res.Runs, rt)
+		if rt < res.Best {
+			res.Best = rt
+			res.Accuracy = acc
+		}
+	}
+	if len(res.Runs) == 0 {
+		return nil, fmt.Errorf("%w for team %s (%d failures)", ErrNoRuns, team, res.Failures)
+	}
+	return res, nil
+}
+
+// ManualScores carries the human-graded components on a 0–100 scale
+// ("Both the code quality and the report evaluation are performed with
+// human intervention", §VII).
+type ManualScores struct {
+	CodeQuality float64
+	Report      float64
+}
+
+// Validate checks manual scores are in range.
+func (m ManualScores) Validate() error {
+	if m.CodeQuality < 0 || m.CodeQuality > 100 || m.Report < 0 || m.Report > 100 {
+		return ErrBadScore
+	}
+	return nil
+}
+
+// PerformanceScore maps a team's best runtime onto 0–100 relative to the
+// class: full marks at (or below) the fastest runtime, zero at the
+// slowest, log-scaled in between (runtimes span 0.4 s to minutes, so a
+// linear scale would collapse the distribution's interesting region).
+func PerformanceScore(runtime, fastest, slowest time.Duration) float64 {
+	if runtime <= fastest {
+		return 100
+	}
+	if runtime >= slowest || slowest <= fastest {
+		if runtime >= slowest && slowest > fastest {
+			return 0
+		}
+		return 100
+	}
+	lr := math.Log(float64(runtime))
+	lf := math.Log(float64(fastest))
+	ls := math.Log(float64(slowest))
+	return 100 * (ls - lr) / (ls - lf)
+}
+
+// FunctionalityScore maps verification accuracy onto 0–100: meeting the
+// target accuracy earns full marks; below it, credit falls off linearly.
+func FunctionalityScore(accuracy, target float64) float64 {
+	if target <= 0 {
+		target = 1
+	}
+	if accuracy >= target {
+		return 100
+	}
+	if accuracy < 0 {
+		accuracy = 0
+	}
+	return 100 * accuracy / target
+}
+
+// Grade is a team's final grade breakdown.
+type Grade struct {
+	Team          string
+	Performance   float64 // 0-100 before weighting
+	Functionality float64
+	CodeQuality   float64
+	Report        float64
+	Total         float64 // weighted 0-100
+	BestRuntime   time.Duration
+	Accuracy      float64
+	Rank          int
+}
+
+// Grader combines automated measurements with manual scores.
+type Grader struct {
+	// TargetAccuracy is the correctness bar (course used a fixed target).
+	TargetAccuracy float64
+}
+
+// GradeClass computes grades for every team with a rerun result. Ranks
+// come from best runtimes; performance is scaled between the class's
+// fastest and slowest qualifying submissions.
+func (g *Grader) GradeClass(reruns []*RerunResult, manual map[string]ManualScores) ([]Grade, error) {
+	if len(reruns) == 0 {
+		return nil, ErrNoRuns
+	}
+	target := g.TargetAccuracy
+	if target <= 0 {
+		target = 0.9
+	}
+	sorted := append([]*RerunResult(nil), reruns...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Best != sorted[j].Best {
+			return sorted[i].Best < sorted[j].Best
+		}
+		return sorted[i].Team < sorted[j].Team
+	})
+	fastest, slowest := sorted[0].Best, sorted[len(sorted)-1].Best
+	grades := make([]Grade, 0, len(sorted))
+	for i, r := range sorted {
+		ms, ok := manual[r.Team]
+		if !ok {
+			ms = ManualScores{} // ungraded manual parts score zero
+		}
+		if err := ms.Validate(); err != nil {
+			return nil, fmt.Errorf("%w (team %s)", err, r.Team)
+		}
+		gr := Grade{
+			Team:          r.Team,
+			Performance:   PerformanceScore(r.Best, fastest, slowest),
+			Functionality: FunctionalityScore(r.Accuracy, target),
+			CodeQuality:   ms.CodeQuality,
+			Report:        ms.Report,
+			BestRuntime:   r.Best,
+			Accuracy:      r.Accuracy,
+			Rank:          i + 1,
+		}
+		gr.Total = WeightPerformance*gr.Performance +
+			WeightFunctionality*gr.Functionality +
+			WeightCodeQuality*gr.CodeQuality +
+			WeightReport*gr.Report
+		grades = append(grades, gr)
+	}
+	return grades, nil
+}
+
+// FormatReport renders one team's grade report ("A grade report for each
+// team was then generated by combining the automated and manual
+// feedback", §VII).
+func FormatReport(g Grade) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Grade report — %s\n", g.Team)
+	fmt.Fprintf(&b, "  Rank:            #%d\n", g.Rank)
+	fmt.Fprintf(&b, "  Best runtime:    %.3fs (min over grading reruns)\n", g.BestRuntime.Seconds())
+	fmt.Fprintf(&b, "  Accuracy:        %.4f\n", g.Accuracy)
+	fmt.Fprintf(&b, "  Performance:     %5.1f /100 (weight %.0f%%)\n", g.Performance, WeightPerformance*100)
+	fmt.Fprintf(&b, "  Functionality:   %5.1f /100 (weight %.0f%%)\n", g.Functionality, WeightFunctionality*100)
+	fmt.Fprintf(&b, "  Code quality:    %5.1f /100 (weight %.0f%%)\n", g.CodeQuality, WeightCodeQuality*100)
+	fmt.Fprintf(&b, "  Written report:  %5.1f /100 (weight %.0f%%)\n", g.Report, WeightReport*100)
+	fmt.Fprintf(&b, "  TOTAL:           %5.1f /100\n", g.Total)
+	return b.String()
+}

@@ -1,0 +1,185 @@
+package grading
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRerunMinKeepsBest(t *testing.T) {
+	times := []time.Duration{900 * time.Millisecond, 450 * time.Millisecond, 610 * time.Millisecond}
+	i := 0
+	run := func(team string) (time.Duration, float64, error) {
+		d := times[i%len(times)]
+		i++
+		return d, 0.99, nil
+	}
+	res, err := RerunMin("team-a", 3, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best != 450*time.Millisecond {
+		t.Errorf("Best = %v", res.Best)
+	}
+	if len(res.Runs) != 3 || res.Failures != 0 {
+		t.Errorf("res = %+v", res)
+	}
+}
+
+func TestRerunMinToleratesFailures(t *testing.T) {
+	i := 0
+	run := func(team string) (time.Duration, float64, error) {
+		i++
+		if i%2 == 1 {
+			return 0, 0, errors.New("transient worker failure")
+		}
+		return time.Second, 0.95, nil
+	}
+	res, err := RerunMin("team-b", 4, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures != 2 || len(res.Runs) != 2 {
+		t.Errorf("res = %+v", res)
+	}
+}
+
+func TestRerunMinAllFail(t *testing.T) {
+	run := func(team string) (time.Duration, float64, error) {
+		return 0, 0, errors.New("broken")
+	}
+	if _, err := RerunMin("team-c", 3, run); !errors.Is(err, ErrNoRuns) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPerformanceScoreEndpoints(t *testing.T) {
+	fast, slow := 400*time.Millisecond, 2*time.Minute
+	if got := PerformanceScore(fast, fast, slow); got != 100 {
+		t.Errorf("fastest = %v", got)
+	}
+	if got := PerformanceScore(slow, fast, slow); got != 0 {
+		t.Errorf("slowest = %v", got)
+	}
+	mid := PerformanceScore(2*time.Second, fast, slow)
+	if mid <= 0 || mid >= 100 {
+		t.Errorf("mid = %v", mid)
+	}
+	// Monotonic: faster runtime, higher score.
+	if PerformanceScore(time.Second, fast, slow) <= mid {
+		t.Error("performance score not monotonic")
+	}
+	// Degenerate class (everyone equal) gets full marks.
+	if got := PerformanceScore(fast, fast, fast); got != 100 {
+		t.Errorf("degenerate = %v", got)
+	}
+}
+
+func TestFunctionalityScore(t *testing.T) {
+	if got := FunctionalityScore(0.95, 0.9); got != 100 {
+		t.Errorf("above target = %v", got)
+	}
+	if got := FunctionalityScore(0.45, 0.9); math.Abs(got-50) > 1e-9 {
+		t.Errorf("half target = %v", got)
+	}
+	if got := FunctionalityScore(-1, 0.9); got != 0 {
+		t.Errorf("negative = %v", got)
+	}
+}
+
+func TestGradeClassWeights(t *testing.T) {
+	reruns := []*RerunResult{
+		{Team: "best", Best: 400 * time.Millisecond, Accuracy: 0.99, Runs: []time.Duration{400 * time.Millisecond}},
+		{Team: "worst", Best: 2 * time.Minute, Accuracy: 0.99, Runs: []time.Duration{2 * time.Minute}},
+	}
+	manual := map[string]ManualScores{
+		"best":  {CodeQuality: 100, Report: 100},
+		"worst": {CodeQuality: 100, Report: 100},
+	}
+	g := &Grader{TargetAccuracy: 0.9}
+	grades, err := g.GradeClass(reruns, manual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grades[0].Team != "best" || grades[0].Rank != 1 {
+		t.Fatalf("grades = %+v", grades)
+	}
+	// Perfect everything: 30+20+10+40 = 100.
+	if math.Abs(grades[0].Total-100) > 1e-9 {
+		t.Errorf("best total = %v", grades[0].Total)
+	}
+	// Slowest loses exactly the 30 performance points here.
+	if math.Abs(grades[1].Total-70) > 1e-9 {
+		t.Errorf("worst total = %v", grades[1].Total)
+	}
+}
+
+func TestGradeClassMissingManualScoresZero(t *testing.T) {
+	reruns := []*RerunResult{{Team: "solo", Best: time.Second, Accuracy: 1, Runs: []time.Duration{time.Second}}}
+	g := &Grader{TargetAccuracy: 0.9}
+	grades, err := g.GradeClass(reruns, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// performance 100 (degenerate) * .3 + functionality 100 * .2 = 50.
+	if math.Abs(grades[0].Total-50) > 1e-9 {
+		t.Errorf("total = %v", grades[0].Total)
+	}
+}
+
+func TestGradeClassValidatesManual(t *testing.T) {
+	reruns := []*RerunResult{{Team: "x", Best: time.Second, Accuracy: 1, Runs: []time.Duration{time.Second}}}
+	g := &Grader{}
+	if _, err := g.GradeClass(reruns, map[string]ManualScores{"x": {CodeQuality: 150}}); !errors.Is(err, ErrBadScore) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := g.GradeClass(nil, nil); !errors.Is(err, ErrNoRuns) {
+		t.Fatalf("empty class: %v", err)
+	}
+}
+
+func TestGradeClassWholeCourse(t *testing.T) {
+	// 58 teams (paper §VII) with spread runtimes grade without error and
+	// produce strictly ranked, weakly decreasing performance scores.
+	var reruns []*RerunResult
+	for i := 0; i < 58; i++ {
+		reruns = append(reruns, &RerunResult{
+			Team:     fmt.Sprintf("team%02d", i),
+			Best:     400*time.Millisecond + time.Duration(i)*2*time.Second,
+			Accuracy: 0.95,
+			Runs:     []time.Duration{time.Second},
+		})
+	}
+	g := &Grader{TargetAccuracy: 0.9}
+	grades, err := g.GradeClass(reruns, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grades) != 58 {
+		t.Fatalf("grades = %d", len(grades))
+	}
+	for i := 1; i < len(grades); i++ {
+		if grades[i].Performance > grades[i-1].Performance {
+			t.Fatalf("performance not monotonic at %d", i)
+		}
+		if grades[i].Rank != i+1 {
+			t.Fatalf("rank %d at index %d", grades[i].Rank, i)
+		}
+	}
+}
+
+func TestFormatReport(t *testing.T) {
+	g := Grade{
+		Team: "team-a", Performance: 88.5, Functionality: 100, CodeQuality: 90,
+		Report: 85, Total: 89.1, BestRuntime: 512 * time.Millisecond, Accuracy: 0.99, Rank: 3,
+	}
+	text := FormatReport(g)
+	for _, want := range []string{"team-a", "#3", "0.512s", "30%", "20%", "10%", "40%", "TOTAL"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("report missing %q:\n%s", want, text)
+		}
+	}
+}

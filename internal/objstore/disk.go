@@ -1,0 +1,118 @@
+package objstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Disk persistence: the raifs daemon can write objects through to a
+// directory so the 100 GB of student uploads (§VII) survive restarts —
+// the durability S3 provided the original deployment.
+//
+// Layout under the root directory:
+//
+//	<root>/<bucket>/<key-with-slashes-escaped>        object bytes
+//	<root>/<bucket>/<key-with-slashes-escaped>.meta   ObjectInfo JSON
+//
+// Keys may contain '/', which is escaped as "%2F" in file names so the
+// on-disk layout stays flat per bucket (no traversal surface).
+
+// WithDiskDir makes the store write-through to dir and load existing
+// objects from it at construction.
+func WithDiskDir(dir string) Option {
+	return func(s *Store) { s.diskDir = dir }
+}
+
+// escapeKey flattens an object key into a single path segment.
+func escapeKey(key string) string {
+	key = strings.ReplaceAll(key, "%", "%25")
+	return strings.ReplaceAll(key, "/", "%2F")
+}
+
+func unescapeKey(name string) string {
+	name = strings.ReplaceAll(name, "%2F", "/")
+	return strings.ReplaceAll(name, "%25", "%")
+}
+
+// loadDisk populates the store from the disk directory.
+func (s *Store) loadDisk() error {
+	entries, err := os.ReadDir(s.diskDir)
+	if os.IsNotExist(err) {
+		return os.MkdirAll(s.diskDir, 0o755)
+	}
+	if err != nil {
+		return err
+	}
+	for _, bucketEnt := range entries {
+		if !bucketEnt.IsDir() {
+			continue
+		}
+		bucket := bucketEnt.Name()
+		if !validBucket(bucket) {
+			continue
+		}
+		bucketDir := filepath.Join(s.diskDir, bucket)
+		files, err := os.ReadDir(bucketDir)
+		if err != nil {
+			return err
+		}
+		bk := map[string]*object{}
+		for _, f := range files {
+			name := f.Name()
+			if f.IsDir() || strings.HasSuffix(name, ".meta") {
+				continue
+			}
+			data, err := os.ReadFile(filepath.Join(bucketDir, name))
+			if err != nil {
+				return err
+			}
+			var info ObjectInfo
+			metaRaw, err := os.ReadFile(filepath.Join(bucketDir, name+".meta"))
+			if err != nil {
+				return fmt.Errorf("objstore: object %s/%s has no metadata: %w", bucket, name, err)
+			}
+			if err := json.Unmarshal(metaRaw, &info); err != nil {
+				return fmt.Errorf("objstore: corrupt metadata for %s/%s: %w", bucket, name, err)
+			}
+			key := unescapeKey(name)
+			info.Bucket, info.Key = bucket, key
+			bk[key] = &object{data: data, info: info}
+			s.used += info.Size
+		}
+		s.buckets[bucket] = bk
+	}
+	return nil
+}
+
+// persistPut writes an object through to disk (caller holds s.mu).
+func (s *Store) persistPut(obj *object) error {
+	if s.diskDir == "" {
+		return nil
+	}
+	bucketDir := filepath.Join(s.diskDir, obj.info.Bucket)
+	if err := os.MkdirAll(bucketDir, 0o755); err != nil {
+		return err
+	}
+	name := escapeKey(obj.info.Key)
+	if err := os.WriteFile(filepath.Join(bucketDir, name), obj.data, 0o600); err != nil {
+		return err
+	}
+	meta, err := json.Marshal(obj.info)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(bucketDir, name+".meta"), meta, 0o600)
+}
+
+// persistDelete removes an object's files (caller holds s.mu).
+func (s *Store) persistDelete(bucket, key string) {
+	if s.diskDir == "" {
+		return
+	}
+	name := escapeKey(key)
+	os.Remove(filepath.Join(s.diskDir, bucket, name))
+	os.Remove(filepath.Join(s.diskDir, bucket, name+".meta"))
+}

@@ -1,0 +1,254 @@
+package objstore
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// AuthFunc validates a request's credentials: it receives the access key
+// and the request signature header and reports whether the caller is
+// allowed. A nil AuthFunc admits everyone (embedded/simulation use).
+type AuthFunc func(accessKey, signature string, r *http.Request) bool
+
+// Auth header names shared with internal/auth.
+const (
+	HeaderAccessKey = "X-RAI-Access-Key"
+	HeaderSignature = "X-RAI-Signature"
+)
+
+// Handler serves the store over HTTP:
+//
+//	PUT    /o/{bucket}/{key}   store (X-RAI-TTL-Seconds optional)
+//	GET    /o/{bucket}/{key}   fetch
+//	HEAD   /o/{bucket}/{key}   metadata
+//	DELETE /o/{bucket}/{key}   remove
+//	GET    /l/{bucket}?prefix= list (JSON)
+//	GET    /healthz            liveness
+func Handler(s *Store, auth AuthFunc) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/o/", func(w http.ResponseWriter, r *http.Request) {
+		if auth != nil && !auth(r.Header.Get(HeaderAccessKey), r.Header.Get(HeaderSignature), r) {
+			http.Error(w, "forbidden", http.StatusForbidden)
+			return
+		}
+		rest := strings.TrimPrefix(r.URL.Path, "/o/")
+		bucket, key, ok := strings.Cut(rest, "/")
+		if !ok || bucket == "" || key == "" {
+			http.Error(w, "want /o/{bucket}/{key}", http.StatusBadRequest)
+			return
+		}
+		switch r.Method {
+		case http.MethodPut:
+			body, err := io.ReadAll(io.LimitReader(r.Body, 2<<30))
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			var ttl time.Duration
+			if v := r.Header.Get("X-RAI-TTL-Seconds"); v != "" {
+				secs, err := strconv.ParseInt(v, 10, 64)
+				if err != nil || secs < 0 {
+					http.Error(w, "bad X-RAI-TTL-Seconds", http.StatusBadRequest)
+					return
+				}
+				ttl = time.Duration(secs) * time.Second
+			}
+			info, err := s.Put(bucket, key, body, ttl)
+			if err != nil {
+				writeStoreErr(w, err)
+				return
+			}
+			w.Header().Set("ETag", info.ETag)
+			w.WriteHeader(http.StatusCreated)
+		case http.MethodGet:
+			data, info, err := s.Get(bucket, key)
+			if err != nil {
+				writeStoreErr(w, err)
+				return
+			}
+			w.Header().Set("ETag", info.ETag)
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+			w.Write(data)
+		case http.MethodHead:
+			info, err := s.Head(bucket, key)
+			if err != nil {
+				writeStoreErr(w, err)
+				return
+			}
+			w.Header().Set("ETag", info.ETag)
+			w.Header().Set("Content-Length", strconv.FormatInt(info.Size, 10))
+			w.WriteHeader(http.StatusOK)
+		case http.MethodDelete:
+			if err := s.Delete(bucket, key); err != nil {
+				writeStoreErr(w, err)
+				return
+			}
+			w.WriteHeader(http.StatusNoContent)
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+	mux.HandleFunc("/l/", func(w http.ResponseWriter, r *http.Request) {
+		if auth != nil && !auth(r.Header.Get(HeaderAccessKey), r.Header.Get(HeaderSignature), r) {
+			http.Error(w, "forbidden", http.StatusForbidden)
+			return
+		}
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		bucket := strings.TrimPrefix(r.URL.Path, "/l/")
+		if bucket == "" || strings.Contains(bucket, "/") {
+			http.Error(w, "want /l/{bucket}", http.StatusBadRequest)
+			return
+		}
+		infos, err := s.List(bucket, r.URL.Query().Get("prefix"))
+		if err != nil {
+			writeStoreErr(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(infos)
+	})
+	return mux
+}
+
+func writeStoreErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrNoBucket), errors.Is(err, ErrNoObject):
+		http.Error(w, err.Error(), http.StatusNotFound)
+	case errors.Is(err, ErrBadName):
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	case errors.Is(err, ErrQuota):
+		http.Error(w, err.Error(), http.StatusInsufficientStorage)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// Client talks to an objstore HTTP server. Credentials, when set, are
+// attached to every request using the internal/auth header scheme.
+type Client struct {
+	BaseURL string
+	HTTP    *http.Client
+	// Sign, when non-nil, is called per request to attach credentials.
+	Sign func(r *http.Request)
+}
+
+// NewClient returns a client for the server at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimSuffix(baseURL, "/"), HTTP: &http.Client{Timeout: 60 * time.Second}}
+}
+
+func (c *Client) do(req *http.Request) (*http.Response, error) {
+	if c.Sign != nil {
+		c.Sign(req)
+	}
+	return c.HTTP.Do(req)
+}
+
+// Put uploads data to bucket/key with an optional TTL.
+func (c *Client) Put(bucket, key string, data []byte, ttl time.Duration) error {
+	req, err := http.NewRequest(http.MethodPut, c.objURL(bucket, key), strings.NewReader(string(data)))
+	if err != nil {
+		return err
+	}
+	if ttl > 0 {
+		req.Header.Set("X-RAI-TTL-Seconds", strconv.FormatInt(int64(ttl/time.Second), 10))
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return httpError("put", resp)
+	}
+	return nil
+}
+
+// Get downloads bucket/key.
+func (c *Client) Get(bucket, key string) ([]byte, error) {
+	req, err := http.NewRequest(http.MethodGet, c.objURL(bucket, key), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, httpError("get", resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// Delete removes bucket/key.
+func (c *Client) Delete(bucket, key string) error {
+	req, err := http.NewRequest(http.MethodDelete, c.objURL(bucket, key), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		return httpError("delete", resp)
+	}
+	return nil
+}
+
+// List returns object metadata under prefix.
+func (c *Client) List(bucket, prefix string) ([]ObjectInfo, error) {
+	u := c.BaseURL + "/l/" + bucket
+	if prefix != "" {
+		u += "?prefix=" + prefix
+	}
+	req, err := http.NewRequest(http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, httpError("list", resp)
+	}
+	var infos []ObjectInfo
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		return nil, err
+	}
+	return infos, nil
+}
+
+func (c *Client) objURL(bucket, key string) string {
+	return c.BaseURL + "/o/" + bucket + "/" + key
+}
+
+func httpError(op string, resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+	msg := strings.TrimSpace(string(body))
+	err := fmt.Errorf("objstore %s: %s: %s", op, resp.Status, msg)
+	switch resp.StatusCode {
+	case http.StatusNotFound:
+		return fmt.Errorf("%w (%v)", ErrNoObject, err)
+	case http.StatusForbidden:
+		return fmt.Errorf("objstore %s: forbidden", op)
+	}
+	return err
+}

@@ -1,0 +1,324 @@
+// Package objstore implements the S3-like object file server RAI uses
+// (paper §IV "File Storage Server"): student project uploads, worker
+// /build outputs, and instructor bulk downloads, with per-object
+// lifetimes so files "can be configured to have a particular lifetime
+// after which they get deleted" (1–3 months in the paper's deployment;
+// expiry is measured from last use, matching §V step 3).
+//
+// The package provides an in-process engine (Store), an HTTP server
+// exposing it, and an HTTP client, so the same code path works embedded
+// in simulations and as a standalone daemon.
+package objstore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"rai/internal/clock"
+)
+
+// Errors reported by the store.
+var (
+	ErrNoBucket  = errors.New("objstore: no such bucket")
+	ErrNoObject  = errors.New("objstore: no such object")
+	ErrBadName   = errors.New("objstore: invalid bucket or key")
+	ErrQuota     = errors.New("objstore: capacity exceeded")
+	ErrKeyExists = errors.New("objstore: bucket already exists")
+)
+
+// ObjectInfo is object metadata.
+type ObjectInfo struct {
+	Bucket   string
+	Key      string
+	Size     int64
+	ETag     string // hex SHA-256 of the content
+	Modified time.Time
+	LastUsed time.Time
+	// TTL is the lifetime measured from LastUsed; zero means no expiry.
+	TTL time.Duration
+}
+
+type object struct {
+	data []byte
+	info ObjectInfo
+}
+
+// Store is the in-memory object store engine.
+type Store struct {
+	mu       sync.RWMutex
+	buckets  map[string]map[string]*object
+	clk      clock.Clock
+	capacity int64 // 0 = unlimited
+	used     int64
+	// defaultTTL applies to objects stored without an explicit TTL.
+	defaultTTL time.Duration
+	// diskDir, when set, write-throughs objects to disk (see disk.go).
+	diskDir string
+}
+
+// Option configures a Store.
+type Option func(*Store)
+
+// WithClock substitutes the time source.
+func WithClock(c clock.Clock) Option { return func(s *Store) { s.clk = c } }
+
+// WithCapacity bounds total stored bytes.
+func WithCapacity(n int64) Option { return func(s *Store) { s.capacity = n } }
+
+// WithDefaultTTL sets the lifetime applied when Put is called with ttl=0.
+// The paper's deployment used one month.
+func WithDefaultTTL(d time.Duration) Option { return func(s *Store) { s.defaultTTL = d } }
+
+// New creates an empty in-memory store. For a disk-backed store use
+// Open (WithDiskDir passed here is ignored to keep New infallible).
+func New(opts ...Option) *Store {
+	s := &Store{buckets: map[string]map[string]*object{}, clk: clock.Real{}}
+	for _, o := range opts {
+		o(s)
+	}
+	s.diskDir = ""
+	return s
+}
+
+// Open creates a store that persists objects under dir, loading whatever
+// a previous run left there.
+func Open(dir string, opts ...Option) (*Store, error) {
+	s := &Store{buckets: map[string]map[string]*object{}, clk: clock.Real{}}
+	for _, o := range opts {
+		o(s)
+	}
+	s.diskDir = dir
+	if err := s.loadDisk(); err != nil {
+		return nil, fmt.Errorf("objstore: loading %s: %w", dir, err)
+	}
+	return s, nil
+}
+
+func validBucket(b string) bool {
+	if b == "" || len(b) > 63 {
+		return false
+	}
+	for _, r := range b {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-', r == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func validKey(k string) bool {
+	if k == "" || len(k) > 512 || strings.HasPrefix(k, "/") {
+		return false
+	}
+	for _, seg := range strings.Split(k, "/") {
+		if seg == "" || seg == "." || seg == ".." {
+			return false
+		}
+	}
+	return true
+}
+
+// CreateBucket makes a bucket; creating an existing bucket is an error.
+func (s *Store) CreateBucket(bucket string) error {
+	if !validBucket(bucket) {
+		return fmt.Errorf("%w: bucket %q", ErrBadName, bucket)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.buckets[bucket]; ok {
+		return fmt.Errorf("%w: %q", ErrKeyExists, bucket)
+	}
+	s.buckets[bucket] = map[string]*object{}
+	return nil
+}
+
+// Put stores data at bucket/key (creating the bucket implicitly, as the
+// RAI deployment pre-creates only a handful of well-known buckets). A
+// zero ttl adopts the store default.
+func (s *Store) Put(bucket, key string, data []byte, ttl time.Duration) (ObjectInfo, error) {
+	if !validBucket(bucket) || !validKey(key) {
+		return ObjectInfo{}, fmt.Errorf("%w: %q/%q", ErrBadName, bucket, key)
+	}
+	if ttl == 0 {
+		ttl = s.defaultTTL
+	}
+	sum := sha256.Sum256(data)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	bk, ok := s.buckets[bucket]
+	if !ok {
+		bk = map[string]*object{}
+		s.buckets[bucket] = bk
+	}
+	var prev int64
+	if old, ok := bk[key]; ok {
+		prev = old.info.Size
+	}
+	if s.capacity > 0 && s.used-prev+int64(len(data)) > s.capacity {
+		return ObjectInfo{}, fmt.Errorf("%w: %d bytes requested", ErrQuota, len(data))
+	}
+	s.used += int64(len(data)) - prev
+	now := s.clk.Now()
+	obj := &object{
+		data: append([]byte(nil), data...),
+		info: ObjectInfo{
+			Bucket: bucket, Key: key, Size: int64(len(data)),
+			ETag: hex.EncodeToString(sum[:]), Modified: now, LastUsed: now, TTL: ttl,
+		},
+	}
+	bk[key] = obj
+	if err := s.persistPut(obj); err != nil {
+		return ObjectInfo{}, fmt.Errorf("objstore: persisting %s/%s: %w", bucket, key, err)
+	}
+	return obj.info, nil
+}
+
+// Get returns the object content and refreshes its last-use time (the
+// paper: "deleted one month after the last use").
+func (s *Store) Get(bucket, key string) ([]byte, ObjectInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	obj, err := s.lookupLocked(bucket, key)
+	if err != nil {
+		return nil, ObjectInfo{}, err
+	}
+	obj.info.LastUsed = s.clk.Now()
+	return append([]byte(nil), obj.data...), obj.info, nil
+}
+
+// Head returns metadata without touching last-use.
+func (s *Store) Head(bucket, key string) (ObjectInfo, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	obj, err := s.lookupLocked(bucket, key)
+	if err != nil {
+		return ObjectInfo{}, err
+	}
+	return obj.info, nil
+}
+
+func (s *Store) lookupLocked(bucket, key string) (*object, error) {
+	bk, ok := s.buckets[bucket]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoBucket, bucket)
+	}
+	obj, ok := bk[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q/%q", ErrNoObject, bucket, key)
+	}
+	if s.expiredLocked(obj) {
+		delete(bk, key)
+		s.used -= obj.info.Size
+		s.persistDelete(bucket, key)
+		return nil, fmt.Errorf("%w: %q/%q (expired)", ErrNoObject, bucket, key)
+	}
+	return obj, nil
+}
+
+func (s *Store) expiredLocked(o *object) bool {
+	return o.info.TTL > 0 && s.clk.Now().After(o.info.LastUsed.Add(o.info.TTL))
+}
+
+// Delete removes an object.
+func (s *Store) Delete(bucket, key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	bk, ok := s.buckets[bucket]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoBucket, bucket)
+	}
+	obj, ok := bk[key]
+	if !ok {
+		return fmt.Errorf("%w: %q/%q", ErrNoObject, bucket, key)
+	}
+	s.used -= obj.info.Size
+	delete(bk, key)
+	s.persistDelete(bucket, key)
+	return nil
+}
+
+// List returns metadata for keys in bucket with the given prefix, sorted
+// by key. Expired objects are excluded (and lazily collected).
+func (s *Store) List(bucket, prefix string) ([]ObjectInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	bk, ok := s.buckets[bucket]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoBucket, bucket)
+	}
+	var out []ObjectInfo
+	for key, obj := range bk {
+		if !strings.HasPrefix(key, prefix) {
+			continue
+		}
+		if s.expiredLocked(obj) {
+			delete(bk, key)
+			s.used -= obj.info.Size
+			s.persistDelete(bucket, key)
+			continue
+		}
+		out = append(out, obj.info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out, nil
+}
+
+// Buckets lists bucket names, sorted.
+func (s *Store) Buckets() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.buckets))
+	for b := range s.buckets {
+		out = append(out, b)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Used reports total stored bytes (expired-but-uncollected objects
+// included until a sweep or access removes them).
+func (s *Store) Used() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.used
+}
+
+// Sweep removes all expired objects and reports how many were deleted.
+// Deployments run this periodically; simulations call it explicitly.
+func (s *Store) Sweep() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for bucket, bk := range s.buckets {
+		for key, obj := range bk {
+			if s.expiredLocked(obj) {
+				delete(bk, key)
+				s.used -= obj.info.Size
+				s.persistDelete(bucket, key)
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Touch refreshes an object's last-use time without reading it (used
+// when a URL is shared but the content is not yet fetched).
+func (s *Store) Touch(bucket, key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	obj, err := s.lookupLocked(bucket, key)
+	if err != nil {
+		return err
+	}
+	obj.info.LastUsed = s.clk.Now()
+	return nil
+}

@@ -1,0 +1,103 @@
+// Package project generates student project source trees for the course
+// workload: a CMake project whose "CUDA" sources carry the pragmas the
+// simulated toolchain understands (see internal/shell). The workload
+// generator uses it to materialize per-team submissions; tests use it as
+// a fixture factory.
+package project
+
+import (
+	"fmt"
+	"path"
+
+	"rai/internal/cnn"
+	"rai/internal/vfs"
+)
+
+// Spec describes the project variant to generate.
+type Spec struct {
+	// Impl is the kernel optimization level the team has reached.
+	Impl cnn.Impl
+	// Tuning multiplies the kernel's runtime (team-specific quality;
+	// 1.0 = reference implementation of that level).
+	Tuning float64
+	// Bug, when non-empty, injects a defect: "accuracy", "crash",
+	// "hang", or "compile" (a syntax error caught by make).
+	Bug string
+	// Team is stamped into a source comment (useful when inspecting
+	// uploaded archives).
+	Team string
+	// WithUsage and WithReport include the USAGE and report.pdf files the
+	// final submission requires (paper §V "Student Final Submission").
+	WithUsage  bool
+	WithReport bool
+}
+
+// Files renders the project tree as path -> content (paths relative to
+// the project root).
+func Files(s Spec) map[string]string {
+	if s.Tuning <= 0 {
+		s.Tuning = 1
+	}
+	bugPragma := ""
+	switch s.Bug {
+	case "":
+	case "compile":
+		bugPragma = "// rai::compile-error\n"
+	default:
+		bugPragma = fmt.Sprintf("// rai::bug=%s\n", s.Bug)
+	}
+	forward := fmt.Sprintf(`// ECE408 project kernel — team %s
+// rai::impl=%s
+// rai::tuning=%g
+%s#ifndef NEW_FORWARD_CUH
+#define NEW_FORWARD_CUH
+
+// The convolution forward kernel. In the real course this file holds the
+// CUDA implementation; the simulated toolchain reads the pragmas above.
+template <typename T>
+void forward(T *y, const T *x, const T *k);
+
+#endif
+`, s.Team, s.Impl.String(), s.Tuning, bugPragma)
+
+	files := map[string]string{
+		"CMakeLists.txt": `cmake_minimum_required(VERSION 3.2)
+project(ece408project)
+add_executable(ece408 main.cu)
+target_include_directories(ece408 PRIVATE ece408_src)
+`,
+		"main.cu": `// Course-provided driver: loads the model and dataset, runs the
+// student forward kernel, reports correctness and the internal timer.
+#include "new-forward.cuh"
+int main(int argc, char **argv) { return run(argc, argv); }
+`,
+		"ece408_src/new-forward.cuh": forward,
+		"rai-build.yml": `rai:
+  version: 0.1
+  image: webgpu/rai:root
+  commands:
+    build:
+      - echo "Building project"
+      - cmake /src
+      - make
+      - ./ece408 /data/test10.hdf5 /data/model.hdf5
+`,
+	}
+	if s.WithUsage {
+		files["USAGE"] = "Run ./ece408 <data> <model> [count]; profile with nvprof --export-profile timeline.nvprof ./ece408 ...\n"
+	}
+	if s.WithReport {
+		files["report.pdf"] = "%PDF-1.4\n% project report for team " + s.Team + "\n"
+	}
+	return files
+}
+
+// WriteTo materializes the project under dir in fs.
+func WriteTo(fs *vfs.FS, dir string, s Spec) error {
+	for rel, content := range Files(s) {
+		if err := fs.WriteFile(path.Join(dir, rel), []byte(content)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

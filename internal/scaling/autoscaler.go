@@ -1,0 +1,164 @@
+package scaling
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"rai/internal/clock"
+)
+
+// Autoscaler closes the elasticity loop the paper's deployment ran by
+// hand ("we provisioned 20 to 30 AWS P2 instances", §VII): it samples
+// queue telemetry on an interval, asks the Policy for a desired size,
+// and actuates the difference. The telemetry source is typically the
+// broker's depth on rai/tasks (brokerd's STATS op); the actuator is
+// whatever launches workers — EC2 in the paper, goroutines or a Fleet in
+// the reproduction.
+type Autoscaler struct {
+	// Policy decides the desired worker count.
+	Policy Policy
+	// Source samples current telemetry.
+	Source func() (PolicyInput, error)
+	// ScaleUp and ScaleDown actuate a size change by n > 0 instances.
+	ScaleUp   func(n int) error
+	ScaleDown func(n int) error
+	// Interval between decisions (default 1 minute).
+	Interval time.Duration
+	// Cooldown suppresses scale-downs for this long after any scale-up,
+	// damping flapping under bursty arrivals (default 5 minutes).
+	Cooldown time.Duration
+	// Clock is the time source (virtual in tests).
+	Clock clock.Clock
+
+	mu          sync.Mutex
+	current     int
+	lastScaleUp time.Time
+	decisions   int
+	stopped     chan struct{}
+	stopOnce    sync.Once
+}
+
+// ErrNoSource is returned by Run when the autoscaler is misconfigured.
+var ErrNoSource = errors.New("scaling: autoscaler needs Policy, Source, ScaleUp, ScaleDown")
+
+// Current reports the autoscaler's view of the fleet size.
+func (a *Autoscaler) Current() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.current
+}
+
+// Decisions reports how many decision rounds have run.
+func (a *Autoscaler) Decisions() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.decisions
+}
+
+// SetCurrent seeds the known fleet size (e.g. pre-provisioned workers).
+func (a *Autoscaler) SetCurrent(n int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.current = n
+}
+
+// Step runs one decision round immediately; it reports the delta applied
+// (positive = launched, negative = terminated).
+func (a *Autoscaler) Step() (int, error) {
+	if a.Policy == nil || a.Source == nil || a.ScaleUp == nil || a.ScaleDown == nil {
+		return 0, ErrNoSource
+	}
+	clk := a.Clock
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	in, err := a.Source()
+	if err != nil {
+		// A telemetry blip must not kill the loop or thrash the fleet.
+		a.mu.Lock()
+		a.decisions++
+		a.mu.Unlock()
+		return 0, nil
+	}
+	in.Now = clk.Now()
+	a.mu.Lock()
+	in.Active = a.current
+	cooldown := a.Cooldown
+	if cooldown <= 0 {
+		cooldown = 5 * time.Minute
+	}
+	inCooldown := !a.lastScaleUp.IsZero() && in.Now.Sub(a.lastScaleUp) < cooldown
+	a.mu.Unlock()
+
+	desired := a.Policy.Desired(in)
+	delta := desired - in.Active
+	switch {
+	case delta > 0:
+		if err := a.ScaleUp(delta); err != nil {
+			return 0, err
+		}
+		a.mu.Lock()
+		a.current += delta
+		a.lastScaleUp = in.Now
+		a.decisions++
+		a.mu.Unlock()
+		return delta, nil
+	case delta < 0 && !inCooldown:
+		if err := a.ScaleDown(-delta); err != nil {
+			return 0, err
+		}
+		a.mu.Lock()
+		a.current += delta
+		a.decisions++
+		a.mu.Unlock()
+		return delta, nil
+	default:
+		a.mu.Lock()
+		a.decisions++
+		a.mu.Unlock()
+		return 0, nil
+	}
+}
+
+// Run executes decision rounds on the interval until Stop.
+func (a *Autoscaler) Run() error {
+	if a.Policy == nil || a.Source == nil || a.ScaleUp == nil || a.ScaleDown == nil {
+		return ErrNoSource
+	}
+	clk := a.Clock
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	interval := a.Interval
+	if interval <= 0 {
+		interval = time.Minute
+	}
+	a.mu.Lock()
+	if a.stopped == nil {
+		a.stopped = make(chan struct{})
+	}
+	stopped := a.stopped
+	a.mu.Unlock()
+	for {
+		select {
+		case <-stopped:
+			return nil
+		case <-clk.After(interval):
+			if _, err := a.Step(); err != nil && !errors.Is(err, ErrNoSource) {
+				// Actuation failures are retried next round.
+				continue
+			}
+		}
+	}
+}
+
+// Stop ends Run (idempotent).
+func (a *Autoscaler) Stop() {
+	a.mu.Lock()
+	if a.stopped == nil {
+		a.stopped = make(chan struct{})
+	}
+	a.mu.Unlock()
+	a.stopOnce.Do(func() { close(a.stopped) })
+}

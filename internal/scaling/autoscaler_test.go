@@ -1,0 +1,187 @@
+package scaling
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"rai/internal/clock"
+)
+
+// fakeTelemetry is a controllable Source.
+type fakeTelemetry struct {
+	mu  sync.Mutex
+	in  PolicyInput
+	err error
+}
+
+func (f *fakeTelemetry) set(in PolicyInput) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.in = in
+}
+
+func (f *fakeTelemetry) source() (PolicyInput, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.in, f.err
+}
+
+func newAutoscaler(tel *fakeTelemetry, vc *clock.Virtual) (*Autoscaler, *int) {
+	fleet := 0
+	a := &Autoscaler{
+		Policy:   ElasticPolicy{Min: 2, Max: 20, SlotsPerInstance: 1},
+		Source:   tel.source,
+		Clock:    vc,
+		Interval: time.Minute,
+		Cooldown: 5 * time.Minute,
+	}
+	a.ScaleUp = func(n int) error { fleet += n; return nil }
+	a.ScaleDown = func(n int) error { fleet -= n; return nil }
+	return a, &fleet
+}
+
+func TestAutoscalerScalesUpOnLoad(t *testing.T) {
+	vc := clock.NewVirtual(time.Date(2016, 12, 9, 0, 0, 0, 0, time.UTC))
+	tel := &fakeTelemetry{}
+	a, fleet := newAutoscaler(tel, vc)
+
+	// Idle: floor of 2.
+	if delta, err := a.Step(); err != nil || delta != 2 {
+		t.Fatalf("idle step: delta=%d err=%v", delta, err)
+	}
+	if *fleet != 2 || a.Current() != 2 {
+		t.Fatalf("fleet = %d, current = %d", *fleet, a.Current())
+	}
+	// Deadline burst: 600 jobs/hour at 60s each.
+	tel.set(PolicyInput{RecentArrivalsPerHour: 600, AvgServiceSeconds: 60})
+	delta, err := a.Step()
+	if err != nil || delta <= 0 {
+		t.Fatalf("burst step: delta=%d err=%v", delta, err)
+	}
+	if a.Current() < 10 {
+		t.Errorf("current = %d after burst, want >= 10", a.Current())
+	}
+}
+
+func TestAutoscalerCooldownDampsFlapping(t *testing.T) {
+	vc := clock.NewVirtual(time.Date(2016, 12, 9, 0, 0, 0, 0, time.UTC))
+	tel := &fakeTelemetry{}
+	a, fleet := newAutoscaler(tel, vc)
+	tel.set(PolicyInput{RecentArrivalsPerHour: 600, AvgServiceSeconds: 60})
+	a.Step() // scale up
+	high := a.Current()
+
+	// Load vanishes immediately — but we just scaled up: hold.
+	tel.set(PolicyInput{})
+	if delta, _ := a.Step(); delta != 0 {
+		t.Fatalf("scale-down during cooldown: delta=%d", delta)
+	}
+	if a.Current() != high {
+		t.Fatalf("fleet moved during cooldown: %d", a.Current())
+	}
+	// After the cooldown expires, scale-down proceeds to the floor.
+	vc.Advance(6 * time.Minute)
+	if delta, _ := a.Step(); delta >= 0 {
+		t.Fatalf("post-cooldown: delta=%d, want negative", delta)
+	}
+	if a.Current() != 2 || *fleet != 2 {
+		t.Fatalf("fleet = %d after scale-down", a.Current())
+	}
+}
+
+func TestAutoscalerTelemetryBlipIsSafe(t *testing.T) {
+	vc := clock.NewVirtual(time.Date(2016, 12, 9, 0, 0, 0, 0, time.UTC))
+	tel := &fakeTelemetry{err: errors.New("broker unreachable")}
+	a, fleet := newAutoscaler(tel, vc)
+	a.SetCurrent(7)
+	*fleet = 7
+	if delta, err := a.Step(); err != nil || delta != 0 {
+		t.Fatalf("blip step: delta=%d err=%v", delta, err)
+	}
+	if *fleet != 7 {
+		t.Fatalf("fleet moved on telemetry failure: %d", *fleet)
+	}
+}
+
+func TestAutoscalerMisconfigured(t *testing.T) {
+	a := &Autoscaler{}
+	if _, err := a.Step(); !errors.Is(err, ErrNoSource) {
+		t.Fatalf("step: %v", err)
+	}
+	if err := a.Run(); !errors.Is(err, ErrNoSource) {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestAutoscalerRunLoopOnVirtualClock(t *testing.T) {
+	vc := clock.NewVirtual(time.Date(2016, 12, 9, 0, 0, 0, 0, time.UTC))
+	tel := &fakeTelemetry{}
+	a, _ := newAutoscaler(tel, vc)
+	done := make(chan error, 1)
+	go func() { done <- a.Run() }()
+
+	// Drive three decision intervals.
+	for i := 0; i < 3; i++ {
+		deadline := time.Now().Add(2 * time.Second)
+		for vc.PendingTimers() == 0 && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		vc.Advance(time.Minute)
+		deadline = time.Now().Add(2 * time.Second)
+		for a.Decisions() <= i && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if a.Decisions() < 3 {
+		t.Fatalf("decisions = %d, want >= 3", a.Decisions())
+	}
+	a.Stop()
+	a.Stop() // idempotent
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Run did not return after Stop")
+	}
+	if a.Current() != 2 {
+		t.Fatalf("steady-state fleet = %d, want the floor", a.Current())
+	}
+}
+
+func TestAutoscalerActuationFailureRetries(t *testing.T) {
+	vc := clock.NewVirtual(time.Date(2016, 12, 9, 0, 0, 0, 0, time.UTC))
+	tel := &fakeTelemetry{}
+	fleet := 0
+	fail := true
+	a := &Autoscaler{
+		Policy:   FixedPolicy{N: 3},
+		Source:   tel.source,
+		Clock:    vc,
+		Interval: time.Minute,
+		ScaleUp: func(n int) error {
+			if fail {
+				return errors.New("EC2 capacity error")
+			}
+			fleet += n
+			return nil
+		},
+		ScaleDown: func(n int) error { fleet -= n; return nil },
+	}
+	if _, err := a.Step(); err == nil {
+		t.Fatal("failed actuation reported success")
+	}
+	if a.Current() != 0 {
+		t.Fatalf("current moved on failed scale-up: %d", a.Current())
+	}
+	fail = false
+	if delta, err := a.Step(); err != nil || delta != 3 {
+		t.Fatalf("retry: delta=%d err=%v", delta, err)
+	}
+	if fleet != 3 {
+		t.Fatalf("fleet = %d", fleet)
+	}
+}

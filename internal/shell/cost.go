@@ -1,0 +1,97 @@
+package shell
+
+import (
+	"time"
+
+	"rai/internal/cnn"
+)
+
+// CostModel supplies the simulated wall time of container operations.
+// The default is calibrated against the paper: the provided serial CPU
+// baseline "took around 30 minutes to complete using the full dataset"
+// (10000 images, §VI), while optimized student kernels on the K80-class
+// device mostly finished the full dataset in under a second and the
+// slowest final submission took ~2 minutes (Figure 2).
+type CostModel interface {
+	// Compile is the cost of `make` over srcBytes of source.
+	Compile(srcBytes int64) time.Duration
+	// Configure is the cost of `cmake`.
+	Configure() time.Duration
+	// Inference is the cost of running the network over images at the
+	// given implementation level. tuning multiplies the base cost (a
+	// per-team skill factor; 1.0 = reference).
+	Inference(impl cnn.Impl, images int, tuning float64) time.Duration
+	// ProfileOverhead scales a profiled run (nvprof slows execution).
+	ProfileOverhead(base time.Duration) time.Duration
+}
+
+// Model is the default calibrated cost model.
+type Model struct {
+	// SerialPerImage is the CPU baseline per-image cost. 180 ms/image
+	// x 10000 images = 30 minutes, matching §VI.
+	SerialPerImage time.Duration
+	// DeviceSpeedup is the device-vs-serial throughput ratio for kernel
+	// implementations (K80-class default; see registry.DefaultImages).
+	DeviceSpeedup float64
+	// KernelFactor maps an implementation level to its cost multiplier
+	// relative to the best kernel running on the device.
+	KernelFactor map[cnn.Impl]float64
+	// CompilePerMB is `make` cost per megabyte of source.
+	CompilePerMB time.Duration
+	// CompileBase is the fixed `make` overhead.
+	CompileBase time.Duration
+	// ConfigureCost is the `cmake` cost.
+	ConfigureCost time.Duration
+	// ProfileFactor is nvprof's slowdown multiplier.
+	ProfileFactor float64
+}
+
+// DefaultCostModel returns the paper-calibrated model.
+func DefaultCostModel() *Model {
+	return &Model{
+		SerialPerImage: 180 * time.Millisecond,
+		DeviceSpeedup:  1800,
+		KernelFactor: map[cnn.Impl]float64{
+			// The serial baseline never touches the device.
+			cnn.ImplNaiveSerial: 0, // sentinel: CPU path
+			// A first working CUDA kernel: ~3 s full dataset.
+			cnn.ImplLoopReorder: 3.0,
+			// Shared-memory tiling: ~1.2 s.
+			cnn.ImplTiled: 1.2,
+			// im2col + GEMM: ~0.6 s.
+			cnn.ImplIm2col: 0.6,
+			// Streams + tuned GEMM, the winning shape: ~0.4 s.
+			cnn.ImplParallel: 0.4,
+		},
+		CompilePerMB:  4 * time.Second,
+		CompileBase:   2 * time.Second,
+		ConfigureCost: 1500 * time.Millisecond,
+		ProfileFactor: 1.35,
+	}
+}
+
+// Compile implements CostModel.
+func (m *Model) Compile(srcBytes int64) time.Duration {
+	return m.CompileBase + time.Duration(float64(srcBytes)/(1<<20)*float64(m.CompilePerMB))
+}
+
+// Configure implements CostModel.
+func (m *Model) Configure() time.Duration { return m.ConfigureCost }
+
+// Inference implements CostModel.
+func (m *Model) Inference(impl cnn.Impl, images int, tuning float64) time.Duration {
+	if tuning <= 0 {
+		tuning = 1
+	}
+	perImage := float64(m.SerialPerImage)
+	if f, ok := m.KernelFactor[impl]; ok && f > 0 {
+		// Device path: best-kernel time scaled by the kernel factor.
+		perImage = perImage / m.DeviceSpeedup * f
+	}
+	return time.Duration(perImage * float64(images) * tuning)
+}
+
+// ProfileOverhead implements CostModel.
+func (m *Model) ProfileOverhead(base time.Duration) time.Duration {
+	return time.Duration(float64(base) * m.ProfileFactor)
+}

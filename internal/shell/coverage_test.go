@@ -1,0 +1,179 @@
+package shell
+
+import (
+	"strings"
+	"testing"
+
+	"rai/internal/vfs"
+)
+
+func TestExitErrorMessage(t *testing.T) {
+	e := &ExitError{Code: 2, Msg: "boom"}
+	if !strings.Contains(e.Error(), "exit status 2") || !strings.Contains(e.Error(), "boom") {
+		t.Errorf("Error() = %q", e.Error())
+	}
+}
+
+func TestRunEmptyAndBadLines(t *testing.T) {
+	sh, _, errb := newShell(t, vfs.New())
+	res, err := sh.Run("")
+	if err != nil || res.ExitCode != 0 {
+		t.Fatalf("empty line: %v %+v", err, res)
+	}
+	res, err = sh.Run("   \t  ")
+	if err != nil || res.ExitCode != 0 {
+		t.Fatalf("whitespace line: %v %+v", err, res)
+	}
+	res, err = sh.Run(`unterminated "`)
+	if err == nil || res.ExitCode != 2 {
+		t.Fatalf("bad quoting: %v %+v", err, res)
+	}
+	if !strings.Contains(errb.String(), "unterminated") {
+		t.Errorf("stderr = %q", errb.String())
+	}
+}
+
+func TestCpErrorsAndFileCopy(t *testing.T) {
+	fs := vfs.New()
+	fs.WriteFile("/a.txt", []byte("content"))
+	fs.MkdirAll("/dst")
+	sh, _, _ := newShell(t, fs)
+	// Plain file copy into an existing directory picks up the base name.
+	if _, err := sh.Run("cp /a.txt /dst"); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := fs.ReadFile("/dst/a.txt"); string(got) != "content" {
+		t.Errorf("copied = %q", got)
+	}
+	// File copy to an explicit new name.
+	if _, err := sh.Run("cp /a.txt /b.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if !fs.Exists("/b.txt") {
+		t.Error("renamed copy missing")
+	}
+	// Usage errors.
+	if _, err := sh.Run("cp onlyone"); err == nil {
+		t.Error("cp with one arg accepted")
+	}
+	if _, err := sh.Run("cp /missing /x"); err == nil {
+		t.Error("cp of missing source accepted")
+	}
+	// cp -r with an existing destination dir nests under basename.
+	fs.WriteFile("/tree/f.txt", []byte("x"))
+	fs.MkdirAll("/out")
+	if _, err := sh.Run("cp -r /tree /out"); err != nil {
+		t.Fatal(err)
+	}
+	if !fs.Exists("/out/tree/f.txt") {
+		t.Error("cp -r into existing dir did not nest")
+	}
+}
+
+func TestMkdirAndCatUsage(t *testing.T) {
+	sh, _, _ := newShell(t, vfs.New())
+	if _, err := sh.Run("mkdir"); err == nil {
+		t.Error("mkdir without args accepted")
+	}
+	if _, err := sh.Run("cat"); err == nil {
+		t.Error("cat without args accepted")
+	}
+	if _, err := sh.Run("ls /missing"); err == nil {
+		t.Error("ls of missing dir accepted")
+	}
+	if _, err := sh.Run("true"); err != nil {
+		t.Error("true failed")
+	}
+	if res, err := sh.Run("false"); err == nil || res.ExitCode != 1 {
+		t.Errorf("false: %v %+v", err, res)
+	}
+}
+
+func TestNvprofErrors(t *testing.T) {
+	fs := vfs.New()
+	fs.MkdirAll("/build")
+	sh, _, _ := newShell(t, fs)
+	if _, err := sh.Run("nvprof"); err == nil {
+		t.Error("nvprof without command accepted")
+	}
+	if _, err := sh.Run("nvprof --export-profile out.nvprof no-such-cmd"); err == nil {
+		t.Error("nvprof of missing command accepted")
+	}
+	// nvprof propagates inner failure without writing the profile.
+	if fs.Exists("/build/out.nvprof") {
+		t.Error("profile written despite failure")
+	}
+	// --export-profile=<path> form.
+	if _, err := sh.Run("nvprof --export-profile=eq.nvprof echo profiled"); err != nil {
+		t.Fatal(err)
+	}
+	if !fs.Exists("/build/eq.nvprof") {
+		t.Error("= form profile missing")
+	}
+	// Unknown nvprof flags are ignored like the real tool's passthrough.
+	if _, err := sh.Run("nvprof --print-gpu-trace echo hi"); err != nil {
+		t.Errorf("extra flag: %v", err)
+	}
+}
+
+func TestTimeWithoutCommand(t *testing.T) {
+	sh, _, _ := newShell(t, vfs.New())
+	if _, err := sh.Run("time"); err == nil {
+		t.Error("time without command accepted")
+	}
+	// time propagates inner failure and exit code.
+	res, err := sh.Run("time false")
+	if err == nil || res.ExitCode != 1 {
+		t.Errorf("time false: %v %+v", err, res)
+	}
+}
+
+func TestBadImplPragmaFailsCompile(t *testing.T) {
+	fs := vfs.New()
+	fs.WriteFile("/src/CMakeLists.txt", []byte("add_executable(ece408 main.cu)\n"))
+	fs.WriteFile("/src/main.cu", []byte("// rai::impl=warp-speed-11\n"))
+	fs.MkdirAll("/build")
+	sh, _, errb := newShell(t, fs)
+	sh.Run("cmake /src")
+	if _, err := sh.Run("make"); err == nil {
+		t.Fatal("unknown kernel variant accepted")
+	}
+	if !strings.Contains(errb.String(), "unknown kernel variant") {
+		t.Errorf("stderr = %q", errb.String())
+	}
+}
+
+func TestMakeWithoutSources(t *testing.T) {
+	fs := vfs.New()
+	fs.WriteFile("/src/CMakeLists.txt", []byte("add_executable(ece408 main.cu)\n"))
+	fs.MkdirAll("/build")
+	sh, _, errb := newShell(t, fs)
+	sh.Run("cmake /src")
+	// CMakeLists alone is not a source file.
+	if _, err := sh.Run("make"); err == nil {
+		t.Fatal("make with no sources accepted")
+	}
+	if !strings.Contains(errb.String(), "no source files") {
+		t.Errorf("stderr = %q", errb.String())
+	}
+}
+
+func TestRelativePathResolution(t *testing.T) {
+	fs := vfs.New()
+	fs.WriteFile("/build/sub/x.txt", []byte("deep"))
+	sh, out, _ := newShell(t, fs)
+	if _, err := sh.Run("cat sub/x.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "deep") {
+		t.Errorf("relative cat = %q", out.String())
+	}
+	out.Reset()
+	// Dot-dot stays inside the root.
+	if _, err := sh.Run("cat ../build/sub/../sub/x.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "deep") {
+		t.Errorf("dotdot cat = %q", out.String())
+	}
+}

@@ -1,0 +1,154 @@
+package vfs
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestWalkCallbackErrorStops(t *testing.T) {
+	f := New()
+	f.WriteFile("/a/1", nil)
+	f.WriteFile("/a/2", nil)
+	sentinel := errors.New("stop here")
+	visits := 0
+	err := f.Walk("/", func(p string, fi FileInfo) error {
+		visits++
+		if p == "/a/1" {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("walk err = %v", err)
+	}
+	if visits != 3 { // "/", "/a", "/a/1"
+		t.Errorf("visits = %d", visits)
+	}
+}
+
+func TestWalkMissingRoot(t *testing.T) {
+	f := New()
+	if err := f.Walk("/missing", func(string, FileInfo) error { return nil }); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestWalkSingleFileRoot(t *testing.T) {
+	f := New()
+	f.WriteFile("/file.txt", []byte("x"))
+	var paths []string
+	if err := f.Walk("/file.txt", func(p string, fi FileInfo) error {
+		paths = append(paths, p)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 || paths[0] != "/file.txt" {
+		t.Fatalf("paths = %v", paths)
+	}
+}
+
+func TestAppendThroughMount(t *testing.T) {
+	host, ctr := New(), New()
+	host.MkdirAll("/out")
+	ctr.Mount("/build", host, "/out", false)
+	if err := ctr.AppendFile("/build/log.txt", []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctr.AppendFile("/build/log.txt", []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := host.ReadFile("/out/log.txt")
+	if string(got) != "ab" {
+		t.Fatalf("appended = %q", got)
+	}
+	// Read-only mount rejects appends.
+	ro := New()
+	ro.Mount("/data", host, "/out", true)
+	if err := ro.AppendFile("/data/log.txt", []byte("x")); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("ro append: %v", err)
+	}
+}
+
+func TestMkdirAllThroughMount(t *testing.T) {
+	host, ctr := New(), New()
+	host.MkdirAll("/out")
+	ctr.Mount("/build", host, "/out", false)
+	if err := ctr.MkdirAll("/build/deep/tree"); err != nil {
+		t.Fatal(err)
+	}
+	if !host.Exists("/out/deep/tree") {
+		t.Error("mkdir did not propagate through the mount")
+	}
+	ro := New()
+	ro.Mount("/data", host, "/out", true)
+	if err := ro.MkdirAll("/data/evil"); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("ro mkdir: %v", err)
+	}
+}
+
+func TestStatAndReadDirThroughMount(t *testing.T) {
+	host, ctr := New(), New()
+	host.WriteFile("/src/a.txt", []byte("abc"))
+	ctr.Mount("/src", host, "/src", true)
+	fi, err := ctr.Stat("/src/a.txt")
+	if err != nil || fi.Size != 3 {
+		t.Fatalf("stat = %+v, %v", fi, err)
+	}
+	entries, err := ctr.ReadDir("/src")
+	if err != nil || len(entries) != 1 || entries[0].Name != "a.txt" {
+		t.Fatalf("readdir = %v, %v", entries, err)
+	}
+	// Stat of the mount point itself resolves to the target dir.
+	fi, err = ctr.Stat("/src")
+	if err != nil || !fi.Dir {
+		t.Fatalf("mountpoint stat = %+v, %v", fi, err)
+	}
+}
+
+func TestUnmountErrors(t *testing.T) {
+	f := New()
+	f.MkdirAll("/plain")
+	if err := f.Unmount("/plain"); err == nil {
+		t.Error("unmount of a plain dir accepted")
+	}
+	if err := f.Unmount("relative"); err == nil {
+		t.Error("relative unmount accepted")
+	}
+	if err := f.Unmount("/missing/deep"); err == nil {
+		t.Error("unmount under missing parent accepted")
+	}
+}
+
+func TestRemoveRootRejected(t *testing.T) {
+	f := New()
+	if err := f.Remove("/"); err == nil {
+		t.Error("Remove(/) accepted")
+	}
+	if err := f.RemoveAll("/"); err == nil {
+		t.Error("RemoveAll(/) accepted")
+	}
+}
+
+func TestCopyTreeSingleFile(t *testing.T) {
+	src, dst := New(), New()
+	src.WriteFile("/one.txt", []byte("1"))
+	if err := CopyTree(dst, "/copied.txt", src, "/one.txt"); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := dst.ReadFile("/copied.txt")
+	if string(got) != "1" {
+		t.Fatalf("copied = %q", got)
+	}
+}
+
+func TestTreeSizeAcrossMount(t *testing.T) {
+	host, ctr := New(), New()
+	host.WriteFile("/data/big.bin", make([]byte, 1000))
+	ctr.Mount("/data", host, "/data", true)
+	ctr.WriteFile("/local.txt", make([]byte, 24))
+	size, err := ctr.TreeSize("/")
+	if err != nil || size != 1024 {
+		t.Fatalf("TreeSize = %d, %v", size, err)
+	}
+}

@@ -1,0 +1,710 @@
+// Package vfs implements the in-memory filesystem used by the sandboxed
+// container runtime. It supports directories, regular files, bind mounts
+// of other FS subtrees (optionally read-only, the way a RAI worker mounts
+// the student's /src), and a byte quota that stands in for the container
+// disk limit.
+//
+// Paths are absolute and slash-separated. The root ("/") always exists.
+// An FS is safe for concurrent use. It also adapts to io/fs.FS for
+// interoperability with standard-library tooling.
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Errors reported by FS operations.
+var (
+	ErrNotExist   = fs.ErrNotExist
+	ErrExist      = fs.ErrExist
+	ErrNotDir     = errors.New("not a directory")
+	ErrIsDir      = errors.New("is a directory")
+	ErrReadOnly   = errors.New("read-only file system")
+	ErrQuota      = errors.New("disk quota exceeded")
+	ErrNotEmpty   = errors.New("directory not empty")
+	ErrBadPattern = errors.New("bad path")
+)
+
+// FS is an in-memory filesystem rooted at "/".
+type FS struct {
+	mu    sync.RWMutex
+	root  *node
+	quota int64 // 0 = unlimited
+	used  int64
+	now   func() time.Time
+}
+
+type node struct {
+	name     string
+	dir      bool
+	data     []byte
+	children map[string]*node
+	modTime  time.Time
+	// mount, when non-nil, redirects resolution into another FS.
+	mount *mount
+}
+
+type mount struct {
+	fs       *FS
+	at       string // path inside fs
+	readOnly bool
+}
+
+// New returns an empty filesystem with no quota.
+func New() *FS {
+	return &FS{
+		root: &node{name: "/", dir: true, children: map[string]*node{}},
+		now:  time.Now,
+	}
+}
+
+// NewWithQuota returns an empty filesystem limited to quota bytes of file
+// data (directories and metadata are free).
+func NewWithQuota(quota int64) *FS {
+	f := New()
+	f.quota = quota
+	return f
+}
+
+// SetClock overrides the time source used for mod times (tests,
+// deterministic simulation).
+func (f *FS) SetClock(now func() time.Time) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.now = now
+}
+
+// Used reports the bytes of file data currently stored (local files only;
+// mounted filesystems account their own usage).
+func (f *FS) Used() int64 {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.used
+}
+
+// Quota returns the configured quota (0 = unlimited).
+func (f *FS) Quota() int64 { return f.quota }
+
+// clean canonicalizes p and validates that it is absolute.
+func clean(p string) (string, error) {
+	if p == "" || p[0] != '/' {
+		return "", fmt.Errorf("%w: %q is not absolute", ErrBadPattern, p)
+	}
+	return path.Clean(p), nil
+}
+
+// resolveResult locates a node; when the walk crosses a mount the target
+// FS and translated path are returned instead.
+type resolveResult struct {
+	fs       *FS // non-nil when redirected
+	path     string
+	readOnly bool
+	node     *node // local node when not redirected
+	parent   *node
+	leaf     string
+}
+
+// resolve walks p in f. With mkParents, intermediate directories are
+// created. The caller must hold f.mu (write lock if mkParents).
+func (f *FS) resolve(p string, mkParents bool) (resolveResult, error) {
+	p, err := clean(p)
+	if err != nil {
+		return resolveResult{}, err
+	}
+	if p == "/" {
+		return resolveResult{node: f.root, parent: nil, leaf: "/"}, nil
+	}
+	parts := strings.Split(strings.TrimPrefix(p, "/"), "/")
+	cur := f.root
+	for i, part := range parts {
+		last := i == len(parts)-1
+		child, ok := cur.children[part]
+		if !ok {
+			if !last {
+				if !mkParents {
+					return resolveResult{}, fmt.Errorf("%s: %w", p, ErrNotExist)
+				}
+				child = &node{name: part, dir: true, children: map[string]*node{}, modTime: f.now()}
+				cur.children[part] = child
+			} else {
+				return resolveResult{parent: cur, leaf: part}, nil
+			}
+		}
+		if child.mount != nil {
+			rest := strings.Join(parts[i+1:], "/")
+			sub := child.mount.at
+			if rest != "" {
+				sub = path.Join(sub, rest)
+			}
+			return resolveResult{fs: child.mount.fs, path: sub, readOnly: child.mount.readOnly}, nil
+		}
+		if last {
+			return resolveResult{node: child, parent: cur, leaf: part}, nil
+		}
+		if !child.dir {
+			return resolveResult{}, fmt.Errorf("%s: %w", p, ErrNotDir)
+		}
+		cur = child
+	}
+	return resolveResult{}, fmt.Errorf("%s: %w", p, ErrNotExist)
+}
+
+// Mount binds src's subtree at srcPath onto dst at dstPath. The mount
+// point replaces any existing node at dstPath. readOnly forbids writes
+// through this mount.
+func (f *FS) Mount(dstPath string, src *FS, srcPath string, readOnly bool) error {
+	dstPath, err := clean(dstPath)
+	if err != nil {
+		return err
+	}
+	srcPath, err = clean(srcPath)
+	if err != nil {
+		return err
+	}
+	if dstPath == "/" {
+		return fmt.Errorf("cannot mount over /")
+	}
+	if src == f {
+		return fmt.Errorf("cannot self-mount")
+	}
+	// Verify source exists and is a directory.
+	if fi, err := src.Stat(srcPath); err != nil {
+		return fmt.Errorf("mount source: %w", err)
+	} else if !fi.IsDir() {
+		return fmt.Errorf("mount source %s: %w", srcPath, ErrNotDir)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	dir, leaf := path.Split(dstPath)
+	res, err := f.resolve(path.Clean(dir), true)
+	if err != nil {
+		return err
+	}
+	if res.fs != nil {
+		return fmt.Errorf("cannot mount inside another mount at %s", dstPath)
+	}
+	parent := res.node
+	if parent == nil || !parent.dir {
+		return fmt.Errorf("%s: %w", dir, ErrNotDir)
+	}
+	parent.children[leaf] = &node{
+		name:    leaf,
+		dir:     true,
+		modTime: f.now(),
+		mount:   &mount{fs: src, at: srcPath, readOnly: readOnly},
+	}
+	return nil
+}
+
+// Unmount removes a mount point.
+func (f *FS) Unmount(p string) error {
+	p, err := clean(p)
+	if err != nil {
+		return err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	dir, leaf := path.Split(p)
+	res, err := f.resolve(path.Clean(dir), false)
+	if err != nil {
+		return err
+	}
+	if res.fs != nil || res.node == nil || !res.node.dir {
+		return fmt.Errorf("%s: %w", p, ErrNotExist)
+	}
+	n, ok := res.node.children[leaf]
+	if !ok || n.mount == nil {
+		return fmt.Errorf("%s: not a mount point", p)
+	}
+	delete(res.node.children, leaf)
+	return nil
+}
+
+// MkdirAll creates a directory and all parents.
+func (f *FS) MkdirAll(p string) error {
+	f.mu.Lock()
+	res, err := f.resolve(p, true)
+	if err != nil {
+		f.mu.Unlock()
+		return err
+	}
+	if res.fs != nil {
+		f.mu.Unlock()
+		if res.readOnly {
+			return fmt.Errorf("%s: %w", p, ErrReadOnly)
+		}
+		return res.fs.MkdirAll(res.path)
+	}
+	if res.node != nil {
+		f.mu.Unlock()
+		if !res.node.dir {
+			return fmt.Errorf("%s: %w", p, ErrNotDir)
+		}
+		return nil
+	}
+	res.parent.children[res.leaf] = &node{name: res.leaf, dir: true, children: map[string]*node{}, modTime: f.now()}
+	f.mu.Unlock()
+	return nil
+}
+
+// WriteFile creates or replaces a file with data.
+func (f *FS) WriteFile(p string, data []byte) error {
+	f.mu.Lock()
+	res, err := f.resolve(p, true)
+	if err != nil {
+		f.mu.Unlock()
+		return err
+	}
+	if res.fs != nil {
+		f.mu.Unlock()
+		if res.readOnly {
+			return fmt.Errorf("%s: %w", p, ErrReadOnly)
+		}
+		return res.fs.WriteFile(res.path, data)
+	}
+	var prev int64
+	if res.node != nil {
+		if res.node.dir {
+			f.mu.Unlock()
+			return fmt.Errorf("%s: %w", p, ErrIsDir)
+		}
+		prev = int64(len(res.node.data))
+	}
+	if f.quota > 0 && f.used-prev+int64(len(data)) > f.quota {
+		f.mu.Unlock()
+		return fmt.Errorf("%s: %w", p, ErrQuota)
+	}
+	f.used += int64(len(data)) - prev
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	if res.node != nil {
+		res.node.data = cp
+		res.node.modTime = f.now()
+	} else {
+		res.parent.children[res.leaf] = &node{name: res.leaf, data: cp, modTime: f.now()}
+	}
+	f.mu.Unlock()
+	return nil
+}
+
+// AppendFile appends data to a file, creating it if absent.
+func (f *FS) AppendFile(p string, data []byte) error {
+	f.mu.Lock()
+	res, err := f.resolve(p, true)
+	if err != nil {
+		f.mu.Unlock()
+		return err
+	}
+	if res.fs != nil {
+		f.mu.Unlock()
+		if res.readOnly {
+			return fmt.Errorf("%s: %w", p, ErrReadOnly)
+		}
+		return res.fs.AppendFile(res.path, data)
+	}
+	if res.node != nil && res.node.dir {
+		f.mu.Unlock()
+		return fmt.Errorf("%s: %w", p, ErrIsDir)
+	}
+	if f.quota > 0 && f.used+int64(len(data)) > f.quota {
+		f.mu.Unlock()
+		return fmt.Errorf("%s: %w", p, ErrQuota)
+	}
+	f.used += int64(len(data))
+	if res.node != nil {
+		res.node.data = append(res.node.data, data...)
+		res.node.modTime = f.now()
+	} else {
+		cp := make([]byte, len(data))
+		copy(cp, data)
+		res.parent.children[res.leaf] = &node{name: res.leaf, data: cp, modTime: f.now()}
+	}
+	f.mu.Unlock()
+	return nil
+}
+
+// ReadFile returns a copy of the file's contents.
+func (f *FS) ReadFile(p string) ([]byte, error) {
+	f.mu.RLock()
+	res, err := f.resolve(p, false)
+	if err != nil {
+		f.mu.RUnlock()
+		return nil, err
+	}
+	if res.fs != nil {
+		f.mu.RUnlock()
+		return res.fs.ReadFile(res.path)
+	}
+	if res.node == nil {
+		f.mu.RUnlock()
+		return nil, fmt.Errorf("%s: %w", p, ErrNotExist)
+	}
+	if res.node.dir {
+		f.mu.RUnlock()
+		return nil, fmt.Errorf("%s: %w", p, ErrIsDir)
+	}
+	out := make([]byte, len(res.node.data))
+	copy(out, res.node.data)
+	f.mu.RUnlock()
+	return out, nil
+}
+
+// FileInfo describes a file or directory.
+type FileInfo struct {
+	Name    string
+	Size    int64
+	Dir     bool
+	ModTime time.Time
+}
+
+// IsDir reports whether the entry is a directory.
+func (fi FileInfo) IsDir() bool { return fi.Dir }
+
+// Stat returns metadata for the path.
+func (f *FS) Stat(p string) (FileInfo, error) {
+	f.mu.RLock()
+	res, err := f.resolve(p, false)
+	if err != nil {
+		f.mu.RUnlock()
+		return FileInfo{}, err
+	}
+	if res.fs != nil {
+		f.mu.RUnlock()
+		return res.fs.Stat(res.path)
+	}
+	if res.node == nil {
+		f.mu.RUnlock()
+		return FileInfo{}, fmt.Errorf("%s: %w", p, ErrNotExist)
+	}
+	fi := FileInfo{Name: res.node.name, Size: int64(len(res.node.data)), Dir: res.node.dir, ModTime: res.node.modTime}
+	f.mu.RUnlock()
+	return fi, nil
+}
+
+// Exists reports whether p resolves to a file or directory.
+func (f *FS) Exists(p string) bool {
+	_, err := f.Stat(p)
+	return err == nil
+}
+
+// ReadDir lists a directory in name order.
+func (f *FS) ReadDir(p string) ([]FileInfo, error) {
+	f.mu.RLock()
+	res, err := f.resolve(p, false)
+	if err != nil {
+		f.mu.RUnlock()
+		return nil, err
+	}
+	if res.fs != nil {
+		f.mu.RUnlock()
+		return res.fs.ReadDir(res.path)
+	}
+	if res.node == nil {
+		f.mu.RUnlock()
+		return nil, fmt.Errorf("%s: %w", p, ErrNotExist)
+	}
+	if !res.node.dir {
+		f.mu.RUnlock()
+		return nil, fmt.Errorf("%s: %w", p, ErrNotDir)
+	}
+	out := make([]FileInfo, 0, len(res.node.children))
+	for _, c := range res.node.children {
+		out = append(out, FileInfo{Name: c.name, Size: int64(len(c.data)), Dir: c.dir, ModTime: c.modTime})
+	}
+	f.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// Remove deletes a file or empty directory.
+func (f *FS) Remove(p string) error {
+	return f.remove(p, false)
+}
+
+// RemoveAll deletes a file or directory recursively. Removing a mount
+// point detaches it without touching the mounted filesystem.
+func (f *FS) RemoveAll(p string) error {
+	err := f.remove(p, true)
+	if errors.Is(err, ErrNotExist) {
+		return nil
+	}
+	return err
+}
+
+func (f *FS) remove(p string, recursive bool) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	cp, err := clean(p)
+	if err != nil {
+		return err
+	}
+	if cp == "/" {
+		return fmt.Errorf("cannot remove /")
+	}
+	// Removing a mount point itself detaches it rather than deleting
+	// through it.
+	dir, leaf := path.Split(cp)
+	if pres, perr := f.resolve(path.Clean(dir), false); perr == nil && pres.fs == nil && pres.node != nil && pres.node.dir {
+		if child, ok := pres.node.children[leaf]; ok && child.mount != nil {
+			delete(pres.node.children, leaf)
+			return nil
+		}
+	}
+	res, err := f.resolve(cp, false)
+	if err != nil {
+		return err
+	}
+	if res.fs != nil {
+		// The path traverses into a mount: delegate.
+		f.mu.Unlock()
+		defer f.mu.Lock()
+		if res.readOnly {
+			return fmt.Errorf("%s: %w", p, ErrReadOnly)
+		}
+		if recursive {
+			return res.fs.RemoveAll(res.path)
+		}
+		return res.fs.Remove(res.path)
+	}
+	if res.node == nil {
+		return fmt.Errorf("%s: %w", p, ErrNotExist)
+	}
+	if res.node.dir && !recursive && len(res.node.children) > 0 {
+		return fmt.Errorf("%s: %w", p, ErrNotEmpty)
+	}
+	f.used -= subtreeSize(res.node)
+	delete(res.parent.children, res.leaf)
+	return nil
+}
+
+func subtreeSize(n *node) int64 {
+	if n.mount != nil {
+		return 0
+	}
+	if !n.dir {
+		return int64(len(n.data))
+	}
+	var s int64
+	for _, c := range n.children {
+		s += subtreeSize(c)
+	}
+	return s
+}
+
+// WalkFunc visits a path during Walk.
+type WalkFunc func(p string, fi FileInfo) error
+
+// Walk visits every file and directory under root in deterministic
+// (depth-first, name-sorted) order, crossing mounts.
+func (f *FS) Walk(root string, fn WalkFunc) error {
+	fi, err := f.Stat(root)
+	if err != nil {
+		return err
+	}
+	root, _ = clean(root)
+	if err := fn(root, fi); err != nil {
+		return err
+	}
+	if !fi.Dir {
+		return nil
+	}
+	entries, err := f.ReadDir(root)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		child := path.Join(root, e.Name)
+		if err := f.Walk(child, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CopyTree copies the subtree at srcPath in src into dst at dstPath.
+func CopyTree(dst *FS, dstPath string, src *FS, srcPath string) error {
+	srcPath, err := clean(srcPath)
+	if err != nil {
+		return err
+	}
+	fi, err := src.Stat(srcPath)
+	if err != nil {
+		return err
+	}
+	if !fi.Dir {
+		data, err := src.ReadFile(srcPath)
+		if err != nil {
+			return err
+		}
+		return dst.WriteFile(dstPath, data)
+	}
+	if err := dst.MkdirAll(dstPath); err != nil {
+		return err
+	}
+	entries, err := src.ReadDir(srcPath)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if err := CopyTree(dst, path.Join(dstPath, e.Name), src, path.Join(srcPath, e.Name)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TreeSize totals the file bytes under root, crossing mounts.
+func (f *FS) TreeSize(root string) (int64, error) {
+	var total int64
+	err := f.Walk(root, func(p string, fi FileInfo) error {
+		if !fi.Dir {
+			total += fi.Size
+		}
+		return nil
+	})
+	return total, err
+}
+
+// ---- io/fs adapter ----
+
+// IOFS returns an io/fs.FS view rooted at dir ("/" for the whole tree).
+func (f *FS) IOFS(dir string) fs.FS { return ioFS{f: f, base: dir} }
+
+type ioFS struct {
+	f    *FS
+	base string
+}
+
+func (i ioFS) abs(name string) (string, error) {
+	if !fs.ValidPath(name) {
+		return "", &fs.PathError{Op: "open", Path: name, Err: fs.ErrInvalid}
+	}
+	if name == "." {
+		return i.base, nil
+	}
+	return path.Join(i.base, name), nil
+}
+
+func (i ioFS) Open(name string) (fs.File, error) {
+	p, err := i.abs(name)
+	if err != nil {
+		return nil, err
+	}
+	fi, err := i.f.Stat(p)
+	if err != nil {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrNotExist}
+	}
+	if fi.Dir {
+		entries, err := i.f.ReadDir(p)
+		if err != nil {
+			return nil, &fs.PathError{Op: "open", Path: name, Err: err}
+		}
+		return &ioDir{info: fi, entries: entries}, nil
+	}
+	data, err := i.f.ReadFile(p)
+	if err != nil {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: err}
+	}
+	return &ioFile{info: fi, data: data}, nil
+}
+
+func (i ioFS) ReadDir(name string) ([]fs.DirEntry, error) {
+	p, err := i.abs(name)
+	if err != nil {
+		return nil, err
+	}
+	entries, err := i.f.ReadDir(p)
+	if err != nil {
+		return nil, &fs.PathError{Op: "readdir", Path: name, Err: err}
+	}
+	out := make([]fs.DirEntry, len(entries))
+	for j, e := range entries {
+		out[j] = dirEntry{e}
+	}
+	return out, nil
+}
+
+type ioFile struct {
+	info FileInfo
+	data []byte
+	off  int
+}
+
+func (f *ioFile) Stat() (fs.FileInfo, error) { return stdInfo{f.info}, nil }
+func (f *ioFile) Close() error               { return nil }
+func (f *ioFile) Read(p []byte) (int, error) {
+	if f.off >= len(f.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.data[f.off:])
+	f.off += n
+	return n, nil
+}
+
+type ioDir struct {
+	info    FileInfo
+	entries []FileInfo
+	off     int
+}
+
+func (d *ioDir) Stat() (fs.FileInfo, error) { return stdInfo{d.info}, nil }
+func (d *ioDir) Close() error               { return nil }
+func (d *ioDir) Read([]byte) (int, error) {
+	return 0, &fs.PathError{Op: "read", Path: d.info.Name, Err: ErrIsDir}
+}
+
+func (d *ioDir) ReadDir(n int) ([]fs.DirEntry, error) {
+	if n <= 0 {
+		out := make([]fs.DirEntry, 0, len(d.entries)-d.off)
+		for ; d.off < len(d.entries); d.off++ {
+			out = append(out, dirEntry{d.entries[d.off]})
+		}
+		return out, nil
+	}
+	if d.off >= len(d.entries) {
+		return nil, io.EOF
+	}
+	end := d.off + n
+	if end > len(d.entries) {
+		end = len(d.entries)
+	}
+	out := make([]fs.DirEntry, 0, end-d.off)
+	for ; d.off < end; d.off++ {
+		out = append(out, dirEntry{d.entries[d.off]})
+	}
+	return out, nil
+}
+
+type stdInfo struct{ fi FileInfo }
+
+func (s stdInfo) Name() string { return s.fi.Name }
+func (s stdInfo) Size() int64  { return s.fi.Size }
+func (s stdInfo) Mode() fs.FileMode {
+	if s.fi.Dir {
+		return fs.ModeDir | 0o755
+	}
+	return 0o644
+}
+func (s stdInfo) ModTime() time.Time { return s.fi.ModTime }
+func (s stdInfo) IsDir() bool        { return s.fi.Dir }
+func (s stdInfo) Sys() any           { return nil }
+
+type dirEntry struct{ fi FileInfo }
+
+func (d dirEntry) Name() string { return d.fi.Name }
+func (d dirEntry) IsDir() bool  { return d.fi.Dir }
+func (d dirEntry) Type() fs.FileMode {
+	if d.fi.Dir {
+		return fs.ModeDir
+	}
+	return 0
+}
+func (d dirEntry) Info() (fs.FileInfo, error) { return stdInfo{d.fi}, nil }

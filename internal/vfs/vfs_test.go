@@ -1,0 +1,370 @@
+package vfs
+
+import (
+	"errors"
+	"io/fs"
+	"testing"
+	"testing/fstest"
+	"testing/quick"
+	"time"
+)
+
+func TestWriteReadFile(t *testing.T) {
+	f := New()
+	if err := f.WriteFile("/src/main.cu", []byte("kernel")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.ReadFile("/src/main.cu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "kernel" {
+		t.Errorf("read %q", got)
+	}
+	// Parents were auto-created.
+	fi, err := f.Stat("/src")
+	if err != nil || !fi.Dir {
+		t.Fatalf("Stat(/src) = %+v, %v", fi, err)
+	}
+}
+
+func TestReadFileIsCopy(t *testing.T) {
+	f := New()
+	f.WriteFile("/a", []byte("abc"))
+	got, _ := f.ReadFile("/a")
+	got[0] = 'X'
+	again, _ := f.ReadFile("/a")
+	if string(again) != "abc" {
+		t.Error("ReadFile returned aliased storage")
+	}
+}
+
+func TestWriteFileIsCopy(t *testing.T) {
+	f := New()
+	data := []byte("abc")
+	f.WriteFile("/a", data)
+	data[0] = 'X'
+	got, _ := f.ReadFile("/a")
+	if string(got) != "abc" {
+		t.Error("WriteFile aliased caller storage")
+	}
+}
+
+func TestPathValidation(t *testing.T) {
+	f := New()
+	for _, p := range []string{"", "relative", "also/relative"} {
+		if err := f.WriteFile(p, nil); err == nil {
+			t.Errorf("WriteFile(%q) succeeded", p)
+		}
+	}
+	// Dot segments are cleaned.
+	f.WriteFile("/a/b/../c", []byte("x"))
+	if !f.Exists("/a/c") {
+		t.Error("path cleaning failed")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	f := New()
+	f.WriteFile("/file", []byte("x"))
+	f.MkdirAll("/dir/sub")
+
+	if _, err := f.ReadFile("/missing"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("read missing: %v", err)
+	}
+	if _, err := f.ReadFile("/dir"); !errors.Is(err, ErrIsDir) {
+		t.Errorf("read dir: %v", err)
+	}
+	if err := f.WriteFile("/dir", nil); !errors.Is(err, ErrIsDir) {
+		t.Errorf("write over dir: %v", err)
+	}
+	if err := f.WriteFile("/file/sub", nil); !errors.Is(err, ErrNotDir) {
+		t.Errorf("write through file: %v", err)
+	}
+	if err := f.Remove("/dir"); !errors.Is(err, ErrNotEmpty) {
+		t.Errorf("remove non-empty: %v", err)
+	}
+	if _, err := f.ReadDir("/file"); !errors.Is(err, ErrNotDir) {
+		t.Errorf("readdir file: %v", err)
+	}
+}
+
+func TestRemoveAll(t *testing.T) {
+	f := New()
+	f.WriteFile("/d/a", []byte("1"))
+	f.WriteFile("/d/sub/b", []byte("22"))
+	if err := f.RemoveAll("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if f.Exists("/d") {
+		t.Error("subtree still present")
+	}
+	if got := f.Used(); got != 0 {
+		t.Errorf("Used = %d after removing everything", got)
+	}
+	// RemoveAll of a missing path is a no-op.
+	if err := f.RemoveAll("/missing"); err != nil {
+		t.Errorf("RemoveAll(missing) = %v", err)
+	}
+}
+
+func TestQuota(t *testing.T) {
+	f := NewWithQuota(10)
+	if err := f.WriteFile("/a", []byte("12345")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.WriteFile("/b", []byte("123456")); !errors.Is(err, ErrQuota) {
+		t.Fatalf("over-quota write: %v", err)
+	}
+	// Replacing a file frees its old bytes first.
+	if err := f.WriteFile("/a", []byte("1234567890")); err != nil {
+		t.Fatalf("replace within quota: %v", err)
+	}
+	if got := f.Used(); got != 10 {
+		t.Errorf("Used = %d, want 10", got)
+	}
+	if err := f.AppendFile("/a", []byte("x")); !errors.Is(err, ErrQuota) {
+		t.Errorf("append past quota: %v", err)
+	}
+}
+
+func TestAppendFile(t *testing.T) {
+	f := New()
+	f.AppendFile("/log", []byte("a"))
+	f.AppendFile("/log", []byte("bc"))
+	got, _ := f.ReadFile("/log")
+	if string(got) != "abc" {
+		t.Errorf("appended = %q", got)
+	}
+}
+
+func TestReadDirSorted(t *testing.T) {
+	f := New()
+	for _, name := range []string{"/d/zeta", "/d/alpha", "/d/mid"} {
+		f.WriteFile(name, nil)
+	}
+	entries, err := f.ReadDir("/d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"alpha", "mid", "zeta"}
+	for i, e := range entries {
+		if e.Name != want[i] {
+			t.Fatalf("entries = %v", entries)
+		}
+	}
+}
+
+func TestMountReadOnly(t *testing.T) {
+	host := New()
+	host.WriteFile("/projects/team1/main.cu", []byte("code"))
+	ctr := New()
+	ctr.MkdirAll("/build")
+	if err := ctr.Mount("/src", host, "/projects/team1", true); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ctr.ReadFile("/src/main.cu")
+	if err != nil || string(got) != "code" {
+		t.Fatalf("read through mount: %q, %v", got, err)
+	}
+	if err := ctr.WriteFile("/src/hack", []byte("x")); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("write through ro mount: %v", err)
+	}
+	if err := ctr.RemoveAll("/src/main.cu"); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("remove through ro mount: %v", err)
+	}
+	// Host sees no changes.
+	if !host.Exists("/projects/team1/main.cu") {
+		t.Error("host file disappeared")
+	}
+}
+
+func TestMountReadWrite(t *testing.T) {
+	host := New()
+	host.MkdirAll("/out")
+	ctr := New()
+	if err := ctr.Mount("/build", host, "/out", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctr.WriteFile("/build/result.txt", []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := host.ReadFile("/out/result.txt")
+	if err != nil || string(got) != "ok" {
+		t.Fatalf("host read-back: %q, %v", got, err)
+	}
+}
+
+func TestMountErrors(t *testing.T) {
+	a, b := New(), New()
+	if err := a.Mount("/m", b, "/missing", false); err == nil {
+		t.Error("mount of missing source succeeded")
+	}
+	b.MkdirAll("/ok")
+	if err := a.Mount("/", b, "/ok", false); err == nil {
+		t.Error("mount over / succeeded")
+	}
+	if err := a.Mount("/m", a, "/", false); err == nil {
+		t.Error("self-mount succeeded")
+	}
+}
+
+func TestUnmount(t *testing.T) {
+	host, ctr := New(), New()
+	host.WriteFile("/data/x", []byte("1"))
+	ctr.Mount("/data", host, "/data", true)
+	if !ctr.Exists("/data/x") {
+		t.Fatal("mount not visible")
+	}
+	if err := ctr.Unmount("/data"); err != nil {
+		t.Fatal(err)
+	}
+	if ctr.Exists("/data/x") {
+		t.Error("mount still visible after unmount")
+	}
+	if err := ctr.Unmount("/data"); err == nil {
+		t.Error("double unmount succeeded")
+	}
+	if !host.Exists("/data/x") {
+		t.Error("unmount deleted host data")
+	}
+}
+
+func TestRemoveMountPointDetaches(t *testing.T) {
+	host, ctr := New(), New()
+	host.WriteFile("/data/x", []byte("1"))
+	ctr.Mount("/data", host, "/data", true)
+	if err := ctr.RemoveAll("/data"); err != nil {
+		t.Fatal(err)
+	}
+	if !host.Exists("/data/x") {
+		t.Error("removing the mount point deleted mounted data")
+	}
+}
+
+func TestWalkDeterministic(t *testing.T) {
+	f := New()
+	f.WriteFile("/a/b/c.txt", []byte("1"))
+	f.WriteFile("/a/a.txt", []byte("22"))
+	f.WriteFile("/z.txt", []byte("333"))
+	var paths []string
+	err := f.Walk("/", func(p string, fi FileInfo) error {
+		paths = append(paths, p)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"/", "/a", "/a/a.txt", "/a/b", "/a/b/c.txt", "/z.txt"}
+	if len(paths) != len(want) {
+		t.Fatalf("walk = %v", paths)
+	}
+	for i := range want {
+		if paths[i] != want[i] {
+			t.Fatalf("walk = %v, want %v", paths, want)
+		}
+	}
+}
+
+func TestTreeSizeAndCopyTree(t *testing.T) {
+	f := New()
+	f.WriteFile("/p/a", make([]byte, 100))
+	f.WriteFile("/p/q/b", make([]byte, 23))
+	size, err := f.TreeSize("/p")
+	if err != nil || size != 123 {
+		t.Fatalf("TreeSize = %d, %v", size, err)
+	}
+	dst := New()
+	if err := CopyTree(dst, "/copy", f, "/p"); err != nil {
+		t.Fatal(err)
+	}
+	size, _ = dst.TreeSize("/copy")
+	if size != 123 {
+		t.Errorf("copied TreeSize = %d", size)
+	}
+	if got, _ := dst.ReadFile("/copy/q/b"); len(got) != 23 {
+		t.Error("nested file not copied")
+	}
+}
+
+func TestSetClock(t *testing.T) {
+	f := New()
+	fixed := time.Date(2016, 12, 1, 0, 0, 0, 0, time.UTC)
+	f.SetClock(func() time.Time { return fixed })
+	f.WriteFile("/a", nil)
+	fi, _ := f.Stat("/a")
+	if !fi.ModTime.Equal(fixed) {
+		t.Errorf("ModTime = %v", fi.ModTime)
+	}
+}
+
+func TestIOFSConformance(t *testing.T) {
+	f := New()
+	f.WriteFile("/tree/x.txt", []byte("hello"))
+	f.WriteFile("/tree/sub/y.txt", []byte("world"))
+	f.MkdirAll("/tree/empty")
+	if err := fstest.TestFS(f.IOFS("/tree"), "x.txt", "sub/y.txt"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIOFSReadFile(t *testing.T) {
+	f := New()
+	f.WriteFile("/a/b.txt", []byte("data"))
+	got, err := fs.ReadFile(f.IOFS("/"), "a/b.txt")
+	if err != nil || string(got) != "data" {
+		t.Fatalf("fs.ReadFile = %q, %v", got, err)
+	}
+}
+
+// Property: Used() always equals the sum of file sizes, across any
+// sequence of writes and removals.
+func TestQuickUsedAccounting(t *testing.T) {
+	type op struct {
+		Path byte
+		Size uint8
+		Del  bool
+	}
+	f := func(ops []op) bool {
+		fsys := New()
+		for _, o := range ops {
+			p := "/f" + string(rune('a'+o.Path%8))
+			if o.Del {
+				fsys.RemoveAll(p)
+			} else {
+				fsys.WriteFile(p, make([]byte, o.Size))
+			}
+		}
+		var want int64
+		fsys.Walk("/", func(p string, fi FileInfo) error {
+			if !fi.Dir {
+				want += fi.Size
+			}
+			return nil
+		})
+		return fsys.Used() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	f := New()
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			p := "/g" + string(rune('0'+g))
+			for i := 0; i < 200; i++ {
+				f.WriteFile(p, []byte{byte(i)})
+				f.ReadFile(p)
+				f.Stat(p)
+				f.ReadDir("/")
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+}

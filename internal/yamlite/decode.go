@@ -1,0 +1,424 @@
+package yamlite
+
+import (
+	"fmt"
+	"reflect"
+	"strconv"
+	"strings"
+)
+
+// Unmarshal parses data and decodes the document into v, which must be a
+// non-nil pointer. Struct fields are matched by `yaml:"name"` tags, or by
+// the lower-cased field name when untagged. A tag of "-" skips the field.
+// Unknown mapping keys are an error when the destination is a struct,
+// mirroring the RAI client's strict handling of rai-build.yml.
+func Unmarshal(data []byte, v any) error {
+	n, err := Parse(data)
+	if err != nil {
+		return err
+	}
+	return Decode(n, v)
+}
+
+// Decode decodes a parsed node into v (a non-nil pointer).
+func Decode(n *Node, v any) error {
+	rv := reflect.ValueOf(v)
+	if rv.Kind() != reflect.Pointer || rv.IsNil() {
+		return fmt.Errorf("yamlite: Decode target must be a non-nil pointer, got %T", v)
+	}
+	return decodeValue(n, rv.Elem())
+}
+
+func decodeValue(n *Node, dst reflect.Value) error {
+	if n == nil {
+		return nil
+	}
+	// Fill interface{} destinations with generic values.
+	if dst.Kind() == reflect.Interface && dst.NumMethod() == 0 {
+		dst.Set(reflect.ValueOf(n.Interface()))
+		return nil
+	}
+	if dst.Kind() == reflect.Pointer {
+		// A null scalar leaves (or makes) the pointer nil.
+		if n.Kind == KindScalar && !n.Quoted &&
+			(n.Value == "" || n.Value == "~" || n.Value == "null" || n.Value == "Null" || n.Value == "NULL") {
+			dst.Set(reflect.Zero(dst.Type()))
+			return nil
+		}
+		if dst.IsNil() {
+			dst.Set(reflect.New(dst.Type().Elem()))
+		}
+		return decodeValue(n, dst.Elem())
+	}
+	switch n.Kind {
+	case KindScalar:
+		return decodeScalar(n, dst)
+	case KindSeq:
+		return decodeSeq(n, dst)
+	case KindMap:
+		return decodeMap(n, dst)
+	}
+	return fmt.Errorf("yamlite: line %d: unhandled node kind %v", n.Line, n.Kind)
+}
+
+func decodeScalar(n *Node, dst reflect.Value) error {
+	s := n.Value
+	isNull := !n.Quoted && (s == "" || s == "~" || s == "null" || s == "Null" || s == "NULL")
+	switch dst.Kind() {
+	case reflect.String:
+		dst.SetString(s)
+	case reflect.Bool:
+		if isNull {
+			dst.SetBool(false)
+			return nil
+		}
+		b, err := strconv.ParseBool(strings.ToLower(s))
+		if err != nil {
+			return fmt.Errorf("yamlite: line %d: cannot decode %q into bool", n.Line, s)
+		}
+		dst.SetBool(b)
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		if isNull {
+			dst.SetInt(0)
+			return nil
+		}
+		i, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return fmt.Errorf("yamlite: line %d: cannot decode %q into integer", n.Line, s)
+		}
+		if dst.OverflowInt(i) {
+			return fmt.Errorf("yamlite: line %d: %q overflows %s", n.Line, s, dst.Type())
+		}
+		dst.SetInt(i)
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		if isNull {
+			dst.SetUint(0)
+			return nil
+		}
+		u, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			return fmt.Errorf("yamlite: line %d: cannot decode %q into unsigned integer", n.Line, s)
+		}
+		if dst.OverflowUint(u) {
+			return fmt.Errorf("yamlite: line %d: %q overflows %s", n.Line, s, dst.Type())
+		}
+		dst.SetUint(u)
+	case reflect.Float32, reflect.Float64:
+		if isNull {
+			dst.SetFloat(0)
+			return nil
+		}
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return fmt.Errorf("yamlite: line %d: cannot decode %q into float", n.Line, s)
+		}
+		dst.SetFloat(f)
+	case reflect.Slice, reflect.Map, reflect.Struct:
+		if isNull {
+			dst.Set(reflect.Zero(dst.Type()))
+			return nil
+		}
+		return fmt.Errorf("yamlite: line %d: cannot decode scalar %q into %s", n.Line, s, dst.Type())
+	default:
+		return fmt.Errorf("yamlite: line %d: cannot decode scalar into %s", n.Line, dst.Type())
+	}
+	return nil
+}
+
+func decodeSeq(n *Node, dst reflect.Value) error {
+	switch dst.Kind() {
+	case reflect.Slice:
+		out := reflect.MakeSlice(dst.Type(), len(n.Items), len(n.Items))
+		for i, it := range n.Items {
+			if err := decodeValue(it, out.Index(i)); err != nil {
+				return err
+			}
+		}
+		dst.Set(out)
+		return nil
+	case reflect.Array:
+		if dst.Len() != len(n.Items) {
+			return fmt.Errorf("yamlite: line %d: sequence length %d does not match array length %d", n.Line, len(n.Items), dst.Len())
+		}
+		for i, it := range n.Items {
+			if err := decodeValue(it, dst.Index(i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("yamlite: line %d: cannot decode sequence into %s", n.Line, dst.Type())
+	}
+}
+
+func decodeMap(n *Node, dst reflect.Value) error {
+	switch dst.Kind() {
+	case reflect.Map:
+		if dst.Type().Key().Kind() != reflect.String {
+			return fmt.Errorf("yamlite: line %d: map destination must have string keys, got %s", n.Line, dst.Type())
+		}
+		out := reflect.MakeMapWithSize(dst.Type(), len(n.Keys))
+		for i, k := range n.Keys {
+			ev := reflect.New(dst.Type().Elem()).Elem()
+			if err := decodeValue(n.Values[i], ev); err != nil {
+				return err
+			}
+			out.SetMapIndex(reflect.ValueOf(k).Convert(dst.Type().Key()), ev)
+		}
+		dst.Set(out)
+		return nil
+	case reflect.Struct:
+		fields := structFields(dst.Type())
+		for i, k := range n.Keys {
+			idx, ok := fields[k]
+			if !ok {
+				return fmt.Errorf("yamlite: line %d: unknown key %q for %s", n.Values[i].Line, k, dst.Type())
+			}
+			if err := decodeValue(n.Values[i], dst.Field(idx)); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("yamlite: line %d: cannot decode mapping into %s", n.Line, dst.Type())
+	}
+}
+
+// structFields maps yaml names to exported field indices.
+func structFields(t reflect.Type) map[string]int {
+	m := make(map[string]int, t.NumField())
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if !f.IsExported() {
+			continue
+		}
+		name := strings.ToLower(f.Name)
+		if tag, ok := f.Tag.Lookup("yaml"); ok {
+			tag = strings.Split(tag, ",")[0]
+			if tag == "-" {
+				continue
+			}
+			if tag != "" {
+				name = tag
+			}
+		}
+		m[name] = i
+	}
+	return m
+}
+
+// Marshal renders v as YAML (the same subset Parse accepts). Supported
+// inputs: structs (with yaml tags), maps with string keys, slices, and
+// scalars. Map keys are emitted in sorted order for determinism; struct
+// fields in declaration order.
+func Marshal(v any) ([]byte, error) {
+	var b strings.Builder
+	if err := encodeValue(&b, reflect.ValueOf(v), 0, false); err != nil {
+		return nil, err
+	}
+	return []byte(b.String()), nil
+}
+
+func encodeValue(b *strings.Builder, v reflect.Value, indent int, inline bool) error {
+	for v.Kind() == reflect.Pointer || v.Kind() == reflect.Interface {
+		if v.IsNil() {
+			b.WriteString("null\n")
+			return nil
+		}
+		v = v.Elem()
+	}
+	switch v.Kind() {
+	case reflect.Struct:
+		return encodeStruct(b, v, indent)
+	case reflect.Map:
+		return encodeMap(b, v, indent)
+	case reflect.Slice, reflect.Array:
+		return encodeSeq(b, v, indent)
+	case reflect.String:
+		b.WriteString(quoteIfNeeded(v.String()))
+		b.WriteByte('\n')
+		return nil
+	case reflect.Bool:
+		fmt.Fprintf(b, "%t\n", v.Bool())
+		return nil
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		fmt.Fprintf(b, "%d\n", v.Int())
+		return nil
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		fmt.Fprintf(b, "%d\n", v.Uint())
+		return nil
+	case reflect.Float32, reflect.Float64:
+		fmt.Fprintf(b, "%g\n", v.Float())
+		return nil
+	default:
+		return fmt.Errorf("yamlite: cannot marshal %s", v.Type())
+	}
+}
+
+func encodeKV(b *strings.Builder, key string, v reflect.Value, indent int) error {
+	pad := strings.Repeat("  ", indent)
+	kv := v
+	for kv.Kind() == reflect.Pointer || kv.Kind() == reflect.Interface {
+		if kv.IsNil() {
+			fmt.Fprintf(b, "%s%s: null\n", pad, quoteIfNeeded(key))
+			return nil
+		}
+		kv = kv.Elem()
+	}
+	switch kv.Kind() {
+	case reflect.Struct, reflect.Map:
+		if isEmptyCollection(kv) {
+			// Flow syntax ({}) is not in the accepted subset; an empty
+			// collection round-trips as null -> zero value.
+			fmt.Fprintf(b, "%s%s:\n", pad, quoteIfNeeded(key))
+			return nil
+		}
+		fmt.Fprintf(b, "%s%s:\n", pad, quoteIfNeeded(key))
+		return encodeValue(b, kv, indent+1, false)
+	case reflect.Slice, reflect.Array:
+		if kv.Len() == 0 {
+			fmt.Fprintf(b, "%s%s:\n", pad, quoteIfNeeded(key))
+			return nil
+		}
+		fmt.Fprintf(b, "%s%s:\n", pad, quoteIfNeeded(key))
+		return encodeValue(b, kv, indent+1, false)
+	default:
+		fmt.Fprintf(b, "%s%s: ", pad, quoteIfNeeded(key))
+		return encodeValue(b, kv, 0, true)
+	}
+}
+
+func isEmptyCollection(v reflect.Value) bool {
+	switch v.Kind() {
+	case reflect.Map:
+		return v.Len() == 0
+	case reflect.Struct:
+		return v.NumField() == 0
+	}
+	return false
+}
+
+func encodeStruct(b *strings.Builder, v reflect.Value, indent int) error {
+	t := v.Type()
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if !f.IsExported() {
+			continue
+		}
+		name := strings.ToLower(f.Name)
+		omitEmpty := false
+		if tag, ok := f.Tag.Lookup("yaml"); ok {
+			parts := strings.Split(tag, ",")
+			if parts[0] == "-" {
+				continue
+			}
+			if parts[0] != "" {
+				name = parts[0]
+			}
+			for _, opt := range parts[1:] {
+				if opt == "omitempty" {
+					omitEmpty = true
+				}
+			}
+		}
+		if omitEmpty && v.Field(i).IsZero() {
+			continue
+		}
+		if err := encodeKV(b, name, v.Field(i), indent); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func encodeMap(b *strings.Builder, v reflect.Value, indent int) error {
+	if v.Type().Key().Kind() != reflect.String {
+		return fmt.Errorf("yamlite: cannot marshal map with %s keys", v.Type().Key())
+	}
+	keys := make([]string, 0, v.Len())
+	for _, k := range v.MapKeys() {
+		keys = append(keys, k.String())
+	}
+	sortStrings(keys)
+	for _, k := range keys {
+		if err := encodeKV(b, k, v.MapIndex(reflect.ValueOf(k).Convert(v.Type().Key())), indent); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func encodeSeq(b *strings.Builder, v reflect.Value, indent int) error {
+	pad := strings.Repeat("  ", indent)
+	for i := 0; i < v.Len(); i++ {
+		ev := v.Index(i)
+		for ev.Kind() == reflect.Pointer || ev.Kind() == reflect.Interface {
+			if ev.IsNil() {
+				fmt.Fprintf(b, "%s- null\n", pad)
+				continue
+			}
+			ev = ev.Elem()
+		}
+		switch ev.Kind() {
+		case reflect.Struct, reflect.Map, reflect.Slice, reflect.Array:
+			fmt.Fprintf(b, "%s-\n", pad)
+			if err := encodeValue(b, ev, indent+1, false); err != nil {
+				return err
+			}
+		default:
+			fmt.Fprintf(b, "%s- ", pad)
+			if err := encodeValue(b, ev, 0, true); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// quoteIfNeeded quotes a string when a plain YAML scalar would change its
+// meaning or be misparsed.
+func quoteIfNeeded(s string) string {
+	if s == "" {
+		return `""`
+	}
+	plainSafe := true
+	switch s {
+	case "null", "Null", "NULL", "~", "true", "True", "TRUE", "false", "False", "FALSE":
+		plainSafe = false
+	}
+	if _, err := strconv.ParseFloat(s, 64); err == nil {
+		plainSafe = false
+	}
+	if plainSafe {
+		for i := 0; i < len(s); i++ {
+			c := s[i]
+			switch {
+			case c == ':' && (i+1 == len(s) || s[i+1] == ' '):
+				plainSafe = false
+			case c == '#' && i > 0 && s[i-1] == ' ':
+				plainSafe = false
+			case c == '\n' || c == '\t':
+				plainSafe = false
+			case i == 0 && (c == '-' || c == '?') && len(s) > 1 && s[1] == ' ':
+				plainSafe = false
+			case i == 0 && strings.ContainsRune("&*!{}[]\"'|>%@`", rune(c)):
+				plainSafe = false
+			}
+			if !plainSafe {
+				break
+			}
+		}
+	}
+	if plainSafe && strings.TrimSpace(s) == s {
+		return s
+	}
+	return strconv.Quote(s)
+}
