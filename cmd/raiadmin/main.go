@@ -11,6 +11,7 @@
 //	raiadmin download -db url -fs url -out dir [-cleanup]
 //	raiadmin rerun   -db url -fs url -broker addr -keys keys.json -team NAME [-n 5]
 //	raiadmin grade   -db url [-manual manual.csv] [-target-accuracy 0.9]
+//	raiadmin top     [-filter prefix] [-buckets] URL [URL...]
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"sort"
@@ -32,6 +34,8 @@ import (
 	"rai/internal/grading"
 	"rai/internal/objstore"
 	"rai/internal/ranking"
+	"rai/internal/stats"
+	"rai/internal/telemetry"
 	"rai/internal/vfs"
 )
 
@@ -41,7 +45,7 @@ func main() {
 
 func run(args []string, stdout, stderr io.Writer) int {
 	if len(args) < 1 {
-		fmt.Fprintln(stderr, "usage: raiadmin keygen|teamgen|ranking|download|rerun|grade [flags]")
+		fmt.Fprintln(stderr, "usage: raiadmin keygen|teamgen|ranking|download|rerun|grade|top [flags]")
 		return 2
 	}
 	switch args[0] {
@@ -57,6 +61,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return rerun(args[1:], stdout, stderr)
 	case "grade":
 		return grade(args[1:], stdout, stderr)
+	case "top":
+		return top(args[1:], stdout, stderr)
 	default:
 		fmt.Fprintf(stderr, "raiadmin: unknown command %q\n", args[0])
 		return 2
@@ -401,6 +407,78 @@ func grade(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stdout, grading.FormatReport(g))
 	}
 	return 0
+}
+
+// top scrapes one or more /metrics endpoints (raibroker, raifs, raidb,
+// raiworker daemons started with -metrics-addr) and renders the
+// operator's snapshot of the deployment: every sample in one aligned
+// table, endpoint by endpoint. Histogram buckets are folded away unless
+// -buckets is set; _sum/_count stay visible so rates and means can be
+// read off directly.
+func top(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("raiadmin top", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	filter := fs.String("filter", "", "only show metric names with this prefix")
+	buckets := fs.Bool("buckets", false, "include per-bucket histogram series")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	urls := fs.Args()
+	if len(urls) == 0 {
+		fmt.Fprintln(stderr, "raiadmin top: at least one metrics URL is required")
+		return 2
+	}
+	tbl := &stats.Table{Header: []string{"endpoint", "metric", "labels", "value"}}
+	for _, u := range urls {
+		snap, err := scrapeMetrics(u)
+		if err != nil {
+			fmt.Fprintf(stderr, "raiadmin top: %s: %v\n", u, err)
+			return 1
+		}
+		short := strings.TrimPrefix(strings.TrimPrefix(u, "http://"), "https://")
+		short = strings.TrimSuffix(short, "/metrics")
+		for _, s := range snap.Samples {
+			if *filter != "" && !strings.HasPrefix(s.Name, *filter) {
+				continue
+			}
+			if !*buckets && strings.HasSuffix(s.Name, "_bucket") {
+				continue
+			}
+			tbl.AddRow(short, s.Name, formatLabels(s.Labels), strconv.FormatFloat(s.Value, 'g', -1, 64))
+		}
+	}
+	fmt.Fprint(stdout, tbl.String())
+	return 0
+}
+
+// scrapeMetrics fetches and parses one Prometheus text endpoint.
+func scrapeMetrics(url string) (*telemetry.Snapshot, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %s", resp.Status)
+	}
+	return telemetry.ParseText(resp.Body)
+}
+
+// formatLabels renders a label set in sorted key order.
+func formatLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return "-"
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%s", k, labels[k]))
+	}
+	return strings.Join(parts, ",")
 }
 
 // loadManual parses "team,code_quality,report" CSV rows.

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"rai/internal/telemetry"
+)
+
+func metricsEndpoint(t *testing.T) *httptest.Server {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	reg.Counter("rai_broker_publish_total", "messages published", telemetry.L("topic", "rai")).Add(41)
+	reg.Gauge("rai_worker_jobs_in_flight", "jobs executing").Set(3)
+	reg.Histogram("rai_queue_delay_seconds", "queue delay", telemetry.QueueDelayBuckets).Observe(2.5)
+	srv := httptest.NewServer(reg.Handler())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestTopRendersScrapedMetrics(t *testing.T) {
+	srv := metricsEndpoint(t)
+	var out, errb bytes.Buffer
+	if code := run([]string{"top", srv.URL + "/metrics"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d: %s", code, errb.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"endpoint", "metric", "labels", "value", // header
+		"rai_broker_publish_total", "topic=rai", "41",
+		"rai_worker_jobs_in_flight", "3",
+		"rai_queue_delay_seconds_count", "1",
+		"rai_queue_delay_seconds_sum", "2.5",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("top output missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "_bucket") {
+		t.Errorf("bucket series shown without -buckets:\n%s", got)
+	}
+}
+
+func TestTopFilterAndBuckets(t *testing.T) {
+	srv := metricsEndpoint(t)
+	var out, errb bytes.Buffer
+	if code := run([]string{"top", "-filter", "rai_queue", "-buckets", srv.URL + "/metrics"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d: %s", code, errb.String())
+	}
+	got := out.String()
+	if strings.Contains(got, "rai_broker_publish_total") {
+		t.Errorf("filter leaked other families:\n%s", got)
+	}
+	if !strings.Contains(got, "rai_queue_delay_seconds_bucket") {
+		t.Errorf("-buckets did not include bucket series:\n%s", got)
+	}
+	if !strings.Contains(got, "le=+Inf") {
+		t.Errorf("missing +Inf bucket:\n%s", got)
+	}
+}
+
+func TestTopBadInvocations(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"top"}, &out, &errb); code != 2 {
+		t.Fatalf("no URLs: exit = %d", code)
+	}
+	if code := run([]string{"top", "http://127.0.0.1:1/metrics"}, &out, &errb); code != 1 {
+		t.Fatalf("unreachable endpoint: exit = %d", code)
+	}
+}

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	raibroker [-addr host:port]
+//	raibroker [-addr host:port] [-metrics-addr host:port]
 package main
 
 import (
@@ -18,6 +18,8 @@ import (
 
 	"rai/internal/broker"
 	"rai/internal/brokerd"
+	"rai/internal/core"
+	"rai/internal/telemetry"
 )
 
 func main() {
@@ -30,14 +32,37 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, quit <-ch
 	fs := flag.NewFlagSet("raibroker", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	addr := fs.String("addr", "127.0.0.1:7400", "listen address")
+	metricsAddr := fs.String("metrics-addr", "", "serve GET /metrics on this address (empty = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	b := broker.New()
-	srv, err := brokerd.NewServer(b, *addr)
+	var bopts []broker.Option
+	var sopts []brokerd.ServerOption
+	var reg *telemetry.Registry
+	if *metricsAddr != "" {
+		reg = telemetry.NewRegistry()
+		bopts = append(bopts, broker.WithTelemetry(reg))
+		sopts = append(sopts, brokerd.WithTelemetry(reg))
+	}
+	b := broker.New(bopts...)
+	if reg != nil {
+		b.ExportQueueDepth(core.TasksTopic, core.TasksChannel)
+	}
+	srv, err := brokerd.NewServer(b, *addr, sopts...)
 	if err != nil {
 		fmt.Fprintf(stderr, "raibroker: %v\n", err)
 		return 1
+	}
+	if reg != nil {
+		maddr, closeMetrics, err := reg.ServeMetrics(*metricsAddr)
+		if err != nil {
+			fmt.Fprintf(stderr, "raibroker: metrics listener: %v\n", err)
+			srv.Close()
+			b.Close()
+			return 1
+		}
+		defer closeMetrics()
+		fmt.Fprintf(stdout, "raibroker metrics on http://%s/metrics\n", maddr)
 	}
 	defer srv.Close()
 	defer b.Close()

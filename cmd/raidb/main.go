@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	raidb [-addr host:port]
+//	raidb [-addr host:port] [-journal file] [-metrics-addr host:port]
 package main
 
 import (
@@ -18,6 +18,7 @@ import (
 	"syscall"
 
 	"rai/internal/docstore"
+	"rai/internal/telemetry"
 )
 
 func main() {
@@ -29,8 +30,21 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, quit <-ch
 	fs.SetOutput(stderr)
 	addr := fs.String("addr", "127.0.0.1:7402", "listen address")
 	journal := fs.String("journal", "", "journal file for durability (empty = in-memory only)")
+	metricsAddr := fs.String("metrics-addr", "", "serve GET /metrics on this address (empty = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	var handlerOpts []docstore.HandlerOption
+	if *metricsAddr != "" {
+		reg := telemetry.NewRegistry()
+		handlerOpts = append(handlerOpts, docstore.WithTelemetry(reg))
+		maddr, closeMetrics, err := reg.ServeMetrics(*metricsAddr)
+		if err != nil {
+			fmt.Fprintf(stderr, "raidb: metrics listener: %v\n", err)
+			return 1
+		}
+		defer closeMetrics()
+		fmt.Fprintf(stdout, "raidb metrics on http://%s/metrics\n", maddr)
 	}
 	var handler http.Handler
 	if *journal != "" {
@@ -40,10 +54,10 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, quit <-ch
 			return 1
 		}
 		defer pdb.Close()
-		handler = docstore.HandlerStore(pdb, nil)
+		handler = docstore.HandlerStore(pdb, nil, handlerOpts...)
 		fmt.Fprintf(stdout, "raidb journaling to %s\n", *journal)
 	} else {
-		handler = docstore.Handler(docstore.New(), nil)
+		handler = docstore.Handler(docstore.New(), nil, handlerOpts...)
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	raifs [-addr host:port] [-capacity bytes] [-ttl duration] [-keys keys.json] [-dir objects/]
+//	      [-metrics-addr host:port]
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 
 	"rai/internal/auth"
 	"rai/internal/objstore"
+	"rai/internal/telemetry"
 )
 
 func main() {
@@ -36,6 +38,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, quit <-ch
 	ttl := fs.Duration("ttl", 30*24*time.Hour, "default object lifetime from last use")
 	keysPath := fs.String("keys", "", "credentials file for request authentication (empty = open)")
 	dataDir := fs.String("dir", "", "directory for durable object storage (empty = in-memory)")
+	metricsAddr := fs.String("metrics-addr", "", "serve GET /metrics on this address (empty = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -60,12 +63,24 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, quit <-ch
 		}
 		authFn = objstore.AuthFunc(reg.HTTPAuth())
 	}
+	var handlerOpts []objstore.HandlerOption
+	if *metricsAddr != "" {
+		reg := telemetry.NewRegistry()
+		handlerOpts = append(handlerOpts, objstore.WithTelemetry(reg))
+		maddr, closeMetrics, err := reg.ServeMetrics(*metricsAddr)
+		if err != nil {
+			fmt.Fprintf(stderr, "raifs: metrics listener: %v\n", err)
+			return 1
+		}
+		defer closeMetrics()
+		fmt.Fprintf(stdout, "raifs metrics on http://%s/metrics\n", maddr)
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintf(stderr, "raifs: %v\n", err)
 		return 1
 	}
-	srv := &http.Server{Handler: objstore.Handler(store, authFn)}
+	srv := &http.Server{Handler: objstore.Handler(store, authFn, handlerOpts...)}
 	go srv.Serve(ln)
 	defer srv.Close()
 	fmt.Fprintf(stdout, "raifs listening on %s\n", ln.Addr())

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"rai/internal/objstore"
+)
+
+var metricsLine = regexp.MustCompile(`metrics on (http://[^/\s]+/metrics)`)
+
+func TestMetricsAddrExposesStoreTelemetry(t *testing.T) {
+	ready := make(chan string, 1)
+	quit := make(chan struct{})
+	var out, errb bytes.Buffer
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-metrics-addr", "127.0.0.1:0"}, &out, &errb, ready, quit)
+	}()
+	defer func() {
+		close(quit)
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Error("daemon did not stop")
+		}
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("daemon never ready: %s", errb.String())
+	}
+
+	c := objstore.NewClient("http://" + addr)
+	if err := c.Put("uploads", "k", []byte("archive"), time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("uploads", "k"); err != nil {
+		t.Fatal(err)
+	}
+
+	m := metricsLine.FindStringSubmatch(out.String())
+	if m == nil {
+		t.Fatalf("no metrics address announced:\n%s", out.String())
+	}
+	resp, err := http.Get(m[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	for _, want := range []string{
+		`rai_objstore_requests_total{op="put"} 1`,
+		`rai_objstore_requests_total{op="get"} 1`,
+		"rai_objstore_used_bytes 7",
+		`rai_objstore_bytes_total{direction="in"} 7`,
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	// The dedicated endpoint also serves /metrics on the store itself.
+	resp2, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Errorf("store /metrics = %d, want 200 when telemetry is on", resp2.StatusCode)
+	}
+}
+
+func TestMetricsDisabledByDefault(t *testing.T) {
+	ready := make(chan string, 1)
+	quit := make(chan struct{})
+	var out, errb bytes.Buffer
+	done := make(chan int, 1)
+	go func() { done <- run([]string{"-addr", "127.0.0.1:0"}, &out, &errb, ready, quit) }()
+	defer func() {
+		close(quit)
+		<-done
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("daemon never ready: %s", errb.String())
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Error("GET /metrics succeeded without -metrics-addr; want disabled")
+	}
+	if strings.Contains(out.String(), "metrics on") {
+		t.Errorf("daemon announced metrics without the flag:\n%s", out.String())
+	}
+}

@@ -9,6 +9,7 @@
 //	raiworker -broker host:port -fs url -db url -keys keys.json
 //	          [-id worker-1] [-concurrency 1] [-mem bytes]
 //	          [-lifetime 1h] [-rate-limit 30s] [-seed 408] [-full-images 100]
+//	          [-metrics-addr host:port]
 package main
 
 import (
@@ -27,6 +28,7 @@ import (
 	"rai/internal/docstore"
 	"rai/internal/objstore"
 	"rai/internal/registry"
+	"rai/internal/telemetry"
 	"rai/internal/vfs"
 )
 
@@ -50,6 +52,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- struct{}, quit <-
 	sessionIdle := fs.Duration("session-idle", 10*time.Minute, "idle timeout for interactive sessions")
 	seed := fs.Uint64("seed", 408, "course model/dataset seed")
 	fullImages := fs.Int("full-images", 100, "images stored in testfull.hdf5")
+	metricsAddr := fs.String("metrics-addr", "", "serve GET /metrics on this address (empty = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -91,6 +94,18 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- struct{}, quit <-
 		Images:   registry.NewCourseRegistry(),
 		DataFS:   dataFS,
 		DataPath: "/data",
+	}
+	if *metricsAddr != "" {
+		telReg := telemetry.NewRegistry()
+		w.Telemetry = telReg
+		w.Tracer = telemetry.NewTracer(4096)
+		maddr, closeMetrics, err := telReg.ServeMetrics(*metricsAddr)
+		if err != nil {
+			fmt.Fprintf(stderr, "raiworker: metrics listener: %v\n", err)
+			return 1
+		}
+		defer closeMetrics()
+		fmt.Fprintf(stdout, "raiworker metrics on http://%s/metrics\n", maddr)
 	}
 	fmt.Fprintf(stdout, "raiworker %s accepting jobs (concurrency %d)\n", *id, *concurrency)
 	done := make(chan struct{})

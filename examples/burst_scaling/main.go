@@ -12,8 +12,12 @@ import (
 	"log"
 	"time"
 
+	"rai/internal/broker"
+	"rai/internal/clock"
+	"rai/internal/core"
 	"rai/internal/scaling"
 	"rai/internal/sim"
+	"rai/internal/telemetry"
 	"rai/internal/workload"
 )
 
@@ -49,4 +53,78 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Print(phases)
+
+	// The same elastic loop, closed over live telemetry: the autoscaler
+	// reads queue depth and service time straight from the shared
+	// registry (rai_broker_queue_depth, rai_broker_publish_total,
+	// rai_worker_job_seconds) instead of bespoke bookkeeping.
+	fmt.Println("\n== live autoscaler on broker telemetry ==")
+	liveAutoscaler(course.Cfg.Deadline.Add(-24 * time.Hour))
+}
+
+// liveAutoscaler runs a deterministic minute-by-minute burst against a
+// real broker and prints the decisions the telemetry-fed autoscaler
+// takes. Each worker drains one job per minute (60s service time).
+func liveAutoscaler(start time.Time) {
+	vc := clock.NewVirtual(start)
+	reg := telemetry.NewRegistry()
+	b := broker.New(broker.WithClock(vc), broker.WithTelemetry(reg))
+	defer b.Close()
+	b.ExportQueueDepth(core.TasksTopic, core.TasksChannel)
+	sub, err := b.Subscribe(core.TasksTopic, core.TasksChannel, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sub.Close()
+
+	fleet := 0
+	scaler := &scaling.Autoscaler{
+		Policy:    scaling.ElasticPolicy{Min: 2, Max: 30, SlotsPerInstance: 1},
+		Source:    scaling.MetricsSource(reg, core.TasksTopic, core.TasksChannel, vc),
+		Clock:     vc,
+		Cooldown:  3 * time.Minute,
+		Telemetry: reg,
+		ScaleUp:   func(n int) error { fleet += n; return nil },
+		ScaleDown: func(n int) error { fleet -= n; return nil },
+	}
+
+	jobSecs := reg.Histogram("rai_worker_job_seconds",
+		"wall time per completed job", telemetry.QueueDelayBuckets)
+	fmt.Println("minute  arrivals  queue  workers  desired  decision")
+	for minute, arrivals := range []int{2, 10, 40, 40, 20, 5, 0, 0, 0, 0} {
+		for i := 0; i < arrivals; i++ {
+			if _, err := b.Publish(core.TasksTopic, []byte("job")); err != nil {
+				log.Fatal(err)
+			}
+		}
+		// The fleet drains up to one job per worker this minute.
+		for drained := 0; drained < fleet; drained++ {
+			select {
+			case m := <-sub.C():
+				sub.Ack(m)
+				jobSecs.Observe(60)
+			default:
+				drained = fleet
+			}
+		}
+		delta, err := scaler.Step()
+		if err != nil {
+			log.Fatal(err)
+		}
+		decision := "hold"
+		if delta > 0 {
+			decision = fmt.Sprintf("+%d workers", delta)
+		} else if delta < 0 {
+			decision = fmt.Sprintf("%d workers", delta)
+		}
+		depth, _ := reg.Value("rai_broker_queue_depth",
+			telemetry.L("topic", core.TasksTopic), telemetry.L("channel", core.TasksChannel))
+		desired, _ := reg.Value("rai_autoscaler_desired_workers")
+		fmt.Printf("%6d  %8d  %5.0f  %7d  %7.0f  %s\n",
+			minute, arrivals, depth, scaler.Current(), desired, decision)
+		vc.Advance(time.Minute)
+	}
+	up, _ := reg.Value("rai_autoscaler_scale_events_total", telemetry.L("direction", "up"))
+	down, _ := reg.Value("rai_autoscaler_scale_events_total", telemetry.L("direction", "down"))
+	fmt.Printf("scale events: %.0f up, %.0f down over %d decisions\n", up, down, scaler.Decisions())
 }

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"rai/internal/clock"
+	"rai/internal/telemetry"
 )
 
 // Errors returned by broker operations.
@@ -55,6 +56,19 @@ type Broker struct {
 	nextID uint64
 	clk    clock.Clock
 	closed bool
+	tel    brokerTelemetry
+}
+
+// brokerTelemetry caches instruments so the hot path never re-resolves
+// them by name. All fields are nil (no-op) when telemetry is off;
+// per-class counter maps are guarded by b.mu, which every caller holds.
+type brokerTelemetry struct {
+	reg     *telemetry.Registry
+	publish map[string]*telemetry.Counter
+	deliver map[string]*telemetry.Counter
+	ack     *telemetry.Counter
+	requeue *telemetry.Counter
+	latency *telemetry.Histogram
 }
 
 // Option configures a Broker.
@@ -62,6 +76,60 @@ type Option func(*Broker)
 
 // WithClock substitutes the time source (virtual clock in simulations).
 func WithClock(c clock.Clock) Option { return func(b *Broker) { b.clk = c } }
+
+// WithTelemetry instruments the broker on reg: publish/deliver/ack/
+// requeue counters labeled by topic class, a delivery-latency histogram
+// (publish to hand-off), and a live topic-count gauge. Per-channel
+// depth gauges are opt-in via ExportQueueDepth, since only the caller
+// knows which channels are long-lived.
+func WithTelemetry(reg *telemetry.Registry) Option {
+	return func(b *Broker) {
+		b.tel.reg = reg
+		b.tel.publish = map[string]*telemetry.Counter{}
+		b.tel.deliver = map[string]*telemetry.Counter{}
+		b.tel.ack = reg.Counter("rai_broker_ack_total", "messages acknowledged")
+		b.tel.requeue = reg.Counter("rai_broker_requeue_total", "messages handed back for redelivery")
+		b.tel.latency = reg.Histogram("rai_broker_delivery_latency_seconds",
+			"time from publish to delivery to a subscriber", telemetry.QueueDelayBuckets)
+		reg.GaugeFunc("rai_broker_topics", "live topics (ephemeral log topics included)", func() float64 {
+			b.mu.Lock()
+			defer b.mu.Unlock()
+			return float64(len(b.topics))
+		})
+	}
+}
+
+// ExportQueueDepth registers a rai_broker_queue_depth gauge tracking
+// the undelivered backlog of one topic/channel. Call it for long-lived
+// channels only (e.g. rai/tasks) — never per-job log topics.
+func (b *Broker) ExportQueueDepth(topicName, channelName string) {
+	b.tel.reg.GaugeFunc("rai_broker_queue_depth", "undelivered messages queued on the channel",
+		func() float64 { return float64(b.Depth(topicName, channelName)) },
+		telemetry.L("topic", topicName), telemetry.L("channel", channelName))
+}
+
+// topicClass collapses per-job names so metric label cardinality stays
+// bounded: every log_${job_id}#ch topic reports as "log".
+func topicClass(name string) string {
+	if strings.HasPrefix(name, "log_") || isEphemeralName(name) {
+		return "log"
+	}
+	return name
+}
+
+// classCounterLocked resolves (and caches) a per-class counter. Caller
+// holds b.mu.
+func (b *Broker) classCounterLocked(cache map[string]*telemetry.Counter, name, help, class string) *telemetry.Counter {
+	if b.tel.reg == nil {
+		return nil
+	}
+	c, ok := cache[class]
+	if !ok {
+		c = b.tel.reg.Counter(name, help, telemetry.L("topic", class))
+		cache[class] = c
+	}
+	return c
+}
 
 // New creates an empty broker.
 func New(opts ...Option) *Broker {
@@ -84,6 +152,7 @@ type topic struct {
 
 type channel struct {
 	name      string
+	topic     string
 	ephemeral bool
 	queue     []*Message
 	subs      []*Subscription
@@ -132,6 +201,7 @@ func (b *Broker) Publish(topicName string, body []byte) (uint64, error) {
 	}
 	t := b.getTopicLocked(topicName)
 	b.nextID++
+	b.classCounterLocked(b.tel.publish, "rai_broker_publish_total", "messages published", topicClass(topicName)).Inc()
 	msg := &Message{ID: b.nextID, Body: append([]byte(nil), body...), Timestamp: b.clk.Now(), topic: topicName}
 	if len(t.channels) == 0 {
 		t.backlog = append(t.backlog, msg)
@@ -174,7 +244,7 @@ func (b *Broker) Subscribe(topicName, channelName string, maxInFlight int) (*Sub
 	t := b.getTopicLocked(topicName)
 	ch, ok := t.channels[channelName]
 	if !ok {
-		ch = &channel{name: channelName, ephemeral: isEphemeralName(channelName) || t.ephemeral}
+		ch = &channel{name: channelName, topic: topicName, ephemeral: isEphemeralName(channelName) || t.ephemeral}
 		t.channels[channelName] = ch
 		// First channel drains the topic backlog.
 		if len(t.backlog) > 0 {
@@ -210,6 +280,10 @@ func (b *Broker) dispatchLocked(ch *channel) {
 			msg.Attempts++
 			sub.inFlight[msg.ID] = msg
 			sub.c <- msg
+			if b.tel.reg != nil {
+				b.classCounterLocked(b.tel.deliver, "rai_broker_deliver_total", "messages delivered to subscribers", topicClass(ch.topic)).Inc()
+				b.tel.latency.Observe(b.clk.Now().Sub(msg.Timestamp).Seconds())
+			}
 			ch.rr = (ch.rr + probe + 1) % len(ch.subs)
 			delivered = true
 			break
@@ -234,6 +308,7 @@ func (s *Subscription) Ack(m *Message) error {
 		return fmt.Errorf("%w: id %d", ErrUnknownMsg, m.ID)
 	}
 	delete(s.inFlight, m.ID)
+	s.b.tel.ack.Inc()
 	if ch := s.b.lookupChannelLocked(s.topicName, s.channelName); ch != nil {
 		s.b.dispatchLocked(ch)
 	}
@@ -253,6 +328,7 @@ func (s *Subscription) Requeue(m *Message) error {
 		return fmt.Errorf("%w: id %d", ErrUnknownMsg, m.ID)
 	}
 	delete(s.inFlight, m.ID)
+	s.b.tel.requeue.Inc()
 	ch := s.b.lookupChannelLocked(s.topicName, s.channelName)
 	if ch != nil {
 		ch.queue = append([]*Message{msg}, ch.queue...)

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"rai/internal/broker"
+	"rai/internal/telemetry"
 )
 
 // Server serves a broker engine over TCP.
@@ -19,6 +20,9 @@ type Server struct {
 	conns  map[net.Conn]struct{}
 	closed bool
 	wg     sync.WaitGroup
+
+	connGauge *telemetry.Gauge
+	ops       map[string]*telemetry.Counter
 }
 
 // ServerOption configures a Server.
@@ -26,6 +30,19 @@ type ServerOption func(*Server)
 
 // WithLogf sets the server's log function (default: log.Printf).
 func WithLogf(f func(string, ...any)) ServerOption { return func(s *Server) { s.logf = f } }
+
+// WithTelemetry instruments the wire layer on reg: a live connection
+// gauge and per-op request counters. The broker engine itself is
+// instrumented separately via broker.WithTelemetry.
+func WithTelemetry(reg *telemetry.Registry) ServerOption {
+	return func(s *Server) {
+		s.connGauge = reg.Gauge("rai_brokerd_connections", "open client connections")
+		s.ops = map[string]*telemetry.Counter{}
+		for _, op := range []string{OpPing, OpPub, OpSub, OpAck, OpReq, OpStats, OpClose} {
+			s.ops[op] = reg.Counter("rai_brokerd_ops_total", "wire operations served", telemetry.L("op", op))
+		}
+	}
+}
 
 // NewServer starts serving b on addr (e.g. "127.0.0.1:0") and returns
 // once the listener is bound.
@@ -87,11 +104,13 @@ func (s *Server) acceptLoop() {
 // commands, plus (once subscribed) a pump goroutine streaming deliveries.
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
+	s.connGauge.Add(1)
 	defer func() {
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
 		conn.Close()
+		s.connGauge.Add(-1)
 	}()
 
 	var writeMu sync.Mutex
@@ -124,6 +143,9 @@ func (s *Server) serveConn(conn net.Conn) {
 		f, err := ReadFrame(conn)
 		if err != nil {
 			return // disconnect (EOF or broken frame)
+		}
+		if s.ops != nil {
+			s.ops[f.Op].Inc() // nil map entry (unknown op) is a no-op
 		}
 		switch f.Op {
 		case OpPing:

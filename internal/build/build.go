@@ -1,0 +1,114 @@
+// Package build implements the rai-build.yml specification (paper §V,
+// Listings 1 and 2): the YAML file a student places at the project root
+// to select the container image and the command list the worker runs.
+// Final submissions ignore the student file and use the enforced
+// Listing 2 spec, which times the full dataset and copies the submitted
+// code into /build for auditing.
+package build
+
+import (
+	"fmt"
+
+	"rai/internal/yamlite"
+)
+
+// FileName is the spec file looked up at the project root.
+const FileName = "rai-build.yml"
+
+// Versions the course toolchain accepts.
+var supportedVersions = map[string]bool{"0.1": true, "0.2": true}
+
+// Spec is a parsed rai-build.yml.
+type Spec struct {
+	RAI Section `yaml:"rai"`
+}
+
+// Section is the top-level "rai:" mapping.
+type Section struct {
+	Version string `yaml:"version"`
+	// Image names the container image; it must be on the course
+	// registry's whitelist. Empty means the worker's default image.
+	Image string `yaml:"image"`
+	// Resources carries the reserved "machine requirements" extension
+	// (§V): jobs that ask for more GPUs than a worker offers are handed
+	// back for a bigger machine.
+	Resources Resources `yaml:"resources,omitempty"`
+	Commands  Commands  `yaml:"commands"`
+}
+
+// Resources are the machine requirements a spec may request.
+type Resources struct {
+	GPUs int `yaml:"gpus,omitempty"`
+}
+
+// Commands holds the command lists the worker executes in order.
+type Commands struct {
+	Build []string `yaml:"build"`
+}
+
+// Parse decodes and validates a rai-build.yml. Unknown keys are
+// rejected (strict mode, like the real client) and a bad version or an
+// empty command list is a loud error rather than a silent default.
+func Parse(data []byte) (*Spec, error) {
+	var s Spec
+	if err := yamlite.Unmarshal(data, &s); err != nil {
+		return nil, err
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Validate checks the invariants shared by parsed and programmatic specs.
+func (s *Spec) Validate() error {
+	if !supportedVersions[s.RAI.Version] {
+		return fmt.Errorf("build: unsupported rai-build.yml version %q", s.RAI.Version)
+	}
+	if len(s.RAI.Commands.Build) == 0 {
+		return fmt.Errorf("build: spec has no build commands")
+	}
+	if s.RAI.Resources.GPUs < 0 {
+		return fmt.Errorf("build: negative gpu request %d", s.RAI.Resources.GPUs)
+	}
+	return nil
+}
+
+// Encode renders the spec back to YAML (the exact subset Parse accepts).
+func (s *Spec) Encode() ([]byte, error) {
+	return yamlite.Marshal(s)
+}
+
+// Default is Listing 1: the spec used when a student project has no
+// rai-build.yml — build with CMake, check correctness on the small
+// dataset, and export an nvprof timeline.
+func Default() *Spec {
+	return &Spec{RAI: Section{
+		Version: "0.1",
+		Image:   "webgpu/rai:root",
+		Commands: Commands{Build: []string{
+			`echo "Building project"`,
+			`cmake /src`,
+			`make`,
+			`./ece408 /data/test10.hdf5 /data/model.hdf5`,
+			`nvprof --export-profile timeline.nvprof ./ece408 /data/test10.hdf5 /data/model.hdf5`,
+		}},
+	}}
+}
+
+// Submission is Listing 2: the enforced final-submission spec — the
+// submitted code is copied into /build (line 7) and the full dataset is
+// timed under /usr/bin/time (line 10), feeding the competition ranking.
+func Submission() *Spec {
+	return &Spec{RAI: Section{
+		Version: "0.1",
+		Image:   "webgpu/rai:root",
+		Commands: Commands{Build: []string{
+			`echo "Building project"`,
+			`cp -r /src /build/submission_code`,
+			`cmake /src`,
+			`make`,
+			`/usr/bin/time ./ece408 /data/testfull.hdf5 /data/model.hdf5 10000`,
+		}},
+	}}
+}

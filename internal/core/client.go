@@ -9,6 +9,7 @@ import (
 	"rai/internal/auth"
 	"rai/internal/build"
 	"rai/internal/clock"
+	"rai/internal/telemetry"
 	"rai/internal/vfs"
 )
 
@@ -27,6 +28,11 @@ type Client struct {
 	// LogWait bounds how long the client waits for the End message; zero
 	// means no timeout (daemon deployments rely on broker liveness).
 	LogWait time.Duration
+	// Telemetry and Tracer, when set, record submission metrics and the
+	// client-side spans of the job trace (root "job", children "upload"
+	// and "enqueue"). Both are optional and nil-safe.
+	Telemetry *telemetry.Registry
+	Tracer    *telemetry.Tracer
 }
 
 // JobResult is what the client learns from the End message.
@@ -41,6 +47,9 @@ type JobResult struct {
 	// LogLines counts streamed output lines (useful for the paper's
 	// logs/meta-data accounting).
 	LogLines int
+	// TraceID identifies the job's telemetry trace ("" when the client
+	// has no Tracer).
+	TraceID string
 }
 
 // PrepareProject inspects the project directory in fs, returning the
@@ -83,23 +92,40 @@ func CheckSubmissionFiles(fs *vfs.FS, dir string) error {
 // the End message arrives.
 func (c *Client) Submit(kind string, spec *build.Spec, archive []byte) (*JobResult, error) {
 	jobID := NewJobID()
+	root := c.startJobSpan(jobID, kind)
 	// Step 3: compress (done by the caller via archivex) and upload the
 	// project directory; one-month lifetime from last use.
 	uploadKey := fmt.Sprintf("%s/%s/project.tar.bz2", c.Creds.UserName, jobID)
+	up := root.Child("upload")
 	if err := c.Objects.Put(BucketUploads, uploadKey, archive, UploadTTL); err != nil {
+		up.End()
+		root.End()
 		return nil, fmt.Errorf("core: uploading project: %w", err)
 	}
-	return c.submitUploaded(jobID, kind, spec, BucketUploads, uploadKey)
+	up.SetAttr("bytes", fmt.Sprint(len(archive)))
+	up.End()
+	return c.submitUploaded(root, jobID, kind, spec, BucketUploads, uploadKey)
 }
 
 // Resubmit enqueues a job against an archive already on the file server
 // — the grading path: instructors rerun a team's recorded final
 // submission multiple times and keep the best time (§VI, §VII).
 func (c *Client) Resubmit(kind, uploadBucket, uploadKey string) (*JobResult, error) {
-	return c.submitUploaded(NewJobID(), kind, nil, uploadBucket, uploadKey)
+	jobID := NewJobID()
+	return c.submitUploaded(c.startJobSpan(jobID, kind), jobID, kind, nil, uploadBucket, uploadKey)
 }
 
-func (c *Client) submitUploaded(jobID, kind string, spec *build.Spec, uploadBucket, uploadKey string) (*JobResult, error) {
+// startJobSpan opens the trace root covering the whole submission.
+func (c *Client) startJobSpan(jobID, kind string) *telemetry.Span {
+	root := c.Tracer.StartRoot("job")
+	root.SetAttr("job_id", jobID)
+	root.SetAttr("kind", kind)
+	root.SetAttr("user", c.Creds.UserName)
+	return root
+}
+
+func (c *Client) submitUploaded(root *telemetry.Span, jobID, kind string, spec *build.Spec, uploadBucket, uploadKey string) (*JobResult, error) {
+	defer root.End()
 	if kind != KindRun && kind != KindSubmit {
 		return nil, fmt.Errorf("core: unknown job kind %q", kind)
 	}
@@ -125,24 +151,32 @@ func (c *Client) submitUploaded(jobID, kind string, spec *build.Spec, uploadBuck
 		UploadBucket: uploadBucket,
 		UploadKey:    uploadKey,
 		SubmittedAt:  clk.Now(),
+		TraceID:      root.TraceID(),
+		ParentSpan:   root.SpanID(),
 	}
 	req.Token = authToken(c, req)
 
+	submitted := clk.Now()
+	enq := root.Child("enqueue")
 	// Step 5: subscribe to the log topic BEFORE publishing so no output
 	// is lost (the broker also buffers a backlog as a second defense).
 	sub, err := c.Queue.Subscribe(LogTopic(jobID), LogChannel, 1024)
 	if err != nil {
+		enq.End()
 		return nil, fmt.Errorf("core: subscribing to log topic: %w", err)
 	}
 	defer sub.Close()
 
 	// Step 4: push the job request onto the queue.
 	if err := c.Queue.Publish(TasksTopic, encodeJSON(req)); err != nil {
+		enq.End()
 		return nil, fmt.Errorf("core: publishing job: %w", err)
 	}
+	enq.End()
+	c.Telemetry.Counter("rai_client_jobs_total", "jobs submitted", telemetry.L("kind", kind)).Inc()
 
 	// Step 6: print messages until End (step 8: exit on End).
-	res := &JobResult{JobID: jobID}
+	res := &JobResult{JobID: jobID, TraceID: root.TraceID()}
 	var timeout <-chan time.Time
 	if c.LogWait > 0 {
 		timeout = clk.After(c.LogWait)
@@ -166,6 +200,9 @@ func (c *Client) submitUploaded(jobID, kind string, spec *build.Spec, uploadBuck
 					fmt.Fprintln(c.Stdout, lm.Line)
 				}
 			case LogEnd:
+				c.Telemetry.Histogram("rai_client_job_seconds",
+					"submit-to-End wall time seen by the client", telemetry.QueueDelayBuckets).
+					Observe(clk.Now().Sub(submitted).Seconds())
 				res.Status = lm.Status
 				res.Elapsed = time.Duration(lm.Elapsed * float64(time.Second))
 				res.InternalTimer = time.Duration(lm.InternalTimer * float64(time.Second))

@@ -77,6 +77,13 @@ type JobRequest struct {
 	UploadBucket string    `json:"upload_bucket"`
 	UploadKey    string    `json:"upload_key"`
 	SubmittedAt  time.Time `json:"submitted_at"`
+	// TraceID/ParentSpan carry the client's telemetry trace so the
+	// worker's spans join the same tree (one trace per job, client
+	// upload through completion). Deliberately excluded from
+	// CanonicalPayload: they are observability plumbing, not part of
+	// the authenticated request, and relays may rewrite them.
+	TraceID    string `json:"trace_id,omitempty"`
+	ParentSpan string `json:"parent_span,omitempty"`
 }
 
 // CanonicalPayload is the byte string the request token signs.

@@ -16,6 +16,7 @@ import (
 	"rai/internal/registry"
 	"rai/internal/sandbox"
 	"rai/internal/shell"
+	"rai/internal/telemetry"
 	"rai/internal/vfs"
 )
 
@@ -86,12 +87,28 @@ type Worker struct {
 	DataFS   *vfs.FS // course data volume mounted at /data
 	DataPath string  // path of the data directory inside DataFS
 	Clock    clock.Clock
+	// Telemetry and Tracer, when set, record job metrics (queue delay,
+	// in-flight, per-phase timings) and the worker-side spans of each
+	// job's trace. Both are optional and nil-safe.
+	Telemetry *telemetry.Registry
+	Tracer    *telemetry.Tracer
 
 	runtime *sandbox.Runtime
 	mu      sync.Mutex
 	sub     Subscription
 	wg      sync.WaitGroup
 	handled int
+	tel     workerTelemetry
+}
+
+// workerTelemetry caches the per-job instruments resolved once in
+// initRuntime; all fields no-op when Telemetry is nil.
+type workerTelemetry struct {
+	queueDelay *telemetry.Histogram
+	inFlight   *telemetry.Gauge
+	jobSecs    *telemetry.Histogram
+	jobs       map[string]*telemetry.Counter   // by terminal status
+	phases     map[string]*telemetry.Histogram // by execution phase
 }
 
 // initRuntime lazily builds the container runtime.
@@ -105,6 +122,24 @@ func (w *Worker) initRuntime() {
 		w.Clock = clock.Real{}
 	}
 	w.Cfg = w.Cfg.withDefaults()
+	if w.Telemetry != nil && w.tel.jobs == nil {
+		reg := w.Telemetry
+		w.tel.queueDelay = reg.Histogram("rai_queue_delay_seconds",
+			"time from submission to worker pickup (the paper's Figure 4 queue delay)",
+			telemetry.QueueDelayBuckets)
+		w.tel.inFlight = reg.Gauge("rai_worker_jobs_in_flight", "jobs executing right now")
+		w.tel.jobSecs = reg.Histogram("rai_worker_job_seconds",
+			"modeled container wall time per job", telemetry.QueueDelayBuckets)
+		w.tel.jobs = map[string]*telemetry.Counter{}
+		for _, st := range []string{StatusSucceeded, StatusFailed, StatusRejected} {
+			w.tel.jobs[st] = reg.Counter("rai_worker_jobs_total", "jobs finished", telemetry.L("status", st))
+		}
+		w.tel.phases = map[string]*telemetry.Histogram{}
+		for _, ph := range []string{"pull", "build", "run"} {
+			w.tel.phases[ph] = reg.Histogram("rai_worker_phase_seconds",
+				"modeled time per execution phase", telemetry.QueueDelayBuckets, telemetry.L("phase", ph))
+		}
+	}
 }
 
 // Run subscribes to rai/tasks and processes jobs until Stop. Each job is
@@ -185,6 +220,15 @@ func (w *Worker) process(m QueueMsg) {
 		m.Ack()
 		return
 	}
+	// Figure 4's queue delay: submission to worker pickup.
+	w.tel.queueDelay.Observe(w.Clock.Now().Sub(req.SubmittedAt).Seconds())
+	w.tel.inFlight.Add(1)
+	defer w.tel.inFlight.Add(-1)
+	// Continue the client's trace: every span below hangs off the job
+	// root whose IDs rode inside the request.
+	proc := w.Tracer.StartSpan(req.TraceID, req.ParentSpan, "dequeue")
+	proc.SetAttr("worker", w.Cfg.ID)
+	defer proc.End()
 	logTopic := LogTopic(req.ID)
 	logf := func(kind, format string, args ...any) {
 		w.Queue.Publish(logTopic, encodeJSON(&LogMessage{
@@ -200,6 +244,7 @@ func (w *Worker) process(m QueueMsg) {
 		logf(LogSystem, "job rejected: %s", reason)
 		end(&LogMessage{Status: StatusRejected, Line: reason})
 		w.recordJob(&req, docstore.M{"status": StatusRejected, "error": reason})
+		w.tel.jobs[StatusRejected].Inc()
 		m.Ack()
 	}
 
@@ -239,7 +284,7 @@ func (w *Worker) process(m QueueMsg) {
 		}
 		// Record the accepted job before running (auditing, §IV).
 		w.recordJob(&req, docstore.M{"status": "running", "worker": w.Cfg.ID})
-		result = w.execute(&req, spec, logf)
+		result = w.execute(&req, spec, logf, proc)
 	}
 
 	// Worker step 6: upload /build and advertise its location.
@@ -257,6 +302,8 @@ func (w *Worker) process(m QueueMsg) {
 	if !result.ok {
 		status = StatusFailed
 	}
+	w.tel.jobs[status].Inc()
+	w.tel.jobSecs.Observe(result.elapsed.Seconds())
 	update := docstore.M{
 		"status":           status,
 		"elapsed_s":        result.elapsed.Seconds(),
@@ -362,7 +409,7 @@ type execResult struct {
 
 // execute downloads the project, runs the build spec in a container, and
 // packs /build (worker steps 3–6).
-func (w *Worker) execute(req *JobRequest, spec *build.Spec, logf func(kind, format string, args ...any)) execResult {
+func (w *Worker) execute(req *JobRequest, spec *build.Spec, logf func(kind, format string, args ...any), parent *telemetry.Span) execResult {
 	var res execResult
 
 	// Worker step 4: download and unpack the project archive.
@@ -405,17 +452,27 @@ func (w *Worker) execute(req *JobRequest, spec *build.Spec, logf func(kind, form
 	}
 	defer ctr.Destroy()
 	res.elapsed += ctr.PullLatency
+	w.tel.phases["pull"].Observe(ctr.PullLatency.Seconds())
 
-	// Worker step 5: run the build commands.
+	// Worker step 5: run the build commands. Each command gets a span
+	// under the dequeue span: "build" normally, renamed "run" when the
+	// command performed inference (the graded phase).
 	ok := true
 	for _, cmd := range spec.RAI.Commands.Build {
 		logf(LogSystem, "$ %s", cmd)
+		span := parent.Child("build")
+		span.SetAttr("cmd", cmd)
 		r, err := ctr.Exec(cmd)
 		res.elapsed += r.Wall
+		phase := "build"
 		if r.RanInference {
+			phase = "run"
+			span.SetName("run")
 			res.internalTimer = r.InternalTimer
 			res.accuracy = r.Accuracy
 		}
+		w.tel.phases[phase].Observe(r.Wall.Seconds())
+		span.End()
 		if r.TimeReport != "" {
 			res.timeReport = r.TimeReport
 		}

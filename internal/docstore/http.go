@@ -8,6 +8,9 @@ import (
 	"net/http"
 	"strings"
 	"time"
+
+	"rai/internal/clock"
+	"rai/internal/telemetry"
 )
 
 // The HTTP service exposes the database as a small JSON-RPC-ish API so a
@@ -44,17 +47,75 @@ type rpcResponse struct {
 	Error string `json:"error,omitempty"`
 }
 
+// HandlerOption configures the HTTP layer.
+type HandlerOption func(*handlerState)
+
+// WithTelemetry instruments the handler on reg — request counters and
+// latency histograms labeled by verb plus an in-flight gauge — and
+// mounts GET /metrics.
+func WithTelemetry(reg *telemetry.Registry) HandlerOption {
+	return func(h *handlerState) {
+		h.reg = reg
+		h.requests = map[string]*telemetry.Counter{}
+		h.latency = map[string]*telemetry.Histogram{}
+		for _, verb := range []string{"insert", "find", "count", "update", "upsert", "delete", "other"} {
+			h.requests[verb] = reg.Counter("rai_docstore_requests_total", "requests served", telemetry.L("verb", verb))
+			h.latency[verb] = reg.Histogram("rai_docstore_request_seconds", "request latency", telemetry.DefBuckets, telemetry.L("verb", verb))
+		}
+		h.inFlight = reg.Gauge("rai_docstore_requests_in_flight", "requests currently being served")
+	}
+}
+
+// WithHandlerClock substitutes the latency time source (virtual in tests).
+func WithHandlerClock(c clock.Clock) HandlerOption {
+	return func(h *handlerState) { h.clk = c }
+}
+
+type handlerState struct {
+	reg      *telemetry.Registry
+	clk      clock.Clock
+	requests map[string]*telemetry.Counter
+	latency  map[string]*telemetry.Histogram
+	inFlight *telemetry.Gauge
+}
+
+// observe records one request; no-op when telemetry is off.
+func (h *handlerState) observe(verb string, start time.Time) {
+	if h.reg == nil {
+		return
+	}
+	if h.requests[verb] == nil {
+		verb = "other"
+	}
+	h.requests[verb].Inc()
+	h.latency[verb].Observe(h.clk.Now().Sub(start).Seconds())
+}
+
 // Handler serves an in-memory DB over HTTP.
-func Handler(db *DB, auth AuthFunc) http.Handler { return HandlerStore(db, auth) }
+func Handler(db *DB, auth AuthFunc, opts ...HandlerOption) http.Handler {
+	return HandlerStore(db, auth, opts...)
+}
 
 // HandlerStore serves any Store implementation (in-memory or
 // journal-backed) over HTTP.
-func HandlerStore(db Store, auth AuthFunc) http.Handler {
+func HandlerStore(db Store, auth AuthFunc, opts ...HandlerOption) http.Handler {
+	h := &handlerState{clk: clock.Real{}}
+	for _, o := range opts {
+		o(h)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	if h.reg != nil {
+		mux.Handle("/metrics", h.reg.Handler())
+	}
 	mux.HandleFunc("/c/", func(w http.ResponseWriter, r *http.Request) {
+		start := h.clk.Now()
+		h.inFlight.Add(1)
+		defer h.inFlight.Add(-1)
+		verb := "other"
+		defer func() { h.observe(verb, start) }()
 		if auth != nil && !auth(r.Header.Get(HeaderAccessKey), r.Header.Get(HeaderSignature), r) {
 			writeJSON(w, http.StatusForbidden, rpcResponse{Error: "forbidden"})
 			return
@@ -64,7 +125,8 @@ func HandlerStore(db Store, auth AuthFunc) http.Handler {
 			return
 		}
 		rest := strings.TrimPrefix(r.URL.Path, "/c/")
-		coll, verb, ok := strings.Cut(rest, "/")
+		coll, v, ok := strings.Cut(rest, "/")
+		verb = v
 		if !ok || coll == "" {
 			writeJSON(w, http.StatusBadRequest, rpcResponse{Error: "want /c/{collection}/{verb}"})
 			return

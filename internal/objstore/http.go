@@ -9,6 +9,9 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"rai/internal/clock"
+	"rai/internal/telemetry"
 )
 
 // AuthFunc validates a request's credentials: it receives the access key
@@ -30,12 +33,24 @@ const (
 //	DELETE /o/{bucket}/{key}   remove
 //	GET    /l/{bucket}?prefix= list (JSON)
 //	GET    /healthz            liveness
-func Handler(s *Store, auth AuthFunc) http.Handler {
+//	GET    /metrics            Prometheus exposition (with WithTelemetry)
+func Handler(s *Store, auth AuthFunc, opts ...HandlerOption) http.Handler {
+	h := &handlerState{clk: clock.Real{}}
+	for _, o := range opts {
+		o(h)
+	}
+	if h.reg != nil {
+		h.reg.GaugeFunc("rai_objstore_used_bytes", "bytes resident across all buckets",
+			func() float64 { return float64(s.Used()) })
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
-	mux.HandleFunc("/o/", func(w http.ResponseWriter, r *http.Request) {
+	if h.reg != nil {
+		mux.Handle("/metrics", h.reg.Handler())
+	}
+	mux.HandleFunc("/o/", h.instrument(objOp, func(w http.ResponseWriter, r *http.Request) {
 		if auth != nil && !auth(r.Header.Get(HeaderAccessKey), r.Header.Get(HeaderSignature), r) {
 			http.Error(w, "forbidden", http.StatusForbidden)
 			return
@@ -97,8 +112,8 @@ func Handler(s *Store, auth AuthFunc) http.Handler {
 		default:
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		}
-	})
-	mux.HandleFunc("/l/", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("/l/", h.instrument(func(*http.Request) string { return "list" }, func(w http.ResponseWriter, r *http.Request) {
 		if auth != nil && !auth(r.Header.Get(HeaderAccessKey), r.Header.Get(HeaderSignature), r) {
 			http.Error(w, "forbidden", http.StatusForbidden)
 			return
@@ -119,8 +134,92 @@ func Handler(s *Store, auth AuthFunc) http.Handler {
 		}
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(infos)
-	})
+	}))
 	return mux
+}
+
+// HandlerOption configures the HTTP layer.
+type HandlerOption func(*handlerState)
+
+// WithTelemetry instruments the handler on reg — request counters and
+// latency histograms labeled by op, transfer byte counters, an
+// in-flight gauge, and a resident-bytes gauge — and mounts GET /metrics.
+func WithTelemetry(reg *telemetry.Registry) HandlerOption {
+	return func(h *handlerState) {
+		h.reg = reg
+		h.requests = map[string]*telemetry.Counter{}
+		h.latency = map[string]*telemetry.Histogram{}
+		for _, op := range []string{"put", "get", "head", "delete", "list", "other"} {
+			h.requests[op] = reg.Counter("rai_objstore_requests_total", "requests served", telemetry.L("op", op))
+			h.latency[op] = reg.Histogram("rai_objstore_request_seconds", "request latency", telemetry.DefBuckets, telemetry.L("op", op))
+		}
+		h.bytesIn = reg.Counter("rai_objstore_bytes_total", "payload bytes transferred", telemetry.L("direction", "in"))
+		h.bytesOut = reg.Counter("rai_objstore_bytes_total", "payload bytes transferred", telemetry.L("direction", "out"))
+		h.inFlight = reg.Gauge("rai_objstore_requests_in_flight", "requests currently being served")
+	}
+}
+
+// WithHandlerClock substitutes the latency time source (virtual in tests).
+func WithHandlerClock(c clock.Clock) HandlerOption {
+	return func(h *handlerState) { h.clk = c }
+}
+
+type handlerState struct {
+	reg      *telemetry.Registry
+	clk      clock.Clock
+	requests map[string]*telemetry.Counter
+	latency  map[string]*telemetry.Histogram
+	bytesIn  *telemetry.Counter
+	bytesOut *telemetry.Counter
+	inFlight *telemetry.Gauge
+}
+
+func objOp(r *http.Request) string {
+	switch r.Method {
+	case http.MethodPut:
+		return "put"
+	case http.MethodGet:
+		return "get"
+	case http.MethodHead:
+		return "head"
+	case http.MethodDelete:
+		return "delete"
+	}
+	return "other"
+}
+
+func (h *handlerState) instrument(opOf func(*http.Request) string, next http.HandlerFunc) http.HandlerFunc {
+	if h.reg == nil {
+		return next
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		op := opOf(r)
+		if h.requests[op] == nil {
+			op = "other"
+		}
+		start := h.clk.Now()
+		h.inFlight.Add(1)
+		h.requests[op].Inc()
+		if r.ContentLength > 0 {
+			h.bytesIn.Add(float64(r.ContentLength))
+		}
+		cw := &countingWriter{ResponseWriter: w}
+		next(cw, r)
+		h.bytesOut.Add(float64(cw.n))
+		h.latency[op].Observe(h.clk.Now().Sub(start).Seconds())
+		h.inFlight.Add(-1)
+	}
+}
+
+type countingWriter struct {
+	http.ResponseWriter
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.ResponseWriter.Write(p)
+	c.n += int64(n)
+	return n, err
 }
 
 func writeStoreErr(w http.ResponseWriter, err error) {

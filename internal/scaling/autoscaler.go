@@ -6,15 +6,16 @@ import (
 	"time"
 
 	"rai/internal/clock"
+	"rai/internal/telemetry"
 )
 
 // Autoscaler closes the elasticity loop the paper's deployment ran by
 // hand ("we provisioned 20 to 30 AWS P2 instances", §VII): it samples
 // queue telemetry on an interval, asks the Policy for a desired size,
-// and actuates the difference. The telemetry source is typically the
-// broker's depth on rai/tasks (brokerd's STATS op); the actuator is
-// whatever launches workers — EC2 in the paper, goroutines or a Fleet in
-// the reproduction.
+// and actuates the difference. The telemetry source is typically
+// MetricsSource over the shared registry (broker queue depth, worker
+// service times); the actuator is whatever launches workers — EC2 in
+// the paper, goroutines or a Fleet in the reproduction.
 type Autoscaler struct {
 	// Policy decides the desired worker count.
 	Policy Policy
@@ -30,37 +31,69 @@ type Autoscaler struct {
 	Cooldown time.Duration
 	// Clock is the time source (virtual in tests).
 	Clock clock.Clock
+	// Telemetry receives the autoscaler's own instruments
+	// (rai_autoscaler_workers, rai_autoscaler_desired_workers,
+	// rai_autoscaler_decisions_total, rai_autoscaler_scale_events_total).
+	// Set it before the first Step/Run/accessor call; when nil, a
+	// private registry backs the instruments so the exported accessors
+	// keep working — the gauges ARE the bookkeeping, not a copy of it.
+	Telemetry *telemetry.Registry
 
 	mu          sync.Mutex
-	current     int
+	tel         *autoscalerTelemetry
 	lastScaleUp time.Time
-	decisions   int
 	stopped     chan struct{}
 	stopOnce    sync.Once
+}
+
+// autoscalerTelemetry holds the instruments that replace the former
+// current/decisions integer fields.
+type autoscalerTelemetry struct {
+	workers   *telemetry.Gauge
+	desired   *telemetry.Gauge
+	decisions *telemetry.Counter
+	events    map[string]*telemetry.Counter // direction -> actuations
 }
 
 // ErrNoSource is returned by Run when the autoscaler is misconfigured.
 var ErrNoSource = errors.New("scaling: autoscaler needs Policy, Source, ScaleUp, ScaleDown")
 
-// Current reports the autoscaler's view of the fleet size.
-func (a *Autoscaler) Current() int {
+func (a *Autoscaler) instruments() *autoscalerTelemetry {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	return a.current
+	if a.tel == nil {
+		reg := a.Telemetry
+		if reg == nil {
+			reg = telemetry.NewRegistry()
+		}
+		a.tel = &autoscalerTelemetry{
+			workers:   reg.Gauge("rai_autoscaler_workers", "worker instances the autoscaler believes are running"),
+			desired:   reg.Gauge("rai_autoscaler_desired_workers", "fleet size the policy last requested"),
+			decisions: reg.Counter("rai_autoscaler_decisions_total", "decision rounds run (including telemetry blips)"),
+			events: map[string]*telemetry.Counter{
+				"up":   reg.Counter("rai_autoscaler_scale_events_total", "actuated fleet-size changes by direction", telemetry.L("direction", "up")),
+				"down": reg.Counter("rai_autoscaler_scale_events_total", "actuated fleet-size changes by direction", telemetry.L("direction", "down")),
+			},
+		}
+	}
+	return a.tel
 }
 
-// Decisions reports how many decision rounds have run.
+// Current reports the autoscaler's view of the fleet size (the
+// rai_autoscaler_workers gauge).
+func (a *Autoscaler) Current() int {
+	return int(a.instruments().workers.Value())
+}
+
+// Decisions reports how many decision rounds have run (the
+// rai_autoscaler_decisions_total counter).
 func (a *Autoscaler) Decisions() int {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.decisions
+	return int(a.instruments().decisions.Value())
 }
 
 // SetCurrent seeds the known fleet size (e.g. pre-provisioned workers).
 func (a *Autoscaler) SetCurrent(n int) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	a.current = n
+	a.instruments().workers.Set(float64(n))
 }
 
 // Step runs one decision round immediately; it reports the delta applied
@@ -73,17 +106,16 @@ func (a *Autoscaler) Step() (int, error) {
 	if clk == nil {
 		clk = clock.Real{}
 	}
+	tel := a.instruments()
 	in, err := a.Source()
 	if err != nil {
 		// A telemetry blip must not kill the loop or thrash the fleet.
-		a.mu.Lock()
-		a.decisions++
-		a.mu.Unlock()
+		tel.decisions.Inc()
 		return 0, nil
 	}
 	in.Now = clk.Now()
+	in.Active = int(tel.workers.Value())
 	a.mu.Lock()
-	in.Active = a.current
 	cooldown := a.Cooldown
 	if cooldown <= 0 {
 		cooldown = 5 * time.Minute
@@ -92,31 +124,30 @@ func (a *Autoscaler) Step() (int, error) {
 	a.mu.Unlock()
 
 	desired := a.Policy.Desired(in)
+	tel.desired.Set(float64(desired))
 	delta := desired - in.Active
 	switch {
 	case delta > 0:
 		if err := a.ScaleUp(delta); err != nil {
 			return 0, err
 		}
+		tel.workers.Add(float64(delta))
+		tel.events["up"].Inc()
+		tel.decisions.Inc()
 		a.mu.Lock()
-		a.current += delta
 		a.lastScaleUp = in.Now
-		a.decisions++
 		a.mu.Unlock()
 		return delta, nil
 	case delta < 0 && !inCooldown:
 		if err := a.ScaleDown(-delta); err != nil {
 			return 0, err
 		}
-		a.mu.Lock()
-		a.current += delta
-		a.decisions++
-		a.mu.Unlock()
+		tel.workers.Add(float64(delta))
+		tel.events["down"].Inc()
+		tel.decisions.Inc()
 		return delta, nil
 	default:
-		a.mu.Lock()
-		a.decisions++
-		a.mu.Unlock()
+		tel.decisions.Inc()
 		return 0, nil
 	}
 }

@@ -29,6 +29,7 @@ import (
 	"rai/internal/objstore"
 	"rai/internal/project"
 	"rai/internal/registry"
+	"rai/internal/telemetry"
 	"rai/internal/vfs"
 	"rai/internal/workload"
 )
@@ -45,6 +46,12 @@ type Deployment struct {
 	Network *cnn.Network
 	Queue   core.Queue
 	Objects core.Objects
+	// Telemetry aggregates metrics from every component; Tracer holds
+	// the per-job span trees. Both run on the deployment's virtual
+	// clock, so simulated queue delays land in the histograms exactly
+	// as the paper's Figure 4 measured them.
+	Telemetry *telemetry.Registry
+	Tracer    *telemetry.Tracer
 
 	workers []*core.Worker
 }
@@ -83,14 +90,18 @@ func NewDeployment(cfg DeployConfig) (*Deployment, error) {
 		cfg.Start = time.Date(2016, 11, 11, 0, 0, 0, 0, time.UTC)
 	}
 	vc := clock.NewVirtual(cfg.Start)
+	reg := telemetry.NewRegistry()
 	d := &Deployment{
-		Clock:  vc,
-		Broker: broker.New(broker.WithClock(vc)),
-		Store:  objstore.New(objstore.WithClock(vc), objstore.WithDefaultTTL(core.UploadTTL)),
-		DB:     docstore.New(),
-		Auth:   auth.NewRegistry(),
-		Images: registry.NewCourseRegistry(),
+		Clock:     vc,
+		Broker:    broker.New(broker.WithClock(vc), broker.WithTelemetry(reg)),
+		Store:     objstore.New(objstore.WithClock(vc), objstore.WithDefaultTTL(core.UploadTTL)),
+		DB:        docstore.New(),
+		Auth:      auth.NewRegistry(),
+		Images:    registry.NewCourseRegistry(),
+		Telemetry: reg,
+		Tracer:    telemetry.NewTracer(4096, telemetry.WithTracerClock(vc)),
 	}
+	d.Broker.ExportQueueDepth(core.TasksTopic, core.TasksChannel)
 	d.Auth.SetClock(vc.Now)
 	d.Queue = core.BrokerQueue{B: d.Broker}
 	d.Objects = core.LocalObjects{S: d.Store}
@@ -131,14 +142,16 @@ func NewDeployment(cfg DeployConfig) (*Deployment, error) {
 				MaxConcurrent: cfg.SlotsPerWorker,
 				RateLimit:     cfg.RateLimit,
 			},
-			Queue:    d.Queue,
-			Objects:  d.Objects,
-			DB:       d.DB,
-			Auth:     d.Auth,
-			Images:   d.Images,
-			DataFS:   d.DataFS,
-			DataPath: "/data",
-			Clock:    vc,
+			Queue:     d.Queue,
+			Objects:   d.Objects,
+			DB:        d.DB,
+			Auth:      d.Auth,
+			Images:    d.Images,
+			DataFS:    d.DataFS,
+			DataPath:  "/data",
+			Clock:     vc,
+			Telemetry: reg,
+			Tracer:    d.Tracer,
 		}
 		d.workers = append(d.workers, w)
 	}
@@ -173,6 +186,7 @@ func (d *Deployment) NewClient(team string, out io.Writer) (*core.Client, error)
 	return &core.Client{
 		Creds: creds, Queue: d.Queue, Objects: d.Objects,
 		Clock: d.Clock, Stdout: out,
+		Telemetry: d.Telemetry, Tracer: d.Tracer,
 	}, nil
 }
 

@@ -1,0 +1,255 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rai/internal/clock"
+)
+
+// Tracer records lightweight spans. Trace and span IDs are plain
+// strings so they can ride inside job messages; a worker on another
+// machine continues a trace with StartSpan using the IDs the client
+// put in the JobRequest. Finished spans land in a fixed-capacity ring,
+// oldest evicted first. A nil *Tracer is valid and records nothing.
+type Tracer struct {
+	clk clock.Clock
+	ids atomic.Uint64
+
+	mu       sync.Mutex
+	finished []SpanData // ring
+	next     int
+	full     bool
+}
+
+// TracerOption configures a Tracer.
+type TracerOption func(*Tracer)
+
+// WithTracerClock sets the time source (virtual in simulations).
+func WithTracerClock(c clock.Clock) TracerOption {
+	return func(t *Tracer) { t.clk = c }
+}
+
+// NewTracer returns a tracer retaining up to capacity finished spans
+// (minimum 1; a typical deployment keeps a few thousand).
+func NewTracer(capacity int, opts ...TracerOption) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	t := &Tracer{clk: clock.Real{}, finished: make([]SpanData, 0, capacity)}
+	for _, o := range opts {
+		o(t)
+	}
+	return t
+}
+
+// SpanData is one finished span.
+type SpanData struct {
+	TraceID  string
+	SpanID   string
+	ParentID string // "" for the root
+	Name     string
+	Start    time.Time
+	End      time.Time
+	Attrs    map[string]string
+}
+
+// Duration is the span's wall time on its tracer's clock.
+func (d SpanData) Duration() time.Duration { return d.End.Sub(d.Start) }
+
+// Span is an in-flight span. All methods are nil-receiver safe.
+type Span struct {
+	t    *Tracer
+	mu   sync.Mutex
+	data SpanData
+}
+
+func (t *Tracer) newID() string {
+	// Deterministic under a virtual clock: a process-local counter, not
+	// wall time or randomness, so sim traces are bit-reproducible.
+	return fmt.Sprintf("%012x", t.ids.Add(1))
+}
+
+// StartRoot opens a new trace and returns its root span.
+func (t *Tracer) StartRoot(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	id := t.newID()
+	return &Span{t: t, data: SpanData{
+		TraceID: id, SpanID: id, Name: name, Start: t.clk.Now(),
+	}}
+}
+
+// StartSpan continues an existing trace — the worker-side entry point,
+// with traceID and parentID arriving inside the job message.
+func (t *Tracer) StartSpan(traceID, parentID, name string) *Span {
+	if t == nil || traceID == "" {
+		return nil
+	}
+	return &Span{t: t, data: SpanData{
+		TraceID: traceID, SpanID: t.newID(), ParentID: parentID,
+		Name: name, Start: t.clk.Now(),
+	}}
+}
+
+// Child opens a sub-span of s.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.t.StartSpan(s.data.TraceID, s.data.SpanID, name)
+}
+
+// SetAttr attaches a key/value to the span.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.data.Attrs == nil {
+		s.data.Attrs = map[string]string{}
+	}
+	s.data.Attrs[key] = value
+	s.mu.Unlock()
+}
+
+// SetName renames the span (e.g. a generic "phase" span upgraded to
+// "run" once the worker sees inference happened).
+func (s *Span) SetName(name string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.data.Name = name
+	s.mu.Unlock()
+}
+
+// TraceID reports the span's trace, "" on a nil span.
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.data.TraceID
+}
+
+// SpanID reports the span's own ID, "" on a nil span.
+func (s *Span) SpanID() string {
+	if s == nil {
+		return ""
+	}
+	return s.data.SpanID
+}
+
+// End stamps the span and commits it to the tracer's ring. Ending a
+// span twice records it twice; don't.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.data.End = s.t.clk.Now()
+	data := s.data
+	if data.Attrs != nil {
+		cp := make(map[string]string, len(data.Attrs))
+		for k, v := range data.Attrs {
+			cp[k] = v
+		}
+		data.Attrs = cp
+	}
+	s.mu.Unlock()
+	s.t.commit(data)
+}
+
+func (t *Tracer) commit(d SpanData) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.finished) < cap(t.finished) {
+		t.finished = append(t.finished, d)
+		return
+	}
+	t.finished[t.next] = d
+	t.next = (t.next + 1) % len(t.finished)
+	t.full = true
+}
+
+// Trace returns the finished spans of one trace, ordered by start time
+// (root first on ties with its children).
+func (t *Tracer) Trace(traceID string) []SpanData {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	var out []SpanData
+	for _, d := range t.finished {
+		if d.TraceID == traceID {
+			out = append(out, d)
+		}
+	}
+	t.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		if !out[i].Start.Equal(out[j].Start) {
+			return out[i].Start.Before(out[j].Start)
+		}
+		return out[i].ParentID == "" && out[j].ParentID != ""
+	})
+	return out
+}
+
+// Connected reports whether every non-root span's parent is present in
+// the slice and exactly one root exists — the invariant one submitted
+// job must satisfy end to end.
+func Connected(spans []SpanData) bool {
+	if len(spans) == 0 {
+		return false
+	}
+	ids := make(map[string]bool, len(spans))
+	for _, d := range spans {
+		ids[d.SpanID] = true
+	}
+	roots := 0
+	for _, d := range spans {
+		if d.ParentID == "" {
+			roots++
+			continue
+		}
+		if !ids[d.ParentID] {
+			return false
+		}
+	}
+	return roots == 1
+}
+
+// FormatTree renders spans as an indented tree with durations, for
+// logs and the admin tooling.
+func FormatTree(spans []SpanData) string {
+	children := map[string][]SpanData{}
+	byID := map[string]SpanData{}
+	for _, d := range spans {
+		byID[d.SpanID] = d
+	}
+	var roots []SpanData
+	for _, d := range spans {
+		if d.ParentID == "" || byID[d.ParentID].SpanID == "" {
+			roots = append(roots, d)
+			continue
+		}
+		children[d.ParentID] = append(children[d.ParentID], d)
+	}
+	var b strings.Builder
+	var walk func(d SpanData, depth int)
+	walk = func(d SpanData, depth int) {
+		fmt.Fprintf(&b, "%s%s (%s)\n", strings.Repeat("  ", depth), d.Name, d.Duration())
+		for _, c := range children[d.SpanID] {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
+	return b.String()
+}

@@ -1,0 +1,163 @@
+package telemetry
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rai/internal/clock"
+)
+
+func TestSpanTreeConnected(t *testing.T) {
+	vc := clock.NewVirtual(time.Date(2016, 11, 11, 0, 0, 0, 0, time.UTC))
+	tr := NewTracer(64, WithTracerClock(vc))
+
+	root := tr.StartRoot("job")
+	enq := root.Child("enqueue")
+	vc.Advance(2 * time.Second)
+	enq.End()
+
+	// Worker side: continue the trace from propagated IDs.
+	deq := tr.StartSpan(root.TraceID(), root.SpanID(), "dequeue")
+	vc.Advance(time.Second)
+	deq.End()
+	build := deq.Child("build")
+	build.SetAttr("image", "webgpu/rai:root")
+	vc.Advance(30 * time.Second)
+	build.SetName("run")
+	build.End()
+	vc.Advance(time.Second)
+	root.End()
+
+	spans := tr.Trace(root.TraceID())
+	if len(spans) != 4 {
+		t.Fatalf("got %d spans, want 4", len(spans))
+	}
+	if !Connected(spans) {
+		t.Fatalf("span tree not connected: %+v", spans)
+	}
+	if spans[0].Name != "job" || spans[0].ParentID != "" {
+		t.Errorf("first span = %q parent %q, want root job", spans[0].Name, spans[0].ParentID)
+	}
+	names := map[string]SpanData{}
+	for _, d := range spans {
+		names[d.Name] = d
+	}
+	if d := names["run"]; d.Attrs["image"] != "webgpu/rai:root" || d.Duration() != 30*time.Second {
+		t.Errorf("run span = %+v", d)
+	}
+	if names["dequeue"].ParentID != root.SpanID() {
+		t.Error("dequeue not parented to propagated root span")
+	}
+	tree := FormatTree(spans)
+	if !strings.Contains(tree, "job") || !strings.Contains(tree, "  run") {
+		t.Errorf("FormatTree:\n%s", tree)
+	}
+}
+
+func TestTracerRingEviction(t *testing.T) {
+	tr := NewTracer(2)
+	a := tr.StartRoot("a")
+	a.End()
+	b := tr.StartRoot("b")
+	b.End()
+	c := tr.StartRoot("c")
+	c.End()
+	if got := tr.Trace(a.TraceID()); len(got) != 0 {
+		t.Errorf("oldest span not evicted: %+v", got)
+	}
+	if got := tr.Trace(c.TraceID()); len(got) != 1 {
+		t.Errorf("newest span missing: %+v", got)
+	}
+}
+
+func TestNilTracer(t *testing.T) {
+	var tr *Tracer
+	s := tr.StartRoot("x")
+	s.SetAttr("k", "v")
+	s.SetName("y")
+	c := s.Child("z")
+	c.End()
+	s.End()
+	if s.TraceID() != "" || s.SpanID() != "" {
+		t.Error("nil span has IDs")
+	}
+	if tr.Trace("any") != nil {
+		t.Error("nil tracer returned spans")
+	}
+	if tr.StartSpan("t", "p", "n") != nil {
+		t.Error("nil tracer started a span")
+	}
+}
+
+func TestConnectedDetectsOrphans(t *testing.T) {
+	spans := []SpanData{
+		{TraceID: "t", SpanID: "1", Name: "root"},
+		{TraceID: "t", SpanID: "2", ParentID: "missing", Name: "orphan"},
+	}
+	if Connected(spans) {
+		t.Error("orphan tree reported connected")
+	}
+	if Connected(nil) {
+		t.Error("empty tree reported connected")
+	}
+	two := []SpanData{
+		{TraceID: "t", SpanID: "1", Name: "root"},
+		{TraceID: "t", SpanID: "2", Name: "second root"},
+	}
+	if Connected(two) {
+		t.Error("two roots reported connected")
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(1024)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				root := tr.StartRoot("job")
+				c := root.Child("phase")
+				c.SetAttr("n", "1")
+				c.End()
+				root.End()
+				tr.Trace(root.TraceID())
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestMetricsHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits_total", "hits").Inc()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	res, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if ct := res.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	snap, err := ParseText(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := snap.Value("hits_total"); !ok || v != 1 {
+		t.Errorf("hits_total = %v,%v", v, ok)
+	}
+	post, err := srv.Client().Post(srv.URL, "text/plain", strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != 405 {
+		t.Errorf("POST status = %d, want 405", post.StatusCode)
+	}
+}
