@@ -16,19 +16,24 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"rai/internal/archivex"
 	"rai/internal/auth"
+	"rai/internal/brokerd"
 	"rai/internal/build"
 	"rai/internal/core"
 	"rai/internal/docstore"
+	"rai/internal/netx"
 	"rai/internal/objstore"
 	"rai/internal/ranking"
 	"rai/internal/release"
@@ -56,6 +61,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fsURL := fs.String("fs", "http://127.0.0.1:7401", "file server URL")
 	dbURL := fs.String("db", "http://127.0.0.1:7402", "database URL")
 	timeout := fs.Duration("timeout", 30*time.Minute, "job wait timeout")
+	dialTimeout := fs.Duration("dial-timeout", brokerd.DefaultDialTimeout, "broker dial timeout per attempt")
+	rpcAttempts := fs.Int("rpc-attempts", netx.DefaultMaxAttempts, "attempts per RPC before giving up")
+	rpcTimeout := fs.Duration("rpc-timeout", 0, "per-attempt RPC deadline (0 = each service's default)")
 	fs.Usage = func() {
 		fmt.Fprintln(stderr, "usage: rai [flags] run|submit|session|ranking|version")
 		fs.PrintDefaults()
@@ -80,29 +88,53 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
+	// Ctrl-C stops waiting on the job rather than killing the terminal
+	// state mid-stream; a second Ctrl-C (after stop restores the default
+	// handler) force-kills.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	rpc := rpcConfig{dial: *dialTimeout, policy: netx.Policy{MaxAttempts: *rpcAttempts, PerAttempt: *rpcTimeout}}
+
 	switch cmd {
 	case "run", "submit":
-		return submit(cmd, creds, *projectDir, *brokerAddr, *fsURL, *timeout, stdout, stderr)
+		return submit(ctx, cmd, creds, *projectDir, *brokerAddr, *fsURL, *timeout, rpc, stdout, stderr)
 	case "ranking":
 		return showRanking(creds, *dbURL, stdout, stderr)
 	case "session":
-		return session(creds, *projectDir, *brokerAddr, *fsURL, *timeout, os.Stdin, stdout, stderr)
+		return session(ctx, creds, *projectDir, *brokerAddr, *fsURL, *timeout, rpc, os.Stdin, stdout, stderr)
 	default:
 		fmt.Fprintf(stderr, "rai: unknown command %q\n", cmd)
 		return 2
 	}
 }
 
+// rpcConfig carries the resilience knobs shared by every service client
+// the CLI builds.
+type rpcConfig struct {
+	dial   time.Duration
+	policy netx.Policy
+}
+
+func (r rpcConfig) queue(addr string) (*core.RemoteQueue, error) {
+	return core.NewRemoteQueue(addr,
+		core.WithQueuePolicy(r.policy),
+		core.WithQueueDialTimeout(r.dial))
+}
+
+func (r rpcConfig) objects(baseURL string) *objstore.Client {
+	return objstore.NewClient(baseURL, objstore.WithClientPolicy(r.policy))
+}
+
 // session opens an interactive container and relays stdin commands —
 // the §VIII future-work feature ("interactive sessions to enable more
 // debugging and profiling tools").
-func session(creds auth.Credentials, dir, brokerAddr, fsURL string, timeout time.Duration, stdin io.Reader, stdout, stderr io.Writer) int {
+func session(ctx context.Context, creds auth.Credentials, dir, brokerAddr, fsURL string, timeout time.Duration, rpc rpcConfig, stdin io.Reader, stdout, stderr io.Writer) int {
 	archive, err := archivex.PackDir(dir)
 	if err != nil {
 		fmt.Fprintf(stderr, "rai: packing project: %v\n", err)
 		return 1
 	}
-	queue, err := core.NewRemoteQueue(brokerAddr)
+	queue, err := rpc.queue(brokerAddr)
 	if err != nil {
 		fmt.Fprintf(stderr, "rai: connecting to broker: %v\n", err)
 		return 1
@@ -110,11 +142,11 @@ func session(creds auth.Credentials, dir, brokerAddr, fsURL string, timeout time
 	defer queue.Close()
 	client := &core.Client{
 		Creds: creds, Queue: queue,
-		Objects: objstore.NewClient(fsURL),
+		Objects: rpc.objects(fsURL),
 		Stdout:  stdout,
 		LogWait: timeout,
 	}
-	sess, err := client.OpenSession(archive)
+	sess, err := client.OpenSessionContext(ctx, archive)
 	if err != nil {
 		fmt.Fprintf(stderr, "rai: opening session: %v\n", err)
 		return 1
@@ -154,7 +186,7 @@ func session(creds auth.Credentials, dir, brokerAddr, fsURL string, timeout time
 }
 
 // submit runs the §V client sequence against a live deployment.
-func submit(cmd string, creds auth.Credentials, dir, brokerAddr, fsURL string, timeout time.Duration, stdout, stderr io.Writer) int {
+func submit(ctx context.Context, cmd string, creds auth.Credentials, dir, brokerAddr, fsURL string, timeout time.Duration, rpc rpcConfig, stdout, stderr io.Writer) int {
 	// Client step 1: the project directory must exist; rai-build.yml is
 	// optional (the Listing 1 default applies).
 	info, err := os.Stat(dir)
@@ -194,7 +226,7 @@ func submit(cmd string, creds auth.Credentials, dir, brokerAddr, fsURL string, t
 	}
 	fmt.Fprintf(stdout, "uploading %d byte project archive\n", len(archive))
 
-	queue, err := core.NewRemoteQueue(brokerAddr)
+	queue, err := rpc.queue(brokerAddr)
 	if err != nil {
 		fmt.Fprintf(stderr, "rai: connecting to broker: %v\n", err)
 		return 1
@@ -203,11 +235,11 @@ func submit(cmd string, creds auth.Credentials, dir, brokerAddr, fsURL string, t
 	client := &core.Client{
 		Creds:   creds,
 		Queue:   queue,
-		Objects: objstore.NewClient(fsURL),
+		Objects: rpc.objects(fsURL),
 		Stdout:  stdout,
 		LogWait: timeout,
 	}
-	res, err := client.Submit(kind, spec, archive)
+	res, err := client.SubmitContext(ctx, kind, spec, archive)
 	if err != nil {
 		fmt.Fprintf(stderr, "rai: %v\n", err)
 		return 1

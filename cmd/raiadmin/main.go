@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"encoding/json"
 	"flag"
@@ -22,10 +23,12 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"rai/internal/auth"
@@ -245,8 +248,12 @@ func download(args []string, stdout, stderr io.Writer) int {
 		Objects: objstore.NewClient(*fsURL),
 		Cleanup: *cleanup,
 	}
+	// Ctrl-C aborts the sweep between objects instead of leaving the
+	// process wedged on a dead file server.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	mem := vfs.New()
-	teams, err := dl.DownloadAll(mem, "/")
+	teams, err := dl.DownloadAll(ctx, mem, "/")
 	if err != nil {
 		fmt.Fprintf(stderr, "raiadmin download: %v\n", err)
 		return 1
@@ -345,8 +352,11 @@ func rerun(args []string, stdout, stderr io.Writer) int {
 	if bucket == "" {
 		bucket = core.BucketUploads
 	}
+	// Ctrl-C stops waiting on the current rerun's log stream.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	res, err := grading.RerunMin(*team, *n, func(string) (time.Duration, float64, error) {
-		r, err := client.Resubmit(core.KindSubmit, bucket, key)
+		r, err := client.ResubmitContext(ctx, core.KindSubmit, bucket, key)
 		if err != nil {
 			return 0, 0, err
 		}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -70,13 +71,17 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, quit <-ch
 	if ready != nil {
 		ready <- srv.Addr()
 	}
-	if quit != nil {
-		<-quit
-		return 0
+	// Block until asked to stop: quit (tests) or SIGINT/SIGTERM. Closing
+	// the server drops every connection, which requeues unacked
+	// deliveries inside the engine before b.Close releases it — clients
+	// built on brokerd.ReconnClient redial and pick up where they left
+	// off when the daemon returns.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-quit: // nil when running as a real daemon: blocks forever
+	case <-ctx.Done():
+		fmt.Fprintln(stdout, "raibroker shutting down")
 	}
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
-	fmt.Fprintln(stdout, "raibroker shutting down")
 	return 0
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"testing"
 	"time"
 
@@ -21,20 +22,21 @@ func TestDaemonServesAndShutsDown(t *testing.T) {
 		t.Fatal("daemon never became ready")
 	}
 	// A real client can publish and subscribe through the daemon.
-	pub, err := brokerd.Dial(addr)
+	ctx := context.Background()
+	pub, err := brokerd.DialContext(ctx, addr)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer pub.Close()
-	sub, err := brokerd.Dial(addr)
+	sub, err := brokerd.DialContext(ctx, addr)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer sub.Close()
-	if err := sub.Subscribe("rai", "tasks", 1); err != nil {
+	if err := sub.Subscribe(ctx, "rai", "tasks", 1); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := pub.Publish("rai", []byte("job")); err != nil {
+	if _, err := pub.Publish(ctx, "rai", []byte("job")); err != nil {
 		t.Fatal(err)
 	}
 	select {
@@ -42,7 +44,7 @@ func TestDaemonServesAndShutsDown(t *testing.T) {
 		if string(d.Body) != "job" {
 			t.Fatalf("delivery = %q", d.Body)
 		}
-		sub.Ack(d)
+		sub.Ack(ctx, d)
 	case <-time.After(3 * time.Second):
 		t.Fatal("no delivery through daemon")
 	}

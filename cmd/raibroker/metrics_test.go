@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"net/http"
 	"regexp"
@@ -63,7 +64,7 @@ func TestMetricsAddrExposesBrokerTelemetry(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if _, err := c.Publish("rai", []byte("job")); err != nil {
+	if _, err := c.Publish(context.Background(), "rai", []byte("job")); err != nil {
 		t.Fatal(err)
 	}
 

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -16,6 +17,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"rai/internal/docstore"
 	"rai/internal/telemetry"
@@ -31,6 +33,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, quit <-ch
 	addr := fs.String("addr", "127.0.0.1:7402", "listen address")
 	journal := fs.String("journal", "", "journal file for durability (empty = in-memory only)")
 	metricsAddr := fs.String("metrics-addr", "", "serve GET /metrics on this address (empty = disabled)")
+	drain := fs.Duration("drain", 10*time.Second, "in-flight request drain budget at shutdown")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -66,18 +69,23 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, quit <-ch
 	}
 	srv := &http.Server{Handler: handler}
 	go srv.Serve(ln)
-	defer srv.Close()
 	fmt.Fprintf(stdout, "raidb listening on %s\n", ln.Addr())
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
-	if quit != nil {
-		<-quit
-		return 0
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-quit: // nil when running as a real daemon: blocks forever
+	case <-ctx.Done():
+		fmt.Fprintln(stdout, "raidb shutting down")
 	}
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
-	fmt.Fprintln(stdout, "raidb shutting down")
+	// Graceful drain: in-flight queries finish (and reach the journal)
+	// before the listener goes away.
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		srv.Close()
+	}
 	return 0
 }

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -39,6 +40,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, quit <-ch
 	keysPath := fs.String("keys", "", "credentials file for request authentication (empty = open)")
 	dataDir := fs.String("dir", "", "directory for durable object storage (empty = in-memory)")
 	metricsAddr := fs.String("metrics-addr", "", "serve GET /metrics on this address (empty = disabled)")
+	drain := fs.Duration("drain", 10*time.Second, "in-flight request drain budget at shutdown")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -82,17 +84,15 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, quit <-ch
 	}
 	srv := &http.Server{Handler: objstore.Handler(store, authFn, handlerOpts...)}
 	go srv.Serve(ln)
-	defer srv.Close()
 	fmt.Fprintf(stdout, "raifs listening on %s\n", ln.Addr())
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
-	if quit != nil {
-		<-quit
-		return 0
-	}
-	// Periodic expired-object sweep.
+	// Periodic expired-object sweep, active however the daemon was
+	// started (it used to run only in the signal path, so test-driven
+	// daemons never swept).
 	stopSweep := make(chan struct{})
+	defer close(stopSweep)
 	go func() {
 		t := time.NewTicker(time.Hour)
 		defer t.Stop()
@@ -105,11 +105,20 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, quit <-ch
 			}
 		}
 	}()
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
-	close(stopSweep)
-	fmt.Fprintln(stdout, "raifs shutting down")
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-quit: // nil when running as a real daemon: blocks forever
+	case <-ctx.Done():
+		fmt.Fprintln(stdout, "raifs shutting down")
+	}
+	// Graceful drain: stop accepting, finish in-flight uploads and
+	// downloads within the budget, then cut whatever is left.
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		srv.Close()
+	}
 	return 0
 }
 

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"os"
@@ -37,13 +38,15 @@ func startDaemon(t *testing.T, args ...string) string {
 	return addr
 }
 
+var ctx = context.Background()
+
 func TestServesObjects(t *testing.T) {
 	addr := startDaemon(t)
 	c := objstore.NewClient("http://" + addr)
-	if err := c.Put("uploads", "k", []byte("archive"), time.Hour); err != nil {
+	if err := c.Put(ctx, "uploads", "k", []byte("archive"), time.Hour); err != nil {
 		t.Fatal(err)
 	}
-	got, err := c.Get("uploads", "k")
+	got, err := c.Get(ctx, "uploads", "k")
 	if err != nil || string(got) != "archive" {
 		t.Fatalf("get = %q, %v", got, err)
 	}
@@ -63,12 +66,12 @@ func TestAuthRequiredWithKeys(t *testing.T) {
 
 	// Unsigned request: forbidden.
 	c := objstore.NewClient("http://" + addr)
-	if err := c.Put("uploads", "k", []byte("x"), 0); err == nil {
+	if err := c.Put(ctx, "uploads", "k", []byte("x"), 0); err == nil {
 		t.Fatal("unsigned put accepted")
 	}
 	// Signed request: accepted.
 	c.Sign = auth.SignHTTP(creds, time.Now)
-	if err := c.Put("uploads", "k", []byte("x"), 0); err != nil {
+	if err := c.Put(ctx, "uploads", "k", []byte("x"), 0); err != nil {
 		t.Fatalf("signed put: %v", err)
 	}
 }
@@ -77,13 +80,13 @@ func TestDiskDurabilityAcrossRestart(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "objects")
 	addr := startDaemon(t, "-dir", dir)
 	c := objstore.NewClient("http://" + addr)
-	if err := c.Put("rai-uploads", "team/x.tar.bz2", []byte("payload"), time.Hour); err != nil {
+	if err := c.Put(ctx, "rai-uploads", "team/x.tar.bz2", []byte("payload"), time.Hour); err != nil {
 		t.Fatal(err)
 	}
 	// A second daemon instance on the same directory serves the object.
 	addr2 := startDaemon(t, "-dir", dir)
 	c2 := objstore.NewClient("http://" + addr2)
-	got, err := c2.Get("rai-uploads", "team/x.tar.bz2")
+	got, err := c2.Get(ctx, "rai-uploads", "team/x.tar.bz2")
 	if err != nil || string(got) != "payload" {
 		t.Fatalf("after restart: %q, %v", got, err)
 	}

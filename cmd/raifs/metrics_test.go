@@ -38,10 +38,10 @@ func TestMetricsAddrExposesStoreTelemetry(t *testing.T) {
 	}
 
 	c := objstore.NewClient("http://" + addr)
-	if err := c.Put("uploads", "k", []byte("archive"), time.Hour); err != nil {
+	if err := c.Put(ctx, "uploads", "k", []byte("archive"), time.Hour); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Get("uploads", "k"); err != nil {
+	if _, err := c.Get(ctx, "uploads", "k"); err != nil {
 		t.Fatal(err)
 	}
 

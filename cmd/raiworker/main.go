@@ -10,9 +10,11 @@
 //	          [-id worker-1] [-concurrency 1] [-mem bytes]
 //	          [-lifetime 1h] [-rate-limit 30s] [-seed 408] [-full-images 100]
 //	          [-metrics-addr host:port]
+//	          [-dial-timeout 10s] [-rpc-attempts 4] [-rpc-timeout 0]
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -23,9 +25,11 @@ import (
 	"time"
 
 	"rai/internal/auth"
+	"rai/internal/brokerd"
 	"rai/internal/cnn"
 	"rai/internal/core"
 	"rai/internal/docstore"
+	"rai/internal/netx"
 	"rai/internal/objstore"
 	"rai/internal/registry"
 	"rai/internal/telemetry"
@@ -53,6 +57,9 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- struct{}, quit <-
 	seed := fs.Uint64("seed", 408, "course model/dataset seed")
 	fullImages := fs.Int("full-images", 100, "images stored in testfull.hdf5")
 	metricsAddr := fs.String("metrics-addr", "", "serve GET /metrics on this address (empty = disabled)")
+	dialTimeout := fs.Duration("dial-timeout", brokerd.DefaultDialTimeout, "broker dial timeout per attempt")
+	rpcAttempts := fs.Int("rpc-attempts", netx.DefaultMaxAttempts, "attempts per RPC before giving up")
+	rpcTimeout := fs.Duration("rpc-timeout", 0, "per-attempt RPC deadline (0 = each service's default)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -65,7 +72,23 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- struct{}, quit <-
 		fmt.Fprintf(stderr, "raiworker: %v\n", err)
 		return 1
 	}
-	queue, err := core.NewRemoteQueue(*brokerAddr)
+	// Telemetry comes first so the RPC layer's retry/reconnect counters
+	// land in the same registry the worker exports.
+	var telReg *telemetry.Registry
+	if *metricsAddr != "" {
+		telReg = telemetry.NewRegistry()
+	}
+	policy := netx.Policy{MaxAttempts: *rpcAttempts, PerAttempt: *rpcTimeout}
+	queuePolicy := policy
+	queuePolicy.Metrics = netx.NewMetrics(telReg, "broker")
+	fsPolicy := policy
+	fsPolicy.Metrics = netx.NewMetrics(telReg, "objstore")
+	dbPolicy := policy
+	dbPolicy.Metrics = netx.NewMetrics(telReg, "docstore")
+	queue, err := core.NewRemoteQueue(*brokerAddr,
+		core.WithQueuePolicy(queuePolicy),
+		core.WithQueueMetrics(queuePolicy.Metrics),
+		core.WithQueueDialTimeout(*dialTimeout))
 	if err != nil {
 		fmt.Fprintf(stderr, "raiworker: connecting to broker: %v\n", err)
 		return 1
@@ -88,15 +111,14 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- struct{}, quit <-
 			SessionIdleTimeout: *sessionIdle,
 		},
 		Queue:    queue,
-		Objects:  objstore.NewClient(*fsURL),
-		DB:       docstore.NewClient(*dbURL),
+		Objects:  objstore.NewClient(*fsURL, objstore.WithClientPolicy(fsPolicy)),
+		DB:       docstore.NewClient(*dbURL, docstore.WithClientPolicy(dbPolicy)),
 		Auth:     reg,
 		Images:   registry.NewCourseRegistry(),
 		DataFS:   dataFS,
 		DataPath: "/data",
 	}
-	if *metricsAddr != "" {
-		telReg := telemetry.NewRegistry()
+	if telReg != nil {
 		w.Telemetry = telReg
 		w.Tracer = telemetry.NewTracer(4096)
 		maddr, closeMetrics, err := telReg.ServeMetrics(*metricsAddr)
@@ -108,23 +130,33 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- struct{}, quit <-
 		fmt.Fprintf(stdout, "raiworker metrics on http://%s/metrics\n", maddr)
 	}
 	fmt.Fprintf(stdout, "raiworker %s accepting jobs (concurrency %d)\n", *id, *concurrency)
-	done := make(chan struct{})
-	go func() {
-		w.Run()
-		close(done)
-	}()
+	// Graceful shutdown: canceling runCtx closes the subscription (the
+	// broker requeues undelivered jobs for other workers) while jobs
+	// already executing drain to completion inside RunContext.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- w.RunContext(runCtx) }()
 	if ready != nil {
 		close(ready)
 	}
-	if quit != nil {
-		<-quit
-	} else {
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-		<-sig
+	var runErr error
+	select {
+	case <-quit: // nil when running as a real daemon: blocks forever
+		cancel()
+		runErr = <-done
+	case <-ctx.Done():
+		fmt.Fprintf(stdout, "raiworker %s draining in-flight jobs\n", *id)
+		cancel()
+		runErr = <-done
+	case runErr = <-done:
 	}
-	w.Stop()
-	<-done
+	if runErr != nil && runCtx.Err() == nil {
+		fmt.Fprintf(stderr, "raiworker: %v\n", runErr)
+		return 1
+	}
 	fmt.Fprintf(stdout, "raiworker %s handled %d jobs\n", *id, w.Handled())
 	return 0
 }

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"log"
@@ -78,7 +79,7 @@ func main() {
 	fmt.Println("\n== downloading final submissions ==")
 	dl := &grading.Downloader{DB: deployment.DB, Objects: deployment.Objects, Cleanup: true}
 	dst := vfs.New()
-	teams, err := dl.DownloadAll(dst, "/graded")
+	teams, err := dl.DownloadAll(context.Background(), dst, "/graded")
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package brokerd
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -10,6 +11,8 @@ import (
 
 	"rai/internal/broker"
 )
+
+var bg = context.Background()
 
 func newPair(t *testing.T) (*broker.Broker, *Server) {
 	t.Helper()
@@ -83,13 +86,13 @@ func TestPingPublishSubscribe(t *testing.T) {
 	pub := dialT(t, srv)
 	subC := dialT(t, srv)
 
-	if err := pub.Ping(); err != nil {
+	if err := pub.Ping(bg); err != nil {
 		t.Fatal(err)
 	}
-	if err := subC.Subscribe("rai", "tasks", 4); err != nil {
+	if err := subC.Subscribe(bg, "rai", "tasks", 4); err != nil {
 		t.Fatal(err)
 	}
-	id, err := pub.Publish("rai", []byte("job payload"))
+	id, err := pub.Publish(bg, "rai", []byte("job payload"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +103,7 @@ func TestPingPublishSubscribe(t *testing.T) {
 	if string(d.Body) != "job payload" || d.Topic != "rai" || d.Attempts != 1 {
 		t.Fatalf("delivery = %+v", d)
 	}
-	if err := subC.Ack(d); err != nil {
+	if err := subC.Ack(bg, d); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -109,25 +112,25 @@ func TestRequeueOverTCP(t *testing.T) {
 	_, srv := newPair(t)
 	pub := dialT(t, srv)
 	sub := dialT(t, srv)
-	sub.Subscribe("rai", "tasks", 1)
-	pub.Publish("rai", []byte("retry me"))
+	sub.Subscribe(bg, "rai", "tasks", 1)
+	pub.Publish(bg, "rai", []byte("retry me"))
 	d := recvT(t, sub)
-	if err := sub.Requeue(d); err != nil {
+	if err := sub.Requeue(bg, d); err != nil {
 		t.Fatal(err)
 	}
 	d2 := recvT(t, sub)
 	if d2.Attempts != 2 {
 		t.Errorf("Attempts = %d, want 2", d2.Attempts)
 	}
-	sub.Ack(d2)
+	sub.Ack(bg, d2)
 }
 
 func TestDisconnectRequeuesInFlight(t *testing.T) {
 	b, srv := newPair(t)
 	pub := dialT(t, srv)
 	w1 := dialT(t, srv)
-	w1.Subscribe("rai", "tasks", 1)
-	pub.Publish("rai", []byte("orphaned job"))
+	w1.Subscribe(bg, "rai", "tasks", 1)
+	pub.Publish(bg, "rai", []byte("orphaned job"))
 	recvT(t, w1) // in flight, never acked
 	w1.Close()   // worker crash
 
@@ -137,21 +140,21 @@ func TestDisconnectRequeuesInFlight(t *testing.T) {
 		time.Sleep(5 * time.Millisecond)
 	}
 	w2 := dialT(t, srv)
-	w2.Subscribe("rai", "tasks", 1)
+	w2.Subscribe(bg, "rai", "tasks", 1)
 	d := recvT(t, w2)
 	if string(d.Body) != "orphaned job" || d.Attempts != 2 {
 		t.Fatalf("redelivery = %+v", d)
 	}
-	w2.Ack(d)
+	w2.Ack(bg, d)
 }
 
 func TestDoubleSubscribeRejected(t *testing.T) {
 	_, srv := newPair(t)
 	c := dialT(t, srv)
-	if err := c.Subscribe("rai", "tasks", 1); err != nil {
+	if err := c.Subscribe(bg, "rai", "tasks", 1); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Subscribe("rai", "other", 1); err == nil {
+	if err := c.Subscribe(bg, "rai", "other", 1); err == nil {
 		t.Error("second subscribe on one connection succeeded")
 	}
 }
@@ -159,7 +162,7 @@ func TestDoubleSubscribeRejected(t *testing.T) {
 func TestAckWithoutSubscribe(t *testing.T) {
 	_, srv := newPair(t)
 	c := dialT(t, srv)
-	if err := c.Ack(&Delivery{MsgID: 1}); err == nil {
+	if err := c.Ack(bg, &Delivery{MsgID: 1}); err == nil {
 		t.Error("ack without subscription succeeded")
 	}
 }
@@ -167,7 +170,7 @@ func TestAckWithoutSubscribe(t *testing.T) {
 func TestBadTopicNameOverTCP(t *testing.T) {
 	_, srv := newPair(t)
 	c := dialT(t, srv)
-	if _, err := c.Publish("bad topic name!", nil); err == nil {
+	if _, err := c.Publish(bg, "bad topic name!", nil); err == nil {
 		t.Error("invalid topic accepted")
 	}
 }
@@ -175,13 +178,13 @@ func TestBadTopicNameOverTCP(t *testing.T) {
 func TestCloseSubscriptionThenResubscribe(t *testing.T) {
 	_, srv := newPair(t)
 	c := dialT(t, srv)
-	if err := c.Subscribe("rai", "tasks", 1); err != nil {
+	if err := c.Subscribe(bg, "rai", "tasks", 1); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.CloseSubscription(); err != nil {
+	if err := c.CloseSubscription(bg); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Subscribe("rai", "tasks", 1); err != nil {
+	if err := c.Subscribe(bg, "rai", "tasks", 1); err != nil {
 		t.Fatalf("resubscribe after close: %v", err)
 	}
 }
@@ -189,7 +192,7 @@ func TestCloseSubscriptionThenResubscribe(t *testing.T) {
 func TestServerCloseDropsClients(t *testing.T) {
 	_, srv := newPair(t)
 	c := dialT(t, srv)
-	c.Subscribe("rai", "tasks", 1)
+	c.Subscribe(bg, "rai", "tasks", 1)
 	srv.Close()
 	select {
 	case _, ok := <-c.C():
@@ -199,7 +202,7 @@ func TestServerCloseDropsClients(t *testing.T) {
 	case <-time.After(2 * time.Second):
 		t.Error("delivery stream did not close")
 	}
-	if err := c.Ping(); err == nil {
+	if err := c.Ping(bg); err == nil {
 		t.Error("ping succeeded after server close")
 	}
 }
@@ -207,7 +210,7 @@ func TestServerCloseDropsClients(t *testing.T) {
 func TestConcurrentPublishers(t *testing.T) {
 	_, srv := newPair(t)
 	sub := dialT(t, srv)
-	sub.Subscribe("rai", "tasks", 64)
+	sub.Subscribe(bg, "rai", "tasks", 64)
 
 	const publishers, each = 4, 25
 	var wg sync.WaitGroup
@@ -217,7 +220,7 @@ func TestConcurrentPublishers(t *testing.T) {
 		go func(p int, c *Client) {
 			defer wg.Done()
 			for i := 0; i < each; i++ {
-				if _, err := c.Publish("rai", []byte(fmt.Sprintf("%d:%d", p, i))); err != nil {
+				if _, err := c.Publish(bg, "rai", []byte(fmt.Sprintf("%d:%d", p, i))); err != nil {
 					t.Errorf("publish: %v", err)
 					return
 				}
@@ -231,7 +234,7 @@ func TestConcurrentPublishers(t *testing.T) {
 			t.Fatalf("duplicate %s", d.Body)
 		}
 		seen[string(d.Body)] = true
-		sub.Ack(d)
+		sub.Ack(bg, d)
 	}
 	wg.Wait()
 }
@@ -240,12 +243,12 @@ func TestStatsOverTCP(t *testing.T) {
 	_, srv := newPair(t)
 	pub := dialT(t, srv)
 	sub := dialT(t, srv)
-	sub.Subscribe("rai", "tasks", 1)
-	pub.Publish("rai", []byte("a"))
-	pub.Publish("rai", []byte("b"))
+	sub.Subscribe(bg, "rai", "tasks", 1)
+	pub.Publish(bg, "rai", []byte("a"))
+	pub.Publish(bg, "rai", []byte("b"))
 	recvT(t, sub) // one in flight, one queued
 
-	stats, err := pub.Stats()
+	stats, err := pub.Stats(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -266,7 +269,7 @@ func TestPipelinedPublishesOnOneConnection(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			if _, err := c.Publish("rai", []byte{byte(i)}); err != nil {
+			if _, err := c.Publish(bg, "rai", []byte{byte(i)}); err != nil {
 				t.Errorf("pipelined publish %d: %v", i, err)
 			}
 		}(i)

@@ -1,6 +1,7 @@
 package brokerd
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -37,9 +38,44 @@ type Delivery struct {
 // ErrClientClosed is returned after Close.
 var ErrClientClosed = errors.New("brokerd: client closed")
 
-// Dial connects to a brokerd server.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+// ServerError is an application-level error reply from the broker — the
+// request made it across the wire and the broker refused it. Retrying
+// the same request will not help, unlike a transport failure.
+type ServerError struct{ Msg string }
+
+// Error implements error.
+func (e *ServerError) Error() string { return e.Msg }
+
+// DefaultDialTimeout bounds DialContext when neither the context nor a
+// WithDialTimeout option imposes a tighter deadline.
+const DefaultDialTimeout = 10 * time.Second
+
+// DialOption customizes DialContext.
+type DialOption func(*dialConfig)
+
+type dialConfig struct {
+	timeout time.Duration
+}
+
+// WithDialTimeout caps how long the TCP dial may take. The context's own
+// deadline still applies; the effective bound is whichever is sooner.
+func WithDialTimeout(d time.Duration) DialOption {
+	return func(c *dialConfig) {
+		if d > 0 {
+			c.timeout = d
+		}
+	}
+}
+
+// DialContext connects to a brokerd server, honoring ctx for
+// cancellation and deadline.
+func DialContext(ctx context.Context, addr string, opts ...DialOption) (*Client, error) {
+	cfg := dialConfig{timeout: DefaultDialTimeout}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	d := net.Dialer{Timeout: cfg.timeout}
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, err
 	}
@@ -51,6 +87,13 @@ func Dial(addr string) (*Client, error) {
 	}
 	go c.readLoop()
 	return c, nil
+}
+
+// Dial connects to a brokerd server.
+//
+// Deprecated: use DialContext.
+func Dial(addr string) (*Client, error) {
+	return DialContext(context.Background(), addr)
 }
 
 func (c *Client) readLoop() {
@@ -85,8 +128,13 @@ func (c *Client) readLoop() {
 	}
 }
 
-// call sends a request frame and waits for its reply.
-func (c *Client) call(f *Frame) (*Frame, error) {
+// call sends a request frame and waits for its reply. A done ctx
+// abandons the wait (the reply, if it ever lands, is discarded by the
+// pending-map cleanup) — it does not tear down the connection.
+func (c *Client) call(ctx context.Context, f *Frame) (*Frame, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -112,19 +160,26 @@ func (c *Client) call(f *Frame) (*Frame, error) {
 		c.mu.Unlock()
 		return nil, err
 	}
-	reply, ok := <-ch
-	if !ok {
-		return nil, fmt.Errorf("brokerd: connection lost awaiting reply")
+	select {
+	case reply, ok := <-ch:
+		if !ok {
+			return nil, fmt.Errorf("brokerd: connection lost awaiting reply")
+		}
+		if reply.Op == OpErr {
+			return nil, &ServerError{Msg: reply.Error}
+		}
+		return reply, nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.pending, f.Seq)
+		c.mu.Unlock()
+		return nil, ctx.Err()
 	}
-	if reply.Op == OpErr {
-		return nil, errors.New(reply.Error)
-	}
-	return reply, nil
 }
 
 // Publish sends body to topic and returns the broker-assigned message ID.
-func (c *Client) Publish(topic string, body []byte) (uint64, error) {
-	reply, err := c.call(&Frame{Op: OpPub, Topic: topic, Body: body})
+func (c *Client) Publish(ctx context.Context, topic string, body []byte) (uint64, error) {
+	reply, err := c.call(ctx, &Frame{Op: OpPub, Topic: topic, Body: body})
 	if err != nil {
 		return 0, err
 	}
@@ -134,8 +189,8 @@ func (c *Client) Publish(topic string, body []byte) (uint64, error) {
 // Subscribe attaches this connection to topic/channel. Deliveries arrive
 // on C(); the channel closes when the connection drops or Close is
 // called.
-func (c *Client) Subscribe(topic, channel string, maxInFlight int) error {
-	_, err := c.call(&Frame{Op: OpSub, Topic: topic, Channel: channel, MaxInFlight: maxInFlight})
+func (c *Client) Subscribe(ctx context.Context, topic, channel string, maxInFlight int) error {
+	_, err := c.call(ctx, &Frame{Op: OpSub, Topic: topic, Channel: channel, MaxInFlight: maxInFlight})
 	return err
 }
 
@@ -143,27 +198,27 @@ func (c *Client) Subscribe(topic, channel string, maxInFlight int) error {
 func (c *Client) C() <-chan *Delivery { return c.msgs }
 
 // Ack acknowledges a delivery.
-func (c *Client) Ack(d *Delivery) error {
-	_, err := c.call(&Frame{Op: OpAck, MsgID: d.MsgID})
+func (c *Client) Ack(ctx context.Context, d *Delivery) error {
+	_, err := c.call(ctx, &Frame{Op: OpAck, MsgID: d.MsgID})
 	return err
 }
 
 // Requeue returns a delivery to the queue for redelivery.
-func (c *Client) Requeue(d *Delivery) error {
-	_, err := c.call(&Frame{Op: OpReq, MsgID: d.MsgID})
+func (c *Client) Requeue(ctx context.Context, d *Delivery) error {
+	_, err := c.call(ctx, &Frame{Op: OpReq, MsgID: d.MsgID})
 	return err
 }
 
 // Ping checks server liveness.
-func (c *Client) Ping() error {
-	_, err := c.call(&Frame{Op: OpPing})
+func (c *Client) Ping(ctx context.Context) error {
+	_, err := c.call(ctx, &Frame{Op: OpPing})
 	return err
 }
 
 // Stats fetches the broker's queue snapshot — the depth signal the
 // elastic provisioner consumes.
-func (c *Client) Stats() ([]TopicStats, error) {
-	reply, err := c.call(&Frame{Op: OpStats})
+func (c *Client) Stats(ctx context.Context) ([]TopicStats, error) {
+	reply, err := c.call(ctx, &Frame{Op: OpStats})
 	if err != nil {
 		return nil, err
 	}
@@ -172,8 +227,8 @@ func (c *Client) Stats() ([]TopicStats, error) {
 
 // CloseSubscription detaches the subscription without dropping the
 // connection (unacknowledged messages are requeued server-side).
-func (c *Client) CloseSubscription() error {
-	_, err := c.call(&Frame{Op: OpClose})
+func (c *Client) CloseSubscription(ctx context.Context) error {
+	_, err := c.call(ctx, &Frame{Op: OpClose})
 	return err
 }
 

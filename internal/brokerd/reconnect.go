@@ -1,0 +1,359 @@
+package brokerd
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"rai/internal/clock"
+	"rai/internal/netx"
+)
+
+// ReconnClient wraps the wire client with transparent redial: every
+// operation runs under a netx retry policy, a dropped connection is
+// replaced on the next call, and an active subscription is replayed on
+// the fresh connection so the consumer's delivery stream survives a
+// broker restart. Because the broker requeues unacknowledged messages
+// when a subscriber connection dies, the stream is at-least-once: an
+// Ack for a message delivered on a connection that has since died is a
+// no-op (the broker already owns the message again).
+//
+// ReconnClient is safe for concurrent use.
+type ReconnClient struct {
+	addr     string
+	policy   netx.Policy
+	metrics  *netx.Metrics
+	dialOpts []DialOption
+
+	ctx    context.Context // lifetime: done on Close
+	cancel context.CancelFunc
+
+	mu     sync.Mutex
+	cur    *Client
+	ever   bool // a connection has been established at least once
+	closed bool
+
+	// Subscription replay state. One subscription per client, mirroring
+	// the wire protocol.
+	subTopic   string
+	subChannel string
+	subMaxIF   int
+	subbed     bool
+	owners     map[uint64]*Client // msgID -> connection that delivered it
+	msgs       chan *Delivery
+	pumpDone   chan struct{}
+	msgsOnce   sync.Once
+}
+
+// ReconnOption configures a ReconnClient.
+type ReconnOption func(*ReconnClient)
+
+// WithPolicy sets the retry policy applied to every operation. The
+// policy's Retryable is composed with brokerd's own classification
+// (ServerError replies never retry).
+func WithPolicy(p netx.Policy) ReconnOption {
+	return func(r *ReconnClient) { r.policy = p }
+}
+
+// WithMetrics counts retries, reconnects, and blown deadlines.
+func WithMetrics(m *netx.Metrics) ReconnOption {
+	return func(r *ReconnClient) { r.metrics = m }
+}
+
+// WithDialOptions forwards options to every (re)dial.
+func WithDialOptions(opts ...DialOption) ReconnOption {
+	return func(r *ReconnClient) { r.dialOpts = opts }
+}
+
+// NewReconnClient returns a reconnecting client for the broker at addr.
+// No connection is made until the first operation.
+func NewReconnClient(addr string, opts ...ReconnOption) *ReconnClient {
+	r := &ReconnClient{
+		addr:   addr,
+		owners: map[uint64]*Client{},
+		msgs:   make(chan *Delivery, 1024),
+	}
+	for _, o := range opts {
+		o(r)
+	}
+	r.ctx, r.cancel = context.WithCancel(context.Background())
+	r.policy.Metrics = r.metrics
+	inner := r.policy.Retryable
+	r.policy.Retryable = func(err error) bool {
+		var se *ServerError
+		if errors.As(err, &se) {
+			return false
+		}
+		if inner != nil {
+			return inner(err)
+		}
+		return netx.DefaultRetryable(err)
+	}
+	return r
+}
+
+// conn returns the live connection, dialing one if necessary. Dialing
+// is a single attempt — callers run under netx.Do, which owns retries.
+func (r *ReconnClient) conn(ctx context.Context) (*Client, error) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, ErrClientClosed
+	}
+	if c := r.cur; c != nil {
+		r.mu.Unlock()
+		return c, nil
+	}
+	r.mu.Unlock()
+
+	c, err := DialContext(ctx, r.addr, r.dialOpts...)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		c.Close()
+		return nil, ErrClientClosed
+	}
+	if r.cur != nil { // lost a dial race; keep the established one
+		go c.Close()
+		return r.cur, nil
+	}
+	if r.ever {
+		r.metrics.Reconnect()
+	}
+	r.ever = true
+	r.cur = c
+	return c, nil
+}
+
+// invalidate drops c as the current connection if it still is.
+func (r *ReconnClient) invalidate(c *Client) {
+	r.mu.Lock()
+	if r.cur == c {
+		r.cur = nil
+	}
+	// Deliveries from a dead connection can no longer be acked on it;
+	// the broker requeues them itself.
+	for id, owner := range r.owners {
+		if owner == c {
+			delete(r.owners, id)
+		}
+	}
+	r.mu.Unlock()
+	c.Close()
+}
+
+// do runs op against a live connection under the retry policy,
+// invalidating the connection on failure so the next attempt redials.
+func (r *ReconnClient) do(ctx context.Context, op func(ctx context.Context, c *Client) error) error {
+	return netx.Do(ctx, r.policy, func(ctx context.Context) error {
+		c, err := r.conn(ctx)
+		if err != nil {
+			return err
+		}
+		if err := op(ctx, c); err != nil {
+			var se *ServerError
+			if !errors.As(err, &se) {
+				r.invalidate(c)
+			}
+			return err
+		}
+		return nil
+	})
+}
+
+// Publish sends body to topic, retrying across connection drops, and
+// returns the broker-assigned message ID.
+func (r *ReconnClient) Publish(ctx context.Context, topic string, body []byte) (uint64, error) {
+	var id uint64
+	err := r.do(ctx, func(ctx context.Context, c *Client) error {
+		var err error
+		id, err = c.Publish(ctx, topic, body)
+		return err
+	})
+	return id, err
+}
+
+// Ping checks broker liveness (dialing if necessary).
+func (r *ReconnClient) Ping(ctx context.Context) error {
+	return r.do(ctx, func(ctx context.Context, c *Client) error { return c.Ping(ctx) })
+}
+
+// Stats fetches the broker's queue snapshot.
+func (r *ReconnClient) Stats(ctx context.Context) ([]TopicStats, error) {
+	var out []TopicStats
+	err := r.do(ctx, func(ctx context.Context, c *Client) error {
+		var err error
+		out, err = c.Stats(ctx)
+		return err
+	})
+	return out, err
+}
+
+// Subscribe attaches to topic/channel and keeps the subscription alive
+// across broker restarts: when the delivering connection drops, the
+// client redials and resubscribes, and deliveries resume on C(). Only
+// one subscription per client, matching the wire protocol.
+func (r *ReconnClient) Subscribe(ctx context.Context, topic, channel string, maxInFlight int) error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return ErrClientClosed
+	}
+	if r.subbed {
+		r.mu.Unlock()
+		return errors.New("brokerd: client already subscribed")
+	}
+	r.subbed = true
+	r.subTopic, r.subChannel, r.subMaxIF = topic, channel, maxInFlight
+	r.pumpDone = make(chan struct{})
+	r.mu.Unlock()
+
+	// Establish the first subscription synchronously so the caller sees
+	// bad-topic errors immediately; the pump owns every one after that.
+	c, err := r.subscribeOnce(ctx)
+	if err != nil {
+		r.mu.Lock()
+		r.subbed = false
+		r.mu.Unlock()
+		close(r.pumpDone)
+		return err
+	}
+	go r.pump(c)
+	return nil
+}
+
+// subscribeOnce gets a connection subscribed to the recorded topic,
+// under the retry policy.
+func (r *ReconnClient) subscribeOnce(ctx context.Context) (*Client, error) {
+	return netx.DoVal(ctx, r.policy, func(ctx context.Context) (*Client, error) {
+		c, err := r.conn(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.Subscribe(ctx, r.subTopic, r.subChannel, r.subMaxIF); err != nil {
+			var se *ServerError
+			if !errors.As(err, &se) {
+				r.invalidate(c)
+			}
+			return nil, err
+		}
+		return c, nil
+	})
+}
+
+// pump forwards deliveries from the current subscribed connection to
+// the client's stream, resubscribing on a fresh connection whenever the
+// current one dies. It exits only when the client is closed.
+func (r *ReconnClient) pump(c *Client) {
+	defer close(r.pumpDone)
+	for {
+		for d := range c.C() {
+			r.mu.Lock()
+			r.owners[d.MsgID] = c
+			r.mu.Unlock()
+			select {
+			case r.msgs <- d:
+			case <-r.ctx.Done():
+				return
+			}
+		}
+		// Connection died (or broker restarted). Resubscribe forever —
+		// outages longer than one policy's attempt budget should idle the
+		// consumer, not kill it.
+		r.invalidate(c)
+		for {
+			if r.ctx.Err() != nil {
+				return
+			}
+			var err error
+			c, err = r.subscribeOnce(r.ctx)
+			if err == nil {
+				break
+			}
+			select {
+			case <-r.sleep():
+			case <-r.ctx.Done():
+				return
+			}
+		}
+	}
+}
+
+// sleep returns a timer channel for one inter-round pause in the
+// pump's resubscribe loop, on the policy's clock. subscribeOnce already
+// backed off between its attempts, so this just paces the rounds at the
+// policy's deepest (capped) backoff.
+func (r *ReconnClient) sleep() <-chan time.Time {
+	ck := r.policy.Clock
+	if ck == nil {
+		ck = clock.Real{}
+	}
+	return ck.After(r.policy.Delay(netx.DefaultMaxAttempts))
+}
+
+// C returns the delivery stream; it closes when the client is closed.
+func (r *ReconnClient) C() <-chan *Delivery { return r.msgs }
+
+// Ack acknowledges a delivery. If the connection that delivered it has
+// since died, the broker has already requeued the message and Ack is a
+// successful no-op (the redelivery will carry it again).
+func (r *ReconnClient) Ack(ctx context.Context, d *Delivery) error {
+	return r.settle(ctx, d, (*Client).Ack)
+}
+
+// Requeue returns a delivery to the queue. Like Ack, it is a no-op if
+// the delivering connection is gone — the broker already requeued it.
+func (r *ReconnClient) Requeue(ctx context.Context, d *Delivery) error {
+	return r.settle(ctx, d, (*Client).Requeue)
+}
+
+func (r *ReconnClient) settle(ctx context.Context, d *Delivery, op func(*Client, context.Context, *Delivery) error) error {
+	r.mu.Lock()
+	owner, ok := r.owners[d.MsgID]
+	if ok {
+		delete(r.owners, d.MsgID)
+	}
+	r.mu.Unlock()
+	if !ok {
+		return nil // delivering connection died; broker requeued it
+	}
+	if err := op(owner, ctx, d); err != nil {
+		var se *ServerError
+		if !errors.As(err, &se) {
+			r.invalidate(owner)
+			return nil // transport died mid-settle; broker requeues
+		}
+		return err
+	}
+	return nil
+}
+
+// Close tears down the connection and stops the resubscribe pump. The
+// delivery stream closes.
+func (r *ReconnClient) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	c := r.cur
+	r.cur = nil
+	pumpDone := r.pumpDone
+	r.mu.Unlock()
+
+	r.cancel()
+	var err error
+	if c != nil {
+		err = c.Close()
+	}
+	if pumpDone != nil {
+		<-pumpDone
+	}
+	r.msgsOnce.Do(func() { close(r.msgs) })
+	return err
+}

@@ -22,13 +22,13 @@ func TestServerTelemetry(t *testing.T) {
 		t.Fatal(err)
 	}
 	// A completed round trip guarantees serveConn is running.
-	if err := c.Ping(); err != nil {
+	if err := c.Ping(bg); err != nil {
 		t.Fatal(err)
 	}
 	if v, _ := reg.Value("rai_brokerd_connections"); v != 1 {
 		t.Errorf("connections = %v, want 1", v)
 	}
-	if _, err := c.Publish("rai", []byte("job")); err != nil {
+	if _, err := c.Publish(bg, "rai", []byte("job")); err != nil {
 		t.Fatal(err)
 	}
 	c.Close()

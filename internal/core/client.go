@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -87,32 +88,48 @@ func CheckSubmissionFiles(fs *vfs.FS, dir string) error {
 }
 
 // Submit runs the full client sequence for a packed project archive.
-// kind is KindRun or KindSubmit; spec is the parsed build file (ignored
-// by workers for KindSubmit). It blocks streaming logs to Stdout until
-// the End message arrives.
+//
+// Deprecated: use SubmitContext.
 func (c *Client) Submit(kind string, spec *build.Spec, archive []byte) (*JobResult, error) {
+	return c.SubmitContext(context.Background(), kind, spec, archive)
+}
+
+// SubmitContext runs the full client sequence for a packed project
+// archive. kind is KindRun or KindSubmit; spec is the parsed build file
+// (ignored by workers for KindSubmit). It blocks streaming logs to
+// Stdout until the End message arrives; canceling ctx abandons the job
+// (the worker still runs it, but nobody is watching the log topic).
+func (c *Client) SubmitContext(ctx context.Context, kind string, spec *build.Spec, archive []byte) (*JobResult, error) {
 	jobID := NewJobID()
 	root := c.startJobSpan(jobID, kind)
 	// Step 3: compress (done by the caller via archivex) and upload the
 	// project directory; one-month lifetime from last use.
 	uploadKey := fmt.Sprintf("%s/%s/project.tar.bz2", c.Creds.UserName, jobID)
 	up := root.Child("upload")
-	if err := c.Objects.Put(BucketUploads, uploadKey, archive, UploadTTL); err != nil {
+	if err := c.Objects.Put(ctx, BucketUploads, uploadKey, archive, UploadTTL); err != nil {
 		up.End()
 		root.End()
 		return nil, fmt.Errorf("core: uploading project: %w", err)
 	}
 	up.SetAttr("bytes", fmt.Sprint(len(archive)))
 	up.End()
-	return c.submitUploaded(root, jobID, kind, spec, BucketUploads, uploadKey)
+	return c.submitUploaded(ctx, root, jobID, kind, spec, BucketUploads, uploadKey)
 }
 
-// Resubmit enqueues a job against an archive already on the file server
-// — the grading path: instructors rerun a team's recorded final
-// submission multiple times and keep the best time (§VI, §VII).
+// Resubmit enqueues a job against an archive already on the file
+// server.
+//
+// Deprecated: use ResubmitContext.
 func (c *Client) Resubmit(kind, uploadBucket, uploadKey string) (*JobResult, error) {
+	return c.ResubmitContext(context.Background(), kind, uploadBucket, uploadKey)
+}
+
+// ResubmitContext enqueues a job against an archive already on the file
+// server — the grading path: instructors rerun a team's recorded final
+// submission multiple times and keep the best time (§VI, §VII).
+func (c *Client) ResubmitContext(ctx context.Context, kind, uploadBucket, uploadKey string) (*JobResult, error) {
 	jobID := NewJobID()
-	return c.submitUploaded(c.startJobSpan(jobID, kind), jobID, kind, nil, uploadBucket, uploadKey)
+	return c.submitUploaded(ctx, c.startJobSpan(jobID, kind), jobID, kind, nil, uploadBucket, uploadKey)
 }
 
 // startJobSpan opens the trace root covering the whole submission.
@@ -124,7 +141,7 @@ func (c *Client) startJobSpan(jobID, kind string) *telemetry.Span {
 	return root
 }
 
-func (c *Client) submitUploaded(root *telemetry.Span, jobID, kind string, spec *build.Spec, uploadBucket, uploadKey string) (*JobResult, error) {
+func (c *Client) submitUploaded(ctx context.Context, root *telemetry.Span, jobID, kind string, spec *build.Spec, uploadBucket, uploadKey string) (*JobResult, error) {
 	defer root.End()
 	if kind != KindRun && kind != KindSubmit {
 		return nil, fmt.Errorf("core: unknown job kind %q", kind)
@@ -160,7 +177,7 @@ func (c *Client) submitUploaded(root *telemetry.Span, jobID, kind string, spec *
 	enq := root.Child("enqueue")
 	// Step 5: subscribe to the log topic BEFORE publishing so no output
 	// is lost (the broker also buffers a backlog as a second defense).
-	sub, err := c.Queue.Subscribe(LogTopic(jobID), LogChannel, 1024)
+	sub, err := c.Queue.Subscribe(ctx, LogTopic(jobID), LogChannel, 1024)
 	if err != nil {
 		enq.End()
 		return nil, fmt.Errorf("core: subscribing to log topic: %w", err)
@@ -168,7 +185,7 @@ func (c *Client) submitUploaded(root *telemetry.Span, jobID, kind string, spec *
 	defer sub.Close()
 
 	// Step 4: push the job request onto the queue.
-	if err := c.Queue.Publish(TasksTopic, encodeJSON(req)); err != nil {
+	if err := c.Queue.Publish(ctx, TasksTopic, encodeJSON(req)); err != nil {
 		enq.End()
 		return nil, fmt.Errorf("core: publishing job: %w", err)
 	}
@@ -216,6 +233,8 @@ func (c *Client) submitUploaded(root *telemetry.Span, jobID, kind string, spec *
 			}
 		case <-timeout:
 			return res, fmt.Errorf("core: timed out waiting for job %s output", jobID)
+		case <-ctx.Done():
+			return res, fmt.Errorf("core: waiting for job %s output: %w", jobID, ctx.Err())
 		}
 	}
 }
@@ -226,9 +245,17 @@ func authToken(c *Client, req *JobRequest) string {
 }
 
 // DownloadBuild fetches the /build archive produced by the worker.
+//
+// Deprecated: use DownloadBuildContext.
 func (c *Client) DownloadBuild(res *JobResult) ([]byte, error) {
+	return c.DownloadBuildContext(context.Background(), res)
+}
+
+// DownloadBuildContext fetches the /build archive produced by the
+// worker.
+func (c *Client) DownloadBuildContext(ctx context.Context, res *JobResult) ([]byte, error) {
 	if res.BuildBucket == "" || res.BuildKey == "" {
 		return nil, fmt.Errorf("core: job %s has no build artifact", res.JobID)
 	}
-	return c.Objects.Get(res.BuildBucket, res.BuildKey)
+	return c.Objects.Get(ctx, res.BuildBucket, res.BuildKey)
 }

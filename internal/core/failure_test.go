@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"sync"
@@ -22,7 +23,7 @@ type flakyObjects struct {
 	failPuts int
 }
 
-func (f *flakyObjects) Get(bucket, key string) ([]byte, error) {
+func (f *flakyObjects) Get(ctx context.Context, bucket, key string) ([]byte, error) {
 	f.mu.Lock()
 	fail := f.failGets > 0
 	if fail {
@@ -32,10 +33,10 @@ func (f *flakyObjects) Get(bucket, key string) ([]byte, error) {
 	if fail {
 		return nil, errors.New("injected: file server unavailable")
 	}
-	return f.inner.Get(bucket, key)
+	return f.inner.Get(ctx, bucket, key)
 }
 
-func (f *flakyObjects) Put(bucket, key string, data []byte, ttl time.Duration) error {
+func (f *flakyObjects) Put(ctx context.Context, bucket, key string, data []byte, ttl time.Duration) error {
 	f.mu.Lock()
 	fail := f.failPuts > 0
 	if fail {
@@ -45,14 +46,16 @@ func (f *flakyObjects) Put(bucket, key string, data []byte, ttl time.Duration) e
 	if fail {
 		return errors.New("injected: file server unavailable")
 	}
-	return f.inner.Put(bucket, key, data, ttl)
+	return f.inner.Put(ctx, bucket, key, data, ttl)
 }
 
-func (f *flakyObjects) List(bucket, prefix string) ([]objstore.ObjectInfo, error) {
-	return f.inner.List(bucket, prefix)
+func (f *flakyObjects) List(ctx context.Context, bucket, prefix string) ([]objstore.ObjectInfo, error) {
+	return f.inner.List(ctx, bucket, prefix)
 }
 
-func (f *flakyObjects) Delete(bucket, key string) error { return f.inner.Delete(bucket, key) }
+func (f *flakyObjects) Delete(ctx context.Context, bucket, key string) error {
+	return f.inner.Delete(ctx, bucket, key)
+}
 
 // failingDB wraps a docstore.Store and errors every write.
 type failingDB struct{ inner docstore.Store }
@@ -186,7 +189,7 @@ func TestCrashedWorkerJobIsRedelivered(t *testing.T) {
 
 	// The doomed worker: takes the message off rai/tasks and crashes
 	// (connection close) without acking.
-	doomed, err := e.queue.Subscribe(TasksTopic, TasksChannel, 1)
+	doomed, err := e.queue.Subscribe(context.Background(), TasksTopic, TasksChannel, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,7 +245,7 @@ func TestGPUResourceRequestEnforced(t *testing.T) {
 func TestMalformedQueueMessageIgnored(t *testing.T) {
 	e := newEnv(t)
 	// Garbage on the tasks topic must not wedge the worker.
-	if err := e.queue.Publish(TasksTopic, []byte("{not json")); err != nil {
+	if err := e.queue.Publish(context.Background(), TasksTopic, []byte("{not json")); err != nil {
 		t.Fatal(err)
 	}
 	handled, err := e.worker.HandleOne(2 * time.Second)

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"rai/internal/broker"
 	"rai/internal/brokerd"
+	"rai/internal/netx"
 	"rai/internal/objstore"
 )
 
@@ -13,8 +15,8 @@ import (
 // through the adapters below, so the same client/worker code runs
 // embedded in simulations and distributed across machines.
 type Queue interface {
-	Publish(topic string, body []byte) error
-	Subscribe(topic, channel string, maxInFlight int) (Subscription, error)
+	Publish(ctx context.Context, topic string, body []byte) error
+	Subscribe(ctx context.Context, topic, channel string, maxInFlight int) (Subscription, error)
 }
 
 // Subscription is one consumer attachment.
@@ -33,17 +35,24 @@ type QueueMsg struct {
 
 // ---- in-process broker adapter ----
 
-// BrokerQueue adapts *broker.Broker to Queue.
+// BrokerQueue adapts *broker.Broker to Queue. The engine is in-memory,
+// so ctx only gates entry — there is no I/O to cancel.
 type BrokerQueue struct{ B *broker.Broker }
 
 // Publish implements Queue.
-func (q BrokerQueue) Publish(topic string, body []byte) error {
+func (q BrokerQueue) Publish(ctx context.Context, topic string, body []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	_, err := q.B.Publish(topic, body)
 	return err
 }
 
 // Subscribe implements Queue.
-func (q BrokerQueue) Subscribe(topic, channel string, maxInFlight int) (Subscription, error) {
+func (q BrokerQueue) Subscribe(ctx context.Context, topic, channel string, maxInFlight int) (Subscription, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	sub, err := q.B.Subscribe(topic, channel, maxInFlight)
 	if err != nil {
 		return nil, err
@@ -73,36 +82,81 @@ func (s brokerSub) Close() error       { return s.sub.Close() }
 
 // ---- TCP broker adapter ----
 
-// RemoteQueue adapts a brokerd server address to Queue. Publishes share
-// one connection; each subscription dials its own (the brokerd protocol
-// allows one subscription per connection).
+// RemoteQueue adapts a brokerd server address to Queue on top of
+// reconnecting clients: publishes share one connection, each
+// subscription holds its own (the brokerd protocol allows one
+// subscription per connection), and all of them redial through broker
+// restarts under the queue's retry policy.
 type RemoteQueue struct {
 	Addr string
-	pub  *brokerd.Client
+
+	policy      netx.Policy
+	metrics     *netx.Metrics
+	dialTimeout time.Duration
+	pub         *brokerd.ReconnClient
 }
 
-// NewRemoteQueue connects the publish path.
-func NewRemoteQueue(addr string) (*RemoteQueue, error) {
-	pub, err := brokerd.Dial(addr)
-	if err != nil {
+// RemoteQueueOption configures NewRemoteQueue.
+type RemoteQueueOption func(*RemoteQueue)
+
+// WithQueuePolicy sets the retry policy for every connection the queue
+// opens.
+func WithQueuePolicy(p netx.Policy) RemoteQueueOption {
+	return func(q *RemoteQueue) { q.policy = p }
+}
+
+// WithQueueMetrics counts the queue's retries, reconnects, and blown
+// deadlines.
+func WithQueueMetrics(m *netx.Metrics) RemoteQueueOption {
+	return func(q *RemoteQueue) { q.metrics = m }
+}
+
+// WithQueueDialTimeout bounds each dial attempt (0 = brokerd's
+// DefaultDialTimeout).
+func WithQueueDialTimeout(d time.Duration) RemoteQueueOption {
+	return func(q *RemoteQueue) { q.dialTimeout = d }
+}
+
+// NewRemoteQueue connects the publish path. The eager Ping keeps the
+// historical contract that a bad address fails at construction, not on
+// first use.
+func NewRemoteQueue(addr string, opts ...RemoteQueueOption) (*RemoteQueue, error) {
+	q := &RemoteQueue{Addr: addr}
+	for _, o := range opts {
+		o(q)
+	}
+	q.pub = q.newClient()
+	if err := q.pub.Ping(context.Background()); err != nil {
+		q.pub.Close()
 		return nil, err
 	}
-	return &RemoteQueue{Addr: addr, pub: pub}, nil
+	return q, nil
+}
+
+func (q *RemoteQueue) newClient() *brokerd.ReconnClient {
+	opts := []brokerd.ReconnOption{
+		brokerd.WithPolicy(q.policy),
+		brokerd.WithMetrics(q.metrics),
+	}
+	if q.dialTimeout > 0 {
+		opts = append(opts, brokerd.WithDialOptions(brokerd.WithDialTimeout(q.dialTimeout)))
+	}
+	return brokerd.NewReconnClient(q.Addr, opts...)
 }
 
 // Publish implements Queue.
-func (q *RemoteQueue) Publish(topic string, body []byte) error {
-	_, err := q.pub.Publish(topic, body)
+func (q *RemoteQueue) Publish(ctx context.Context, topic string, body []byte) error {
+	_, err := q.pub.Publish(ctx, topic, body)
 	return err
 }
 
-// Subscribe implements Queue.
-func (q *RemoteQueue) Subscribe(topic, channel string, maxInFlight int) (Subscription, error) {
-	conn, err := brokerd.Dial(q.Addr)
-	if err != nil {
-		return nil, err
-	}
-	if err := conn.Subscribe(topic, channel, maxInFlight); err != nil {
+// Subscribe implements Queue. The subscription survives broker
+// restarts: its connection resubscribes transparently and deliveries
+// resume (at-least-once — in-flight messages at the moment of the drop
+// are requeued by the broker and redelivered).
+func (q *RemoteQueue) Subscribe(ctx context.Context, topic, channel string, maxInFlight int) (Subscription, error) {
+	conn := q.newClient()
+	if err := conn.Subscribe(ctx, topic, channel, maxInFlight); err != nil {
 		conn.Close()
 		return nil, err
 	}
@@ -113,8 +167,8 @@ func (q *RemoteQueue) Subscribe(topic, channel string, maxInFlight int) (Subscri
 			d := d
 			out <- QueueMsg{
 				Body:    d.Body,
-				Ack:     func() error { return conn.Ack(d) },
-				Requeue: func() error { return conn.Requeue(d) },
+				Ack:     func() error { return conn.Ack(context.Background(), d) },
+				Requeue: func() error { return conn.Requeue(context.Background(), d) },
 			}
 		}
 	}()
@@ -125,7 +179,7 @@ func (q *RemoteQueue) Subscribe(topic, channel string, maxInFlight int) (Subscri
 func (q *RemoteQueue) Close() error { return q.pub.Close() }
 
 type remoteSub struct {
-	conn *brokerd.Client
+	conn *brokerd.ReconnClient
 	c    chan QueueMsg
 }
 
@@ -137,34 +191,51 @@ func (s remoteSub) Close() error       { return s.conn.Close() }
 // Objects is the file-server port, satisfied by the HTTP client
 // (objstore.Client) directly and by the engine through LocalObjects.
 type Objects interface {
-	Put(bucket, key string, data []byte, ttl time.Duration) error
-	Get(bucket, key string) ([]byte, error)
-	List(bucket, prefix string) ([]objstore.ObjectInfo, error)
-	Delete(bucket, key string) error
+	Put(ctx context.Context, bucket, key string, data []byte, ttl time.Duration) error
+	Get(ctx context.Context, bucket, key string) ([]byte, error)
+	List(ctx context.Context, bucket, prefix string) ([]objstore.ObjectInfo, error)
+	Delete(ctx context.Context, bucket, key string) error
 }
 
-// LocalObjects adapts the in-process engine to Objects.
+// LocalObjects adapts the in-process engine to Objects. ctx only gates
+// entry — the engine is in-memory.
 type LocalObjects struct{ S *objstore.Store }
 
 // Put implements Objects.
-func (o LocalObjects) Put(bucket, key string, data []byte, ttl time.Duration) error {
+func (o LocalObjects) Put(ctx context.Context, bucket, key string, data []byte, ttl time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	_, err := o.S.Put(bucket, key, data, ttl)
 	return err
 }
 
 // Get implements Objects.
-func (o LocalObjects) Get(bucket, key string) ([]byte, error) {
+func (o LocalObjects) Get(ctx context.Context, bucket, key string) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	data, _, err := o.S.Get(bucket, key)
 	return data, err
 }
 
 // List implements Objects.
-func (o LocalObjects) List(bucket, prefix string) ([]objstore.ObjectInfo, error) {
+func (o LocalObjects) List(ctx context.Context, bucket, prefix string) ([]objstore.ObjectInfo, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return o.S.List(bucket, prefix)
 }
 
 // Delete implements Objects.
-func (o LocalObjects) Delete(bucket, key string) error { return o.S.Delete(bucket, key) }
+func (o LocalObjects) Delete(ctx context.Context, bucket, key string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return o.S.Delete(bucket, key)
+}
 
 var _ Objects = (*objstore.Client)(nil)
 var _ Objects = LocalObjects{}
+var _ Queue = BrokerQueue{}
+var _ Queue = (*RemoteQueue)(nil)

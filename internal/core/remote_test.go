@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -8,7 +9,9 @@ import (
 	"rai/internal/brokerd"
 	"rai/internal/build"
 	"rai/internal/cnn"
+	"rai/internal/netx"
 	"rai/internal/project"
+	"rai/internal/telemetry"
 )
 
 // TestRemoteQueueEndToEnd runs the whole client/worker protocol through
@@ -50,12 +53,95 @@ func TestRemoteQueueEndToEnd(t *testing.T) {
 		t.Fatalf("res = %+v", res)
 	}
 	// List/Delete paths of the objects port.
-	infos, err := c.Objects.List(BucketUploads, "team-tcp/")
+	infos, err := c.Objects.List(context.Background(), BucketUploads, "team-tcp/")
 	if err != nil || len(infos) != 1 {
 		t.Fatalf("list = %v, %v", infos, err)
 	}
-	if err := c.Objects.Delete(BucketUploads, infos[0].Key); err != nil {
+	if err := c.Objects.Delete(context.Background(), BucketUploads, infos[0].Key); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestSubmissionSurvivesBrokerRestart is the PR's end-to-end acceptance
+// check: with the broker down, a student submission started during the
+// outage still completes once the broker comes back — the client's
+// publish/subscribe and the worker's task subscription all ride the
+// reconnecting queue instead of failing.
+func TestSubmissionSurvivesBrokerRestart(t *testing.T) {
+	e := newEnv(t)
+	b := broker.New()
+	t.Cleanup(func() { b.Close() })
+	srv, err := brokerd.NewServer(b, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+
+	reg := telemetry.NewRegistry()
+	p := netx.Policy{MaxAttempts: 100, BaseDelay: time.Millisecond, MaxDelay: 20 * time.Millisecond}
+	m := netx.NewMetrics(reg, "broker")
+	workerQueue, err := NewRemoteQueue(addr, WithQueuePolicy(p), WithQueueMetrics(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { workerQueue.Close() })
+	e.worker.Queue = workerQueue
+	e.worker.Cfg.RateLimit = 0
+	go e.worker.Run()
+	t.Cleanup(e.worker.Stop)
+
+	clientQueue, err := NewRemoteQueue(addr, WithQueuePolicy(p), WithQueueMetrics(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { clientQueue.Close() })
+	c := e.client(t, "team-outage")
+	c.Queue = clientQueue
+	c.LogWait = 0 // real-time delivery; no virtual-clock timer
+
+	// One clean submission first, so the worker's task subscription and
+	// both publish connections exist before the restart kills them all.
+	archive := packProject(t, project.Spec{Impl: cnn.ImplIm2col, Team: "team-outage"})
+	res, err := c.Submit(KindRun, build.Default(), archive)
+	if err != nil {
+		t.Fatalf("submission before restart: %v", err)
+	}
+	if res.Status != StatusSucceeded {
+		t.Fatalf("status before restart = %q", res.Status)
+	}
+
+	// Step past the per-user rate limit, then kill the broker and bring
+	// it back on the same address over the same engine while the next
+	// submission is already underway.
+	e.clock.Advance(time.Minute)
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	type restart struct {
+		srv *brokerd.Server
+		err error
+	}
+	restarted := make(chan restart, 1)
+	go func() {
+		time.Sleep(25 * time.Millisecond)
+		srv2, err := brokerd.NewServer(b, addr)
+		restarted <- restart{srv2, err}
+	}()
+
+	res2, err := c.Submit(KindRun, build.Default(), archive)
+	r := <-restarted
+	if r.err != nil {
+		t.Fatalf("broker restart: %v", r.err)
+	}
+	t.Cleanup(func() { r.srv.Close() })
+	if err != nil {
+		t.Fatalf("submission across restart: %v", err)
+	}
+	if res2.Status != StatusSucceeded || res2.Accuracy != 1.0 {
+		t.Fatalf("res = %+v", res2)
+	}
+	if v, _ := reg.Value(netx.MetricReconnects, telemetry.L("component", "broker")); v < 1 {
+		t.Errorf("reconnects counter = %v, want >= 1", v)
 	}
 }
 
@@ -81,7 +167,7 @@ func TestResubmitReusesUpload(t *testing.T) {
 	if bucket == "" || key == "" {
 		t.Fatalf("job doc lacks upload location: %v", job)
 	}
-	uploadsBefore, _ := e.objects.List(BucketUploads, "team-rerun/")
+	uploadsBefore, _ := e.objects.List(context.Background(), BucketUploads, "team-rerun/")
 
 	e.clock.Advance(time.Minute)
 	type out struct {
@@ -107,7 +193,7 @@ func TestResubmitReusesUpload(t *testing.T) {
 		t.Errorf("rerun timer %v != original %v (same archive, same model)", o.res.InternalTimer, first.InternalTimer)
 	}
 	// No new upload was created.
-	uploadsAfter, _ := e.objects.List(BucketUploads, "team-rerun/")
+	uploadsAfter, _ := e.objects.List(context.Background(), BucketUploads, "team-rerun/")
 	if len(uploadsAfter) != len(uploadsBefore) {
 		t.Errorf("uploads grew from %d to %d on resubmit", len(uploadsBefore), len(uploadsAfter))
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -72,15 +73,23 @@ type CommandResult struct {
 }
 
 // OpenSession uploads the project and starts an interactive session.
-// The returned Session executes commands with Run and must be closed.
+//
+// Deprecated: use OpenSessionContext.
 func (c *Client) OpenSession(archive []byte) (*Session, error) {
+	return c.OpenSessionContext(context.Background(), archive)
+}
+
+// OpenSessionContext uploads the project and starts an interactive
+// session. The returned Session executes commands with Run and must be
+// closed.
+func (c *Client) OpenSessionContext(ctx context.Context, archive []byte) (*Session, error) {
 	clk := c.Clock
 	if clk == nil {
 		clk = clock.Real{}
 	}
 	jobID := NewJobID()
 	uploadKey := fmt.Sprintf("%s/%s/project.tar.bz2", c.Creds.UserName, jobID)
-	if err := c.Objects.Put(BucketUploads, uploadKey, archive, UploadTTL); err != nil {
+	if err := c.Objects.Put(ctx, BucketUploads, uploadKey, archive, UploadTTL); err != nil {
 		return nil, fmt.Errorf("core: uploading project: %w", err)
 	}
 	req := &JobRequest{
@@ -89,11 +98,11 @@ func (c *Client) OpenSession(archive []byte) (*Session, error) {
 		SubmittedAt: clk.Now(),
 	}
 	req.Token = tokenFor(c, req)
-	sub, err := c.Queue.Subscribe(LogTopic(jobID), LogChannel, 1024)
+	sub, err := c.Queue.Subscribe(ctx, LogTopic(jobID), LogChannel, 1024)
 	if err != nil {
 		return nil, err
 	}
-	if err := c.Queue.Publish(TasksTopic, encodeJSON(req)); err != nil {
+	if err := c.Queue.Publish(ctx, TasksTopic, encodeJSON(req)); err != nil {
 		sub.Close()
 		return nil, err
 	}
@@ -115,7 +124,7 @@ func (s *Session) Run(cmd string) (*CommandResult, error) {
 	if s.closed {
 		return nil, ErrSessionClosed
 	}
-	if err := s.client.Queue.Publish(CmdTopic(s.JobID), encodeJSON(&sessionCommand{JobID: s.JobID, Cmd: cmd})); err != nil {
+	if err := s.client.Queue.Publish(context.Background(), CmdTopic(s.JobID), encodeJSON(&sessionCommand{JobID: s.JobID, Cmd: cmd})); err != nil {
 		return nil, err
 	}
 	return s.waitCmdDone(cmd)
@@ -174,7 +183,7 @@ func (s *Session) Close() error {
 	if s.closed {
 		return nil
 	}
-	s.client.Queue.Publish(CmdTopic(s.JobID), encodeJSON(&sessionCommand{JobID: s.JobID, Close: true}))
+	s.client.Queue.Publish(context.Background(), CmdTopic(s.JobID), encodeJSON(&sessionCommand{JobID: s.JobID, Close: true}))
 	// Drain until End so Result is populated.
 	for {
 		m, ok := <-s.sub.C()
@@ -207,10 +216,10 @@ func tokenFor(c *Client, req *JobRequest) string {
 
 // runSession drives an interactive session job: container up, then a
 // command loop bounded by the container lifetime and an idle timeout.
-func (w *Worker) runSession(req *JobRequest, logf func(kind, format string, args ...any)) execResult {
+func (w *Worker) runSession(ctx context.Context, req *JobRequest, logf func(kind, format string, args ...any)) execResult {
 	var res execResult
 
-	archive, err := w.Objects.Get(req.UploadBucket, req.UploadKey)
+	archive, err := w.Objects.Get(ctx, req.UploadBucket, req.UploadKey)
 	if err != nil {
 		logf(LogSystem, "cannot download project archive: %v", err)
 		return res
@@ -241,7 +250,7 @@ func (w *Worker) runSession(req *JobRequest, logf func(kind, format string, args
 	defer ctr.Destroy()
 	res.elapsed += ctr.PullLatency
 
-	cmdSub, err := w.Queue.Subscribe(CmdTopic(req.ID), CmdChannel, 64)
+	cmdSub, err := w.Queue.Subscribe(ctx, CmdTopic(req.ID), CmdChannel, 64)
 	if err != nil {
 		logf(LogSystem, "cannot open command channel: %v", err)
 		return res
@@ -305,7 +314,7 @@ loop:
 // signalCmdDone publishes the per-command completion marker; the exit
 // code travels in the numeric Elapsed field.
 func (w *Worker) signalCmdDone(jobID string, exitCode int) {
-	w.Queue.Publish(LogTopic(jobID), encodeJSON(&LogMessage{
+	w.Queue.Publish(context.Background(), LogTopic(jobID), encodeJSON(&LogMessage{
 		JobID: jobID, Kind: LogCmdDone, Elapsed: float64(exitCode),
 	}))
 }

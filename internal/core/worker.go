@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -142,25 +143,47 @@ func (w *Worker) initRuntime() {
 	}
 }
 
-// Run subscribes to rai/tasks and processes jobs until Stop. Each job is
+// Run subscribes to rai/tasks and processes jobs until Stop.
+//
+// Deprecated: use RunContext.
+func (w *Worker) Run() error {
+	return w.RunContext(context.Background())
+}
+
+// RunContext subscribes to rai/tasks and processes jobs until ctx is
+// done or Stop is called, then drains: the subscription closes (so the
+// broker requeues anything undelivered for other workers) but jobs
+// already executing run to completion — killing a student's job halfway
+// through grading would be worse than a slow shutdown. Each job is
 // handled in its own goroutine, bounded by MaxConcurrent through the
 // queue's in-flight window (§V: "we place constraints on the number of
 // jobs that can be executed concurrently").
-func (w *Worker) Run() error {
+func (w *Worker) RunContext(ctx context.Context) error {
 	w.initRuntime()
-	sub, err := w.Queue.Subscribe(TasksTopic, TasksChannel, w.Cfg.MaxConcurrent)
+	sub, err := w.Queue.Subscribe(ctx, TasksTopic, TasksChannel, w.Cfg.MaxConcurrent)
 	if err != nil {
 		return err
 	}
 	w.mu.Lock()
 	w.sub = sub
 	w.mu.Unlock()
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+			sub.Close()
+		case <-stop:
+		}
+	}()
 	for m := range sub.C() {
 		m := m
 		w.wg.Add(1)
 		go func() {
 			defer w.wg.Done()
-			w.process(m)
+			// In-flight jobs survive shutdown: detach from ctx's cancel
+			// while keeping its values.
+			w.process(context.WithoutCancel(ctx), m)
 		}()
 	}
 	w.wg.Wait()
@@ -183,7 +206,7 @@ func (w *Worker) Stop() {
 // to arrive and reports whether one was handled.
 func (w *Worker) HandleOne(wait time.Duration) (bool, error) {
 	w.initRuntime()
-	sub, err := w.Queue.Subscribe(TasksTopic, TasksChannel, 1)
+	sub, err := w.Queue.Subscribe(context.Background(), TasksTopic, TasksChannel, 1)
 	if err != nil {
 		return false, err
 	}
@@ -193,7 +216,7 @@ func (w *Worker) HandleOne(wait time.Duration) (bool, error) {
 		if !ok {
 			return false, nil
 		}
-		w.process(m)
+		w.process(context.Background(), m)
 		return true, nil
 	case <-time.After(wait):
 		return false, nil
@@ -207,8 +230,9 @@ func (w *Worker) Handled() int {
 	return w.handled
 }
 
-// process executes one queue message end to end.
-func (w *Worker) process(m QueueMsg) {
+// process executes one queue message end to end. ctx carries request
+// values but no cancellation — an accepted job runs to completion.
+func (w *Worker) process(ctx context.Context, m QueueMsg) {
 	defer func() {
 		w.mu.Lock()
 		w.handled++
@@ -231,14 +255,14 @@ func (w *Worker) process(m QueueMsg) {
 	defer proc.End()
 	logTopic := LogTopic(req.ID)
 	logf := func(kind, format string, args ...any) {
-		w.Queue.Publish(logTopic, encodeJSON(&LogMessage{
+		w.Queue.Publish(ctx, logTopic, encodeJSON(&LogMessage{
 			JobID: req.ID, Kind: kind, Line: fmt.Sprintf(format, args...),
 		}))
 	}
 	end := func(lm *LogMessage) {
 		lm.JobID = req.ID
 		lm.Kind = LogEnd
-		w.Queue.Publish(logTopic, encodeJSON(lm))
+		w.Queue.Publish(ctx, logTopic, encodeJSON(lm))
 	}
 	reject := func(reason string) {
 		logf(LogSystem, "job rejected: %s", reason)
@@ -271,7 +295,7 @@ func (w *Worker) process(m QueueMsg) {
 	var result execResult
 	if req.Kind == KindSession {
 		w.recordJob(&req, docstore.M{"status": "running", "worker": w.Cfg.ID})
-		result = w.runSession(&req, logf)
+		result = w.runSession(ctx, &req, logf)
 	} else {
 		spec, err := w.resolveSpec(&req)
 		if err != nil {
@@ -284,13 +308,13 @@ func (w *Worker) process(m QueueMsg) {
 		}
 		// Record the accepted job before running (auditing, §IV).
 		w.recordJob(&req, docstore.M{"status": "running", "worker": w.Cfg.ID})
-		result = w.execute(&req, spec, logf, proc)
+		result = w.execute(ctx, &req, spec, logf, proc)
 	}
 
 	// Worker step 6: upload /build and advertise its location.
 	if result.buildArchive != nil {
 		buildKey := fmt.Sprintf("%s/%s/build.tar.bz2", req.User, req.ID)
-		if err := w.Objects.Put(BucketBuilds, buildKey, result.buildArchive, UploadTTL); err != nil {
+		if err := w.Objects.Put(ctx, BucketBuilds, buildKey, result.buildArchive, UploadTTL); err != nil {
 			logf(LogSystem, "failed to upload build directory: %v", err)
 		} else {
 			result.buildBucket, result.buildKey = BucketBuilds, buildKey
@@ -409,11 +433,11 @@ type execResult struct {
 
 // execute downloads the project, runs the build spec in a container, and
 // packs /build (worker steps 3–6).
-func (w *Worker) execute(req *JobRequest, spec *build.Spec, logf func(kind, format string, args ...any), parent *telemetry.Span) execResult {
+func (w *Worker) execute(ctx context.Context, req *JobRequest, spec *build.Spec, logf func(kind, format string, args ...any), parent *telemetry.Span) execResult {
 	var res execResult
 
 	// Worker step 4: download and unpack the project archive.
-	archive, err := w.Objects.Get(req.UploadBucket, req.UploadKey)
+	archive, err := w.Objects.Get(ctx, req.UploadBucket, req.UploadKey)
 	if err != nil {
 		logf(LogSystem, "cannot download project archive: %v", err)
 		return res

@@ -1,6 +1,8 @@
 package docstore
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -10,6 +12,7 @@ import (
 	"time"
 
 	"rai/internal/clock"
+	"rai/internal/netx"
 	"rai/internal/telemetry"
 )
 
@@ -196,68 +199,116 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
-// Client is an HTTP client for a docstore service, mirroring the DB API.
+// DefaultRequestTimeout bounds each attempt when the policy does not
+// set a per-attempt deadline. It replaces the old fixed 30s
+// http.Client.Timeout; the caller's ctx can always cut it shorter.
+const DefaultRequestTimeout = 30 * time.Second
+
+// Client is an HTTP client for a docstore service, mirroring the DB
+// API. Calls run under Policy: transient failures retry with jittered
+// backoff — except Insert, which is not idempotent and gets a single
+// attempt (a retried insert whose first try actually landed would
+// duplicate the document). Update/Upsert/Delete are filter-addressed
+// and safe to repeat.
 type Client struct {
 	BaseURL string
 	HTTP    *http.Client
 	Sign    func(r *http.Request)
+	// Policy governs retries and deadlines; NewClient seeds PerAttempt
+	// with DefaultRequestTimeout when unset.
+	Policy netx.Policy
+}
+
+// ClientOption configures NewClient.
+type ClientOption func(*Client)
+
+// WithClientPolicy replaces the retry policy.
+func WithClientPolicy(p netx.Policy) ClientOption {
+	return func(c *Client) { c.Policy = p }
+}
+
+// WithClientTransport substitutes the HTTP transport.
+func WithClientTransport(rt http.RoundTripper) ClientOption {
+	return func(c *Client) { c.HTTP.Transport = rt }
 }
 
 // NewClient returns a client for the service at baseURL.
-func NewClient(baseURL string) *Client {
-	return &Client{BaseURL: strings.TrimSuffix(baseURL, "/"), HTTP: &http.Client{Timeout: 30 * time.Second}}
+func NewClient(baseURL string, opts ...ClientOption) *Client {
+	c := &Client{BaseURL: strings.TrimSuffix(baseURL, "/"), HTTP: &http.Client{}}
+	for _, o := range opts {
+		o(c)
+	}
+	if c.Policy.PerAttempt <= 0 {
+		c.Policy.PerAttempt = DefaultRequestTimeout
+	}
+	return c
 }
 
-func (c *Client) call(coll, verb string, req rpcRequest) (rpcResponse, error) {
+// call runs one RPC under the retry policy (single attempt when retry
+// is false). Each attempt rebuilds the request from the marshaled
+// payload; error-response bodies are fully drained so the pooled
+// connection is reused.
+func (c *Client) call(ctx context.Context, coll, verb string, req rpcRequest, retry bool) (rpcResponse, error) {
 	payload, err := json.Marshal(req)
 	if err != nil {
 		return rpcResponse{}, err
 	}
-	hreq, err := http.NewRequest(http.MethodPost, c.BaseURL+"/c/"+coll+"/"+verb, strings.NewReader(string(payload)))
-	if err != nil {
-		return rpcResponse{}, err
+	p := c.Policy
+	if !retry {
+		p.MaxAttempts = 1
 	}
-	hreq.Header.Set("Content-Type", "application/json")
-	if c.Sign != nil {
-		c.Sign(hreq)
-	}
-	hresp, err := c.HTTP.Do(hreq)
-	if err != nil {
-		return rpcResponse{}, err
-	}
-	defer hresp.Body.Close()
-	var resp rpcResponse
-	if err := json.NewDecoder(hresp.Body).Decode(&resp); err != nil {
-		return rpcResponse{}, fmt.Errorf("docstore client: bad response: %w", err)
-	}
-	if resp.Error != "" {
-		if hresp.StatusCode == http.StatusNotFound {
-			return resp, fmt.Errorf("%w: %s", ErrNotFound, resp.Error)
+	return netx.DoVal(ctx, p, func(ctx context.Context) (rpcResponse, error) {
+		hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/c/"+coll+"/"+verb, bytes.NewReader(payload))
+		if err != nil {
+			return rpcResponse{}, netx.Permanent(err)
 		}
-		return resp, errors.New(resp.Error)
-	}
-	return resp, nil
+		hreq.Header.Set("Content-Type", "application/json")
+		if c.Sign != nil {
+			c.Sign(hreq)
+		}
+		hresp, err := c.HTTP.Do(hreq)
+		if err != nil {
+			return rpcResponse{}, err
+		}
+		defer func() {
+			io.Copy(io.Discard, io.LimitReader(hresp.Body, 64<<10))
+			hresp.Body.Close()
+		}()
+		var resp rpcResponse
+		if err := json.NewDecoder(hresp.Body).Decode(&resp); err != nil {
+			return rpcResponse{}, fmt.Errorf("docstore client: bad response: %w", err)
+		}
+		if resp.Error != "" {
+			se := &netx.StatusError{Op: "docstore " + verb, Code: hresp.StatusCode, Msg: resp.Error}
+			if hresp.StatusCode == http.StatusNotFound {
+				return resp, fmt.Errorf("%w: %w", ErrNotFound, se)
+			}
+			return resp, se
+		}
+		return resp, nil
+	})
 }
 
-// Insert stores a document and returns its id.
-func (c *Client) Insert(coll string, doc any) (string, error) {
+// InsertContext stores a document and returns its id. Inserts are not
+// retried (see Client).
+func (c *Client) InsertContext(ctx context.Context, coll string, doc any) (string, error) {
 	d, err := normalize(doc)
 	if err != nil {
 		return "", err
 	}
-	resp, err := c.call(coll, "insert", rpcRequest{Doc: d})
+	resp, err := c.call(ctx, coll, "insert", rpcRequest{Doc: d}, false)
 	return resp.ID, err
 }
 
-// Find runs a filtered query.
-func (c *Client) Find(coll string, filter M, opts FindOpts) ([]M, error) {
-	resp, err := c.call(coll, "find", rpcRequest{Filter: filter, Opts: opts})
+// FindContext runs a filtered query.
+func (c *Client) FindContext(ctx context.Context, coll string, filter M, opts FindOpts) ([]M, error) {
+	resp, err := c.call(ctx, coll, "find", rpcRequest{Filter: filter, Opts: opts}, true)
 	return resp.Docs, err
 }
 
-// FindOne returns the first match or ErrNotFound.
-func (c *Client) FindOne(coll string, filter M) (M, error) {
-	docs, err := c.Find(coll, filter, FindOpts{Limit: 1})
+// FindOneContext returns the first match or ErrNotFound.
+func (c *Client) FindOneContext(ctx context.Context, coll string, filter M) (M, error) {
+	docs, err := c.FindContext(ctx, coll, filter, FindOpts{Limit: 1})
 	if err != nil {
 		return nil, err
 	}
@@ -267,28 +318,63 @@ func (c *Client) FindOne(coll string, filter M) (M, error) {
 	return docs[0], nil
 }
 
+// CountContext counts matches.
+func (c *Client) CountContext(ctx context.Context, coll string, filter M) (int, error) {
+	resp, err := c.call(ctx, coll, "count", rpcRequest{Filter: filter}, true)
+	return resp.N, err
+}
+
+// UpdateContext applies an update to all matches.
+func (c *Client) UpdateContext(ctx context.Context, coll string, filter, update M) (int, error) {
+	resp, err := c.call(ctx, coll, "update", rpcRequest{Filter: filter, Update: update}, true)
+	return resp.N, err
+}
+
+// UpsertContext updates or inserts and returns the document id.
+func (c *Client) UpsertContext(ctx context.Context, coll string, filter, update M) (string, error) {
+	resp, err := c.call(ctx, coll, "upsert", rpcRequest{Filter: filter, Update: update}, true)
+	return resp.ID, err
+}
+
+// DeleteContext removes matches.
+func (c *Client) DeleteContext(ctx context.Context, coll string, filter M) (int, error) {
+	resp, err := c.call(ctx, coll, "delete", rpcRequest{Filter: filter}, true)
+	return resp.N, err
+}
+
+// Insert stores a document and returns its id.
+func (c *Client) Insert(coll string, doc any) (string, error) {
+	return c.InsertContext(context.Background(), coll, doc)
+}
+
+// Find runs a filtered query.
+func (c *Client) Find(coll string, filter M, opts FindOpts) ([]M, error) {
+	return c.FindContext(context.Background(), coll, filter, opts)
+}
+
+// FindOne returns the first match or ErrNotFound.
+func (c *Client) FindOne(coll string, filter M) (M, error) {
+	return c.FindOneContext(context.Background(), coll, filter)
+}
+
 // Count counts matches.
 func (c *Client) Count(coll string, filter M) (int, error) {
-	resp, err := c.call(coll, "count", rpcRequest{Filter: filter})
-	return resp.N, err
+	return c.CountContext(context.Background(), coll, filter)
 }
 
 // Update applies an update to all matches.
 func (c *Client) Update(coll string, filter, update M) (int, error) {
-	resp, err := c.call(coll, "update", rpcRequest{Filter: filter, Update: update})
-	return resp.N, err
+	return c.UpdateContext(context.Background(), coll, filter, update)
 }
 
 // Upsert updates or inserts and returns the document id.
 func (c *Client) Upsert(coll string, filter, update M) (string, error) {
-	resp, err := c.call(coll, "upsert", rpcRequest{Filter: filter, Update: update})
-	return resp.ID, err
+	return c.UpsertContext(context.Background(), coll, filter, update)
 }
 
 // Delete removes matches.
 func (c *Client) Delete(coll string, filter M) (int, error) {
-	resp, err := c.call(coll, "delete", rpcRequest{Filter: filter})
-	return resp.N, err
+	return c.DeleteContext(context.Background(), coll, filter)
 }
 
 // Store abstracts DB and Client so components can run embedded or remote.

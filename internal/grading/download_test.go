@@ -1,6 +1,7 @@
 package grading
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -53,7 +54,7 @@ func TestDownloadAllFinalSubmissions(t *testing.T) {
 		t.Fatalf("final submissions = %+v", subs)
 	}
 	dst := vfs.New()
-	teams, err := dl.DownloadAll(dst, "/graded")
+	teams, err := dl.DownloadAll(context.Background(), dst, "/graded")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +75,7 @@ func TestDownloadAllWithCleanup(t *testing.T) {
 	d := deployWithFinals(t)
 	dl := &Downloader{DB: d.DB, Objects: d.Objects, Cleanup: true}
 	dst := vfs.New()
-	if _, err := dl.DownloadAll(dst, "/graded"); err != nil {
+	if _, err := dl.DownloadAll(context.Background(), dst, "/graded"); err != nil {
 		t.Fatal(err)
 	}
 	// Intermediates removed; the submission code retained.

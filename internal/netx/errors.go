@@ -1,0 +1,73 @@
+package netx
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// permanentError marks an error that retrying cannot fix (bad request,
+// failed auth, missing object). Unwrap keeps errors.Is/As working on
+// the cause.
+type permanentError struct{ err error }
+
+func (p *permanentError) Error() string { return p.err.Error() }
+func (p *permanentError) Unwrap() error { return p.err }
+
+// Permanent wraps err so DefaultRetryable refuses to retry it. A nil
+// err stays nil.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// IsPermanent reports whether err (or anything it wraps) was marked
+// with Permanent.
+func IsPermanent(err error) bool {
+	var p *permanentError
+	return errors.As(err, &p)
+}
+
+// StatusError is an HTTP failure carrying its status code so the retry
+// classifier can distinguish server trouble (retryable 5xx) from caller
+// mistakes (permanent 4xx).
+type StatusError struct {
+	Op   string // e.g. "objstore put"
+	Code int
+	Msg  string // trimmed response body excerpt
+}
+
+// Error implements error.
+func (e *StatusError) Error() string {
+	if e.Msg == "" {
+		return fmt.Sprintf("%s: http %d %s", e.Op, e.Code, http.StatusText(e.Code))
+	}
+	return fmt.Sprintf("%s: http %d %s: %s", e.Op, e.Code, http.StatusText(e.Code), e.Msg)
+}
+
+// Temporary reports whether the status is worth retrying: any 5xx plus
+// the two 4xx codes that mean "try again" (request timeout and rate
+// limit).
+func (e *StatusError) Temporary() bool {
+	return e.Code >= 500 || e.Code == http.StatusRequestTimeout || e.Code == http.StatusTooManyRequests
+}
+
+// DefaultRetryable is the standard classification:
+//
+//   - nil, context.Canceled, and Permanent-marked errors: not retryable
+//   - StatusError: per Temporary (5xx/408/429 yes, other 4xx no)
+//   - everything else (dial refusals, resets, EOFs, per-attempt
+//     deadline blows): retryable
+func DefaultRetryable(err error) bool {
+	if err == nil || errors.Is(err, context.Canceled) || IsPermanent(err) {
+		return false
+	}
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.Temporary()
+	}
+	return true
+}

@@ -1,0 +1,72 @@
+package netx
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"sync/atomic"
+)
+
+// Fault injectors used by resilience tests across the repository: a
+// RoundTripper that fails the first N HTTP requests and a Listener that
+// kills the first N accepted connections. Both live in the package
+// proper (not a _test file) so objstore, docstore, and brokerd tests can
+// share them.
+
+// FlakyTransport fails the first Fail requests with a synthetic
+// connection error, then delegates to Base (http.DefaultTransport when
+// nil). Safe for concurrent use.
+type FlakyTransport struct {
+	// Fail is how many leading requests to drop.
+	Fail int32
+	// Base handles requests once the fault budget is spent.
+	Base http.RoundTripper
+
+	attempts atomic.Int32
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *FlakyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	n := t.attempts.Add(1)
+	if n <= t.Fail {
+		return nil, fmt.Errorf("netx: injected fault on request %d of %d", n, t.Fail)
+	}
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return base.RoundTrip(req)
+}
+
+// Attempts reports how many requests have been attempted (including the
+// dropped ones).
+func (t *FlakyTransport) Attempts() int { return int(t.attempts.Load()) }
+
+// FlakyListener wraps a net.Listener and immediately closes the first
+// Drop accepted connections — the client sees an accept-then-reset, the
+// same shape as a server restarting under it.
+type FlakyListener struct {
+	net.Listener
+	// Drop is how many leading connections to kill.
+	Drop int32
+
+	accepted atomic.Int32
+}
+
+// Accept implements net.Listener.
+func (l *FlakyListener) Accept() (net.Conn, error) {
+	for {
+		conn, err := l.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		if l.accepted.Add(1) <= l.Drop {
+			conn.Close()
+			continue
+		}
+		return conn, nil
+	}
+}
+
+// Accepted reports total accepted connections, dropped ones included.
+func (l *FlakyListener) Accepted() int { return int(l.accepted.Load()) }

@@ -1,0 +1,51 @@
+package netx
+
+import "rai/internal/telemetry"
+
+// Metric names exposed on /metrics, labeled by component.
+const (
+	MetricRetries    = "rai_rpc_retries_total"
+	MetricReconnects = "rai_rpc_reconnects_total"
+	MetricDeadlines  = "rai_rpc_deadline_exceeded_total"
+)
+
+// Metrics aggregates the resilience counters for one component. All
+// methods are nil-receiver safe, mirroring internal/telemetry, so a
+// component with telemetry disabled just carries a nil *Metrics.
+type Metrics struct {
+	Retries    *telemetry.Counter
+	Reconnects *telemetry.Counter
+	Deadlines  *telemetry.Counter
+}
+
+// NewMetrics registers the rai_rpc_* counters on reg for the named
+// component ("broker", "objstore", "docstore", ...). A nil reg yields
+// no-op instruments.
+func NewMetrics(reg *telemetry.Registry, component string) *Metrics {
+	l := telemetry.L("component", component)
+	return &Metrics{
+		Retries:    reg.Counter(MetricRetries, "RPC attempts retried after a retryable failure", l),
+		Reconnects: reg.Counter(MetricReconnects, "connections re-established after a drop", l),
+		Deadlines:  reg.Counter(MetricDeadlines, "RPCs abandoned because a deadline expired", l),
+	}
+}
+
+func (m *Metrics) retry() {
+	if m != nil {
+		m.Retries.Inc()
+	}
+}
+
+func (m *Metrics) deadline() {
+	if m != nil {
+		m.Deadlines.Inc()
+	}
+}
+
+// Reconnect counts one successful reconnection; exported because the
+// reconnecting wrappers live outside this package.
+func (m *Metrics) Reconnect() {
+	if m != nil {
+		m.Reconnects.Inc()
+	}
+}

@@ -1,6 +1,8 @@
 package objstore
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -11,6 +13,7 @@ import (
 	"time"
 
 	"rai/internal/clock"
+	"rai/internal/netx"
 	"rai/internal/telemetry"
 )
 
@@ -235,101 +238,134 @@ func writeStoreErr(w http.ResponseWriter, err error) {
 	}
 }
 
+// DefaultRequestTimeout bounds each attempt when the policy does not
+// set its own per-attempt deadline. It replaces the old fixed 60s
+// http.Client.Timeout — unlike that one, it is per attempt and the
+// caller's ctx can always cut it shorter.
+const DefaultRequestTimeout = 60 * time.Second
+
 // Client talks to an objstore HTTP server. Credentials, when set, are
 // attached to every request using the internal/auth header scheme.
+// Every call runs under Policy: transient failures (connection drops,
+// 5xx) are retried with jittered backoff; 4xx and ctx cancellation are
+// not. Client is safe for concurrent use.
 type Client struct {
 	BaseURL string
 	HTTP    *http.Client
 	// Sign, when non-nil, is called per request to attach credentials.
 	Sign func(r *http.Request)
+	// Policy governs retries and deadlines; NewClient seeds PerAttempt
+	// with DefaultRequestTimeout when unset.
+	Policy netx.Policy
+}
+
+// ClientOption configures NewClient.
+type ClientOption func(*Client)
+
+// WithClientPolicy replaces the retry policy (attempts, backoff,
+// deadlines, metrics).
+func WithClientPolicy(p netx.Policy) ClientOption {
+	return func(c *Client) { c.Policy = p }
+}
+
+// WithClientTransport substitutes the HTTP transport (fault injection
+// in tests, custom pools in deployments).
+func WithClientTransport(rt http.RoundTripper) ClientOption {
+	return func(c *Client) { c.HTTP.Transport = rt }
 }
 
 // NewClient returns a client for the server at baseURL.
-func NewClient(baseURL string) *Client {
-	return &Client{BaseURL: strings.TrimSuffix(baseURL, "/"), HTTP: &http.Client{Timeout: 60 * time.Second}}
+func NewClient(baseURL string, opts ...ClientOption) *Client {
+	c := &Client{BaseURL: strings.TrimSuffix(baseURL, "/"), HTTP: &http.Client{}}
+	for _, o := range opts {
+		o(c)
+	}
+	if c.Policy.PerAttempt <= 0 {
+		c.Policy.PerAttempt = DefaultRequestTimeout
+	}
+	return c
 }
 
-func (c *Client) do(req *http.Request) (*http.Response, error) {
-	if c.Sign != nil {
-		c.Sign(req)
-	}
-	return c.HTTP.Do(req)
+// roundTrip runs one signed request under the retry policy. build is
+// invoked per attempt so each try gets a fresh body and the attempt's
+// deadline. handle consumes a success response; error responses are
+// drained so the pooled connection is reused.
+func (c *Client) roundTrip(ctx context.Context, op string, okStatus int, build func(ctx context.Context) (*http.Request, error), handle func(*http.Response) error) error {
+	return netx.Do(ctx, c.Policy, func(ctx context.Context) error {
+		req, err := build(ctx)
+		if err != nil {
+			return netx.Permanent(err)
+		}
+		if c.Sign != nil {
+			c.Sign(req)
+		}
+		resp, err := c.HTTP.Do(req)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != okStatus {
+			return httpError(op, resp)
+		}
+		if handle == nil {
+			drainClose(resp.Body)
+			return nil
+		}
+		defer resp.Body.Close()
+		return handle(resp)
+	})
 }
 
 // Put uploads data to bucket/key with an optional TTL.
-func (c *Client) Put(bucket, key string, data []byte, ttl time.Duration) error {
-	req, err := http.NewRequest(http.MethodPut, c.objURL(bucket, key), strings.NewReader(string(data)))
-	if err != nil {
-		return err
-	}
-	if ttl > 0 {
-		req.Header.Set("X-RAI-TTL-Seconds", strconv.FormatInt(int64(ttl/time.Second), 10))
-	}
-	resp, err := c.do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusCreated {
-		return httpError("put", resp)
-	}
-	return nil
+func (c *Client) Put(ctx context.Context, bucket, key string, data []byte, ttl time.Duration) error {
+	return c.roundTrip(ctx, "put", http.StatusCreated, func(ctx context.Context) (*http.Request, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPut, c.objURL(bucket, key), bytes.NewReader(data))
+		if err != nil {
+			return nil, err
+		}
+		if ttl > 0 {
+			req.Header.Set("X-RAI-TTL-Seconds", strconv.FormatInt(int64(ttl/time.Second), 10))
+		}
+		return req, nil
+	}, nil)
 }
 
 // Get downloads bucket/key.
-func (c *Client) Get(bucket, key string) ([]byte, error) {
-	req, err := http.NewRequest(http.MethodGet, c.objURL(bucket, key), nil)
+func (c *Client) Get(ctx context.Context, bucket, key string) ([]byte, error) {
+	var data []byte
+	err := c.roundTrip(ctx, "get", http.StatusOK, func(ctx context.Context) (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, c.objURL(bucket, key), nil)
+	}, func(resp *http.Response) error {
+		var err error
+		data, err = io.ReadAll(resp.Body)
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.do(req)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, httpError("get", resp)
-	}
-	return io.ReadAll(resp.Body)
+	return data, nil
 }
 
 // Delete removes bucket/key.
-func (c *Client) Delete(bucket, key string) error {
-	req, err := http.NewRequest(http.MethodDelete, c.objURL(bucket, key), nil)
-	if err != nil {
-		return err
-	}
-	resp, err := c.do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusNoContent {
-		return httpError("delete", resp)
-	}
-	return nil
+func (c *Client) Delete(ctx context.Context, bucket, key string) error {
+	return c.roundTrip(ctx, "delete", http.StatusNoContent, func(ctx context.Context) (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodDelete, c.objURL(bucket, key), nil)
+	}, nil)
 }
 
 // List returns object metadata under prefix.
-func (c *Client) List(bucket, prefix string) ([]ObjectInfo, error) {
+func (c *Client) List(ctx context.Context, bucket, prefix string) ([]ObjectInfo, error) {
 	u := c.BaseURL + "/l/" + bucket
 	if prefix != "" {
 		u += "?prefix=" + prefix
 	}
-	req, err := http.NewRequest(http.MethodGet, u, nil)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := c.do(req)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, httpError("list", resp)
-	}
 	var infos []ObjectInfo
-	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+	err := c.roundTrip(ctx, "list", http.StatusOK, func(ctx context.Context) (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	}, func(resp *http.Response) error {
+		infos = nil // a retried attempt must not append to a partial decode
+		return json.NewDecoder(resp.Body).Decode(&infos)
+	})
+	if err != nil {
 		return nil, err
 	}
 	return infos, nil
@@ -339,15 +375,22 @@ func (c *Client) objURL(bucket, key string) string {
 	return c.BaseURL + "/o/" + bucket + "/" + key
 }
 
+// drainClose consumes what remains of body before closing so the
+// keep-alive connection returns to the pool instead of being torn down.
+func drainClose(body io.ReadCloser) {
+	io.Copy(io.Discard, io.LimitReader(body, 64<<10))
+	body.Close()
+}
+
+// httpError converts an error response into a netx.StatusError (so the
+// retry policy can classify it) and drains the body for connection
+// reuse. 404s additionally match ErrNoObject via errors.Is.
 func httpError(op string, resp *http.Response) error {
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-	msg := strings.TrimSpace(string(body))
-	err := fmt.Errorf("objstore %s: %s: %s", op, resp.Status, msg)
-	switch resp.StatusCode {
-	case http.StatusNotFound:
-		return fmt.Errorf("%w (%v)", ErrNoObject, err)
-	case http.StatusForbidden:
-		return fmt.Errorf("objstore %s: forbidden", op)
+	drainClose(resp.Body)
+	se := &netx.StatusError{Op: "objstore " + op, Code: resp.StatusCode, Msg: strings.TrimSpace(string(body))}
+	if resp.StatusCode == http.StatusNotFound {
+		return fmt.Errorf("%w: %w", ErrNoObject, se)
 	}
-	return err
+	return se
 }

@@ -1,0 +1,74 @@
+package objstore
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"rai/internal/netx"
+)
+
+func retryPolicy() netx.Policy {
+	return netx.Policy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}
+}
+
+// TestClientRetriesTransientFailures drops the first two requests at
+// the transport and expects the Put to go through anyway — with the
+// body intact, proving each attempt rebuilds its request reader.
+func TestClientRetriesTransientFailures(t *testing.T) {
+	s := New()
+	srv := httptest.NewServer(Handler(s, nil))
+	defer srv.Close()
+	ft := &netx.FlakyTransport{Fail: 2}
+	c := NewClient(srv.URL, WithClientPolicy(retryPolicy()), WithClientTransport(ft))
+
+	if err := c.Put(ctx, "b", "k", []byte("payload"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if ft.Attempts() != 3 {
+		t.Errorf("attempts = %d, want 3", ft.Attempts())
+	}
+	got, err := c.Get(ctx, "b", "k")
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("get after flaky put = %q, %v", got, err)
+	}
+}
+
+// TestClientNotFoundFailsFast pins that a 404 is permanent: one
+// request, no retry burn, and the sentinel still matches.
+func TestClientNotFoundFailsFast(t *testing.T) {
+	s := New()
+	srv := httptest.NewServer(Handler(s, nil))
+	defer srv.Close()
+	ft := &netx.FlakyTransport{} // counts requests, drops none
+	c := NewClient(srv.URL, WithClientPolicy(retryPolicy()), WithClientTransport(ft))
+
+	_, err := c.Get(ctx, "b", "missing")
+	if !errors.Is(err, ErrNoObject) {
+		t.Fatalf("err = %v, want ErrNoObject", err)
+	}
+	var se *netx.StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusNotFound {
+		t.Errorf("status not preserved: %v", err)
+	}
+	if ft.Attempts() != 1 {
+		t.Errorf("attempts = %d, want 1 (404 must not retry)", ft.Attempts())
+	}
+}
+
+// TestClientHonorsContext pins prompt abort: a canceled ctx stops the
+// call before any retries run.
+func TestClientHonorsContext(t *testing.T) {
+	s := New()
+	srv := httptest.NewServer(Handler(s, nil))
+	defer srv.Close()
+	c := NewClient(srv.URL, WithClientPolicy(retryPolicy()))
+	cctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := c.Put(cctx, "b", "k", []byte("x"), 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

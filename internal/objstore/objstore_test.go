@@ -2,6 +2,7 @@ package objstore
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"net/http"
 	"net/http/httptest"
@@ -182,6 +183,8 @@ func TestTouch(t *testing.T) {
 
 // --- HTTP layer ---
 
+var ctx = context.Background()
+
 func newHTTP(t *testing.T, auth AuthFunc) (*Store, *Client) {
 	t.Helper()
 	s := New()
@@ -193,24 +196,24 @@ func newHTTP(t *testing.T, auth AuthFunc) (*Store, *Client) {
 func TestHTTPRoundTrip(t *testing.T) {
 	_, c := newHTTP(t, nil)
 	payload := bytes.Repeat([]byte("tarball "), 100)
-	if err := c.Put("uploads", "team1/proj.tar.bz2", payload, time.Hour); err != nil {
+	if err := c.Put(ctx, "uploads", "team1/proj.tar.bz2", payload, time.Hour); err != nil {
 		t.Fatal(err)
 	}
-	got, err := c.Get("uploads", "team1/proj.tar.bz2")
+	got, err := c.Get(ctx, "uploads", "team1/proj.tar.bz2")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(got, payload) {
 		t.Error("HTTP round trip mismatch")
 	}
-	infos, err := c.List("uploads", "team1/")
+	infos, err := c.List(ctx, "uploads", "team1/")
 	if err != nil || len(infos) != 1 || infos[0].Key != "team1/proj.tar.bz2" {
 		t.Fatalf("List = %+v, %v", infos, err)
 	}
-	if err := c.Delete("uploads", "team1/proj.tar.bz2"); err != nil {
+	if err := c.Delete(ctx, "uploads", "team1/proj.tar.bz2"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Get("uploads", "team1/proj.tar.bz2"); !errors.Is(err, ErrNoObject) {
+	if _, err := c.Get(ctx, "uploads", "team1/proj.tar.bz2"); !errors.Is(err, ErrNoObject) {
 		t.Errorf("get after delete: %v", err)
 	}
 }
@@ -220,7 +223,7 @@ func TestHTTPTTLHeader(t *testing.T) {
 	srv := httptest.NewServer(Handler(s, nil))
 	defer srv.Close()
 	c := NewClient(srv.URL)
-	if err := c.Put("b", "k", []byte("x"), 90*time.Second); err != nil {
+	if err := c.Put(ctx, "b", "k", []byte("x"), 90*time.Second); err != nil {
 		t.Fatal(err)
 	}
 	info, err := s.Head("b", "k")
@@ -232,14 +235,14 @@ func TestHTTPTTLHeader(t *testing.T) {
 func TestHTTPAuthRejects(t *testing.T) {
 	auth := func(accessKey, sig string, r *http.Request) bool { return accessKey == "good" }
 	_, c := newHTTP(t, auth)
-	if err := c.Put("b", "k", nil, 0); err == nil {
+	if err := c.Put(ctx, "b", "k", nil, 0); err == nil {
 		t.Fatal("unauthenticated put succeeded")
 	}
 	c.Sign = func(r *http.Request) { r.Header.Set(HeaderAccessKey, "good") }
-	if err := c.Put("b", "k", []byte("x"), 0); err != nil {
+	if err := c.Put(ctx, "b", "k", []byte("x"), 0); err != nil {
 		t.Fatalf("authenticated put: %v", err)
 	}
-	if _, err := c.List("b", ""); err != nil {
+	if _, err := c.List(ctx, "b", ""); err != nil {
 		t.Fatalf("authenticated list: %v", err)
 	}
 }

@@ -1,6 +1,7 @@
 package objstore
 
 import (
+	"context"
 	"net/http/httptest"
 	"testing"
 
@@ -15,17 +16,17 @@ func TestHandlerMetrics(t *testing.T) {
 	c := NewClient(srv.URL)
 
 	payload := []byte("archive-bytes")
-	if err := c.Put("uploads", "team/j1/project.tar.bz2", payload, 0); err != nil {
+	if err := c.Put(context.Background(), "uploads", "team/j1/project.tar.bz2", payload, 0); err != nil {
 		t.Fatal(err)
 	}
-	got, err := c.Get("uploads", "team/j1/project.tar.bz2")
+	got, err := c.Get(context.Background(), "uploads", "team/j1/project.tar.bz2")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if string(got) != string(payload) {
 		t.Fatalf("round trip mismatch: %q", got)
 	}
-	if _, err := c.List("uploads", ""); err != nil {
+	if _, err := c.List(context.Background(), "uploads", ""); err != nil {
 		t.Fatal(err)
 	}
 

@@ -1,9 +1,10 @@
 #!/bin/sh
 # Repo verification gate: vet, build everything, then race-test the
-# packages with the most concurrency (telemetry registry/tracer and the
-# broker engine). Used by CI and before committing.
+# packages with the most concurrency (telemetry registry/tracer, the
+# broker engine, the retry layer, and the reconnecting TCP client).
+# Used by CI and before committing.
 set -eux
 
 go vet ./...
 go build ./...
-go test -race ./internal/telemetry/... ./internal/broker/...
+go test -race ./internal/telemetry/... ./internal/broker/... ./internal/netx/... ./internal/brokerd/...
