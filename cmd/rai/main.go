@@ -37,6 +37,7 @@ import (
 	"rai/internal/objstore"
 	"rai/internal/ranking"
 	"rai/internal/release"
+	"rai/internal/telemetry"
 )
 
 // buildInfo is stamped by the CI pipeline; the dev build carries
@@ -125,6 +126,18 @@ func (r rpcConfig) objects(baseURL string) *objstore.Client {
 	return objstore.NewClient(baseURL, objstore.WithClientPolicy(r.policy))
 }
 
+// observe wires the CLI's spans and log events onto the broker so the
+// collector can assemble the job timeline (`raiadmin trace <job_id>`).
+// Records ship in the background and nothing is printed locally; the
+// returned func flushes whatever is pending before the process exits.
+func observe(queue core.Queue) (*telemetry.Tracer, *telemetry.Logger, func()) {
+	exp := telemetry.NewExporter("rai", core.ShipTelemetry(queue))
+	tracer := telemetry.NewTracer(256, telemetry.WithSpanSink(exp.ExportSpan),
+		telemetry.WithTracerInstance(telemetry.NewInstanceID("rai")))
+	logger := telemetry.NewLogger("rai", telemetry.WithLogSink(exp.ExportEvent))
+	return tracer, logger, func() { exp.Close() }
+}
+
 // session opens an interactive container and relays stdin commands —
 // the §VIII future-work feature ("interactive sessions to enable more
 // debugging and profiling tools").
@@ -140,11 +153,15 @@ func session(ctx context.Context, creds auth.Credentials, dir, brokerAddr, fsURL
 		return 1
 	}
 	defer queue.Close()
+	tracer, logger, flushTel := observe(queue)
+	defer flushTel()
 	client := &core.Client{
 		Creds: creds, Queue: queue,
 		Objects: rpc.objects(fsURL),
 		Stdout:  stdout,
 		LogWait: timeout,
+		Tracer:  tracer,
+		Log:     logger,
 	}
 	sess, err := client.OpenSessionContext(ctx, archive)
 	if err != nil {
@@ -232,12 +249,16 @@ func submit(ctx context.Context, cmd string, creds auth.Credentials, dir, broker
 		return 1
 	}
 	defer queue.Close()
+	tracer, logger, flushTel := observe(queue)
+	defer flushTel()
 	client := &core.Client{
 		Creds:   creds,
 		Queue:   queue,
 		Objects: rpc.objects(fsURL),
 		Stdout:  stdout,
 		LogWait: timeout,
+		Tracer:  tracer,
+		Log:     logger,
 	}
 	res, err := client.SubmitContext(ctx, kind, spec, archive)
 	if err != nil {

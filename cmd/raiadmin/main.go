@@ -12,6 +12,9 @@
 //	raiadmin rerun   -db url -fs url -broker addr -keys keys.json -team NAME [-n 5]
 //	raiadmin grade   -db url [-manual manual.csv] [-target-accuracy 0.9]
 //	raiadmin top     [-filter prefix] [-buckets] URL [URL...]
+//	raiadmin collect -broker addr -db url [-metrics-addr addr]
+//	raiadmin trace   [-db url] JOB_ID
+//	raiadmin logs    [-db url] [-follow] JOB_ID
 package main
 
 import (
@@ -42,13 +45,16 @@ import (
 	"rai/internal/vfs"
 )
 
+// version is stamped by the CI pipeline; kept in lockstep with cmd/rai.
+const version = "0.2.0-dev"
+
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
 	if len(args) < 1 {
-		fmt.Fprintln(stderr, "usage: raiadmin keygen|teamgen|ranking|download|rerun|grade|top [flags]")
+		fmt.Fprintln(stderr, "usage: raiadmin keygen|teamgen|ranking|download|rerun|grade|top|collect|trace|logs [flags]")
 		return 2
 	}
 	switch args[0] {
@@ -66,6 +72,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return grade(args[1:], stdout, stderr)
 	case "top":
 		return top(args[1:], stdout, stderr)
+	case "collect":
+		return collect(args[1:], stdout, stderr)
+	case "trace":
+		return traceCmd(args[1:], stdout, stderr)
+	case "logs":
+		return logsCmd(args[1:], stdout, stderr)
 	default:
 		fmt.Fprintf(stderr, "raiadmin: unknown command %q\n", args[0])
 		return 2
@@ -447,6 +459,14 @@ func top(args []string, stdout, stderr io.Writer) int {
 		}
 		short := strings.TrimPrefix(strings.TrimPrefix(u, "http://"), "https://")
 		short = strings.TrimSuffix(short, "/metrics")
+		// Derive uptime from rai_process_start_time_seconds (published
+		// by every daemon next to rai_build_info).
+		if start, ok := snap.Value("rai_process_start_time_seconds"); ok && start > 0 {
+			if *filter == "" || strings.HasPrefix("uptime", *filter) {
+				up := time.Since(time.Unix(0, int64(start*float64(time.Second)))).Round(time.Second)
+				tbl.AddRow(short, "uptime", "-", up.String())
+			}
+		}
 		for _, s := range snap.Samples {
 			if *filter != "" && !strings.HasPrefix(s.Name, *filter) {
 				continue

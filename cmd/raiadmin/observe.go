@@ -1,0 +1,145 @@
+package main
+
+// The observability subcommands: `raiadmin collect` runs the telemetry
+// collector (broker -> docstore), `raiadmin trace` renders a job's
+// cross-service span tree with the Figure 4 phase decomposition, and
+// `raiadmin logs` tails a job's merged event stream.
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rai/internal/collector"
+	"rai/internal/core"
+	"rai/internal/docstore"
+	"rai/internal/telemetry"
+)
+
+// collect subscribes to the rai.telemetry route and persists batches
+// into the database until interrupted.
+func collect(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("raiadmin collect", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	brokerAddr := fs.String("broker", "127.0.0.1:7400", "broker address")
+	dbURL := fs.String("db", "http://127.0.0.1:7402", "database URL")
+	metricsAddr := fs.String("metrics-addr", "", "serve the collector's own /metrics here (empty = off)")
+	prefetch := fs.Int("prefetch", 64, "subscription in-flight window")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	queue, err := core.NewRemoteQueue(*brokerAddr)
+	if err != nil {
+		fmt.Fprintf(stderr, "raiadmin collect: %v\n", err)
+		return 1
+	}
+	defer queue.Close()
+
+	reg := telemetry.NewRegistry()
+	telemetry.RegisterBuildInfo(reg, "raiadmin-collect", version)
+	if *metricsAddr != "" {
+		addr, closeMetrics, err := reg.ServeMetrics(*metricsAddr)
+		if err != nil {
+			fmt.Fprintf(stderr, "raiadmin collect: metrics listener: %v\n", err)
+			return 1
+		}
+		defer closeMetrics()
+		fmt.Fprintf(stdout, "metrics on http://%s/metrics\n", addr)
+	}
+
+	c := &collector.Collector{
+		Queue:     queue,
+		DB:        docstore.NewClient(*dbURL),
+		Telemetry: reg,
+		Log:       telemetry.NewLogger("raiadmin-collect", telemetry.WithLogWriter(stderr)),
+		Prefetch:  *prefetch,
+	}
+	fmt.Fprintf(stdout, "collecting %s/%s from %s into %s\n",
+		core.TelemetryTopic, core.TelemetryChannel, *brokerAddr, *dbURL)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := c.Run(ctx); err != nil {
+		fmt.Fprintf(stderr, "raiadmin collect: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// traceCmd prints the assembled span tree for one job.
+func traceCmd(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("raiadmin trace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dbURL := fs.String("db", "http://127.0.0.1:7402", "database URL")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: raiadmin trace [-db url] <job_id>")
+		return 2
+	}
+	jobID := fs.Arg(0)
+	spans, err := collector.TraceByJob(docstore.NewClient(*dbURL), jobID)
+	if err != nil {
+		fmt.Fprintf(stderr, "raiadmin trace: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "job %s trace %s (%d spans)\n\n", jobID, spans[0].TraceID, len(spans))
+	fmt.Fprint(stdout, collector.FormatTimeline(spans))
+	return 0
+}
+
+// logsCmd prints (and with -follow, tails) a job's merged event stream.
+func logsCmd(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("raiadmin logs", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dbURL := fs.String("db", "http://127.0.0.1:7402", "database URL")
+	follow := fs.Bool("follow", false, "poll for new events until interrupted")
+	interval := fs.Duration("interval", 2*time.Second, "poll interval with -follow")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: raiadmin logs [-db url] [-follow] <job_id>")
+		return 2
+	}
+	jobID := fs.Arg(0)
+	db := docstore.NewClient(*dbURL)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var cursor float64
+	print := func() error {
+		events, err := collector.EventsByJob(db, jobID, cursor)
+		if err != nil {
+			return err
+		}
+		for _, e := range events {
+			fmt.Fprintln(stdout, e.Text())
+			if ts := collector.EventUnixSeconds(e); ts > cursor {
+				cursor = ts
+			}
+		}
+		return nil
+	}
+	if err := print(); err != nil {
+		fmt.Fprintf(stderr, "raiadmin logs: %v\n", err)
+		return 1
+	}
+	for *follow {
+		select {
+		case <-ctx.Done():
+			return 0
+		case <-time.After(*interval):
+		}
+		if err := print(); err != nil {
+			fmt.Fprintf(stderr, "raiadmin logs: %v\n", err)
+			return 1
+		}
+	}
+	return 0
+}

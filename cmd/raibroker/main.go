@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	raibroker [-addr host:port] [-metrics-addr host:port]
+//	raibroker [-addr host:port] [-metrics-addr host:port] [-pprof]
 package main
 
 import (
@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -22,6 +23,9 @@ import (
 	"rai/internal/core"
 	"rai/internal/telemetry"
 )
+
+// version is stamped by the CI pipeline; kept in lockstep with cmd/rai.
+const version = "0.2.0-dev"
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil, nil))
@@ -34,6 +38,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, quit <-ch
 	fs.SetOutput(stderr)
 	addr := fs.String("addr", "127.0.0.1:7400", "listen address")
 	metricsAddr := fs.String("metrics-addr", "", "serve GET /metrics on this address (empty = disabled)")
+	pprofOn := fs.Bool("pprof", false, "mount /debug/pprof on the metrics address")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -46,6 +51,9 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, quit <-ch
 		sopts = append(sopts, brokerd.WithTelemetry(reg))
 	}
 	b := broker.New(bopts...)
+	// Telemetry batches are droppable; cap their no-collector backlog so
+	// the engine cannot grow without bound.
+	b.SetBacklogLimit(core.TelemetryTopic, 4096)
 	if reg != nil {
 		b.ExportQueueDepth(core.TasksTopic, core.TasksChannel)
 	}
@@ -54,8 +62,14 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, quit <-ch
 		fmt.Fprintf(stderr, "raibroker: %v\n", err)
 		return 1
 	}
+	var exp *telemetry.Exporter
 	if reg != nil {
-		maddr, closeMetrics, err := reg.ServeMetrics(*metricsAddr)
+		telemetry.RegisterBuildInfo(reg, "raibroker", version)
+		var mounts []func(*http.ServeMux)
+		if *pprofOn {
+			mounts = append(mounts, telemetry.MountPprof)
+		}
+		maddr, closeMetrics, err := reg.ServeMetrics(*metricsAddr, mounts...)
 		if err != nil {
 			fmt.Fprintf(stderr, "raibroker: metrics listener: %v\n", err)
 			srv.Close()
@@ -64,6 +78,14 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, quit <-ch
 		}
 		defer closeMetrics()
 		fmt.Fprintf(stdout, "raibroker metrics on http://%s/metrics\n", maddr)
+		// The broker ships its own telemetry into its own engine — the
+		// collector subscribes over TCP like any other consumer.
+		exp = telemetry.NewExporter("raibroker", core.ShipTelemetry(core.BrokerQueue{B: b}),
+			telemetry.WithExportMetrics(reg))
+		defer exp.Close()
+		logger := telemetry.NewLogger("raibroker",
+			telemetry.WithLogWriter(stderr), telemetry.WithLogSink(exp.ExportEvent))
+		logger.Info(context.Background(), "broker started", telemetry.L("addr", *addr))
 	}
 	defer srv.Close()
 	defer b.Close()

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	raidb [-addr host:port] [-journal file] [-metrics-addr host:port]
+//	raidb [-addr host:port] [-journal file] [-metrics-addr host:port] [-pprof] [-broker host:port]
 package main
 
 import (
@@ -19,9 +19,13 @@ import (
 	"syscall"
 	"time"
 
+	"rai/internal/core"
 	"rai/internal/docstore"
 	"rai/internal/telemetry"
 )
+
+// version is stamped by the CI pipeline; kept in lockstep with cmd/rai.
+const version = "0.2.0-dev"
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil, nil))
@@ -33,21 +37,48 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, quit <-ch
 	addr := fs.String("addr", "127.0.0.1:7402", "listen address")
 	journal := fs.String("journal", "", "journal file for durability (empty = in-memory only)")
 	metricsAddr := fs.String("metrics-addr", "", "serve GET /metrics on this address (empty = disabled)")
+	pprofOn := fs.Bool("pprof", false, "mount /debug/pprof on the metrics address")
+	brokerAddr := fs.String("broker", "", "broker address for shipping spans/events to the collector (empty = off)")
 	drain := fs.Duration("drain", 10*time.Second, "in-flight request drain budget at shutdown")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	var handlerOpts []docstore.HandlerOption
+	var reg *telemetry.Registry
 	if *metricsAddr != "" {
-		reg := telemetry.NewRegistry()
+		reg = telemetry.NewRegistry()
+		telemetry.RegisterBuildInfo(reg, "raidb", version)
 		handlerOpts = append(handlerOpts, docstore.WithTelemetry(reg))
-		maddr, closeMetrics, err := reg.ServeMetrics(*metricsAddr)
+		var mounts []func(*http.ServeMux)
+		if *pprofOn {
+			mounts = append(mounts, telemetry.MountPprof)
+		}
+		maddr, closeMetrics, err := reg.ServeMetrics(*metricsAddr, mounts...)
 		if err != nil {
 			fmt.Fprintf(stderr, "raidb: metrics listener: %v\n", err)
 			return 1
 		}
 		defer closeMetrics()
 		fmt.Fprintf(stdout, "raidb metrics on http://%s/metrics\n", maddr)
+	}
+	// With a broker configured, finished spans (including the child spans
+	// opened for traced requests) and log events ship to the collector.
+	if *brokerAddr != "" {
+		queue, err := core.NewRemoteQueue(*brokerAddr)
+		if err != nil {
+			fmt.Fprintf(stderr, "raidb: broker: %v\n", err)
+			return 1
+		}
+		defer queue.Close()
+		exp := telemetry.NewExporter("raidb", core.ShipTelemetry(queue),
+			telemetry.WithExportMetrics(reg))
+		defer exp.Close()
+		tracer := telemetry.NewTracer(4096, telemetry.WithSpanSink(exp.ExportSpan),
+			telemetry.WithTracerInstance(telemetry.NewInstanceID("raidb")))
+		handlerOpts = append(handlerOpts, docstore.WithHandlerTracer(tracer))
+		logger := telemetry.NewLogger("raidb",
+			telemetry.WithLogWriter(stderr), telemetry.WithLogSink(exp.ExportEvent))
+		logger.Info(context.Background(), "database started", telemetry.L("addr", *addr))
 	}
 	var handler http.Handler
 	if *journal != "" {

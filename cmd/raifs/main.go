@@ -6,7 +6,7 @@
 // Usage:
 //
 //	raifs [-addr host:port] [-capacity bytes] [-ttl duration] [-keys keys.json] [-dir objects/]
-//	      [-metrics-addr host:port]
+//	      [-metrics-addr host:port] [-pprof] [-broker host:port]
 package main
 
 import (
@@ -23,9 +23,13 @@ import (
 	"time"
 
 	"rai/internal/auth"
+	"rai/internal/core"
 	"rai/internal/objstore"
 	"rai/internal/telemetry"
 )
+
+// version is stamped by the CI pipeline; kept in lockstep with cmd/rai.
+const version = "0.2.0-dev"
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil, nil))
@@ -40,6 +44,8 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, quit <-ch
 	keysPath := fs.String("keys", "", "credentials file for request authentication (empty = open)")
 	dataDir := fs.String("dir", "", "directory for durable object storage (empty = in-memory)")
 	metricsAddr := fs.String("metrics-addr", "", "serve GET /metrics on this address (empty = disabled)")
+	pprofOn := fs.Bool("pprof", false, "mount /debug/pprof on the metrics address")
+	brokerAddr := fs.String("broker", "", "broker address for shipping spans/events to the collector (empty = off)")
 	drain := fs.Duration("drain", 10*time.Second, "in-flight request drain budget at shutdown")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -66,16 +72,41 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, quit <-ch
 		authFn = objstore.AuthFunc(reg.HTTPAuth())
 	}
 	var handlerOpts []objstore.HandlerOption
+	var reg *telemetry.Registry
 	if *metricsAddr != "" {
-		reg := telemetry.NewRegistry()
+		reg = telemetry.NewRegistry()
+		telemetry.RegisterBuildInfo(reg, "raifs", version)
 		handlerOpts = append(handlerOpts, objstore.WithTelemetry(reg))
-		maddr, closeMetrics, err := reg.ServeMetrics(*metricsAddr)
+		var mounts []func(*http.ServeMux)
+		if *pprofOn {
+			mounts = append(mounts, telemetry.MountPprof)
+		}
+		maddr, closeMetrics, err := reg.ServeMetrics(*metricsAddr, mounts...)
 		if err != nil {
 			fmt.Fprintf(stderr, "raifs: metrics listener: %v\n", err)
 			return 1
 		}
 		defer closeMetrics()
 		fmt.Fprintf(stdout, "raifs metrics on http://%s/metrics\n", maddr)
+	}
+	// With a broker configured, finished spans (including the child spans
+	// opened for traced requests) and log events ship to the collector.
+	if *brokerAddr != "" {
+		queue, err := core.NewRemoteQueue(*brokerAddr)
+		if err != nil {
+			fmt.Fprintf(stderr, "raifs: broker: %v\n", err)
+			return 1
+		}
+		defer queue.Close()
+		exp := telemetry.NewExporter("raifs", core.ShipTelemetry(queue),
+			telemetry.WithExportMetrics(reg))
+		defer exp.Close()
+		tracer := telemetry.NewTracer(4096, telemetry.WithSpanSink(exp.ExportSpan),
+			telemetry.WithTracerInstance(telemetry.NewInstanceID("raifs")))
+		handlerOpts = append(handlerOpts, objstore.WithHandlerTracer(tracer))
+		logger := telemetry.NewLogger("raifs",
+			telemetry.WithLogWriter(stderr), telemetry.WithLogSink(exp.ExportEvent))
+		logger.Info(context.Background(), "file server started", telemetry.L("addr", *addr))
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -9,7 +9,7 @@
 //	raiworker -broker host:port -fs url -db url -keys keys.json
 //	          [-id worker-1] [-concurrency 1] [-mem bytes]
 //	          [-lifetime 1h] [-rate-limit 30s] [-seed 408] [-full-images 100]
-//	          [-metrics-addr host:port]
+//	          [-metrics-addr host:port] [-pprof] [-telemetry=false]
 //	          [-dial-timeout 10s] [-rpc-attempts 4] [-rpc-timeout 0]
 package main
 
@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -35,6 +36,9 @@ import (
 	"rai/internal/telemetry"
 	"rai/internal/vfs"
 )
+
+// version is stamped by the CI pipeline; kept in lockstep with cmd/rai.
+const version = "0.2.0-dev"
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil, nil))
@@ -57,6 +61,8 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- struct{}, quit <-
 	seed := fs.Uint64("seed", 408, "course model/dataset seed")
 	fullImages := fs.Int("full-images", 100, "images stored in testfull.hdf5")
 	metricsAddr := fs.String("metrics-addr", "", "serve GET /metrics on this address (empty = disabled)")
+	pprofOn := fs.Bool("pprof", false, "mount /debug/pprof on the metrics address")
+	telemetryOn := fs.Bool("telemetry", true, "ship spans and log events to the collector over the broker")
 	dialTimeout := fs.Duration("dial-timeout", brokerd.DefaultDialTimeout, "broker dial timeout per attempt")
 	rpcAttempts := fs.Int("rpc-attempts", netx.DefaultMaxAttempts, "attempts per RPC before giving up")
 	rpcTimeout := fs.Duration("rpc-timeout", 0, "per-attempt RPC deadline (0 = each service's default)")
@@ -118,10 +124,31 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- struct{}, quit <-
 		DataFS:   dataFS,
 		DataPath: "/data",
 	}
+	// Spans and log events ship to the collector over the same broker
+	// connection the worker already holds; the exporter never blocks job
+	// execution (full queue = dropped record + counter).
+	tracerOpts := []telemetry.TracerOption{
+		telemetry.WithTracerInstance(telemetry.NewInstanceID(*id)),
+	}
+	if *telemetryOn {
+		exp := telemetry.NewExporter("raiworker", core.ShipTelemetry(queue),
+			telemetry.WithExportMetrics(telReg))
+		defer exp.Close()
+		tracerOpts = append(tracerOpts, telemetry.WithSpanSink(exp.ExportSpan))
+		w.Log = telemetry.NewLogger("raiworker",
+			telemetry.WithLogWriter(stderr), telemetry.WithLogSink(exp.ExportEvent))
+	} else {
+		w.Log = telemetry.NewLogger("raiworker", telemetry.WithLogWriter(stderr))
+	}
+	w.Tracer = telemetry.NewTracer(4096, tracerOpts...)
 	if telReg != nil {
 		w.Telemetry = telReg
-		w.Tracer = telemetry.NewTracer(4096)
-		maddr, closeMetrics, err := telReg.ServeMetrics(*metricsAddr)
+		telemetry.RegisterBuildInfo(telReg, "raiworker", version)
+		var mounts []func(*http.ServeMux)
+		if *pprofOn {
+			mounts = append(mounts, telemetry.MountPprof)
+		}
+		maddr, closeMetrics, err := telReg.ServeMetrics(*metricsAddr, mounts...)
 		if err != nil {
 			fmt.Fprintf(stderr, "raiworker: metrics listener: %v\n", err)
 			return 1

@@ -51,12 +51,13 @@ func (m *Message) Topic() string { return m.topic }
 
 // Broker routes messages between topics, channels, and subscriptions.
 type Broker struct {
-	mu     sync.Mutex
-	topics map[string]*topic
-	nextID uint64
-	clk    clock.Clock
-	closed bool
-	tel    brokerTelemetry
+	mu            sync.Mutex
+	topics        map[string]*topic
+	nextID        uint64
+	clk           clock.Clock
+	closed        bool
+	tel           brokerTelemetry
+	backlogLimits map[string]int
 }
 
 // brokerTelemetry caches instruments so the hot path never re-resolves
@@ -106,6 +107,20 @@ func (b *Broker) ExportQueueDepth(topicName, channelName string) {
 	b.tel.reg.GaugeFunc("rai_broker_queue_depth", "undelivered messages queued on the channel",
 		func() float64 { return float64(b.Depth(topicName, channelName)) },
 		telemetry.L("topic", topicName), telemetry.L("channel", channelName))
+}
+
+// SetBacklogLimit caps the no-subscriber backlog of one topic: once the
+// backlog holds n messages, the oldest is dropped for each new publish.
+// The daemons set it on the rai.telemetry topic so an absent collector
+// cannot grow broker memory without bound — telemetry is droppable by
+// design, job traffic is not, so rai/tasks never gets a limit.
+func (b *Broker) SetBacklogLimit(topicName string, n int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.backlogLimits == nil {
+		b.backlogLimits = map[string]int{}
+	}
+	b.backlogLimits[topicName] = n
 }
 
 // topicClass collapses per-job names so metric label cardinality stays
@@ -205,6 +220,9 @@ func (b *Broker) Publish(topicName string, body []byte) (uint64, error) {
 	msg := &Message{ID: b.nextID, Body: append([]byte(nil), body...), Timestamp: b.clk.Now(), topic: topicName}
 	if len(t.channels) == 0 {
 		t.backlog = append(t.backlog, msg)
+		if lim, ok := b.backlogLimits[topicName]; ok && lim > 0 && len(t.backlog) > lim {
+			t.backlog = append(t.backlog[:0], t.backlog[len(t.backlog)-lim:]...)
+		}
 		return msg.ID, nil
 	}
 	for _, ch := range t.channels {

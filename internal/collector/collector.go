@@ -1,0 +1,182 @@
+// Package collector is the persistence half of the centralized
+// observability pipeline: it subscribes to the rai.telemetry route,
+// decodes the span/event batches every daemon's exporter publishes, and
+// writes them into the document store — dogfooding the same database
+// that holds job records. The traces and events collections are what
+// `raiadmin trace` and `raiadmin logs` query.
+package collector
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"rai/internal/core"
+	"rai/internal/docstore"
+	"rai/internal/telemetry"
+)
+
+// Collector drains telemetry batches from the queue into the store.
+type Collector struct {
+	Queue core.Queue
+	DB    docstore.Store
+	// Telemetry, when set, counts persisted records and decode failures.
+	Telemetry *telemetry.Registry
+	// Log, when set, reports collector lifecycle and decode errors.
+	Log *telemetry.Logger
+	// Prefetch is the subscription window (default 64).
+	Prefetch int
+}
+
+// Run subscribes on core.TelemetryTopic/TelemetryChannel and persists
+// batches until ctx is done. The shared channel means running several
+// collector replicas divides the stream, not duplicates it; batches are
+// acked only after persistence, and span writes are idempotent upserts
+// keyed by span_id, so at-least-once redelivery cannot duplicate spans.
+func (c *Collector) Run(ctx context.Context) error {
+	prefetch := c.Prefetch
+	if prefetch <= 0 {
+		prefetch = 64
+	}
+	sub, err := c.Queue.Subscribe(ctx, core.TelemetryTopic, core.TelemetryChannel, prefetch)
+	if err != nil {
+		return fmt.Errorf("collector: subscribing: %w", err)
+	}
+	defer sub.Close()
+	c.Log.Info(ctx, "collector started")
+	batches := c.Telemetry.Counter("rai_collector_batches_total", "telemetry batches persisted")
+	spans := c.Telemetry.Counter("rai_collector_spans_total", "spans persisted")
+	events := c.Telemetry.Counter("rai_collector_events_total", "events persisted")
+	malformed := c.Telemetry.Counter("rai_collector_malformed_total", "batches that failed to decode")
+	for {
+		select {
+		case m, ok := <-sub.C():
+			if !ok {
+				return nil
+			}
+			b, err := telemetry.DecodeBatch(m.Body)
+			if err != nil {
+				// A malformed batch will never decode; ack it away.
+				malformed.Inc()
+				c.Log.Warn(ctx, "malformed telemetry batch", telemetry.L("error", err.Error()))
+				m.Ack()
+				continue
+			}
+			ns, ne := c.Persist(ctx, b)
+			spans.Add(float64(ns))
+			events.Add(float64(ne))
+			batches.Inc()
+			m.Ack()
+		case <-ctx.Done():
+			return nil
+		}
+	}
+}
+
+// Persist writes one batch into the traces and events collections and
+// reports how many spans and events landed. Span documents are upserted
+// by span_id (idempotent under redelivery); events are inserted.
+func (c *Collector) Persist(ctx context.Context, b *Batch) (spans, events int) {
+	for _, s := range b.Spans {
+		if err := c.persistSpan(ctx, b.Service, s); err != nil {
+			c.Log.Warn(ctx, "persisting span failed",
+				telemetry.L("span_id", s.SpanID), telemetry.L("error", err.Error()))
+			continue
+		}
+		spans++
+	}
+	for _, e := range b.Events {
+		if err := c.persistEvent(ctx, b.Service, e); err != nil {
+			c.Log.Warn(ctx, "persisting event failed", telemetry.L("error", err.Error()))
+			continue
+		}
+		events++
+	}
+	return spans, events
+}
+
+// Batch aliases the telemetry wire type so callers need not import both
+// packages.
+type Batch = telemetry.Batch
+
+func (c *Collector) persistSpan(ctx context.Context, service string, s telemetry.SpanData) error {
+	doc := docstore.M{
+		"trace_id":   s.TraceID,
+		"span_id":    s.SpanID,
+		"parent_id":  s.ParentID,
+		"name":       s.Name,
+		"service":    service,
+		"start":      s.Start.UTC().Format(time.RFC3339Nano),
+		"end":        s.End.UTC().Format(time.RFC3339Nano),
+		"start_s":    unixSeconds(s.Start),
+		"duration_s": s.Duration().Seconds(),
+		"job_id":     s.Attrs["job_id"],
+	}
+	if len(s.Attrs) > 0 {
+		attrs := docstore.M{}
+		for k, v := range s.Attrs {
+			attrs[k] = v
+		}
+		doc["attrs"] = attrs
+	}
+	// Composite key: span IDs are only unique per tracer instance, so a
+	// bare span_id filter could splice unrelated traces together.
+	_, err := c.upsert(ctx, core.CollTraces,
+		docstore.M{"trace_id": s.TraceID, "span_id": s.SpanID}, docstore.M{"$set": doc})
+	return err
+}
+
+func (c *Collector) persistEvent(ctx context.Context, service string, e telemetry.Event) error {
+	if e.Service == "" {
+		e.Service = service
+	}
+	doc := docstore.M{
+		"ts":       e.Time.UTC().Format(time.RFC3339Nano),
+		"ts_s":     unixSeconds(e.Time),
+		"level":    e.Level,
+		"service":  e.Service,
+		"msg":      e.Msg,
+		"trace_id": e.TraceID,
+		"span_id":  e.SpanID,
+		"job_id":   e.JobID,
+	}
+	if len(e.Attrs) > 0 {
+		attrs := docstore.M{}
+		for k, v := range e.Attrs {
+			attrs[k] = v
+		}
+		doc["attrs"] = attrs
+	}
+	return c.insert(ctx, core.CollEvents, doc)
+}
+
+// unixSeconds renders t as float seconds for range filters and sorting
+// (the RFC3339Nano strings keep the exact timestamps but do not sort
+// lexicographically once trailing zeros are trimmed).
+func unixSeconds(t time.Time) float64 {
+	return float64(t.UnixNano()) / float64(time.Second)
+}
+
+// upsert/insert route through the store's context-aware variants when
+// it has them (the HTTP client), so a remote docstore sees deadlines.
+func (c *Collector) upsert(ctx context.Context, coll string, filter, update docstore.M) (string, error) {
+	type ctxUpserter interface {
+		UpsertContext(ctx context.Context, coll string, filter, update docstore.M) (string, error)
+	}
+	if u, ok := c.DB.(ctxUpserter); ok {
+		return u.UpsertContext(ctx, coll, filter, update)
+	}
+	return c.DB.Upsert(coll, filter, update)
+}
+
+func (c *Collector) insert(ctx context.Context, coll string, doc docstore.M) error {
+	type ctxInserter interface {
+		InsertContext(ctx context.Context, coll string, doc any) (string, error)
+	}
+	if i, ok := c.DB.(ctxInserter); ok {
+		_, err := i.InsertContext(ctx, coll, doc)
+		return err
+	}
+	_, err := c.DB.Insert(coll, doc)
+	return err
+}

@@ -34,6 +34,9 @@ type Client struct {
 	// and "enqueue"). Both are optional and nil-safe.
 	Telemetry *telemetry.Registry
 	Tracer    *telemetry.Tracer
+	// Log, when set, emits structured lifecycle events stamped with the
+	// job's trace identity. Optional and nil-safe.
+	Log *telemetry.Logger
 }
 
 // JobResult is what the client learns from the End message.
@@ -102,13 +105,18 @@ func (c *Client) Submit(kind string, spec *build.Spec, archive []byte) (*JobResu
 func (c *Client) SubmitContext(ctx context.Context, kind string, spec *build.Spec, archive []byte) (*JobResult, error) {
 	jobID := NewJobID()
 	root := c.startJobSpan(jobID, kind)
+	ctx = telemetry.ContextWithJobID(ctx, jobID)
 	// Step 3: compress (done by the caller via archivex) and upload the
-	// project directory; one-month lifetime from last use.
+	// project directory; one-month lifetime from last use. The upload
+	// span rides the request context so the objstore server opens its
+	// child span under it.
 	uploadKey := fmt.Sprintf("%s/%s/project.tar.bz2", c.Creds.UserName, jobID)
 	up := root.Child("upload")
-	if err := c.Objects.Put(ctx, BucketUploads, uploadKey, archive, UploadTTL); err != nil {
+	upCtx := telemetry.ContextWithSpan(ctx, up)
+	if err := c.Objects.Put(upCtx, BucketUploads, uploadKey, archive, UploadTTL); err != nil {
 		up.End()
 		root.End()
+		c.Log.Error(upCtx, "project upload failed", telemetry.L("error", err.Error()))
 		return nil, fmt.Errorf("core: uploading project: %w", err)
 	}
 	up.SetAttr("bytes", fmt.Sprint(len(archive)))
@@ -146,6 +154,7 @@ func (c *Client) submitUploaded(ctx context.Context, root *telemetry.Span, jobID
 	if kind != KindRun && kind != KindSubmit {
 		return nil, fmt.Errorf("core: unknown job kind %q", kind)
 	}
+	ctx = telemetry.ContextWithSpan(telemetry.ContextWithJobID(ctx, jobID), root)
 	clk := c.Clock
 	if clk == nil {
 		clk = clock.Real{}
@@ -191,6 +200,7 @@ func (c *Client) submitUploaded(ctx context.Context, root *telemetry.Span, jobID
 	}
 	enq.End()
 	c.Telemetry.Counter("rai_client_jobs_total", "jobs submitted", telemetry.L("kind", kind)).Inc()
+	c.Log.Info(ctx, "job submitted", telemetry.L("kind", kind), telemetry.L("user", c.Creds.UserName))
 
 	// Step 6: print messages until End (step 8: exit on End).
 	res := &JobResult{JobID: jobID, TraceID: root.TraceID()}
@@ -226,6 +236,7 @@ func (c *Client) submitUploaded(ctx context.Context, root *telemetry.Span, jobID
 				res.Accuracy = lm.Accuracy
 				res.BuildBucket = lm.BuildBucket
 				res.BuildKey = lm.BuildKey
+				c.Log.Info(ctx, "job finished", telemetry.L("status", lm.Status))
 				if lm.Status == StatusRejected {
 					return res, fmt.Errorf("%w: %s", ErrRejected, lm.Line)
 				}

@@ -36,6 +36,16 @@ func LogTopic(jobID string) string { return "log_" + jobID + "#ch" }
 // LogChannel is the channel clients subscribe to on the log topic.
 const LogChannel = "ch"
 
+// Telemetry route: every daemon's exporter publishes span/event batches
+// here and the collector subscribes on a shared channel, so exactly one
+// collector replica persists each batch. This is the paper's
+// rai/telemetry route spelled with a '.' because broker names reserve
+// '/' (see broker.validName).
+const (
+	TelemetryTopic   = "rai.telemetry"
+	TelemetryChannel = "collect"
+)
+
 // Job kinds.
 const (
 	KindRun    = "run"    // development submission (rai run)
@@ -52,6 +62,11 @@ const (
 const (
 	CollJobs     = "jobs"
 	CollRankings = "rankings"
+	// CollTraces/CollEvents hold the collector's persisted telemetry:
+	// span documents keyed by span_id and log events, both indexed by
+	// trace_id/job_id/time for the raiadmin trace/logs queries.
+	CollTraces = "traces"
+	CollEvents = "events"
 )
 
 // UploadTTL is the file-server lifetime for uploaded archives ("deleted

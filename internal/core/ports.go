@@ -8,7 +8,18 @@ import (
 	"rai/internal/brokerd"
 	"rai/internal/netx"
 	"rai/internal/objstore"
+	"rai/internal/telemetry"
 )
+
+// ShipTelemetry adapts a Queue into the exporter's ShipFunc: every
+// span/event batch is published on the rai.telemetry route, where the
+// collector persists it. Used by all daemons (and the CLI) so the
+// observability pipeline rides the same fabric as job traffic.
+func ShipTelemetry(q Queue) telemetry.ShipFunc {
+	return func(ctx context.Context, b *telemetry.Batch) error {
+		return q.Publish(ctx, TelemetryTopic, b.Encode())
+	}
+}
 
 // Queue is the message-broker port. Both the in-process engine
 // (internal/broker) and the TCP client (internal/brokerd) satisfy it

@@ -93,6 +93,9 @@ type Worker struct {
 	// job's trace. Both are optional and nil-safe.
 	Telemetry *telemetry.Registry
 	Tracer    *telemetry.Tracer
+	// Log, when set, emits structured lifecycle events stamped with each
+	// job's trace identity. Optional and nil-safe.
+	Log *telemetry.Logger
 
 	runtime *sandbox.Runtime
 	mu      sync.Mutex
@@ -249,10 +252,17 @@ func (w *Worker) process(ctx context.Context, m QueueMsg) {
 	w.tel.inFlight.Add(1)
 	defer w.tel.inFlight.Add(-1)
 	// Continue the client's trace: every span below hangs off the job
-	// root whose IDs rode inside the request.
+	// root whose IDs rode inside the request, and the context carries the
+	// dequeue span so storage RPCs (and their server-side child spans)
+	// and log events land inside the same tree.
 	proc := w.Tracer.StartSpan(req.TraceID, req.ParentSpan, "dequeue")
 	proc.SetAttr("worker", w.Cfg.ID)
+	proc.SetAttr("job_id", req.ID)
 	defer proc.End()
+	ctx = telemetry.ContextWithJobID(ctx, req.ID)
+	ctx = telemetry.ContextWithSpan(ctx, proc)
+	w.Log.Info(ctx, "job dequeued",
+		telemetry.L("worker", w.Cfg.ID), telemetry.L("kind", req.Kind), telemetry.L("user", req.User))
 	logTopic := LogTopic(req.ID)
 	logf := func(kind, format string, args ...any) {
 		w.Queue.Publish(ctx, logTopic, encodeJSON(&LogMessage{
@@ -267,8 +277,9 @@ func (w *Worker) process(ctx context.Context, m QueueMsg) {
 	reject := func(reason string) {
 		logf(LogSystem, "job rejected: %s", reason)
 		end(&LogMessage{Status: StatusRejected, Line: reason})
-		w.recordJob(&req, docstore.M{"status": StatusRejected, "error": reason})
+		w.recordJob(ctx, &req, docstore.M{"status": StatusRejected, "error": reason})
 		w.tel.jobs[StatusRejected].Inc()
+		w.Log.Warn(ctx, "job rejected", telemetry.L("reason", reason))
 		m.Ack()
 	}
 
@@ -294,7 +305,7 @@ func (w *Worker) process(ctx context.Context, m QueueMsg) {
 
 	var result execResult
 	if req.Kind == KindSession {
-		w.recordJob(&req, docstore.M{"status": "running", "worker": w.Cfg.ID})
+		w.recordJob(ctx, &req, docstore.M{"status": "running", "worker": w.Cfg.ID})
 		result = w.runSession(ctx, &req, logf)
 	} else {
 		spec, err := w.resolveSpec(&req)
@@ -307,7 +318,7 @@ func (w *Worker) process(ctx context.Context, m QueueMsg) {
 			return
 		}
 		// Record the accepted job before running (auditing, §IV).
-		w.recordJob(&req, docstore.M{"status": "running", "worker": w.Cfg.ID})
+		w.recordJob(ctx, &req, docstore.M{"status": "running", "worker": w.Cfg.ID})
 		result = w.execute(ctx, &req, spec, logf, proc)
 	}
 
@@ -338,18 +349,20 @@ func (w *Worker) process(ctx context.Context, m QueueMsg) {
 		"build_key":        result.buildKey,
 		"log_bytes":        result.logBytes,
 	}
-	w.recordJob(&req, update)
+	w.recordJob(ctx, &req, update)
 
 	// Final submissions record timing onto the ranking database,
 	// overwriting existing records (§V "Student Final Submission").
 	if req.Kind == KindSubmit && result.ok {
-		w.DB.Upsert(CollRankings, docstore.M{"team": req.User}, docstore.M{"$set": docstore.M{
+		w.upsert(ctx, CollRankings, docstore.M{"team": req.User}, docstore.M{"$set": docstore.M{
 			"runtime_s":  result.internalTimer.Seconds(),
 			"accuracy":   result.accuracy,
 			"job_id":     req.ID,
 			"updated_at": w.Clock.Now().UTC().Format(time.RFC3339Nano),
 		}})
 	}
+	w.Log.Info(ctx, "job finished",
+		telemetry.L("status", status), telemetry.L("elapsed_s", fmt.Sprintf("%.3f", result.elapsed.Seconds())))
 
 	end(&LogMessage{
 		Status:        status,
@@ -404,7 +417,7 @@ func (w *Worker) rateLimitOK(user string) (bool, time.Duration) {
 }
 
 // recordJob upserts the job document.
-func (w *Worker) recordJob(req *JobRequest, fields docstore.M) {
+func (w *Worker) recordJob(ctx context.Context, req *JobRequest, fields docstore.M) {
 	set := docstore.M{
 		"user":          req.User,
 		"kind":          req.Kind,
@@ -415,7 +428,22 @@ func (w *Worker) recordJob(req *JobRequest, fields docstore.M) {
 	for k, v := range fields {
 		set[k] = v
 	}
-	w.DB.Upsert(CollJobs, docstore.M{"job_id": req.ID}, docstore.M{"$set": set})
+	w.upsert(ctx, CollJobs, docstore.M{"job_id": req.ID}, docstore.M{"$set": set})
+}
+
+// upsert routes through the store's context-aware variant when it has
+// one (the HTTP client), so the trace identity in ctx propagates to the
+// docstore as X-RAI-* headers and its write appears in the job's span
+// tree. Plain in-process stores fall back to the context-free call.
+func (w *Worker) upsert(ctx context.Context, coll string, filter, update docstore.M) {
+	type ctxUpserter interface {
+		UpsertContext(ctx context.Context, coll string, filter, update docstore.M) (string, error)
+	}
+	if u, ok := w.DB.(ctxUpserter); ok {
+		u.UpsertContext(ctx, coll, filter, update)
+		return
+	}
+	w.DB.Upsert(coll, filter, update)
 }
 
 // execResult aggregates one job execution.
@@ -436,12 +464,18 @@ type execResult struct {
 func (w *Worker) execute(ctx context.Context, req *JobRequest, spec *build.Spec, logf func(kind, format string, args ...any), parent *telemetry.Span) execResult {
 	var res execResult
 
-	// Worker step 4: download and unpack the project archive.
-	archive, err := w.Objects.Get(ctx, req.UploadBucket, req.UploadKey)
+	// Worker step 4: download and unpack the project archive. The
+	// download span rides the request context so the objstore server's
+	// child span nests under it.
+	dl := parent.Child("download")
+	archive, err := w.Objects.Get(telemetry.ContextWithSpan(ctx, dl), req.UploadBucket, req.UploadKey)
 	if err != nil {
+		dl.End()
 		logf(LogSystem, "cannot download project archive: %v", err)
 		return res
 	}
+	dl.SetAttr("bytes", fmt.Sprint(len(archive)))
+	dl.End()
 	hostFS := vfs.New()
 	if err := unpackProject(archive, hostFS); err != nil {
 		logf(LogSystem, "cannot unpack project archive: %v", err)

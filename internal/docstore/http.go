@@ -74,9 +74,18 @@ func WithHandlerClock(c clock.Clock) HandlerOption {
 	return func(h *handlerState) { h.clk = c }
 }
 
+// WithHandlerTracer opens a child span ("docstore upsert", "docstore
+// find", ...) for every request arriving with X-RAI-Trace-ID
+// propagation headers, so a job's metadata writes appear inside its
+// span tree.
+func WithHandlerTracer(t *telemetry.Tracer) HandlerOption {
+	return func(h *handlerState) { h.tracer = t }
+}
+
 type handlerState struct {
 	reg      *telemetry.Registry
 	clk      clock.Clock
+	tracer   *telemetry.Tracer
 	requests map[string]*telemetry.Counter
 	latency  map[string]*telemetry.Histogram
 	inFlight *telemetry.Gauge
@@ -119,6 +128,15 @@ func HandlerStore(db Store, auth AuthFunc, opts ...HandlerOption) http.Handler {
 		defer h.inFlight.Add(-1)
 		verb := "other"
 		defer func() { h.observe(verb, start) }()
+		if sc, jobID := telemetry.ExtractHTTP(r.Header); sc.Valid() && h.tracer != nil {
+			span := h.tracer.StartSpan(sc.TraceID, sc.SpanID, "docstore")
+			span.SetAttr("path", r.URL.Path)
+			if jobID != "" {
+				span.SetAttr("job_id", jobID)
+			}
+			// Name resolves to the verb once parsed below.
+			defer func() { span.SetName("docstore " + verb); span.End() }()
+		}
 		if auth != nil && !auth(r.Header.Get(HeaderAccessKey), r.Header.Get(HeaderSignature), r) {
 			writeJSON(w, http.StatusForbidden, rpcResponse{Error: "forbidden"})
 			return
@@ -266,6 +284,9 @@ func (c *Client) call(ctx context.Context, coll, verb string, req rpcRequest, re
 		if c.Sign != nil {
 			c.Sign(hreq)
 		}
+		// Propagate the caller's trace so the server's child span joins
+		// the same tree.
+		telemetry.InjectHTTP(ctx, hreq.Header)
 		hresp, err := c.HTTP.Do(hreq)
 		if err != nil {
 			return rpcResponse{}, err

@@ -167,9 +167,17 @@ func WithHandlerClock(c clock.Clock) HandlerOption {
 	return func(h *handlerState) { h.clk = c }
 }
 
+// WithHandlerTracer opens a child span ("objstore put", "objstore get",
+// ...) for every request arriving with X-RAI-Trace-ID propagation
+// headers, so uploads and downloads appear inside the job's span tree.
+func WithHandlerTracer(t *telemetry.Tracer) HandlerOption {
+	return func(h *handlerState) { h.tracer = t }
+}
+
 type handlerState struct {
 	reg      *telemetry.Registry
 	clk      clock.Clock
+	tracer   *telemetry.Tracer
 	requests map[string]*telemetry.Counter
 	latency  map[string]*telemetry.Histogram
 	bytesIn  *telemetry.Counter
@@ -192,13 +200,22 @@ func objOp(r *http.Request) string {
 }
 
 func (h *handlerState) instrument(opOf func(*http.Request) string, next http.HandlerFunc) http.HandlerFunc {
-	if h.reg == nil {
+	if h.reg == nil && h.tracer == nil {
 		return next
 	}
 	return func(w http.ResponseWriter, r *http.Request) {
-		op := opOf(r)
+		rawOp := opOf(r)
+		op := rawOp
 		if h.requests[op] == nil {
-			op = "other"
+			op = "other" // metric cardinality guard; the span keeps rawOp
+		}
+		var span *telemetry.Span
+		if sc, jobID := telemetry.ExtractHTTP(r.Header); sc.Valid() {
+			span = h.tracer.StartSpan(sc.TraceID, sc.SpanID, "objstore "+rawOp)
+			span.SetAttr("path", r.URL.Path)
+			if jobID != "" {
+				span.SetAttr("job_id", jobID)
+			}
 		}
 		start := h.clk.Now()
 		h.inFlight.Add(1)
@@ -211,6 +228,7 @@ func (h *handlerState) instrument(opOf func(*http.Request) string, next http.Han
 		h.bytesOut.Add(float64(cw.n))
 		h.latency[op].Observe(h.clk.Now().Sub(start).Seconds())
 		h.inFlight.Add(-1)
+		span.End()
 	}
 }
 
@@ -299,6 +317,9 @@ func (c *Client) roundTrip(ctx context.Context, op string, okStatus int, build f
 		if c.Sign != nil {
 			c.Sign(req)
 		}
+		// Propagate the caller's trace so the server's child span joins
+		// the same tree.
+		telemetry.InjectHTTP(ctx, req.Header)
 		resp, err := c.HTTP.Do(req)
 		if err != nil {
 			return err

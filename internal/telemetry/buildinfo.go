@@ -1,0 +1,30 @@
+package telemetry
+
+import (
+	"runtime"
+	"time"
+)
+
+// RegisterBuildInfo publishes the process identity metrics every daemon
+// exposes:
+//
+//	rai_build_info{service,version,goversion} 1
+//	rai_process_start_time_seconds <unix seconds>
+//
+// The build-info value is always 1 — the information is in the labels,
+// following the Prometheus *_info convention — and the start time lets
+// raiadmin top derive uptime from a plain scrape.
+func RegisterBuildInfo(r *Registry, service, version string) {
+	if r == nil {
+		return
+	}
+	r.Gauge("rai_build_info",
+		"build identity of the process; value is always 1",
+		L("service", service),
+		L("version", version),
+		L("goversion", runtime.Version()),
+	).Set(1)
+	start := float64(time.Now().UnixNano()) / float64(time.Second)
+	r.Gauge("rai_process_start_time_seconds",
+		"unix time the process registered its metrics, in seconds").Set(start)
+}

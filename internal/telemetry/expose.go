@@ -115,15 +115,22 @@ func (r *Registry) Handler() http.Handler {
 
 // ServeMetrics binds addr and serves the registry at GET /metrics in
 // the background — the implementation behind the daemons' -metrics-addr
-// flag. It returns the bound address (useful with ":0" in tests) and a
-// close func. Daemons with telemetry disabled simply never call it.
-func (r *Registry) ServeMetrics(addr string) (string, func() error, error) {
+// flag. Extra mounts (e.g. MountPprof behind the -pprof flag) are
+// applied to the same debug mux. It returns the bound address (useful
+// with ":0" in tests) and a close func. Daemons with telemetry disabled
+// simply never call it.
+func (r *Registry) ServeMetrics(addr string, mounts ...func(*http.ServeMux)) (string, func() error, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, err
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", r.Handler())
+	for _, m := range mounts {
+		if m != nil {
+			m(mux)
+		}
+	}
 	srv := &http.Server{Handler: mux}
 	go srv.Serve(ln)
 	return ln.Addr().String(), srv.Close, nil

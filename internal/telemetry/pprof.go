@@ -1,0 +1,18 @@
+package telemetry
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// MountPprof registers the net/http/pprof handlers under /debug/pprof/
+// on the given mux. It is passed to ServeMetrics when a daemon runs
+// with -pprof, so profiling shares the -metrics-addr debug listener and
+// is never exposed on the service port.
+func MountPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"crypto/rand"
 	"fmt"
 	"sort"
 	"strings"
@@ -17,8 +18,10 @@ import (
 // put in the JobRequest. Finished spans land in a fixed-capacity ring,
 // oldest evicted first. A nil *Tracer is valid and records nothing.
 type Tracer struct {
-	clk clock.Clock
-	ids atomic.Uint64
+	clk      clock.Clock
+	ids      atomic.Uint64
+	instance string
+	sink     func(SpanData)
 
 	mu       sync.Mutex
 	finished []SpanData // ring
@@ -34,6 +37,38 @@ func WithTracerClock(c clock.Clock) TracerOption {
 	return func(t *Tracer) { t.clk = c }
 }
 
+// WithTracerInstance namespaces the tracer's IDs. The counter in newID
+// is only unique within one tracer; when several processes contribute
+// spans to the same trace (client, worker, storage servers), each must
+// carry a distinct instance or their span IDs collide and the collector
+// overwrites one service's spans with another's. Daemons pass
+// NewInstanceID(service); deterministic simulations pass fixed names
+// (or nothing, when a single tracer is in play).
+func WithTracerInstance(id string) TracerOption {
+	return func(t *Tracer) { t.instance = id }
+}
+
+// NewInstanceID returns a process-unique tracer instance: the service
+// name plus random hex, so replicas of the same service never mint the
+// same span IDs. Not for simulations — it breaks reproducibility.
+func NewInstanceID(service string) string {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing means the OS entropy pool is gone; fall
+		// back to the clock rather than abort telemetry.
+		return fmt.Sprintf("%s-%x", service, time.Now().UnixNano())
+	}
+	return fmt.Sprintf("%s-%x", service, b)
+}
+
+// WithSpanSink hands every finished span to fn in addition to the local
+// ring — the hook the batch exporter plugs into so spans reach the
+// collector. fn must not block; Exporter.ExportSpan is non-blocking by
+// construction.
+func WithSpanSink(fn func(SpanData)) TracerOption {
+	return func(t *Tracer) { t.sink = fn }
+}
+
 // NewTracer returns a tracer retaining up to capacity finished spans
 // (minimum 1; a typical deployment keeps a few thousand).
 func NewTracer(capacity int, opts ...TracerOption) *Tracer {
@@ -47,15 +82,17 @@ func NewTracer(capacity int, opts ...TracerOption) *Tracer {
 	return t
 }
 
-// SpanData is one finished span.
+// SpanData is one finished span. The JSON tags are the wire and
+// docstore schema: the exporter ships spans in this shape and the
+// collector persists them into the traces collection as-is.
 type SpanData struct {
-	TraceID  string
-	SpanID   string
-	ParentID string // "" for the root
-	Name     string
-	Start    time.Time
-	End      time.Time
-	Attrs    map[string]string
+	TraceID  string            `json:"trace_id"`
+	SpanID   string            `json:"span_id"`
+	ParentID string            `json:"parent_id,omitempty"` // "" for the root
+	Name     string            `json:"name"`
+	Start    time.Time         `json:"start"`
+	End      time.Time         `json:"end"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
 }
 
 // Duration is the span's wall time on its tracer's clock.
@@ -69,8 +106,12 @@ type Span struct {
 }
 
 func (t *Tracer) newID() string {
-	// Deterministic under a virtual clock: a process-local counter, not
-	// wall time or randomness, so sim traces are bit-reproducible.
+	// Deterministic under a virtual clock: a tracer-local counter, not
+	// wall time or randomness, so sim traces are bit-reproducible. The
+	// instance prefix keeps IDs from different tracers disjoint.
+	if t.instance != "" {
+		return fmt.Sprintf("%s-%012x", t.instance, t.ids.Add(1))
+	}
 	return fmt.Sprintf("%012x", t.ids.Add(1))
 }
 
@@ -167,14 +208,17 @@ func (s *Span) End() {
 
 func (t *Tracer) commit(d SpanData) {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	if len(t.finished) < cap(t.finished) {
 		t.finished = append(t.finished, d)
-		return
+	} else {
+		t.finished[t.next] = d
+		t.next = (t.next + 1) % len(t.finished)
+		t.full = true
 	}
-	t.finished[t.next] = d
-	t.next = (t.next + 1) % len(t.finished)
-	t.full = true
+	t.mu.Unlock()
+	if t.sink != nil {
+		t.sink(d)
+	}
 }
 
 // Trace returns the finished spans of one trace, ordered by start time

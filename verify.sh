@@ -1,10 +1,10 @@
 #!/bin/sh
 # Repo verification gate: vet, build everything, then race-test the
-# packages with the most concurrency (telemetry registry/tracer, the
-# broker engine, the retry layer, and the reconnecting TCP client).
-# Used by CI and before committing.
+# packages with the most concurrency (telemetry registry/tracer/exporter,
+# the observability collector, the broker engine, the retry layer, and
+# the reconnecting TCP client). Used by CI and before committing.
 set -eux
 
 go vet ./...
 go build ./...
-go test -race ./internal/telemetry/... ./internal/broker/... ./internal/netx/... ./internal/brokerd/...
+go test -race ./internal/telemetry/... ./internal/collector/... ./internal/broker/... ./internal/netx/... ./internal/brokerd/...
