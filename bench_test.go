@@ -7,6 +7,7 @@ package rai_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -75,7 +76,7 @@ func BenchmarkFigure1EndToEndJob(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		at = at.Add(time.Minute)
-		res, err := d.RunSubmission(c, workload.Submission{
+		res, err := d.RunSubmission(context.Background(), c, workload.Submission{
 			Time: at, Team: "bench-team", Kind: core.KindRun,
 			Spec: project.Spec{Impl: cnn.ImplIm2col, Tuning: 1, Team: "bench-team"},
 		})

@@ -116,8 +116,8 @@ type rpcConfig struct {
 	policy netx.Policy
 }
 
-func (r rpcConfig) queue(addr string) (*core.RemoteQueue, error) {
-	return core.NewRemoteQueue(addr,
+func (r rpcConfig) queue(ctx context.Context, addr string) (*core.RemoteQueue, error) {
+	return core.NewRemoteQueue(ctx, addr,
 		core.WithQueuePolicy(r.policy),
 		core.WithQueueDialTimeout(r.dial))
 }
@@ -130,8 +130,8 @@ func (r rpcConfig) objects(baseURL string) *objstore.Client {
 // collector can assemble the job timeline (`raiadmin trace <job_id>`).
 // Records ship in the background and nothing is printed locally; the
 // returned func flushes whatever is pending before the process exits.
-func observe(queue core.Queue) (*telemetry.Tracer, *telemetry.Logger, func()) {
-	exp := telemetry.NewExporter("rai", core.ShipTelemetry(queue))
+func observe(ctx context.Context, queue core.Queue) (*telemetry.Tracer, *telemetry.Logger, func()) {
+	exp := telemetry.NewExporter(ctx, "rai", core.ShipTelemetry(queue))
 	tracer := telemetry.NewTracer(256, telemetry.WithSpanSink(exp.ExportSpan),
 		telemetry.WithTracerInstance(telemetry.NewInstanceID("rai")))
 	logger := telemetry.NewLogger("rai", telemetry.WithLogSink(exp.ExportEvent))
@@ -147,13 +147,13 @@ func session(ctx context.Context, creds auth.Credentials, dir, brokerAddr, fsURL
 		fmt.Fprintf(stderr, "rai: packing project: %v\n", err)
 		return 1
 	}
-	queue, err := rpc.queue(brokerAddr)
+	queue, err := rpc.queue(ctx, brokerAddr)
 	if err != nil {
 		fmt.Fprintf(stderr, "rai: connecting to broker: %v\n", err)
 		return 1
 	}
 	defer queue.Close()
-	tracer, logger, flushTel := observe(queue)
+	tracer, logger, flushTel := observe(ctx, queue)
 	defer flushTel()
 	client := &core.Client{
 		Creds: creds, Queue: queue,
@@ -183,7 +183,7 @@ func session(ctx context.Context, creds auth.Credentials, dir, brokerAddr, fsURL
 		if line == "exit" {
 			break
 		}
-		res, err := sess.Run(line)
+		res, err := sess.Run(ctx, line)
 		if err != nil {
 			fmt.Fprintf(stderr, "rai: %v\n", err)
 			return 1
@@ -243,13 +243,13 @@ func submit(ctx context.Context, cmd string, creds auth.Credentials, dir, broker
 	}
 	fmt.Fprintf(stdout, "uploading %d byte project archive\n", len(archive))
 
-	queue, err := rpc.queue(brokerAddr)
+	queue, err := rpc.queue(ctx, brokerAddr)
 	if err != nil {
 		fmt.Fprintf(stderr, "rai: connecting to broker: %v\n", err)
 		return 1
 	}
 	defer queue.Close()
-	tracer, logger, flushTel := observe(queue)
+	tracer, logger, flushTel := observe(ctx, queue)
 	defer flushTel()
 	client := &core.Client{
 		Creds:   creds,

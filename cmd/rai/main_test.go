@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net"
 	"net/http"
@@ -63,7 +64,7 @@ func services(t *testing.T) (brokerAddr, fsURL, dbURL string, creds auth.Credent
 	blob, _ = full.Encode()
 	dataFS.WriteFile("/data/testfull.hdf5", blob)
 
-	queue, err := core.NewRemoteQueue(brokerSrv.Addr())
+	queue, err := core.NewRemoteQueue(context.Background(), brokerSrv.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +79,7 @@ func services(t *testing.T) (brokerAddr, fsURL, dbURL string, creds auth.Credent
 		DataFS:   dataFS,
 		DataPath: "/data",
 	}
-	go w.Run()
+	go w.RunContext(context.Background())
 	t.Cleanup(w.Stop)
 
 	return brokerSrv.Addr(), "http://" + fsLn.Addr().String(), "http://" + dbLn.Addr().String(), creds

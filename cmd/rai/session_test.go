@@ -49,7 +49,7 @@ func sessionServices(t *testing.T) (brokerAddr, fsURL string, creds auth.Credent
 	blob, _ := ds.Encode()
 	dataFS.WriteFile("/data/test10.hdf5", blob)
 
-	queue, err := core.NewRemoteQueue(brokerSrv.Addr())
+	queue, err := core.NewRemoteQueue(context.Background(), brokerSrv.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +67,7 @@ func sessionServices(t *testing.T) (brokerAddr, fsURL string, creds auth.Credent
 		DataFS:   dataFS,
 		DataPath: "/data",
 	}
-	go w.Run()
+	go w.RunContext(context.Background())
 	t.Cleanup(w.Stop)
 	return brokerSrv.Addr(), "http://" + fsLn.Addr().String(), creds
 }

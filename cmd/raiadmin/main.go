@@ -28,6 +28,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"rai/internal/clock"
 	"sort"
 	"strconv"
 	"strings"
@@ -347,7 +348,7 @@ func rerun(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "raiadmin rerun: %v\n", err)
 		return 1
 	}
-	queue, err := core.NewRemoteQueue(*brokerAddr)
+	queue, err := core.NewRemoteQueue(context.Background(), *brokerAddr)
 	if err != nil {
 		fmt.Fprintf(stderr, "raiadmin rerun: %v\n", err)
 		return 1
@@ -463,7 +464,7 @@ func top(args []string, stdout, stderr io.Writer) int {
 		// by every daemon next to rai_build_info).
 		if start, ok := snap.Value("rai_process_start_time_seconds"); ok && start > 0 {
 			if *filter == "" || strings.HasPrefix("uptime", *filter) {
-				up := time.Since(time.Unix(0, int64(start*float64(time.Second)))).Round(time.Second)
+				up := clock.Real{}.Now().Sub(time.Unix(0, int64(start*float64(time.Second)))).Round(time.Second)
 				tbl.AddRow(short, "uptime", "-", up.String())
 			}
 		}

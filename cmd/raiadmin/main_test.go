@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net"
 	"net/http"
@@ -147,7 +148,7 @@ func adminServices(t *testing.T) (brokerAddr, fsURL, dbURL, keysPath string) {
 
 	fsURL = "http://" + fsLn.Addr().String()
 	dbURL = "http://" + dbLn.Addr().String()
-	queue, err := core.NewRemoteQueue(brokerSrv.Addr())
+	queue, err := core.NewRemoteQueue(context.Background(), brokerSrv.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +163,7 @@ func adminServices(t *testing.T) (brokerAddr, fsURL, dbURL, keysPath string) {
 		DataFS:   dataFS,
 		DataPath: "/data",
 	}
-	go w.Run()
+	go w.RunContext(context.Background())
 	t.Cleanup(w.Stop)
 
 	// Two final submissions through the real client path.
@@ -177,7 +178,7 @@ func adminServices(t *testing.T) (brokerAddr, fsURL, dbURL, keysPath string) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		clientQueue, err := core.NewRemoteQueue(brokerSrv.Addr())
+		clientQueue, err := core.NewRemoteQueue(context.Background(), brokerSrv.Addr())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -186,7 +187,7 @@ func adminServices(t *testing.T) (brokerAddr, fsURL, dbURL, keysPath string) {
 			Objects: objstore.NewClient(fsURL),
 			LogWait: time.Minute,
 		}
-		res, err := client.Submit(core.KindSubmit, nil, archive)
+		res, err := client.SubmitContext(context.Background(), core.KindSubmit, nil, archive)
 		clientQueue.Close()
 		if err != nil || res.Status != core.StatusSucceeded {
 			t.Fatalf("seeding submission for %s: %v %+v", c.UserName, err, res)

@@ -12,6 +12,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"rai/internal/clock"
 	"syscall"
 	"time"
 
@@ -33,7 +34,7 @@ func collect(args []string, stdout, stderr io.Writer) int {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	queue, err := core.NewRemoteQueue(*brokerAddr)
+	queue, err := core.NewRemoteQueue(context.Background(), *brokerAddr)
 	if err != nil {
 		fmt.Fprintf(stderr, "raiadmin collect: %v\n", err)
 		return 1
@@ -41,7 +42,7 @@ func collect(args []string, stdout, stderr io.Writer) int {
 	defer queue.Close()
 
 	reg := telemetry.NewRegistry()
-	telemetry.RegisterBuildInfo(reg, "raiadmin-collect", version)
+	telemetry.RegisterBuildInfo(reg, "raiadmin-collect", version, nil)
 	if *metricsAddr != "" {
 		addr, closeMetrics, err := reg.ServeMetrics(*metricsAddr)
 		if err != nil {
@@ -134,7 +135,7 @@ func logsCmd(args []string, stdout, stderr io.Writer) int {
 		select {
 		case <-ctx.Done():
 			return 0
-		case <-time.After(*interval):
+		case <-clock.Real{}.After(*interval):
 		}
 		if err := print(); err != nil {
 			fmt.Fprintf(stderr, "raiadmin logs: %v\n", err)

@@ -64,7 +64,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, quit <-ch
 	}
 	var exp *telemetry.Exporter
 	if reg != nil {
-		telemetry.RegisterBuildInfo(reg, "raibroker", version)
+		telemetry.RegisterBuildInfo(reg, "raibroker", version, nil)
 		var mounts []func(*http.ServeMux)
 		if *pprofOn {
 			mounts = append(mounts, telemetry.MountPprof)
@@ -80,7 +80,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, quit <-ch
 		fmt.Fprintf(stdout, "raibroker metrics on http://%s/metrics\n", maddr)
 		// The broker ships its own telemetry into its own engine — the
 		// collector subscribes over TCP like any other consumer.
-		exp = telemetry.NewExporter("raibroker", core.ShipTelemetry(core.BrokerQueue{B: b}),
+		exp = telemetry.NewExporter(context.Background(), "raibroker", core.ShipTelemetry(core.BrokerQueue{B: b}),
 			telemetry.WithExportMetrics(reg))
 		defer exp.Close()
 		logger := telemetry.NewLogger("raibroker",

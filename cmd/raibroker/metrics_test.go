@@ -59,7 +59,7 @@ func TestMetricsAddrExposesBrokerTelemetry(t *testing.T) {
 		t.Fatalf("daemon never ready: %s", errb.String())
 	}
 
-	c, err := brokerd.Dial(addr)
+	c, err := brokerd.DialContext(context.Background(), addr)
 	if err != nil {
 		t.Fatal(err)
 	}

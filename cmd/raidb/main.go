@@ -47,7 +47,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, quit <-ch
 	var reg *telemetry.Registry
 	if *metricsAddr != "" {
 		reg = telemetry.NewRegistry()
-		telemetry.RegisterBuildInfo(reg, "raidb", version)
+		telemetry.RegisterBuildInfo(reg, "raidb", version, nil)
 		handlerOpts = append(handlerOpts, docstore.WithTelemetry(reg))
 		var mounts []func(*http.ServeMux)
 		if *pprofOn {
@@ -64,13 +64,13 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, quit <-ch
 	// With a broker configured, finished spans (including the child spans
 	// opened for traced requests) and log events ship to the collector.
 	if *brokerAddr != "" {
-		queue, err := core.NewRemoteQueue(*brokerAddr)
+		queue, err := core.NewRemoteQueue(context.Background(), *brokerAddr)
 		if err != nil {
 			fmt.Fprintf(stderr, "raidb: broker: %v\n", err)
 			return 1
 		}
 		defer queue.Close()
-		exp := telemetry.NewExporter("raidb", core.ShipTelemetry(queue),
+		exp := telemetry.NewExporter(context.Background(), "raidb", core.ShipTelemetry(queue),
 			telemetry.WithExportMetrics(reg))
 		defer exp.Close()
 		tracer := telemetry.NewTracer(4096, telemetry.WithSpanSink(exp.ExportSpan),

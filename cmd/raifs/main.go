@@ -19,6 +19,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"rai/internal/clock"
 	"syscall"
 	"time"
 
@@ -75,7 +76,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, quit <-ch
 	var reg *telemetry.Registry
 	if *metricsAddr != "" {
 		reg = telemetry.NewRegistry()
-		telemetry.RegisterBuildInfo(reg, "raifs", version)
+		telemetry.RegisterBuildInfo(reg, "raifs", version, nil)
 		handlerOpts = append(handlerOpts, objstore.WithTelemetry(reg))
 		var mounts []func(*http.ServeMux)
 		if *pprofOn {
@@ -92,13 +93,13 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, quit <-ch
 	// With a broker configured, finished spans (including the child spans
 	// opened for traced requests) and log events ship to the collector.
 	if *brokerAddr != "" {
-		queue, err := core.NewRemoteQueue(*brokerAddr)
+		queue, err := core.NewRemoteQueue(context.Background(), *brokerAddr)
 		if err != nil {
 			fmt.Fprintf(stderr, "raifs: broker: %v\n", err)
 			return 1
 		}
 		defer queue.Close()
-		exp := telemetry.NewExporter("raifs", core.ShipTelemetry(queue),
+		exp := telemetry.NewExporter(context.Background(), "raifs", core.ShipTelemetry(queue),
 			telemetry.WithExportMetrics(reg))
 		defer exp.Close()
 		tracer := telemetry.NewTracer(4096, telemetry.WithSpanSink(exp.ExportSpan),
@@ -125,11 +126,10 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, quit <-ch
 	stopSweep := make(chan struct{})
 	defer close(stopSweep)
 	go func() {
-		t := time.NewTicker(time.Hour)
-		defer t.Stop()
+		clk := clock.Real{}
 		for {
 			select {
-			case <-t.C:
+			case <-clk.After(time.Hour):
 				store.Sweep()
 			case <-stopSweep:
 				return

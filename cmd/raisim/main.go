@@ -13,6 +13,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -176,7 +177,7 @@ func figure1Trace() (string, error) {
 		return "", err
 	}
 	fmt.Fprintf(&b, "client     : credentials issued for %s\n", c.Creds.UserName)
-	res, err := d.RunSubmission(c, workload.Submission{
+	res, err := d.RunSubmission(context.Background(), c, workload.Submission{
 		Time: d.Clock.Now().Add(time.Minute), Team: "demo-team", Kind: core.KindRun,
 		Spec: project.Spec{Impl: cnn.ImplIm2col, Tuning: 1, Team: "demo-team"},
 	})
@@ -246,14 +247,14 @@ func limitProbes() (string, error) {
 		return "", err
 	}
 	at := d.Clock.Now().Add(time.Minute)
-	first, err := d.RunSubmission(c, workload.Submission{
+	first, err := d.RunSubmission(context.Background(), c, workload.Submission{
 		Time: at, Team: "probe-team", Kind: core.KindRun,
 		Spec: project.Spec{Impl: cnn.ImplTiled, Team: "probe-team"},
 	})
 	if err != nil {
 		return "", err
 	}
-	_, err = d.RunSubmission(c, workload.Submission{
+	_, err = d.RunSubmission(context.Background(), c, workload.Submission{
 		Time: at.Add(5 * time.Second), Team: "probe-team", Kind: core.KindRun,
 		Spec: project.Spec{Impl: cnn.ImplTiled, Team: "probe-team"},
 	})
@@ -261,7 +262,7 @@ func limitProbes() (string, error) {
 	fmt.Fprintf(&b, "rate limit  : first job %s; resubmit after 5s rejected=%v (30s spacing enforced)\n", first.Status, rateLimited)
 
 	// Probe 2: memory limit (oom kernel).
-	oom, err := d.RunSubmission(c, workload.Submission{
+	oom, err := d.RunSubmission(context.Background(), c, workload.Submission{
 		Time: at.Add(2 * time.Minute), Team: "probe-team", Kind: core.KindRun,
 		Spec: project.Spec{Impl: cnn.ImplIm2col, Bug: "oom", Team: "probe-team"},
 	})
@@ -271,7 +272,7 @@ func limitProbes() (string, error) {
 	fmt.Fprintf(&b, "memory      : 64 GiB allocation against the %d GiB cap -> job %s\n", sandbox.DefaultMemoryBytes>>30, oom.Status)
 
 	// Probe 3: lifetime limit (hanging kernel).
-	hang, err := d.RunSubmission(c, workload.Submission{
+	hang, err := d.RunSubmission(context.Background(), c, workload.Submission{
 		Time: at.Add(4 * time.Minute), Team: "probe-team", Kind: core.KindRun,
 		Spec: project.Spec{Impl: cnn.ImplIm2col, Bug: "hang", Team: "probe-team"},
 	})
@@ -306,12 +307,13 @@ func submitRaw(d *sim.Deployment, c *core.Client, spec *build.Spec, archive []by
 		res *core.JobResult
 		err error
 	}
+	ctx := context.Background()
 	done := make(chan out, 1)
 	go func() {
-		res, err := c.Submit(core.KindRun, spec, archive)
+		res, err := c.SubmitContext(ctx, core.KindRun, spec, archive)
 		done <- out{res, err}
 	}()
-	if _, err := d.Workers()[0].HandleOne(10 * time.Second); err != nil {
+	if _, err := d.Workers()[0].HandleOne(ctx, 10*time.Second); err != nil {
 		return nil, err
 	}
 	o := <-done

@@ -1,0 +1,144 @@
+// Command raivet runs RAI's project-specific static-analysis checks
+// over the module: clock discipline, context discipline, span and HTTP
+// hygiene, and goroutine/lock shapes. See internal/lint for the checks.
+//
+// Usage:
+//
+//	raivet [flags] [dir]
+//
+// dir defaults to ".". raivet locates the enclosing go.mod, loads and
+// type-checks every non-test package under dir, and prints one line per
+// finding. Exit status: 0 when clean, 1 when findings were reported,
+// 2 on usage or load errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"rai/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("raivet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		jsonOut = fs.Bool("json", false, "emit findings as a JSON array instead of text lines")
+		enable  = fs.String("enable", "", "comma-separated checks to run (default: all)")
+		disable = fs.String("disable", "", "comma-separated checks to skip")
+		list    = fs.Bool("list", false, "list available checks and exit")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: raivet [flags] [dir]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, c := range lint.Checks() {
+			fmt.Fprintf(stdout, "%-10s %s\n", c.Name, c.Doc)
+		}
+		return 0
+	}
+	dir := "."
+	switch fs.NArg() {
+	case 0:
+	case 1:
+		dir = fs.Arg(0)
+	default:
+		fs.Usage()
+		return 2
+	}
+	// Accept "./..." spelling for familiarity with go tool conventions:
+	// the tree walk already recurses.
+	dir = strings.TrimSuffix(dir, "...")
+	if dir == "" {
+		dir = "."
+	}
+
+	checks, err := lint.Select(splitList(*enable), splitList(*disable))
+	if err != nil {
+		fmt.Fprintln(stderr, "raivet:", err)
+		return 2
+	}
+
+	root, modPath, err := lint.ModuleRoot(dir)
+	if err != nil {
+		fmt.Fprintln(stderr, "raivet:", err)
+		return 2
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		fmt.Fprintln(stderr, "raivet:", err)
+		return 2
+	}
+	prog, err := lint.NewLoader().LoadTree(abs, importPathFor(root, modPath, abs))
+	if err != nil {
+		fmt.Fprintln(stderr, "raivet:", err)
+		return 2
+	}
+
+	diags := lint.Run(prog, checks)
+	// Report module-relative paths so output is stable across machines.
+	for i := range diags {
+		if rel, err := filepath.Rel(root, diags[i].File); err == nil && !strings.HasPrefix(rel, "..") {
+			diags[i].File = filepath.ToSlash(rel)
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(stderr, "raivet:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d.String())
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(stderr, "raivet: %d finding(s)\n", len(diags))
+		}
+		return 1
+	}
+	return 0
+}
+
+// importPathFor maps the directory being linted to its import path
+// within the module ("root/internal" -> "modPath/internal").
+func importPathFor(root, modPath, dir string) string {
+	rel, err := filepath.Rel(root, dir)
+	if err != nil || rel == "." {
+		return modPath
+	}
+	return modPath + "/" + filepath.ToSlash(rel)
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

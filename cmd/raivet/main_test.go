@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"rai/internal/lint"
+)
+
+func TestListChecks(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("run(-list) = %d, stderr: %s", code, errOut.String())
+	}
+	for _, name := range lint.CheckNames() {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing check %q", name)
+		}
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-enable", "nope"}, &out, &errOut); code != 2 {
+		t.Fatalf("unknown check: exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "nope") {
+		t.Fatalf("stderr %q does not name the unknown check", errOut.String())
+	}
+	errOut.Reset()
+	if code := run([]string{"a", "b"}, &out, &errOut); code != 2 {
+		t.Fatalf("two dirs: exit %d, want 2", code)
+	}
+}
+
+// TestFindingsOnFixture points raivet at a planted-violation package and
+// checks the exit status, the module-relative paths, and the JSON shape.
+// The fixture directory lives under the lint package so both suites
+// share one set of golden files.
+func TestFindingsOnFixture(t *testing.T) {
+	fixture := filepath.Join("..", "..", "internal", "lint", "testdata", "src", "clockbad")
+
+	var out, errOut bytes.Buffer
+	code := run([]string{"-enable", "clock", fixture}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", code, errOut.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "internal/lint/testdata/src/clockbad/clockbad.go:") {
+		t.Fatalf("findings not module-relative:\n%s", text)
+	}
+	if got := strings.Count(text, "[clock]"); got != 3 {
+		t.Fatalf("got %d clock findings, want 3:\n%s", got, text)
+	}
+	if !strings.Contains(errOut.String(), "3 finding(s)") {
+		t.Fatalf("stderr summary missing: %q", errOut.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	code = run([]string{"-json", "-enable", "clock", fixture}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("json run: exit %d, want 1; stderr: %s", code, errOut.String())
+	}
+	var diags []lint.Diagnostic
+	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
+		t.Fatalf("output is not a JSON array: %v\n%s", err, out.String())
+	}
+	if len(diags) != 3 {
+		t.Fatalf("json run: %d findings, want 3", len(diags))
+	}
+	var lines []int
+	for _, d := range diags {
+		if d.Check != "clock" {
+			t.Errorf("unexpected check %q", d.Check)
+		}
+		if d.File != "internal/lint/testdata/src/clockbad/clockbad.go" {
+			t.Errorf("unexpected file %q", d.File)
+		}
+		lines = append(lines, d.Line)
+	}
+	if want := []int{16, 21, 22}; !reflect.DeepEqual(lines, want) {
+		t.Errorf("finding lines = %v, want %v", lines, want)
+	}
+}
+
+func TestCleanPackage(t *testing.T) {
+	dir := filepath.Join("..", "..", "internal", "clock")
+	var out, errOut bytes.Buffer
+	if code := run([]string{dir}, &out, &errOut); code != 0 {
+		t.Fatalf("internal/clock should be clean; exit %d\n%s%s", code, out.String(), errOut.String())
+	}
+	out.Reset()
+	if code := run([]string{"-json", dir}, &out, &errOut); code != 0 {
+		t.Fatalf("json clean run: exit %d", code)
+	}
+	if got := strings.TrimSpace(out.String()); got != "[]" {
+		t.Fatalf("clean JSON output = %q, want []", got)
+	}
+}
+
+func TestSplitList(t *testing.T) {
+	if got := splitList(""); got != nil {
+		t.Fatalf("splitList(\"\") = %v", got)
+	}
+	got := splitList("clock, span,,httpresp ")
+	if want := []string{"clock", "span", "httpresp"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("splitList = %v, want %v", got, want)
+	}
+}

@@ -91,7 +91,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- struct{}, quit <-
 	fsPolicy.Metrics = netx.NewMetrics(telReg, "objstore")
 	dbPolicy := policy
 	dbPolicy.Metrics = netx.NewMetrics(telReg, "docstore")
-	queue, err := core.NewRemoteQueue(*brokerAddr,
+	queue, err := core.NewRemoteQueue(context.Background(), *brokerAddr,
 		core.WithQueuePolicy(queuePolicy),
 		core.WithQueueMetrics(queuePolicy.Metrics),
 		core.WithQueueDialTimeout(*dialTimeout))
@@ -131,7 +131,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- struct{}, quit <-
 		telemetry.WithTracerInstance(telemetry.NewInstanceID(*id)),
 	}
 	if *telemetryOn {
-		exp := telemetry.NewExporter("raiworker", core.ShipTelemetry(queue),
+		exp := telemetry.NewExporter(context.Background(), "raiworker", core.ShipTelemetry(queue),
 			telemetry.WithExportMetrics(telReg))
 		defer exp.Close()
 		tracerOpts = append(tracerOpts, telemetry.WithSpanSink(exp.ExportSpan))
@@ -143,7 +143,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- struct{}, quit <-
 	w.Tracer = telemetry.NewTracer(4096, tracerOpts...)
 	if telReg != nil {
 		w.Telemetry = telReg
-		telemetry.RegisterBuildInfo(telReg, "raiworker", version)
+		telemetry.RegisterBuildInfo(telReg, "raiworker", version, nil)
 		var mounts []func(*http.ServeMux)
 		if *pprofOn {
 			mounts = append(mounts, telemetry.MountPprof)

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net"
 	"net/http"
@@ -68,7 +69,7 @@ func TestWorkerDaemonProcessesJobs(t *testing.T) {
 	}
 
 	// A client submits through the daemon.
-	queue, err := core.NewRemoteQueue(brokerSrv.Addr())
+	queue, err := core.NewRemoteQueue(context.Background(), brokerSrv.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func TestWorkerDaemonProcessesJobs(t *testing.T) {
 		Objects: objstore.NewClient("http://" + fsLn.Addr().String()),
 		LogWait: time.Minute,
 	}
-	res, err := client.Submit(core.KindRun, nil, archive)
+	res, err := client.SubmitContext(context.Background(), core.KindRun, nil, archive)
 	if err != nil {
 		t.Fatalf("submit through daemon: %v", err)
 	}

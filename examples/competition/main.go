@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"log"
@@ -21,6 +22,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	deployment, err := sim.NewDeployment(sim.DeployConfig{RateLimit: time.Nanosecond})
 	if err != nil {
 		log.Fatal(err)
@@ -44,7 +46,7 @@ func main() {
 			log.Fatal(err)
 		}
 		at = at.Add(time.Minute)
-		res, err := deployment.RunSubmission(client, workload.Submission{
+		res, err := deployment.RunSubmission(ctx, client, workload.Submission{
 			Time: at, Team: spec.Team, Kind: core.KindSubmit, Spec: spec,
 		})
 		if err != nil {
@@ -80,7 +82,7 @@ func main() {
 	// A second, faster submission overwrites the team's record (§V).
 	fmt.Println("\n== segfault resubmits an improved kernel ==")
 	client, _ := deployment.NewClient("segfault", io.Discard)
-	res, err := deployment.RunSubmission(client, workload.Submission{
+	res, err := deployment.RunSubmission(ctx, client, workload.Submission{
 		Time: at.Add(time.Hour), Team: "segfault", Kind: core.KindSubmit,
 		Spec: project.Spec{Team: "segfault", Impl: cnn.ImplTiled, Tuning: 1.6, WithUsage: true, WithReport: true},
 	})

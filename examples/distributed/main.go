@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
@@ -29,6 +30,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// --- services, each on its own loopback listener ---
 	b := broker.New()
 	brokerSrv, err := brokerd.NewServer(b, "127.0.0.1:0")
@@ -68,7 +70,7 @@ func main() {
 	}
 
 	// --- a worker connecting over the network ---
-	workerQueue, err := core.NewRemoteQueue(brokerSrv.Addr())
+	workerQueue, err := core.NewRemoteQueue(ctx, brokerSrv.Addr())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -84,12 +86,12 @@ func main() {
 		DataFS:   dataFS,
 		DataPath: "/data",
 	}
-	go worker.Run()
+	go worker.RunContext(ctx)
 	defer worker.Stop()
 	fmt.Println("worker   : remote-worker subscribed to rai/tasks")
 
 	// --- the student client, also over the network ---
-	clientQueue, err := core.NewRemoteQueue(brokerSrv.Addr())
+	clientQueue, err := core.NewRemoteQueue(ctx, brokerSrv.Addr())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -106,7 +108,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("\n== streaming job output over TCP ==")
-	res, err := client.Submit(core.KindRun, nil, archive)
+	res, err := client.SubmitContext(ctx, core.KindRun, nil, archive)
 	if err != nil {
 		log.Fatal(err)
 	}

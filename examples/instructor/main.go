@@ -26,6 +26,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	deployment, err := sim.NewDeployment(sim.DeployConfig{RateLimit: time.Nanosecond})
 	if err != nil {
 		log.Fatal(err)
@@ -66,7 +67,7 @@ func main() {
 			log.Fatal(err)
 		}
 		at = at.Add(time.Minute)
-		res, err := deployment.RunSubmission(client, workload.Submission{
+		res, err := deployment.RunSubmission(ctx, client, workload.Submission{
 			Time: at, Team: team, Kind: core.KindSubmit, Spec: spec,
 		})
 		if err != nil {
@@ -96,7 +97,7 @@ func main() {
 		client, _ := deployment.NewClient(team, io.Discard)
 		res, err := grading.RerunMin(team, 3, func(string) (time.Duration, float64, error) {
 			deployment.Clock.Advance(time.Minute)
-			r, err := deployment.RunSubmission(client, workload.Submission{
+			r, err := deployment.RunSubmission(ctx, client, workload.Submission{
 				Time: deployment.Clock.Now(), Team: team, Kind: core.KindSubmit, Spec: spec,
 			})
 			if err != nil {

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -20,6 +21,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	deployment, err := sim.NewDeployment(sim.DeployConfig{RateLimit: time.Nanosecond})
 	if err != nil {
 		log.Fatal(err)
@@ -31,7 +33,7 @@ func main() {
 	worker := deployment.Workers()[0]
 	worker.Cfg.AllowSessions = true
 	worker.Cfg.SessionIdleTimeout = time.Hour
-	go worker.Run()
+	go worker.RunContext(ctx)
 	defer worker.Stop()
 
 	client, err := deployment.NewClient("debug-team", os.Stdout)
@@ -44,7 +46,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	session, err := client.OpenSession(archive)
+	session, err := client.OpenSessionContext(ctx, archive)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -61,7 +63,7 @@ func main() {
 		"cat timeline.nvprof",
 	} {
 		fmt.Printf("\nrai> %s\n", cmd)
-		res, err := session.Run(cmd)
+		res, err := session.Run(ctx, cmd)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -22,6 +23,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// One worker, single-job mode, default 30s rate limit.
 	deployment, err := sim.NewDeployment(sim.DeployConfig{Workers: 1})
 	if err != nil {
@@ -37,7 +39,7 @@ func main() {
 	}
 
 	fmt.Println("== submitting a development job (rai run) ==")
-	res, err := deployment.RunSubmission(client, workload.Submission{
+	res, err := deployment.RunSubmission(ctx, client, workload.Submission{
 		Time: deployment.Clock.Now().Add(time.Minute),
 		Team: "quickstart-team",
 		Kind: core.KindRun,
@@ -57,7 +59,7 @@ func main() {
 	fmt.Printf("build archive:         %s/%s\n", res.BuildBucket, res.BuildKey)
 
 	// The /build directory (with the nvprof timeline) is downloadable.
-	blob, err := client.DownloadBuild(res)
+	blob, err := client.DownloadBuildContext(ctx, res)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -18,6 +18,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"rai/internal/clock"
 )
 
 // Credentials uniquely identify a student or team.
@@ -77,7 +79,7 @@ func NewRegistry() *Registry {
 		byAK:    map[string]Credentials{},
 		byUser:  map[string]Credentials{},
 		MaxSkew: 15 * time.Minute,
-		now:     time.Now,
+		now:     clock.Real{}.Now,
 	}
 }
 

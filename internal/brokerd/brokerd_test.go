@@ -30,7 +30,7 @@ func newPair(t *testing.T) (*broker.Broker, *Server) {
 
 func dialT(t *testing.T, srv *Server) *Client {
 	t.Helper()
-	c, err := Dial(srv.Addr())
+	c, err := DialContext(context.Background(), srv.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}

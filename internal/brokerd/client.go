@@ -89,13 +89,6 @@ func DialContext(ctx context.Context, addr string, opts ...DialOption) (*Client,
 	return c, nil
 }
 
-// Dial connects to a brokerd server.
-//
-// Deprecated: use DialContext.
-func Dial(addr string) (*Client, error) {
-	return DialContext(context.Background(), addr)
-}
-
 func (c *Client) readLoop() {
 	defer close(c.done)
 	for {

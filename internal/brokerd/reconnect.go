@@ -26,7 +26,11 @@ type ReconnClient struct {
 	metrics  *netx.Metrics
 	dialOpts []DialOption
 
-	ctx    context.Context // lifetime: done on Close
+	// ctx is the subscription lifetime, created on Subscribe from the
+	// caller's context (values kept, cancellation stripped — the pump
+	// must outlive the Subscribe call) and done on Close. nil until the
+	// client subscribes.
+	ctx    context.Context
 	cancel context.CancelFunc
 
 	mu     sync.Mutex
@@ -77,7 +81,6 @@ func NewReconnClient(addr string, opts ...ReconnOption) *ReconnClient {
 	for _, o := range opts {
 		o(r)
 	}
-	r.ctx, r.cancel = context.WithCancel(context.Background())
 	r.policy.Metrics = r.metrics
 	inner := r.policy.Retryable
 	r.policy.Retryable = func(err error) bool {
@@ -210,6 +213,9 @@ func (r *ReconnClient) Subscribe(ctx context.Context, topic, channel string, max
 	r.subbed = true
 	r.subTopic, r.subChannel, r.subMaxIF = topic, channel, maxInFlight
 	r.pumpDone = make(chan struct{})
+	// The pump outlives this call by design, so it keeps the caller's
+	// values but not its cancellation; Close ends it.
+	r.ctx, r.cancel = context.WithCancel(context.WithoutCancel(ctx))
 	r.mu.Unlock()
 
 	// Establish the first subscription synchronously so the caller sees
@@ -344,9 +350,12 @@ func (r *ReconnClient) Close() error {
 	c := r.cur
 	r.cur = nil
 	pumpDone := r.pumpDone
+	cancel := r.cancel
 	r.mu.Unlock()
 
-	r.cancel()
+	if cancel != nil {
+		cancel()
+	}
 	var err error
 	if c != nil {
 		err = c.Close()

@@ -1,6 +1,7 @@
 package brokerd
 
 import (
+	"context"
 	"testing"
 
 	"rai/internal/broker"
@@ -17,7 +18,7 @@ func TestServerTelemetry(t *testing.T) {
 	}
 	defer srv.Close()
 
-	c, err := Dial(srv.Addr())
+	c, err := DialContext(context.Background(), srv.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -39,7 +39,7 @@ func TestEndToEndConnectedTrace(t *testing.T) {
 	// telemetry route; the test doubles as the happy-path drop check.
 	exporters := map[string]*telemetry.Exporter{}
 	newTracer := func(service string) *telemetry.Tracer {
-		exp := telemetry.NewExporter(service, core.ShipTelemetry(queue))
+		exp := telemetry.NewExporter(context.Background(), service, core.ShipTelemetry(queue))
 		exporters[service] = exp
 		return telemetry.NewTracer(1024, telemetry.WithSpanSink(exp.ExportSpan),
 			telemetry.WithTracerInstance(service))
@@ -125,10 +125,10 @@ func TestEndToEndConnectedTrace(t *testing.T) {
 	}
 	done := make(chan out, 1)
 	go func() {
-		res, err := client.Submit(core.KindRun, build.Default(), archive)
+		res, err := client.SubmitContext(context.Background(), core.KindRun, build.Default(), archive)
 		done <- out{res, err}
 	}()
-	if _, err := worker.HandleOne(10 * time.Second); err != nil {
+	if _, err := worker.HandleOne(context.Background(), 10*time.Second); err != nil {
 		t.Fatal(err)
 	}
 	var res *core.JobResult

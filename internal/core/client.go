@@ -90,13 +90,6 @@ func CheckSubmissionFiles(fs *vfs.FS, dir string) error {
 	return nil
 }
 
-// Submit runs the full client sequence for a packed project archive.
-//
-// Deprecated: use SubmitContext.
-func (c *Client) Submit(kind string, spec *build.Spec, archive []byte) (*JobResult, error) {
-	return c.SubmitContext(context.Background(), kind, spec, archive)
-}
-
 // SubmitContext runs the full client sequence for a packed project
 // archive. kind is KindRun or KindSubmit; spec is the parsed build file
 // (ignored by workers for KindSubmit). It blocks streaming logs to
@@ -122,14 +115,6 @@ func (c *Client) SubmitContext(ctx context.Context, kind string, spec *build.Spe
 	up.SetAttr("bytes", fmt.Sprint(len(archive)))
 	up.End()
 	return c.submitUploaded(ctx, root, jobID, kind, spec, BucketUploads, uploadKey)
-}
-
-// Resubmit enqueues a job against an archive already on the file
-// server.
-//
-// Deprecated: use ResubmitContext.
-func (c *Client) Resubmit(kind, uploadBucket, uploadKey string) (*JobResult, error) {
-	return c.ResubmitContext(context.Background(), kind, uploadBucket, uploadKey)
 }
 
 // ResubmitContext enqueues a job against an archive already on the file
@@ -253,13 +238,6 @@ func (c *Client) submitUploaded(ctx context.Context, root *telemetry.Span, jobID
 // authToken signs a job request with the client's credentials.
 func authToken(c *Client, req *JobRequest) string {
 	return auth.Token(c.Creds, req.CanonicalPayload())
-}
-
-// DownloadBuild fetches the /build archive produced by the worker.
-//
-// Deprecated: use DownloadBuildContext.
-func (c *Client) DownloadBuild(res *JobResult) ([]byte, error) {
-	return c.DownloadBuildContext(context.Background(), res)
 }
 
 // DownloadBuildContext fetches the /build archive produced by the

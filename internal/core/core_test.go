@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -117,10 +118,10 @@ func submitAndHandle(t *testing.T, e *env, c *Client, kind string, spec *build.S
 	}
 	done := make(chan out, 1)
 	go func() {
-		res, err := c.Submit(kind, spec, archive)
+		res, err := c.SubmitContext(context.Background(), kind, spec, archive)
 		done <- out{res, err}
 	}()
-	if _, err := e.worker.HandleOne(5 * time.Second); err != nil {
+	if _, err := e.worker.HandleOne(context.Background(), 5*time.Second); err != nil {
 		t.Fatal(err)
 	}
 	select {
@@ -160,7 +161,7 @@ func TestEndToEndRunJob(t *testing.T) {
 		}
 	}
 	// The /build archive is retrievable and contains the nvprof timeline.
-	buildBlob, err := c.DownloadBuild(res)
+	buildBlob, err := c.DownloadBuildContext(context.Background(), res)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,7 +214,7 @@ func TestEndToEndFinalSubmission(t *testing.T) {
 	}
 	// The build archive contains the copied submission code (Listing 2
 	// line 7).
-	blob, err := c.DownloadBuild(res)
+	blob, err := c.DownloadBuildContext(context.Background(), res)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -408,12 +409,12 @@ func TestWorkerRunLoopAndStop(t *testing.T) {
 	e := newEnv(t)
 	workerDone := make(chan struct{})
 	go func() {
-		e.worker.Run()
+		e.worker.RunContext(context.Background())
 		close(workerDone)
 	}()
 	c := e.client(t, "team-loop")
 	archive := packProject(t, project.Spec{Impl: cnn.ImplIm2col})
-	res, err := c.Submit(KindRun, build.Default(), archive)
+	res, err := c.SubmitContext(context.Background(), KindRun, build.Default(), archive)
 	if err != nil || res.Status != StatusSucceeded {
 		t.Fatalf("submit via run loop: %v %+v", err, res)
 	}
@@ -432,7 +433,7 @@ func TestMultiConcurrentWorker(t *testing.T) {
 	e := newEnv(t)
 	e.worker.Cfg.MaxConcurrent = 4
 	e.worker.Cfg.RateLimit = 0
-	go e.worker.Run()
+	go e.worker.RunContext(context.Background())
 	defer e.worker.Stop()
 
 	const jobs = 4
@@ -441,7 +442,7 @@ func TestMultiConcurrentWorker(t *testing.T) {
 		c := e.client(t, "team-par-"+string(rune('a'+i)))
 		archive := packProject(t, project.Spec{Impl: cnn.ImplTiled})
 		go func(c *Client) {
-			res, err := c.Submit(KindRun, build.Default(), archive)
+			res, err := c.SubmitContext(context.Background(), KindRun, build.Default(), archive)
 			if err == nil && res.Status != StatusSucceeded {
 				err = errors.New("status " + res.Status)
 			}

@@ -163,7 +163,7 @@ func TestClientUploadFailure(t *testing.T) {
 	c := e.client(t, "team-up")
 	c.Objects = &flakyObjects{inner: e.objects, failPuts: 1}
 	archive := packProject(t, project.Spec{Impl: cnn.ImplTiled})
-	if _, err := c.Submit(KindRun, build.Default(), archive); err == nil || !strings.Contains(err.Error(), "uploading project") {
+	if _, err := c.SubmitContext(context.Background(), KindRun, build.Default(), archive); err == nil || !strings.Contains(err.Error(), "uploading project") {
 		t.Fatalf("upload failure: %v", err)
 	}
 }
@@ -183,7 +183,7 @@ func TestCrashedWorkerJobIsRedelivered(t *testing.T) {
 	}
 	done := make(chan out, 1)
 	go func() {
-		res, err := c.Submit(KindRun, build.Default(), archive)
+		res, err := c.SubmitContext(context.Background(), KindRun, build.Default(), archive)
 		done <- out{res, err}
 	}()
 
@@ -202,7 +202,7 @@ func TestCrashedWorkerJobIsRedelivered(t *testing.T) {
 	doomed.Close() // crash: broker requeues the in-flight job
 
 	// A healthy worker picks the redelivered job up.
-	if _, err := e.worker.HandleOne(5 * time.Second); err != nil {
+	if _, err := e.worker.HandleOne(context.Background(), 5*time.Second); err != nil {
 		t.Fatal(err)
 	}
 	select {
@@ -248,7 +248,7 @@ func TestMalformedQueueMessageIgnored(t *testing.T) {
 	if err := e.queue.Publish(context.Background(), TasksTopic, []byte("{not json")); err != nil {
 		t.Fatal(err)
 	}
-	handled, err := e.worker.HandleOne(2 * time.Second)
+	handled, err := e.worker.HandleOne(context.Background(), 2*time.Second)
 	if err != nil || !handled {
 		t.Fatalf("malformed message: handled=%v err=%v", handled, err)
 	}

@@ -130,14 +130,14 @@ func WithQueueDialTimeout(d time.Duration) RemoteQueueOption {
 
 // NewRemoteQueue connects the publish path. The eager Ping keeps the
 // historical contract that a bad address fails at construction, not on
-// first use.
-func NewRemoteQueue(addr string, opts ...RemoteQueueOption) (*RemoteQueue, error) {
+// first use; ctx bounds that probe.
+func NewRemoteQueue(ctx context.Context, addr string, opts ...RemoteQueueOption) (*RemoteQueue, error) {
 	q := &RemoteQueue{Addr: addr}
 	for _, o := range opts {
 		o(q)
 	}
 	q.pub = q.newClient()
-	if err := q.pub.Ping(context.Background()); err != nil {
+	if err := q.pub.Ping(ctx); err != nil {
 		q.pub.Close()
 		return nil, err
 	}
@@ -171,6 +171,11 @@ func (q *RemoteQueue) Subscribe(ctx context.Context, topic, channel string, maxI
 		conn.Close()
 		return nil, err
 	}
+	// Settlement outlives the Subscribe call (the consumer acks from its
+	// own loop), so it keeps the caller's values but not its cancellation:
+	// an ack for completed work must still reach the broker after the
+	// subscribing context winds down.
+	settleCtx := context.WithoutCancel(ctx)
 	out := make(chan QueueMsg, maxInFlight)
 	go func() {
 		defer close(out)
@@ -178,8 +183,8 @@ func (q *RemoteQueue) Subscribe(ctx context.Context, topic, channel string, maxI
 			d := d
 			out <- QueueMsg{
 				Body:    d.Body,
-				Ack:     func() error { return conn.Ack(context.Background(), d) },
-				Requeue: func() error { return conn.Requeue(context.Background(), d) },
+				Ack:     func() error { return conn.Ack(settleCtx, d) },
+				Requeue: func() error { return conn.Requeue(settleCtx, d) },
 			}
 		}
 	}()

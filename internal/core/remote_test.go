@@ -25,17 +25,17 @@ func TestRemoteQueueEndToEnd(t *testing.T) {
 	}
 	t.Cleanup(func() { srv.Close(); b.Close() })
 
-	workerQueue, err := NewRemoteQueue(srv.Addr())
+	workerQueue, err := NewRemoteQueue(context.Background(), srv.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { workerQueue.Close() })
 	e.worker.Queue = workerQueue
 	e.worker.Cfg.RateLimit = 0
-	go e.worker.Run()
+	go e.worker.RunContext(context.Background())
 	t.Cleanup(e.worker.Stop)
 
-	clientQueue, err := NewRemoteQueue(srv.Addr())
+	clientQueue, err := NewRemoteQueue(context.Background(), srv.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +45,7 @@ func TestRemoteQueueEndToEnd(t *testing.T) {
 	c.LogWait = 0 // real-time delivery; no virtual-clock timer
 
 	archive := packProject(t, project.Spec{Impl: cnn.ImplIm2col, Team: "team-tcp"})
-	res, err := c.Submit(KindRun, build.Default(), archive)
+	res, err := c.SubmitContext(context.Background(), KindRun, build.Default(), archive)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,17 +80,17 @@ func TestSubmissionSurvivesBrokerRestart(t *testing.T) {
 	reg := telemetry.NewRegistry()
 	p := netx.Policy{MaxAttempts: 100, BaseDelay: time.Millisecond, MaxDelay: 20 * time.Millisecond}
 	m := netx.NewMetrics(reg, "broker")
-	workerQueue, err := NewRemoteQueue(addr, WithQueuePolicy(p), WithQueueMetrics(m))
+	workerQueue, err := NewRemoteQueue(context.Background(), addr, WithQueuePolicy(p), WithQueueMetrics(m))
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { workerQueue.Close() })
 	e.worker.Queue = workerQueue
 	e.worker.Cfg.RateLimit = 0
-	go e.worker.Run()
+	go e.worker.RunContext(context.Background())
 	t.Cleanup(e.worker.Stop)
 
-	clientQueue, err := NewRemoteQueue(addr, WithQueuePolicy(p), WithQueueMetrics(m))
+	clientQueue, err := NewRemoteQueue(context.Background(), addr, WithQueuePolicy(p), WithQueueMetrics(m))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +102,7 @@ func TestSubmissionSurvivesBrokerRestart(t *testing.T) {
 	// One clean submission first, so the worker's task subscription and
 	// both publish connections exist before the restart kills them all.
 	archive := packProject(t, project.Spec{Impl: cnn.ImplIm2col, Team: "team-outage"})
-	res, err := c.Submit(KindRun, build.Default(), archive)
+	res, err := c.SubmitContext(context.Background(), KindRun, build.Default(), archive)
 	if err != nil {
 		t.Fatalf("submission before restart: %v", err)
 	}
@@ -128,7 +128,7 @@ func TestSubmissionSurvivesBrokerRestart(t *testing.T) {
 		restarted <- restart{srv2, err}
 	}()
 
-	res2, err := c.Submit(KindRun, build.Default(), archive)
+	res2, err := c.SubmitContext(context.Background(), KindRun, build.Default(), archive)
 	r := <-restarted
 	if r.err != nil {
 		t.Fatalf("broker restart: %v", r.err)
@@ -176,10 +176,10 @@ func TestResubmitReusesUpload(t *testing.T) {
 	}
 	done := make(chan out, 1)
 	go func() {
-		res, err := c.Resubmit(KindSubmit, bucket, key)
+		res, err := c.ResubmitContext(context.Background(), KindSubmit, bucket, key)
 		done <- out{res, err}
 	}()
-	if _, err := e.worker.HandleOne(5 * time.Second); err != nil {
+	if _, err := e.worker.HandleOne(context.Background(), 5*time.Second); err != nil {
 		t.Fatal(err)
 	}
 	o := <-done
@@ -202,7 +202,7 @@ func TestResubmitReusesUpload(t *testing.T) {
 func TestResubmitBadKind(t *testing.T) {
 	e := newEnv(t)
 	c := e.client(t, "team-badkind")
-	if _, err := c.Resubmit("frobnicate", BucketUploads, "x"); err == nil {
+	if _, err := c.ResubmitContext(context.Background(), "frobnicate", BucketUploads, "x"); err == nil {
 		t.Fatal("bad kind accepted")
 	}
 }
@@ -210,7 +210,7 @@ func TestResubmitBadKind(t *testing.T) {
 func TestDownloadBuildWithoutArtifact(t *testing.T) {
 	e := newEnv(t)
 	c := e.client(t, "team-noartifact")
-	if _, err := c.DownloadBuild(&JobResult{JobID: "x"}); err == nil {
+	if _, err := c.DownloadBuildContext(context.Background(), &JobResult{JobID: "x"}); err == nil {
 		t.Fatal("download without artifact accepted")
 	}
 }

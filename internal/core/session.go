@@ -60,6 +60,10 @@ type Session struct {
 	client *Client
 	sub    Subscription
 	clk    clock.Clock
+	// base is the opening context minus its cancellation: Close must
+	// still deliver the close marker (so the worker uploads /build)
+	// after the interactive context ends.
+	base context.Context
 	// Result carries the End-message summary once the session ends.
 	Result *JobResult
 	closed bool
@@ -70,13 +74,6 @@ type CommandResult struct {
 	Cmd      string
 	ExitCode int
 	Output   string // interleaved stdout/stderr lines
-}
-
-// OpenSession uploads the project and starts an interactive session.
-//
-// Deprecated: use OpenSessionContext.
-func (c *Client) OpenSession(archive []byte) (*Session, error) {
-	return c.OpenSessionContext(context.Background(), archive)
 }
 
 // OpenSessionContext uploads the project and starts an interactive
@@ -106,7 +103,7 @@ func (c *Client) OpenSessionContext(ctx context.Context, archive []byte) (*Sessi
 		sub.Close()
 		return nil, err
 	}
-	s := &Session{JobID: jobID, client: c, sub: sub, clk: clk}
+	s := &Session{JobID: jobID, client: c, sub: sub, clk: clk, base: context.WithoutCancel(ctx)}
 	// Wait for the worker's ready marker (an empty cmd_done) or an early
 	// End (rejection).
 	res, err := s.waitCmdDone("")
@@ -120,11 +117,11 @@ func (c *Client) OpenSessionContext(ctx context.Context, archive []byte) (*Sessi
 
 // Run executes one command inside the session's container and returns
 // its output once the worker signals completion.
-func (s *Session) Run(cmd string) (*CommandResult, error) {
+func (s *Session) Run(ctx context.Context, cmd string) (*CommandResult, error) {
 	if s.closed {
 		return nil, ErrSessionClosed
 	}
-	if err := s.client.Queue.Publish(context.Background(), CmdTopic(s.JobID), encodeJSON(&sessionCommand{JobID: s.JobID, Cmd: cmd})); err != nil {
+	if err := s.client.Queue.Publish(ctx, CmdTopic(s.JobID), encodeJSON(&sessionCommand{JobID: s.JobID, Cmd: cmd})); err != nil {
 		return nil, err
 	}
 	return s.waitCmdDone(cmd)
@@ -183,7 +180,7 @@ func (s *Session) Close() error {
 	if s.closed {
 		return nil
 	}
-	s.client.Queue.Publish(context.Background(), CmdTopic(s.JobID), encodeJSON(&sessionCommand{JobID: s.JobID, Close: true}))
+	s.client.Queue.Publish(s.base, CmdTopic(s.JobID), encodeJSON(&sessionCommand{JobID: s.JobID, Close: true}))
 	// Drain until End so Result is populated.
 	for {
 		m, ok := <-s.sub.C()
@@ -258,7 +255,7 @@ func (w *Worker) runSession(ctx context.Context, req *JobRequest, logf func(kind
 	defer cmdSub.Close()
 
 	logf(LogSystem, "interactive session ready (image %s, lifetime %v)", w.Cfg.DefaultImage, w.Cfg.Lifetime)
-	w.signalCmdDone(req.ID, 0) // ready marker
+	w.signalCmdDone(ctx, req.ID, 0) // ready marker
 
 	idle := w.Cfg.SessionIdleTimeout
 	if idle <= 0 {
@@ -291,13 +288,13 @@ loop:
 			}
 			if err != nil && (errors.Is(err, sandbox.ErrLifetimeExceeded) || errors.Is(err, sandbox.ErrMemoryExceeded)) {
 				logf(LogSystem, "container killed: %v", err)
-				w.signalCmdDone(req.ID, r.ExitCode)
+				w.signalCmdDone(ctx, req.ID, r.ExitCode)
 				ok = false
 				break loop
 			}
 			stdout.Flush()
 			stderr.Flush()
-			w.signalCmdDone(req.ID, r.ExitCode)
+			w.signalCmdDone(ctx, req.ID, r.ExitCode)
 		case <-w.Clock.After(idle):
 			logf(LogSystem, "session idle for %v; closing", idle)
 			break loop
@@ -313,8 +310,8 @@ loop:
 
 // signalCmdDone publishes the per-command completion marker; the exit
 // code travels in the numeric Elapsed field.
-func (w *Worker) signalCmdDone(jobID string, exitCode int) {
-	w.Queue.Publish(context.Background(), LogTopic(jobID), encodeJSON(&LogMessage{
+func (w *Worker) signalCmdDone(ctx context.Context, jobID string, exitCode int) {
+	w.Queue.Publish(ctx, LogTopic(jobID), encodeJSON(&LogMessage{
 		JobID: jobID, Kind: LogCmdDone, Elapsed: float64(exitCode),
 	}))
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -17,13 +18,13 @@ func openSession(t *testing.T, e *env, team string) (*Session, *Client) {
 	e.worker.Cfg.AllowSessions = true
 	e.worker.Cfg.RateLimit = 0
 	e.worker.Cfg.SessionIdleTimeout = time.Hour
-	go e.worker.Run()
+	go e.worker.RunContext(context.Background())
 	t.Cleanup(e.worker.Stop)
 
 	c := e.client(t, team)
 	c.LogWait = 20 * time.Second
 	archive := packProject(t, project.Spec{Impl: cnn.ImplIm2col, Team: team})
-	s, err := c.OpenSession(archive)
+	s, err := c.OpenSessionContext(context.Background(), archive)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,21 +38,21 @@ func TestInteractiveSessionStatePersists(t *testing.T) {
 
 	// The whole point of a session: state carries between commands —
 	// cmake writes the Makefile one round trip before make consumes it.
-	res, err := s.Run("cmake /src")
+	res, err := s.Run(context.Background(), "cmake /src")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.ExitCode != 0 || !strings.Contains(res.Output, "Configuring done") {
 		t.Fatalf("cmake = %+v", res)
 	}
-	res, err = s.Run("make")
+	res, err = s.Run(context.Background(), "make")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(res.Output, "Built target ece408") {
 		t.Fatalf("make = %+v", res)
 	}
-	res, err = s.Run("./ece408 /data/test10.hdf5 /data/model.hdf5")
+	res, err = s.Run(context.Background(), "./ece408 /data/test10.hdf5 /data/model.hdf5")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +60,7 @@ func TestInteractiveSessionStatePersists(t *testing.T) {
 		t.Fatalf("run = %+v", res)
 	}
 	// Debugging tools work interactively too (the §VIII motivation).
-	res, err = s.Run("nvprof --export-profile session.nvprof ./ece408 /data/test10.hdf5 /data/model.hdf5")
+	res, err = s.Run(context.Background(), "nvprof --export-profile session.nvprof ./ece408 /data/test10.hdf5 /data/model.hdf5")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,14 +68,14 @@ func TestInteractiveSessionStatePersists(t *testing.T) {
 		t.Fatalf("nvprof = %+v", res)
 	}
 	// Failed commands report their exit code without ending the session.
-	res, err = s.Run("cat /no/such/file")
+	res, err = s.Run(context.Background(), "cat /no/such/file")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.ExitCode == 0 {
 		t.Error("failed command reported exit 0")
 	}
-	if _, err := s.Run("echo still alive"); err != nil {
+	if _, err := s.Run(context.Background(), "echo still alive"); err != nil {
 		t.Fatalf("session died after failed command: %v", err)
 	}
 }
@@ -82,10 +83,10 @@ func TestInteractiveSessionStatePersists(t *testing.T) {
 func TestSessionCloseUploadsBuild(t *testing.T) {
 	e := newEnv(t)
 	s, c := openSession(t, e, "team-close")
-	if _, err := s.Run("cmake /src"); err != nil {
+	if _, err := s.Run(context.Background(), "cmake /src"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Run("make"); err != nil {
+	if _, err := s.Run(context.Background(), "make"); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.Close(); err != nil {
@@ -95,12 +96,12 @@ func TestSessionCloseUploadsBuild(t *testing.T) {
 		t.Fatalf("session result = %+v", s.Result)
 	}
 	// The session's /build (with the compiled target) is downloadable.
-	blob, err := c.DownloadBuild(&JobResult{JobID: s.JobID, BuildBucket: s.Result.BuildBucket, BuildKey: s.Result.BuildKey})
+	blob, err := c.DownloadBuildContext(context.Background(), &JobResult{JobID: s.JobID, BuildBucket: s.Result.BuildBucket, BuildKey: s.Result.BuildKey})
 	if err != nil || len(blob) == 0 {
 		t.Fatalf("build download: %d bytes, %v", len(blob), err)
 	}
 	// Using a closed session errors cleanly.
-	if _, err := s.Run("echo nope"); !errors.Is(err, ErrSessionClosed) {
+	if _, err := s.Run(context.Background(), "echo nope"); !errors.Is(err, ErrSessionClosed) {
 		t.Fatalf("run after close: %v", err)
 	}
 	if err := s.Close(); err != nil {
@@ -112,7 +113,7 @@ func TestSessionLimitsStillEnforced(t *testing.T) {
 	e := newEnv(t)
 	s, _ := openSession(t, e, "team-escape")
 	// Network is still off.
-	res, err := s.Run("curl http://example.com")
+	res, err := s.Run(context.Background(), "curl http://example.com")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +121,7 @@ func TestSessionLimitsStillEnforced(t *testing.T) {
 		t.Fatalf("curl in session = %+v", res)
 	}
 	// /src is still read-only (cp into it must fail).
-	res, err = s.Run("cp /src/CMakeLists.txt /src/copy.txt")
+	res, err = s.Run(context.Background(), "cp /src/CMakeLists.txt /src/copy.txt")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,12 +133,12 @@ func TestSessionLimitsStillEnforced(t *testing.T) {
 func TestSessionRejectedWhenDisabled(t *testing.T) {
 	e := newEnv(t)
 	// Worker without AllowSessions.
-	go e.worker.Run()
+	go e.worker.RunContext(context.Background())
 	t.Cleanup(e.worker.Stop)
 	c := e.client(t, "team-nosess")
 	c.LogWait = 10 * time.Second
 	archive := packProject(t, project.Spec{Impl: cnn.ImplTiled, Team: "team-nosess"})
-	_, err := c.OpenSession(archive)
+	_, err := c.OpenSessionContext(context.Background(), archive)
 	if !errors.Is(err, ErrRejected) {
 		t.Fatalf("session on non-session worker: %v", err)
 	}
@@ -146,11 +147,11 @@ func TestSessionRejectedWhenDisabled(t *testing.T) {
 func TestSessionEndsOnExitCommand(t *testing.T) {
 	e := newEnv(t)
 	s, _ := openSession(t, e, "team-exit")
-	if _, err := s.Run("echo hi"); err != nil {
+	if _, err := s.Run(context.Background(), "echo hi"); err != nil {
 		t.Fatal(err)
 	}
 	// "exit" ends the session; the pending waitCmdDone sees End.
-	_, err := s.Run("exit")
+	_, err := s.Run(context.Background(), "exit")
 	if !errors.Is(err, ErrSessionClosed) {
 		t.Fatalf("exit command: %v", err)
 	}
@@ -162,7 +163,7 @@ func TestSessionEndsOnExitCommand(t *testing.T) {
 func TestSessionRecordedInDatabase(t *testing.T) {
 	e := newEnv(t)
 	s, _ := openSession(t, e, "team-audit")
-	s.Run("echo audited")
+	s.Run(context.Background(), "echo audited")
 	s.Close()
 	doc, err := e.db.FindOne(CollJobs, map[string]any{"job_id": s.JobID})
 	if err != nil {

@@ -146,13 +146,6 @@ func (w *Worker) initRuntime() {
 	}
 }
 
-// Run subscribes to rai/tasks and processes jobs until Stop.
-//
-// Deprecated: use RunContext.
-func (w *Worker) Run() error {
-	return w.RunContext(context.Background())
-}
-
 // RunContext subscribes to rai/tasks and processes jobs until ctx is
 // done or Stop is called, then drains: the subscription closes (so the
 // broker requeues anything undelivered for other workers) but jobs
@@ -205,11 +198,11 @@ func (w *Worker) Stop() {
 }
 
 // HandleOne synchronously processes a single pending job (used by the
-// course simulator and tests). It waits up to wait (real time) for a job
-// to arrive and reports whether one was handled.
-func (w *Worker) HandleOne(wait time.Duration) (bool, error) {
+// course simulator and tests). It waits up to wait (on the worker's
+// clock) for a job to arrive and reports whether one was handled.
+func (w *Worker) HandleOne(ctx context.Context, wait time.Duration) (bool, error) {
 	w.initRuntime()
-	sub, err := w.Queue.Subscribe(context.Background(), TasksTopic, TasksChannel, 1)
+	sub, err := w.Queue.Subscribe(ctx, TasksTopic, TasksChannel, 1)
 	if err != nil {
 		return false, err
 	}
@@ -219,10 +212,14 @@ func (w *Worker) HandleOne(wait time.Duration) (bool, error) {
 		if !ok {
 			return false, nil
 		}
-		w.process(context.Background(), m)
+		// Like RunContext: once accepted, the job runs to completion even
+		// if the waiting caller's ctx winds down.
+		w.process(context.WithoutCancel(ctx), m)
 		return true, nil
-	case <-time.After(wait):
+	case <-w.Clock.After(wait):
 		return false, nil
+	case <-ctx.Done():
+		return false, ctx.Err()
 	}
 }
 

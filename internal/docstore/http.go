@@ -363,39 +363,49 @@ func (c *Client) DeleteContext(ctx context.Context, coll string, filter M) (int,
 	return resp.N, err
 }
 
+// storeCtx parents the context-free Store adapters below. The Store
+// interface is deliberately context-free — it is satisfied by the
+// in-memory DB and the journal, and consumed by components that have no
+// request context of their own (ranking, grading, admin sweeps). Those
+// call paths enter here, the one sanctioned crossing from the
+// context-free world into the HTTP client.
+//
+//lint:ignore ctxbg the context-free Store port needs a root context; every ctx-aware caller uses the *Context methods
+var storeCtx = context.Background()
+
 // Insert stores a document and returns its id.
 func (c *Client) Insert(coll string, doc any) (string, error) {
-	return c.InsertContext(context.Background(), coll, doc)
+	return c.InsertContext(storeCtx, coll, doc)
 }
 
 // Find runs a filtered query.
 func (c *Client) Find(coll string, filter M, opts FindOpts) ([]M, error) {
-	return c.FindContext(context.Background(), coll, filter, opts)
+	return c.FindContext(storeCtx, coll, filter, opts)
 }
 
 // FindOne returns the first match or ErrNotFound.
 func (c *Client) FindOne(coll string, filter M) (M, error) {
-	return c.FindOneContext(context.Background(), coll, filter)
+	return c.FindOneContext(storeCtx, coll, filter)
 }
 
 // Count counts matches.
 func (c *Client) Count(coll string, filter M) (int, error) {
-	return c.CountContext(context.Background(), coll, filter)
+	return c.CountContext(storeCtx, coll, filter)
 }
 
 // Update applies an update to all matches.
 func (c *Client) Update(coll string, filter, update M) (int, error) {
-	return c.UpdateContext(context.Background(), coll, filter, update)
+	return c.UpdateContext(storeCtx, coll, filter, update)
 }
 
 // Upsert updates or inserts and returns the document id.
 func (c *Client) Upsert(coll string, filter, update M) (string, error) {
-	return c.UpsertContext(context.Background(), coll, filter, update)
+	return c.UpsertContext(storeCtx, coll, filter, update)
 }
 
 // Delete removes matches.
 func (c *Client) Delete(coll string, filter M) (int, error) {
-	return c.DeleteContext(context.Background(), coll, filter)
+	return c.DeleteContext(storeCtx, coll, filter)
 }
 
 // Store abstracts DB and Client so components can run embedded or remote.

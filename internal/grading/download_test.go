@@ -33,7 +33,7 @@ func deployWithFinals(t *testing.T) *sim.Deployment {
 			t.Fatal(err)
 		}
 		at = at.Add(time.Duration(i+1) * time.Minute)
-		res, err := d.RunSubmission(c, workload.Submission{
+		res, err := d.RunSubmission(context.Background(), c, workload.Submission{
 			Time: at, Team: spec.Team, Kind: core.KindSubmit, Spec: spec,
 		})
 		if err != nil || res.Status != core.StatusSucceeded {
@@ -101,7 +101,7 @@ func TestRerunThroughDeployment(t *testing.T) {
 			return 0, 0, err
 		}
 		d.Clock.Advance(time.Minute) // clear the rate limit between reruns
-		res, err := d.RunSubmission(c, workload.Submission{
+		res, err := d.RunSubmission(context.Background(), c, workload.Submission{
 			Time: d.Clock.Now(), Team: team, Kind: core.KindSubmit,
 			Spec: project.Spec{Impl: cnn.ImplParallel, Tuning: 1.0, Team: team, WithUsage: true, WithReport: true},
 		})

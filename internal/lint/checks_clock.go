@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// clockExemptPath is the one package allowed to touch the real clock:
+// it is where clock.Real wraps it.
+const clockExemptPath = "internal/clock"
+
+// bannedTimeFuncs are the package-level time functions that read or
+// schedule against the process wall clock. Code that uses them directly
+// diverges under the virtual clock, which breaks the simulation
+// harness's bit-reproducible figures and every deterministic test.
+var bannedTimeFuncs = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"Since":     true,
+	"Until":     true,
+}
+
+// checkClock enforces clock discipline: no direct wall-clock reads or
+// timers outside internal/clock. Any mention counts — calls and method
+// values alike, because storing time.Now into a struct field is exactly
+// the leak that bypasses an injected clock.Clock.
+func checkClock(prog *Program, pkg *Package) []Diagnostic {
+	if isClockPackage(pkg.Path) {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pkg.Info.Uses[id].(*types.PkgName)
+			if !ok || pn.Imported().Path() != "time" {
+				return true
+			}
+			if !bannedTimeFuncs[sel.Sel.Name] {
+				return true
+			}
+			diags = append(diags, Diagnostic{
+				Check: "clock",
+				Pos:   prog.Fset.Position(sel.Pos()),
+				Message: "direct time." + sel.Sel.Name +
+					": inject clock.Clock (rai/internal/clock) so virtual-clock runs stay deterministic",
+			})
+			return true
+		})
+	}
+	return diags
+}
+
+func isClockPackage(path string) bool {
+	return path == clockExemptPath ||
+		len(path) > len(clockExemptPath) &&
+			path[len(path)-len(clockExemptPath)-1] == '/' &&
+			path[len(path)-len(clockExemptPath):] == clockExemptPath
+}

@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// checkHTTPResp enforces HTTP hygiene on *net/http.Response values
+// obtained in a function: the body must be closed, and it must be read
+// or drained before (or instead of) closing — an unread body makes the
+// transport discard the pooled connection, which under course-deadline
+// load converts every retry into a fresh TCP+TLS handshake.
+//
+// A response handed to other code (passed bare as an argument, returned,
+// stored, or sent) transfers the obligation to the receiver and is not
+// checked here.
+func checkHTTPResp(prog *Program, pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	walkFuncs(pkg, func(decl *ast.FuncDecl) {
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			asg, ok := n.(*ast.AssignStmt)
+			if !ok || len(asg.Rhs) != 1 {
+				return true
+			}
+			if _, ok := asg.Rhs[0].(*ast.CallExpr); !ok {
+				return true
+			}
+			for _, lhs := range asg.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				obj := pkg.Info.Defs[id]
+				if obj == nil {
+					obj = pkg.Info.Uses[id]
+				}
+				if obj == nil || !isHTTPResponse(obj.Type()) {
+					continue
+				}
+				use := analyzeVarUse(pkg, decl.Body, obj, asg)
+				if use.escapes {
+					continue
+				}
+				closed, read := bodyUse(pkg, decl.Body, obj)
+				switch {
+				case !closed:
+					diags = append(diags, Diagnostic{
+						Check:   "httpresp",
+						Pos:     prog.Fset.Position(asg.Pos()),
+						Message: "response body of " + id.Name + " is never closed: defer " + id.Name + ".Body.Close()",
+					})
+				case !read:
+					diags = append(diags, Diagnostic{
+						Check: "httpresp",
+						Pos:   prog.Fset.Position(asg.Pos()),
+						Message: "response body of " + id.Name + " is closed but never read: drain it first " +
+							"(io.Copy(io.Discard, " + id.Name + ".Body)) so the pooled connection is reused",
+					})
+				}
+			}
+			return true
+		})
+	})
+	return diags
+}
+
+func isHTTPResponse(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Response" && obj.Pkg() != nil && obj.Pkg().Path() == "net/http"
+}
+
+// bodyUse scans body for uses of obj.Body: whether it is closed
+// (obj.Body.Close() appears) and whether it is read (obj.Body appears
+// anywhere else — as a reader argument, a decoder source, an
+// io.LimitReader wrap, ...).
+func bodyUse(pkg *Package, body *ast.BlockStmt, obj types.Object) (closed, read bool) {
+	// Body selectors consumed by a Close call, identified by node
+	// pointer so the same expression isn't double-counted as a read.
+	closeRecv := map[*ast.SelectorExpr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Close" {
+			return true
+		}
+		if bs := bodySelectorOf(pkg, sel.X, obj); bs != nil {
+			closed = true
+			closeRecv[bs] = true
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if bs := bodySelectorOf(pkg, sel, obj); bs != nil && !closeRecv[bs] {
+			read = true
+		}
+		return true
+	})
+	return closed, read
+}
+
+// bodySelectorOf unwraps e to the obj.Body selector it denotes, or nil.
+func bodySelectorOf(pkg *Package, e ast.Expr, obj types.Object) *ast.SelectorExpr {
+	if p, ok := e.(*ast.ParenExpr); ok {
+		return bodySelectorOf(pkg, p.X, obj)
+	}
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Body" {
+		return nil
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || pkg.Info.Uses[id] != obj {
+		return nil
+	}
+	return sel
+}

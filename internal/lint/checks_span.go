@@ -1,0 +1,173 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// spanStarters are the method names that mint an in-flight span. The
+// match is by name plus result shape (*Span) rather than by package, so
+// the check guards any tracer with this API — including the tiny stand-in
+// tracers in the golden testdata.
+var spanStarters = map[string]bool{
+	"StartRoot": true,
+	"StartSpan": true,
+	"Child":     true,
+}
+
+// checkSpan enforces span hygiene: every span returned by
+// StartRoot/StartSpan/Child is either ended in the same function
+// (directly or in a defer, possibly inside a function literal) or
+// handed off — passed to another function, returned, stored, or sent —
+// making the receiver responsible for it. A span that is provably
+// neither leaks an un-ended span: it never reaches the tracer's ring or
+// the exporter, so the job's trace silently loses a node.
+func checkSpan(prog *Program, pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	walkFuncs(pkg, func(decl *ast.FuncDecl) {
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := v.X.(*ast.CallExpr); ok && isSpanStart(pkg, call) {
+					diags = append(diags, Diagnostic{
+						Check:   "span",
+						Pos:     prog.Fset.Position(call.Pos()),
+						Message: "span result discarded: the span can never be ended",
+					})
+				}
+			case *ast.AssignStmt:
+				if len(v.Rhs) != 1 || len(v.Lhs) != 1 {
+					return true
+				}
+				call, ok := v.Rhs[0].(*ast.CallExpr)
+				if !ok || !isSpanStart(pkg, call) {
+					return true
+				}
+				id, ok := v.Lhs[0].(*ast.Ident)
+				if !ok {
+					return true // stored into a field/index: handed off
+				}
+				if id.Name == "_" {
+					diags = append(diags, Diagnostic{
+						Check:   "span",
+						Pos:     prog.Fset.Position(call.Pos()),
+						Message: "span assigned to _: the span can never be ended",
+					})
+					return true
+				}
+				obj := pkg.Info.Defs[id]
+				if obj == nil {
+					obj = pkg.Info.Uses[id]
+				}
+				if obj == nil {
+					return true
+				}
+				use := analyzeVarUse(pkg, decl.Body, obj, v)
+				if !use.methodCalled["End"] && !use.escapes {
+					diags = append(diags, Diagnostic{
+						Check:   "span",
+						Pos:     prog.Fset.Position(v.Pos()),
+						Message: "span " + id.Name + " is never ended: add defer " + id.Name + ".End() (or hand the span off)",
+					})
+				}
+			}
+			return true
+		})
+	})
+	return diags
+}
+
+// isSpanStart reports whether call is a method call minting a span:
+// a starter name returning a pointer to a type named Span.
+func isSpanStart(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !spanStarters[sel.Sel.Name] {
+		return false
+	}
+	t := pkg.Info.Types[call].Type
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	return ok && named.Obj().Name() == "Span"
+}
+
+// varUse summarizes how one local variable is used inside a body.
+type varUse struct {
+	// methodCalled records the names of methods invoked with the
+	// variable as receiver (x.Foo() anywhere, including defers and
+	// nested function literals).
+	methodCalled map[string]bool
+	// escapes is true when the variable itself is handed to other code:
+	// passed bare (or by address) as a call argument, returned, sent on
+	// a channel, or assigned/stored somewhere else.
+	escapes bool
+}
+
+// analyzeVarUse walks body classifying every use of obj. defStmt is the
+// defining statement, excluded from escape analysis.
+func analyzeVarUse(pkg *Package, body *ast.BlockStmt, obj types.Object, defStmt ast.Stmt) varUse {
+	use := varUse{methodCalled: map[string]bool{}}
+	isObj := func(e ast.Expr) bool {
+		for {
+			switch v := e.(type) {
+			case *ast.ParenExpr:
+				e = v.X
+				continue
+			case *ast.UnaryExpr:
+				e = v.X
+				continue
+			case *ast.Ident:
+				return pkg.Info.Uses[v] == obj
+			default:
+				return false
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := v.Fun.(*ast.SelectorExpr); ok {
+				if id, ok := sel.X.(*ast.Ident); ok && pkg.Info.Uses[id] == obj {
+					use.methodCalled[sel.Sel.Name] = true
+				}
+			}
+			for _, a := range v.Args {
+				if isObj(a) {
+					use.escapes = true
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range v.Results {
+				if isObj(r) {
+					use.escapes = true
+				}
+			}
+		case *ast.AssignStmt:
+			if v == defStmt {
+				return true
+			}
+			for _, r := range v.Rhs {
+				if isObj(r) {
+					use.escapes = true
+				}
+			}
+		case *ast.SendStmt:
+			if isObj(v.Value) {
+				use.escapes = true
+			}
+		case *ast.CompositeLit:
+			for _, e := range v.Elts {
+				if kv, ok := e.(*ast.KeyValueExpr); ok {
+					e = kv.Value
+				}
+				if isObj(e) {
+					use.escapes = true
+				}
+			}
+		}
+		return true
+	})
+	return use
+}

@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestGolden loads every fixture package under testdata/src, runs all
+// checks, and compares the findings against "want" markers embedded in
+// the fixture sources. A line expecting findings carries either
+//
+//	... // want check1 check2
+//	... /* want check1 */ <rest of line>
+//
+// and must be flagged by exactly those checks; every unmarked line must
+// stay clean. All fixtures load through one Loader so the (expensive)
+// standard-library type-checking is shared.
+func TestGolden(t *testing.T) {
+	srcRoot := filepath.Join("testdata", "src")
+	ents, err := os.ReadDir(srcRoot)
+	if err != nil {
+		t.Fatalf("reading %s: %v", srcRoot, err)
+	}
+	var dirs, paths []string
+	for _, e := range ents {
+		if e.IsDir() {
+			dirs = append(dirs, filepath.Join(srcRoot, e.Name()))
+			paths = append(paths, "fix/"+e.Name())
+		}
+	}
+	if len(dirs) == 0 {
+		t.Fatal("no fixture packages under testdata/src")
+	}
+
+	prog, err := NewLoader().LoadDirs(dirs, paths)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+
+	got := map[string][]string{} // "file:line" -> check names
+	for _, d := range Run(prog, Checks()) {
+		key := fmt.Sprintf("%s:%d", d.File, d.Line)
+		got[key] = append(got[key], d.Check)
+	}
+	want := map[string][]string{}
+	for _, dir := range dirs {
+		if err := scanWantMarkers(dir, want); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for key, checks := range want {
+		sort.Strings(checks)
+		g := append([]string(nil), got[key]...)
+		sort.Strings(g)
+		if !reflect.DeepEqual(checks, g) {
+			t.Errorf("%s: want %v, got %v", key, checks, g)
+		}
+	}
+	for key, checks := range got {
+		if want[key] == nil {
+			t.Errorf("%s: unexpected findings %v", key, checks)
+		}
+	}
+}
+
+// scanWantMarkers records the expected checks per file:line for every
+// .go file in dir, keyed by absolute path to match Diagnostic.File.
+func scanWantMarkers(dir string, out map[string][]string) error {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		// Key by the same path the loader parsed, so it matches
+		// Diagnostic.File exactly.
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, name := range wantsOn(line) {
+				key := fmt.Sprintf("%s:%d", path, i+1)
+				out[key] = append(out[key], name)
+			}
+		}
+	}
+	return nil
+}
+
+// wantsOn extracts the check names a marker on this line expects:
+// "// want a b" to end of line, or "/* want a b */" inline.
+func wantsOn(line string) []string {
+	if _, rest, ok := strings.Cut(line, "/* want "); ok {
+		if body, _, ok := strings.Cut(rest, "*/"); ok {
+			return strings.Fields(body)
+		}
+		return nil
+	}
+	if _, rest, ok := strings.Cut(line, "// want "); ok {
+		return strings.Fields(rest)
+	}
+	return nil
+}

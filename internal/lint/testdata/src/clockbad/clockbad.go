@@ -1,0 +1,29 @@
+// Package clockbad plants clock-discipline violations for the golden
+// test. Lines carrying a "want" marker must be flagged; everything else
+// must stay clean.
+package clockbad
+
+import "time"
+
+// Poller polls something on a schedule.
+type Poller struct {
+	now func() time.Time
+}
+
+// New wires the wall clock straight into the struct — the exact leak
+// that bypasses an injected clock.Clock.
+func New() *Poller {
+	return &Poller{now: time.Now} // want clock
+}
+
+// Wait sleeps and schedules against the real clock.
+func (p *Poller) Wait() {
+	time.Sleep(time.Second)   // want clock
+	<-time.After(time.Second) // want clock
+}
+
+// Age is clean: it reads the injected time source, and time.Duration /
+// time.Time mentions are not banned — only the wall-clock functions.
+func (p *Poller) Age(t time.Time) time.Duration {
+	return p.now().Sub(t)
+}

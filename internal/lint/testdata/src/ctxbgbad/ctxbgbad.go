@@ -1,0 +1,21 @@
+// Package ctxbgbad plants fresh-context violations: library code must
+// accept the caller's ctx, not mint its own root.
+package ctxbgbad
+
+import "context"
+
+// Root mints a root context in library code.
+func Root() context.Context {
+	return context.Background() // want ctxbg
+}
+
+// Todo is no better.
+func Todo() context.Context {
+	ctx := context.TODO() // want ctxbg
+	return ctx
+}
+
+// Detach is the sanctioned shape: derive from the caller's context.
+func Detach(ctx context.Context) context.Context {
+	return context.WithoutCancel(ctx)
+}

@@ -1,0 +1,28 @@
+// Package ctxfirstbad plants context-position violations on exported
+// functions and interface methods.
+package ctxfirstbad
+
+import "context"
+
+// Misplaced buries the context mid-signature.
+func Misplaced(name string, ctx context.Context) error { // want ctxfirst
+	return ctx.Err()
+}
+
+// Runner is an exported interface with one offending method.
+type Runner interface {
+	Run(name string, ctx context.Context) error // want ctxfirst
+	Stop(ctx context.Context) error
+}
+
+// Good is the conventional shape.
+func Good(ctx context.Context, name string) error {
+	return ctx.Err()
+}
+
+// unexported signatures are the author's business.
+func unexported(name string, ctx context.Context) error {
+	return ctx.Err()
+}
+
+var _ = unexported

@@ -1,0 +1,21 @@
+// Package deprecatedbad plants a call to a deprecated function from
+// live code. Deprecated-to-deprecated calls are allowed.
+package deprecatedbad
+
+// Submit is the replacement.
+func Submit(n int) int { return n }
+
+// SubmitLegacy is the old entry point.
+//
+// Deprecated: use Submit.
+func SubmitLegacy(n int) int { return Submit(n) }
+
+// LegacyHelper is itself deprecated, so its call below is exempt.
+//
+// Deprecated: gone in v2.
+func LegacyHelper() int { return SubmitLegacy(1) }
+
+// Caller is live code reaching for the deprecated name.
+func Caller() int {
+	return SubmitLegacy(2) // want deprecated
+}

@@ -1,0 +1,41 @@
+// Package goloopbad plants goroutine loop-variable captures in both
+// range and three-clause for loops.
+package goloopbad
+
+// SpawnRange captures the range variable inside the goroutine.
+func SpawnRange(items []int, done chan int) {
+	for _, it := range items {
+		go func() {
+			done <- it // want goloop
+		}()
+	}
+}
+
+// SpawnFor captures the index variable of a classic for loop.
+func SpawnFor(n int, done chan int) {
+	for i := 0; i < n; i++ {
+		go func() {
+			done <- i // want goloop
+		}()
+	}
+}
+
+// Good passes the loop value as an argument.
+func Good(items []int, done chan int) {
+	for _, it := range items {
+		go func(v int) {
+			done <- v
+		}(it)
+	}
+}
+
+// Outside uses the variable after the loop, where capture is fine.
+func Outside(items []int, done chan int) {
+	var last int
+	for _, it := range items {
+		last = it
+	}
+	go func() {
+		done <- last
+	}()
+}

@@ -1,0 +1,47 @@
+// Package httprespbad plants HTTP response-body violations: a body that
+// is never closed, and one closed without being drained.
+package httprespbad
+
+import (
+	"io"
+	"net/http"
+)
+
+// Fetch never closes the body, leaking the connection.
+func Fetch(url string) (int, error) {
+	resp, err := http.Get(url) // want httpresp
+	if err != nil {
+		return 0, err
+	}
+	return resp.StatusCode, nil
+}
+
+// CloseOnly closes without draining, defeating connection reuse.
+func CloseOnly(url string) error {
+	resp, err := http.Get(url) // want httpresp
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	return nil
+}
+
+// Good drains then closes.
+func Good(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, err = io.Copy(io.Discard, resp.Body)
+	return err
+}
+
+// HandOff returns the response; the caller owns the body.
+func HandOff(url string) (*http.Response, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}

@@ -1,0 +1,46 @@
+// Package lockcopybad plants signature-level lock copies: value
+// receivers, parameters, and results of types that transitively contain
+// sync primitives.
+package lockcopybad
+
+import "sync"
+
+// Guarded embeds a mutex directly.
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Wrapper contains a lock only transitively, via an array of Guarded.
+type Wrapper struct {
+	shards [4]Guarded
+}
+
+// Incr copies the mutex into the receiver on every call.
+func (g Guarded) Incr() { // want lockcopy
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+}
+
+// Snapshot copies the lock in through a parameter.
+func Snapshot(g Guarded) int { // want lockcopy
+	return g.n
+}
+
+// Make copies the lock out through the result.
+func Make() Wrapper { // want lockcopy
+	return Wrapper{}
+}
+
+// Use takes a pointer: no copy, no finding.
+func Use(g *Guarded) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.n++
+}
+
+// ByRef returns a pointer: also clean.
+func ByRef() *Wrapper {
+	return &Wrapper{}
+}

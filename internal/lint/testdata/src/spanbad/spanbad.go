@@ -1,0 +1,46 @@
+// Package spanbad plants span-hygiene violations. Tracer and Span stand
+// in for rai/internal/telemetry: checkSpan matches the starter-name /
+// *Span result shape, not the import path, exactly so this fixture can
+// type-check without importing the real tracer.
+package spanbad
+
+// Span is an in-flight trace node.
+type Span struct{}
+
+// End finishes the span.
+func (s *Span) End() {}
+
+// Child starts a nested span.
+func (s *Span) Child(name string) *Span { return &Span{} }
+
+// Tracer mints root spans.
+type Tracer struct{}
+
+// StartRoot begins a trace.
+func (t *Tracer) StartRoot(name string) *Span { return &Span{} }
+
+// Leak loses spans three different ways.
+func Leak(t *Tracer) {
+	t.StartRoot("dropped")     // want span
+	sp := t.StartRoot("leaky") // want span
+	sp.Child("inner-dropped")  // want span
+}
+
+// Underscore discards the span at the assignment.
+func Underscore(t *Tracer) {
+	_ = t.StartRoot("gone") // want span
+}
+
+// Good ends everything it starts.
+func Good(t *Tracer) {
+	sp := t.StartRoot("ok")
+	defer sp.End()
+	child := sp.Child("inner")
+	child.End()
+}
+
+// HandOff transfers the obligation to the caller.
+func HandOff(t *Tracer) *Span {
+	sp := t.StartRoot("handoff")
+	return sp
+}

@@ -1,0 +1,34 @@
+// Package suppress exercises the //lint:ignore machinery: same-line and
+// line-above suppressions, the wildcard, and the two malformed shapes
+// (missing reason, unknown check) that are themselves reported.
+package suppress
+
+import "time"
+
+// SameLine suppresses on the offending line itself.
+func SameLine() time.Time {
+	return time.Now() //lint:ignore clock fixture exercises same-line suppression
+}
+
+// LineAbove suppresses from the line directly above.
+func LineAbove() {
+	//lint:ignore clock fixture exercises line-above suppression
+	time.Sleep(time.Nanosecond)
+}
+
+// Wildcard silences every check on the next line.
+func Wildcard() time.Time {
+	//lint:ignore * fixture exercises wildcard suppression
+	return time.Now()
+}
+
+// MissingReason has no justification, so the directive is reported and
+// the finding it meant to silence still fires.
+func MissingReason() {
+	time.Sleep(time.Nanosecond) /* want clock suppression */ //lint:ignore clock
+}
+
+// UnknownCheck names a check that does not exist.
+func UnknownCheck() {
+	time.Sleep(time.Nanosecond) /* want clock suppression */ //lint:ignore notacheck this name matches nothing
+}

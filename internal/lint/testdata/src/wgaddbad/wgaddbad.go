@@ -1,0 +1,49 @@
+// Package wgaddbad plants the canonical WaitGroup drain bug: Add called
+// inside the goroutine it accounts for, racing Wait.
+package wgaddbad
+
+import "sync"
+
+// Drain lets Wait return before any work is tracked.
+func Drain(n int, out chan int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		go func(v int) {
+			wg.Add(1) // want wgadd
+			defer wg.Done()
+			out <- v
+		}(i)
+	}
+	wg.Wait()
+}
+
+// Good calls Add before spawning.
+func Good(n int, out chan int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			out <- v
+		}(i)
+	}
+	wg.Wait()
+}
+
+// Nested declares its own WaitGroup inside the goroutine; Add on that
+// one is a separate scope and must not be flagged.
+func Nested(out chan int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var inner sync.WaitGroup
+		inner.Add(1)
+		go func() {
+			defer inner.Done()
+			out <- 1
+		}()
+		inner.Wait()
+	}()
+	wg.Wait()
+}

@@ -11,6 +11,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"rai/internal/clock"
 )
 
 // Target is one OS/architecture the client is cross-compiled for.
@@ -109,7 +111,7 @@ func NewCI(bucket, baseURL string, up Uploader) *CI {
 		Bucket:   bucket,
 		BaseURL:  strings.TrimSuffix(baseURL, "/"),
 		Uploader: up,
-		Now:      time.Now,
+		Now:      clock.Real{}.Now,
 		latest:   map[string][]Artifact{},
 	}
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -44,7 +45,7 @@ func TestAutoscalerDrivesRealWorkers(t *testing.T) {
 				Clock:    d.Clock,
 			}
 			extra = append(extra, w)
-			go w.Run()
+			go w.RunContext(context.Background())
 		}
 		return nil
 	}
@@ -87,7 +88,7 @@ func TestAutoscalerDrivesRealWorkers(t *testing.T) {
 				results <- err
 				return
 			}
-			res, err := c.Submit(core.KindRun, nil, archive)
+			res, err := c.SubmitContext(context.Background(), core.KindRun, nil, archive)
 			if err == nil && res.Status != core.StatusSucceeded {
 				err = fmt.Errorf("status %s", res.Status)
 			}

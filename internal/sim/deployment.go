@@ -15,6 +15,7 @@ package sim
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -202,7 +203,7 @@ func PackProject(spec project.Spec) ([]byte, error) {
 
 // RunSubmission executes one workload submission end to end: pack the
 // project, submit through the client, let one worker handle it.
-func (d *Deployment) RunSubmission(c *core.Client, sub workload.Submission) (*core.JobResult, error) {
+func (d *Deployment) RunSubmission(ctx context.Context, c *core.Client, sub workload.Submission) (*core.JobResult, error) {
 	d.Clock.AdvanceTo(sub.Time)
 	fs := vfs.New()
 	if err := project.WriteTo(fs, "/p", sub.Spec); err != nil {
@@ -222,10 +223,13 @@ func (d *Deployment) RunSubmission(c *core.Client, sub workload.Submission) (*co
 	}
 	done := make(chan out, 1)
 	go func() {
-		res, err := c.Submit(sub.Kind, spec, archive)
+		res, err := c.SubmitContext(ctx, sub.Kind, spec, archive)
 		done <- out{res, err}
 	}()
-	if _, err := d.workers[0].HandleOne(10 * time.Second); err != nil {
+	// The submission is already on the queue when HandleOne subscribes
+	// (the in-process broker publishes synchronously), so the wait never
+	// has to fire — it only bounds a broken run on the virtual clock.
+	if _, err := d.workers[0].HandleOne(ctx, 10*time.Second); err != nil {
 		return nil, err
 	}
 	o := <-done
@@ -235,7 +239,7 @@ func (d *Deployment) RunSubmission(c *core.Client, sub workload.Submission) (*co
 // RunCourse executes an entire generated course through the full stack
 // (intended for scaled-down configs; the 41k-submission term uses
 // QueueSim). It returns per-submission results keyed by order.
-func (d *Deployment) RunCourse(course *workload.Course) ([]CourseResult, error) {
+func (d *Deployment) RunCourse(ctx context.Context, course *workload.Course) ([]CourseResult, error) {
 	clients := map[string]*core.Client{}
 	var results []CourseResult
 	var buf bytes.Buffer
@@ -249,7 +253,7 @@ func (d *Deployment) RunCourse(course *workload.Course) ([]CourseResult, error) 
 			}
 			clients[sub.Team] = c
 		}
-		res, err := d.RunSubmission(c, sub)
+		res, err := d.RunSubmission(ctx, c, sub)
 		cr := CourseResult{Submission: sub}
 		if err != nil {
 			cr.Err = err

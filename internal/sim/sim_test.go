@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -41,7 +42,7 @@ func TestDeploymentRunsSingleSubmission(t *testing.T) {
 		Kind: core.KindRun,
 		Spec: project.Spec{Impl: cnn.ImplIm2col, Tuning: 1, Team: "team-x"},
 	}
-	res, err := d.RunSubmission(c, sub)
+	res, err := d.RunSubmission(context.Background(), c, sub)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +65,7 @@ func TestDeploymentRunsSmallCourse(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer d.Close()
-	results, err := d.RunCourse(course)
+	results, err := d.RunCourse(context.Background(), course)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -351,7 +352,7 @@ func TestFastPathMatchesFullStack(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := d.RunSubmission(c, sub)
+	res, err := d.RunSubmission(context.Background(), c, sub)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"io"
 	"net/http/httptest"
 	"testing"
@@ -29,7 +30,7 @@ func TestJobTracePropagation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := d.RunSubmission(c, workload.Submission{
+	res, err := d.RunSubmission(context.Background(), c, workload.Submission{
 		Time: d.Clock.Now().Add(time.Minute), Team: "trace-team", Kind: core.KindRun,
 		Spec: project.Spec{Impl: cnn.ImplIm2col, Team: "trace-team"},
 	})
@@ -115,7 +116,7 @@ func TestStoreMetricsFromRealJob(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := d.RunSubmission(c, workload.Submission{
+	res, err := d.RunSubmission(context.Background(), c, workload.Submission{
 		Time: d.Clock.Now().Add(time.Minute), Team: "http-team", Kind: core.KindRun,
 		Spec: project.Spec{Impl: cnn.ImplIm2col, Team: "http-team"},
 	})

@@ -3,6 +3,8 @@ package telemetry
 import (
 	"runtime"
 	"time"
+
+	"rai/internal/clock"
 )
 
 // RegisterBuildInfo publishes the process identity metrics every daemon
@@ -14,9 +16,14 @@ import (
 // The build-info value is always 1 — the information is in the labels,
 // following the Prometheus *_info convention — and the start time lets
 // raiadmin top derive uptime from a plain scrape.
-func RegisterBuildInfo(r *Registry, service, version string) {
+//
+// clk supplies the start timestamp; nil uses the wall clock.
+func RegisterBuildInfo(r *Registry, service, version string, clk clock.Clock) {
 	if r == nil {
 		return
+	}
+	if clk == nil {
+		clk = clock.Real{}
 	}
 	r.Gauge("rai_build_info",
 		"build identity of the process; value is always 1",
@@ -24,7 +31,7 @@ func RegisterBuildInfo(r *Registry, service, version string) {
 		L("version", version),
 		L("goversion", runtime.Version()),
 	).Set(1)
-	start := float64(time.Now().UnixNano()) / float64(time.Second)
+	start := float64(clk.Now().UnixNano()) / float64(time.Second)
 	r.Gauge("rai_process_start_time_seconds",
 		"unix time the process registered its metrics, in seconds").Set(start)
 }

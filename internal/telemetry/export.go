@@ -76,8 +76,12 @@ type exportRec struct {
 // All methods are safe for concurrent use; ExportSpan and ExportEvent
 // never block. A nil *Exporter is valid and drops nothing into nowhere.
 type Exporter struct {
-	service  string
-	ship     ShipFunc
+	service string
+	ship    ShipFunc
+	// base parents every ship context. It is the caller's context with
+	// cancellation stripped: shutdown paths flush after the process
+	// context is canceled, and those final batches must still ship.
+	base     context.Context
 	clk      clock.Clock
 	batch    int
 	interval time.Duration
@@ -168,11 +172,19 @@ func WithExportMetrics(reg *Registry) ExporterOption {
 }
 
 // NewExporter starts the background flush loop. service names the
-// emitting process in every batch.
-func NewExporter(service string, ship ShipFunc, opts ...ExporterOption) *Exporter {
+// emitting process in every batch. ctx carries the caller's values
+// (trace annotations, auth) into every ship call; its cancellation is
+// deliberately not inherited — Close/Flush on the shutdown path must
+// still publish the final batches. nil ctx is allowed.
+func NewExporter(ctx context.Context, service string, ship ShipFunc, opts ...ExporterOption) *Exporter {
+	if ctx == nil {
+		//lint:ignore ctxbg nil-ctx convenience fallback; there is no caller context to inherit
+		ctx = context.Background()
+	}
 	e := &Exporter{
 		service:  service,
 		ship:     ship,
+		base:     context.WithoutCancel(ctx),
 		clk:      clock.Real{},
 		batch:    DefaultExportBatch,
 		interval: DefaultExportInterval,
@@ -340,7 +352,7 @@ func (e *Exporter) publish(b *Batch) {
 	if e.ship == nil {
 		return
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), e.timeout)
+	ctx, cancel := context.WithTimeout(e.base, e.timeout)
 	defer cancel()
 	if err := e.ship(ctx, out); err != nil {
 		e.shipFailures.Add(1)

@@ -35,7 +35,7 @@ func (s *batchSink) counts() (batches, spans, events int) {
 
 func TestExporterBatchesAndShips(t *testing.T) {
 	var sink batchSink
-	e := NewExporter("svc", sink.ship)
+	e := NewExporter(context.Background(), "svc", sink.ship)
 	defer e.Close()
 
 	for i := 0; i < 3; i++ {
@@ -77,10 +77,10 @@ func TestExporterBackpressureNeverBlocks(t *testing.T) {
 		<-gate // wedged until the test releases it
 		return nil
 	}
-	e := NewExporter("svc", ship,
+	e := NewExporter(context.Background(), "svc", ship,
 		WithExportQueue(4),
-		WithExportBatch(1),                // first record triggers the wedged publish
-		WithExportInterval(time.Hour),     // timer never fires during the test
+		WithExportBatch(1),                 // first record triggers the wedged publish
+		WithExportInterval(time.Hour),      // timer never fires during the test
 		WithExportShipTimeout(time.Minute)) // ctx deadline must not unwedge ship
 
 	e.ExportSpan(SpanData{Name: "first"})
@@ -123,7 +123,7 @@ func TestExporterBackpressureNeverBlocks(t *testing.T) {
 func TestExporterFlushIntervalVirtualClock(t *testing.T) {
 	vc := clock.NewVirtual(time.Date(2016, 11, 28, 9, 0, 0, 0, time.UTC))
 	var sink batchSink
-	e := NewExporter("svc", sink.ship,
+	e := NewExporter(context.Background(), "svc", sink.ship,
 		WithExportClock(vc),
 		WithExportInterval(10*time.Second),
 		WithExportBatch(1000)) // size threshold never reached
@@ -153,7 +153,7 @@ func TestExporterFlushIntervalVirtualClock(t *testing.T) {
 
 func TestExporterShipFailureCounted(t *testing.T) {
 	reg := NewRegistry()
-	e := NewExporter("svc", func(context.Context, *Batch) error { return errors.New("broker down") },
+	e := NewExporter(context.Background(), "svc", func(context.Context, *Batch) error { return errors.New("broker down") },
 		WithExportMetrics(reg))
 	e.ExportSpan(SpanData{Name: "doomed"})
 	e.Flush()
@@ -187,7 +187,7 @@ func TestBatchEncodeDecodeRoundTrip(t *testing.T) {
 			Attrs: map[string]string{"job_id": "j1"},
 		}},
 		Events: []Event{{
-			Time: time.Date(2016, 11, 28, 9, 0, 1, 0, time.UTC),
+			Time:  time.Date(2016, 11, 28, 9, 0, 1, 0, time.UTC),
 			Level: "warn", Service: "worker", Msg: "slow build",
 			TraceID: "t1", SpanID: "s2", JobID: "j1",
 		}},

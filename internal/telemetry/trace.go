@@ -56,7 +56,7 @@ func NewInstanceID(service string) string {
 	if _, err := rand.Read(b[:]); err != nil {
 		// crypto/rand failing means the OS entropy pool is gone; fall
 		// back to the clock rather than abort telemetry.
-		return fmt.Sprintf("%s-%x", service, time.Now().UnixNano())
+		return fmt.Sprintf("%s-%x", service, clock.Real{}.Now().UnixNano())
 	}
 	return fmt.Sprintf("%s-%x", service, b)
 }

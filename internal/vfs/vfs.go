@@ -19,6 +19,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"rai/internal/clock"
 )
 
 // Errors reported by FS operations.
@@ -62,7 +64,7 @@ type mount struct {
 func New() *FS {
 	return &FS{
 		root: &node{name: "/", dir: true, children: map[string]*node{}},
-		now:  time.Now,
+		now:  clock.Real{}.Now,
 	}
 }
 
