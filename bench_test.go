@@ -12,11 +12,13 @@ import (
 	"io"
 	"math"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"rai/internal/archivex"
 	"rai/internal/broker"
+	"rai/internal/brokerd"
 	"rai/internal/build"
 	"rai/internal/bzip2w"
 	"rai/internal/cnn"
@@ -396,6 +398,66 @@ func BenchmarkBrokerFanout(b *testing.B) {
 			m := <-sub.C()
 			sub.Ack(m)
 		}
+	}
+}
+
+// BenchmarkBrokerParallelMultiTopic is the contended fast-path
+// benchmark: every worker owns its own topic (the log_${job_id} shape)
+// and runs publish->deliver->ack loops concurrently. With a single
+// broker-wide mutex all workers serialize; with per-topic locking they
+// proceed independently.
+func BenchmarkBrokerParallelMultiTopic(b *testing.B) {
+	q := broker.New()
+	defer q.Close()
+	var nextTopic atomic.Int64
+	payload := bytes.Repeat([]byte("j"), 512)
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		topic := fmt.Sprintf("bench.shard%d", nextTopic.Add(1))
+		sub, err := q.Subscribe(topic, "tasks", 64)
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		for pb.Next() {
+			if _, err := q.Publish(topic, payload); err != nil {
+				b.Error(err)
+				return
+			}
+			m := <-sub.C()
+			sub.Ack(m)
+		}
+	})
+}
+
+// BenchmarkWireCodec measures one brokerd delivery frame through
+// encode+decode in each wire encoding. The binary codec avoids the JSON
+// round trip's reflection and base64 body inflation entirely.
+func BenchmarkWireCodec(b *testing.B) {
+	frame := &brokerd.Frame{
+		Op: brokerd.OpMsg, Seq: 12345, MsgID: 67890, Attempts: 1,
+		Topic: "log_job42#x", Time: time.Unix(1479600000, 0).UTC(),
+		Body: bytes.Repeat([]byte("j"), 512),
+	}
+	for _, tc := range []struct {
+		name  string
+		codec brokerd.Codec
+	}{{"json", brokerd.JSONCodec}, {"binary", brokerd.BinaryCodec}} {
+		b.Run(tc.name, func(b *testing.B) {
+			var buf bytes.Buffer
+			b.SetBytes(int64(len(frame.Body)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buf.Reset()
+				if err := tc.codec.Encode(&buf, frame); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := tc.codec.Decode(&buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -14,6 +14,13 @@
 // Messages held by a subscriber are "in flight" until acknowledged;
 // closing a subscription requeues its unacknowledged messages, which is
 // what makes a worker crash safe for the submission it was running.
+//
+// Locking is sharded per topic (DESIGN.md §11): a small registry
+// RWMutex guards the topic map (create, delete, GC) while every queue
+// operation — publish, dispatch, ack, requeue — takes only the owning
+// topic's mutex. Traffic on rai/tasks and the thousands of ephemeral
+// log topics a deadline burst creates therefore never contend on one
+// broker-wide lock. Lock order is always registry before topic.
 package broker
 
 import (
@@ -22,6 +29,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rai/internal/clock"
@@ -51,22 +59,25 @@ func (m *Message) Topic() string { return m.topic }
 
 // Broker routes messages between topics, channels, and subscriptions.
 type Broker struct {
-	mu            sync.Mutex
+	// mu is the registry lock: it guards topics, closed, and
+	// backlogLimits. It is a read lock on the hot path (topic lookup)
+	// and a write lock only for topic create/delete/GC.
+	mu            sync.RWMutex
 	topics        map[string]*topic
-	nextID        uint64
-	clk           clock.Clock
 	closed        bool
-	tel           brokerTelemetry
 	backlogLimits map[string]int
+
+	nextID atomic.Uint64
+	clk    clock.Clock
+	tel    brokerTelemetry
 }
 
-// brokerTelemetry caches instruments so the hot path never re-resolves
-// them by name. All fields are nil (no-op) when telemetry is off;
-// per-class counter maps are guarded by b.mu, which every caller holds.
+// brokerTelemetry caches broker-wide instruments so the hot path never
+// re-resolves them by name. All fields are nil (no-op) when telemetry
+// is off. Per-topic-class publish/deliver counters live on each topic,
+// resolved once at topic creation.
 type brokerTelemetry struct {
 	reg     *telemetry.Registry
-	publish map[string]*telemetry.Counter
-	deliver map[string]*telemetry.Counter
 	ack     *telemetry.Counter
 	requeue *telemetry.Counter
 	latency *telemetry.Histogram
@@ -86,15 +97,13 @@ func WithClock(c clock.Clock) Option { return func(b *Broker) { b.clk = c } }
 func WithTelemetry(reg *telemetry.Registry) Option {
 	return func(b *Broker) {
 		b.tel.reg = reg
-		b.tel.publish = map[string]*telemetry.Counter{}
-		b.tel.deliver = map[string]*telemetry.Counter{}
 		b.tel.ack = reg.Counter("rai_broker_ack_total", "messages acknowledged")
 		b.tel.requeue = reg.Counter("rai_broker_requeue_total", "messages handed back for redelivery")
 		b.tel.latency = reg.Histogram("rai_broker_delivery_latency_seconds",
 			"time from publish to delivery to a subscriber", telemetry.QueueDelayBuckets)
 		reg.GaugeFunc("rai_broker_topics", "live topics (ephemeral log topics included)", func() float64 {
-			b.mu.Lock()
-			defer b.mu.Unlock()
+			b.mu.RLock()
+			defer b.mu.RUnlock()
 			return float64(len(b.topics))
 		})
 	}
@@ -102,8 +111,12 @@ func WithTelemetry(reg *telemetry.Registry) Option {
 
 // ExportQueueDepth registers a rai_broker_queue_depth gauge tracking
 // the undelivered backlog of one topic/channel. Call it for long-lived
-// channels only (e.g. rai/tasks) — never per-job log topics.
+// channels only (e.g. rai/tasks) — never per-job log topics. It is a
+// no-op on a broker built without WithTelemetry.
 func (b *Broker) ExportQueueDepth(topicName, channelName string) {
+	if b.tel.reg == nil {
+		return
+	}
 	b.tel.reg.GaugeFunc("rai_broker_queue_depth", "undelivered messages queued on the channel",
 		func() float64 { return float64(b.Depth(topicName, channelName)) },
 		telemetry.L("topic", topicName), telemetry.L("channel", channelName))
@@ -116,11 +129,17 @@ func (b *Broker) ExportQueueDepth(topicName, channelName string) {
 // design, job traffic is not, so rai/tasks never gets a limit.
 func (b *Broker) SetBacklogLimit(topicName string, n int) {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	if b.backlogLimits == nil {
 		b.backlogLimits = map[string]int{}
 	}
 	b.backlogLimits[topicName] = n
+	t := b.topics[topicName]
+	b.mu.Unlock()
+	if t != nil {
+		t.mu.Lock()
+		t.backlogLimit = n
+		t.mu.Unlock()
+	}
 }
 
 // topicClass collapses per-job names so metric label cardinality stays
@@ -132,20 +151,6 @@ func topicClass(name string) string {
 	return name
 }
 
-// classCounterLocked resolves (and caches) a per-class counter. Caller
-// holds b.mu.
-func (b *Broker) classCounterLocked(cache map[string]*telemetry.Counter, name, help, class string) *telemetry.Counter {
-	if b.tel.reg == nil {
-		return nil
-	}
-	c, ok := cache[class]
-	if !ok {
-		c = b.tel.reg.Counter(name, help, telemetry.L("topic", class))
-		cache[class] = c
-	}
-	return c
-}
-
 // New creates an empty broker.
 func New(opts ...Option) *Broker {
 	b := &Broker{topics: map[string]*topic{}, clk: clock.Real{}}
@@ -155,28 +160,42 @@ func New(opts ...Option) *Broker {
 	return b
 }
 
+// topic is one shard: its mutex guards every channel, queue, and
+// subscription attached to it. dead marks a topic that has been removed
+// from the registry (GC, DeleteTopic, Close); a caller that looked it
+// up before removal must retry against the registry.
 type topic struct {
 	name      string
 	ephemeral bool
-	channels  map[string]*channel
-	// backlog holds messages published before any channel exists, so a
-	// client that subscribes shortly after a worker starts logging does
-	// not lose output (the paper's step ordering allows this race).
-	backlog []*Message
+
+	mu           sync.Mutex
+	dead         bool
+	channels     map[string]*channel
+	backlog      ring
+	backlogLimit int
+
+	// Per-class counters, resolved once at creation (nil without
+	// telemetry). The registry dedupes, so topics of one class share the
+	// underlying series.
+	pub *telemetry.Counter
+	del *telemetry.Counter
 }
 
 type channel struct {
 	name      string
 	topic     string
 	ephemeral bool
-	queue     []*Message
+	queue     ring
 	subs      []*Subscription
-	rr        int // round-robin cursor
+	rr        int // round-robin cursor: index of the next subscriber to try
 }
 
-// Subscription is one consumer attached to a topic/channel.
+// Subscription is one consumer attached to a topic/channel. All mutable
+// state is guarded by t.mu.
 type Subscription struct {
 	b           *Broker
+	t           *topic
+	ch          *channel
 	topicName   string
 	channelName string
 	c           chan *Message
@@ -203,50 +222,103 @@ func validName(s string) bool {
 
 func isEphemeralName(s string) bool { return strings.Contains(s, "#") }
 
+// getTopic returns the live topic named name, creating it if needed.
+// The fast path is a registry read lock and one map lookup.
+func (b *Broker) getTopic(name string) (*topic, error) {
+	b.mu.RLock()
+	if b.closed {
+		b.mu.RUnlock()
+		return nil, ErrClosed
+	}
+	t := b.topics[name]
+	b.mu.RUnlock()
+	if t != nil {
+		return t, nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil, ErrClosed
+	}
+	t, ok := b.topics[name]
+	if !ok {
+		t = &topic{
+			name:         name,
+			ephemeral:    isEphemeralName(name),
+			channels:     map[string]*channel{},
+			backlogLimit: b.backlogLimits[name],
+		}
+		if b.tel.reg != nil {
+			class := topicClass(name)
+			t.pub = b.tel.reg.Counter("rai_broker_publish_total", "messages published", telemetry.L("topic", class))
+			t.del = b.tel.reg.Counter("rai_broker_deliver_total", "messages delivered to subscribers", telemetry.L("topic", class))
+		}
+		b.topics[name] = t
+	}
+	return t, nil
+}
+
+// lockLiveTopic returns the topic with its mutex held, retrying when it
+// lost a race with garbage collection (looked up, then GC'd, then
+// locked). The caller must unlock t.mu.
+func (b *Broker) lockLiveTopic(name string) (*topic, error) {
+	for {
+		t, err := b.getTopic(name)
+		if err != nil {
+			return nil, err
+		}
+		t.mu.Lock()
+		if !t.dead {
+			return t, nil
+		}
+		t.mu.Unlock()
+	}
+}
+
 // Publish enqueues body on the named topic, fanning it out to every
 // existing channel (or to the topic backlog when none exists yet).
 func (b *Broker) Publish(topicName string, body []byte) (uint64, error) {
 	if !validName(topicName) {
 		return 0, fmt.Errorf("%w: topic %q", ErrBadName, topicName)
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.closed {
-		return 0, ErrClosed
+	t, err := b.lockLiveTopic(topicName)
+	if err != nil {
+		return 0, err
 	}
-	t := b.getTopicLocked(topicName)
-	b.nextID++
-	b.classCounterLocked(b.tel.publish, "rai_broker_publish_total", "messages published", topicClass(topicName)).Inc()
-	msg := &Message{ID: b.nextID, Body: append([]byte(nil), body...), Timestamp: b.clk.Now(), topic: topicName}
+	defer t.mu.Unlock()
+	t.pub.Inc()
+	// One copy of the caller's buffer; every channel's Message shares it
+	// (only Attempts tracking is per channel, so the struct is copied,
+	// never the body).
+	msg := &Message{ID: b.nextID.Add(1), Body: append([]byte(nil), body...), Timestamp: b.clk.Now(), topic: topicName}
 	if len(t.channels) == 0 {
-		t.backlog = append(t.backlog, msg)
-		if lim, ok := b.backlogLimits[topicName]; ok && lim > 0 && len(t.backlog) > lim {
-			t.backlog = append(t.backlog[:0], t.backlog[len(t.backlog)-lim:]...)
+		t.backlog.pushBack(msg)
+		if t.backlogLimit > 0 && t.backlog.len() > t.backlogLimit {
+			t.backlog.popFront()
 		}
 		return msg.ID, nil
 	}
+	first := true
 	for _, ch := range t.channels {
-		// Each channel gets its own copy so per-channel Attempts tracking
-		// does not interfere.
-		cp := *msg
-		ch.queue = append(ch.queue, &cp)
-		b.dispatchLocked(ch)
+		m := msg
+		if !first {
+			cp := *msg
+			m = &cp
+		}
+		first = false
+		ch.queue.pushBack(m)
+		b.dispatchLocked(t, ch)
 	}
 	return msg.ID, nil
 }
 
-func (b *Broker) getTopicLocked(name string) *topic {
-	t, ok := b.topics[name]
-	if !ok {
-		t = &topic{name: name, ephemeral: isEphemeralName(name), channels: map[string]*channel{}}
-		b.topics[name] = t
-	}
-	return t
-}
-
 // Subscribe attaches a consumer to topic/channel, creating both as
 // needed. maxInFlight bounds unacknowledged deliveries (the paper's
-// "constraints on the number of jobs that can be executed concurrently").
+// "constraints on the number of jobs that can be executed concurrently")
+// and sizes the delivery buffer exactly — the broker never holds more
+// than maxInFlight undrained deliveries per subscription, so no extra
+// slack is allocated for the thousands of ephemeral log subscriptions a
+// busy term creates.
 func (b *Broker) Subscribe(topicName, channelName string, maxInFlight int) (*Subscription, error) {
 	if !validName(topicName) || !validName(channelName) {
 		return nil, fmt.Errorf("%w: %q/%q", ErrBadName, topicName, channelName)
@@ -254,52 +326,55 @@ func (b *Broker) Subscribe(topicName, channelName string, maxInFlight int) (*Sub
 	if maxInFlight < 1 {
 		maxInFlight = 1
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.closed {
-		return nil, ErrClosed
+	t, err := b.lockLiveTopic(topicName)
+	if err != nil {
+		return nil, err
 	}
-	t := b.getTopicLocked(topicName)
+	defer t.mu.Unlock()
 	ch, ok := t.channels[channelName]
 	if !ok {
 		ch = &channel{name: channelName, topic: topicName, ephemeral: isEphemeralName(channelName) || t.ephemeral}
 		t.channels[channelName] = ch
 		// First channel drains the topic backlog.
-		if len(t.backlog) > 0 {
-			ch.queue = append(ch.queue, t.backlog...)
-			t.backlog = nil
+		for m := t.backlog.popFront(); m != nil; m = t.backlog.popFront() {
+			ch.queue.pushBack(m)
 		}
 	}
 	sub := &Subscription{
 		b:           b,
+		t:           t,
+		ch:          ch,
 		topicName:   topicName,
 		channelName: channelName,
-		c:           make(chan *Message, maxInFlight+1024),
+		c:           make(chan *Message, maxInFlight),
 		maxInFlight: maxInFlight,
 		inFlight:    map[uint64]*Message{},
 	}
 	ch.subs = append(ch.subs, sub)
-	b.dispatchLocked(ch)
+	b.dispatchLocked(t, ch)
 	return sub, nil
 }
 
 // dispatchLocked hands queued messages to subscribers with spare
-// in-flight capacity, round-robin. Caller holds b.mu.
-func (b *Broker) dispatchLocked(ch *channel) {
-	for len(ch.queue) > 0 && len(ch.subs) > 0 {
+// in-flight capacity, round-robin. Caller holds t.mu.
+func (b *Broker) dispatchLocked(t *topic, ch *channel) {
+	for ch.queue.len() > 0 && len(ch.subs) > 0 {
 		delivered := false
 		for probe := 0; probe < len(ch.subs); probe++ {
 			sub := ch.subs[(ch.rr+probe)%len(ch.subs)]
-			if sub.closed || len(sub.inFlight) >= sub.maxInFlight {
+			// The buffer check cannot race: all sends happen under t.mu, so
+			// len(sub.c) only shrinks concurrently. It is full only if the
+			// consumer settled a message while its redelivery sat undrained —
+			// then the message simply stays queued for the next dispatch.
+			if sub.closed || len(sub.inFlight) >= sub.maxInFlight || len(sub.c) == cap(sub.c) {
 				continue
 			}
-			msg := ch.queue[0]
-			ch.queue = ch.queue[1:]
+			msg := ch.queue.popFront()
 			msg.Attempts++
 			sub.inFlight[msg.ID] = msg
 			sub.c <- msg
-			if b.tel.reg != nil {
-				b.classCounterLocked(b.tel.deliver, "rai_broker_deliver_total", "messages delivered to subscribers", topicClass(ch.topic)).Inc()
+			t.del.Inc()
+			if b.tel.latency != nil {
 				b.tel.latency.Observe(b.clk.Now().Sub(msg.Timestamp).Seconds())
 			}
 			ch.rr = (ch.rr + probe + 1) % len(ch.subs)
@@ -315,10 +390,11 @@ func (b *Broker) dispatchLocked(ch *channel) {
 // C is the delivery channel. It is closed when the subscription closes.
 func (s *Subscription) C() <-chan *Message { return s.c }
 
-// Ack marks a delivered message as done.
+// Ack marks a delivered message as done. It takes only the owning
+// topic's lock — acks on rai/tasks never contend with log traffic.
 func (s *Subscription) Ack(m *Message) error {
-	s.b.mu.Lock()
-	defer s.b.mu.Unlock()
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
 	if s.closed {
 		return ErrSubClosed
 	}
@@ -327,17 +403,15 @@ func (s *Subscription) Ack(m *Message) error {
 	}
 	delete(s.inFlight, m.ID)
 	s.b.tel.ack.Inc()
-	if ch := s.b.lookupChannelLocked(s.topicName, s.channelName); ch != nil {
-		s.b.dispatchLocked(ch)
-	}
+	s.b.dispatchLocked(s.t, s.ch)
 	return nil
 }
 
 // Requeue returns a delivered message to the front of the channel queue
 // for redelivery (possibly to another subscriber).
 func (s *Subscription) Requeue(m *Message) error {
-	s.b.mu.Lock()
-	defer s.b.mu.Unlock()
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
 	if s.closed {
 		return ErrSubClosed
 	}
@@ -347,11 +421,8 @@ func (s *Subscription) Requeue(m *Message) error {
 	}
 	delete(s.inFlight, m.ID)
 	s.b.tel.requeue.Inc()
-	ch := s.b.lookupChannelLocked(s.topicName, s.channelName)
-	if ch != nil {
-		ch.queue = append([]*Message{msg}, ch.queue...)
-		s.b.dispatchLocked(ch)
-	}
+	s.ch.queue.pushFront(msg)
+	s.b.dispatchLocked(s.t, s.ch)
 	return nil
 }
 
@@ -359,82 +430,86 @@ func (s *Subscription) Requeue(m *Message) error {
 // requeued; ephemeral channels/topics with no remaining consumers are
 // garbage collected (the paper's log_${job_id} cleanup).
 func (s *Subscription) Close() error {
-	s.b.mu.Lock()
-	defer s.b.mu.Unlock()
-	return s.b.closeSubLocked(s)
-}
-
-func (b *Broker) closeSubLocked(s *Subscription) error {
+	t := s.t
+	t.mu.Lock()
 	if s.closed {
+		t.mu.Unlock()
 		return nil
 	}
-	s.closed = true
-	ch := b.lookupChannelLocked(s.topicName, s.channelName)
-	if ch != nil {
-		// Pull undelivered messages back out of the buffer.
-		var undelivered []*Message
-	drain:
-		for {
-			select {
-			case m := <-s.c:
-				undelivered = append(undelivered, m)
-			default:
-				break drain
-			}
-		}
-		var requeue []*Message
-		for _, m := range undelivered {
-			delete(s.inFlight, m.ID)
-			requeue = append(requeue, m)
-		}
-		for _, m := range s.inFlight {
-			requeue = append(requeue, m)
-		}
-		sort.Slice(requeue, func(i, j int) bool { return requeue[i].ID < requeue[j].ID })
-		ch.queue = append(requeue, ch.queue...)
-		// Remove the subscription.
-		for i, sub := range ch.subs {
-			if sub == s {
-				ch.subs = append(ch.subs[:i], ch.subs[i+1:]...)
-				break
-			}
-		}
-		if ch.rr >= len(ch.subs) {
-			ch.rr = 0
-		}
-		b.gcLocked(s.topicName, ch)
-		if t, ok := b.topics[s.topicName]; ok {
-			if c2, ok := t.channels[s.channelName]; ok {
-				b.dispatchLocked(c2)
-			}
-		}
+	s.closeLocked()
+	gc := t.ephemeral && len(t.channels) == 0 && !t.dead
+	t.mu.Unlock()
+	if gc {
+		s.b.collectTopic(t)
 	}
-	close(s.c)
-	s.inFlight = nil
 	return nil
 }
 
-// gcLocked deletes ephemeral channels with no subscribers and ephemeral
-// topics with no channels.
-func (b *Broker) gcLocked(topicName string, ch *channel) {
-	t, ok := b.topics[topicName]
-	if !ok {
-		return
+// closeLocked tears the subscription down under t.mu: undelivered and
+// in-flight messages go back to the queue in ID order, the subscriber
+// leaves the rotation, and empty ephemeral channels are deleted.
+func (s *Subscription) closeLocked() {
+	s.closed = true
+	ch := s.ch
+	// Pull undelivered messages back out of the buffer.
+	requeue := make([]*Message, 0, len(s.c)+len(s.inFlight))
+drain:
+	for {
+		select {
+		case m := <-s.c:
+			delete(s.inFlight, m.ID)
+			requeue = append(requeue, m)
+		default:
+			break drain
+		}
+	}
+	for _, m := range s.inFlight {
+		requeue = append(requeue, m)
+	}
+	sort.Slice(requeue, func(i, j int) bool { return requeue[i].ID < requeue[j].ID })
+	for i := len(requeue) - 1; i >= 0; i-- {
+		ch.queue.pushFront(requeue[i])
+	}
+	// Remove the subscription, keeping the round-robin cursor on the
+	// same logical successor: removing an index below the cursor shifts
+	// every later subscriber down by one, so the cursor moves with them
+	// (otherwise rotation would skip one subscriber per removal,
+	// skewing deliveries).
+	for i, sub := range ch.subs {
+		if sub == s {
+			ch.subs = append(ch.subs[:i], ch.subs[i+1:]...)
+			if i < ch.rr {
+				ch.rr--
+			}
+			break
+		}
+	}
+	if len(ch.subs) == 0 {
+		ch.rr = 0
+	} else {
+		ch.rr %= len(ch.subs)
 	}
 	if ch.ephemeral && len(ch.subs) == 0 {
-		delete(t.channels, ch.name)
+		delete(s.t.channels, ch.name)
+	} else {
+		s.b.dispatchLocked(s.t, ch)
 	}
-	if t.ephemeral && len(t.channels) == 0 {
-		delete(b.topics, topicName)
-	}
+	close(s.c)
+	s.inFlight = nil
 }
 
-func (b *Broker) lookupChannelLocked(topicName, channelName string) *channel {
-	t, ok := b.topics[topicName]
-	if !ok {
-		return nil
+// collectTopic deletes t from the registry if it is still the
+// registered, empty, ephemeral topic. Lock order: registry then topic,
+// so the caller must not hold t.mu.
+func (b *Broker) collectTopic(t *topic) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.dead && len(t.channels) == 0 && b.topics[t.name] == t {
+		t.dead = true
+		delete(b.topics, t.name)
 	}
-	return t.channels[channelName]
 }
 
 // DeleteTopic removes a topic and all its channels, discarding messages.
@@ -445,12 +520,15 @@ func (b *Broker) DeleteTopic(topicName string) error {
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrTopicMissing, topicName)
 	}
+	t.mu.Lock()
+	t.dead = true
 	for _, ch := range t.channels {
 		for _, sub := range ch.subs {
 			sub.closed = true
 			close(sub.c)
 		}
 	}
+	t.mu.Unlock()
 	delete(b.topics, topicName)
 	return nil
 }
@@ -464,12 +542,15 @@ func (b *Broker) Close() error {
 	}
 	b.closed = true
 	for _, t := range b.topics {
+		t.mu.Lock()
+		t.dead = true
 		for _, ch := range t.channels {
 			for _, sub := range ch.subs {
 				sub.closed = true
 				close(sub.c)
 			}
 		}
+		t.mu.Unlock()
 	}
 	b.topics = map[string]*topic{}
 	return nil
@@ -491,21 +572,34 @@ type ChannelStats struct {
 }
 
 // Stats returns a deterministic (name-sorted) snapshot of the broker.
+// Topics are locked one at a time, so the snapshot is per-topic
+// consistent, not globally atomic — the same guarantee a scrape of a
+// live system can honestly make.
 func (b *Broker) Stats() []TopicStats {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	out := make([]TopicStats, 0, len(b.topics))
-	for name, t := range b.topics {
-		ts := TopicStats{Topic: name, Backlog: len(t.backlog)}
+	b.mu.RLock()
+	topics := make([]*topic, 0, len(b.topics))
+	for _, t := range b.topics {
+		topics = append(topics, t)
+	}
+	b.mu.RUnlock()
+	out := make([]TopicStats, 0, len(topics))
+	for _, t := range topics {
+		t.mu.Lock()
+		if t.dead {
+			t.mu.Unlock()
+			continue
+		}
+		ts := TopicStats{Topic: t.name, Backlog: t.backlog.len()}
 		for cname, ch := range t.channels {
 			inFlight := 0
 			for _, sub := range ch.subs {
 				inFlight += len(sub.inFlight)
 			}
 			ts.Channels = append(ts.Channels, ChannelStats{
-				Channel: cname, Depth: len(ch.queue), InFlight: inFlight, Subscribers: len(ch.subs),
+				Channel: cname, Depth: ch.queue.len(), InFlight: inFlight, Subscribers: len(ch.subs),
 			})
 		}
+		t.mu.Unlock()
 		sort.Slice(ts.Channels, func(i, j int) bool { return ts.Channels[i].Channel < ts.Channels[j].Channel })
 		out = append(out, ts)
 	}
@@ -516,24 +610,26 @@ func (b *Broker) Stats() []TopicStats {
 // Depth reports the total undelivered message count for topic/channel
 // (backlog included when the channel does not exist yet).
 func (b *Broker) Depth(topicName, channelName string) int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.mu.RLock()
 	t, ok := b.topics[topicName]
+	b.mu.RUnlock()
 	if !ok {
 		return 0
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	ch, ok := t.channels[channelName]
 	if !ok {
-		return len(t.backlog)
+		return t.backlog.len()
 	}
-	return len(ch.queue)
+	return ch.queue.len()
 }
 
 // HasTopic reports whether the topic currently exists (used by tests to
 // observe ephemeral garbage collection).
 func (b *Broker) HasTopic(name string) bool {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.mu.RLock()
+	defer b.mu.RUnlock()
 	_, ok := b.topics[name]
 	return ok
 }

@@ -1,0 +1,61 @@
+package broker
+
+// ring is a growable FIFO of messages backed by a circular buffer. The
+// broker previously used plain slices as queues, which made the two
+// hottest mutations O(n): popping the front re-sliced (`q = q[1:]`,
+// leaking the backing array until the next append) and requeueing
+// prepended with a fresh allocation (`append([]*Message{m}, q...)`). A
+// ring makes pushFront/pushBack/popFront all O(1) amortized and reuses
+// one backing array for the life of the channel.
+type ring struct {
+	buf  []*Message
+	head int // index of the first element
+	n    int // number of elements
+}
+
+// len reports the number of queued messages.
+func (r *ring) len() int { return r.n }
+
+// grow doubles the backing array (minimum 8), compacting to index 0.
+func (r *ring) grow() {
+	c := len(r.buf) * 2
+	if c < 8 {
+		c = 8
+	}
+	buf := make([]*Message, c)
+	for i := 0; i < r.n; i++ {
+		buf[i] = r.buf[(r.head+i)%len(r.buf)]
+	}
+	r.buf, r.head = buf, 0
+}
+
+// pushBack appends m to the tail.
+func (r *ring) pushBack(m *Message) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = m
+	r.n++
+}
+
+// pushFront prepends m at the head (requeue for in-order redelivery).
+func (r *ring) pushFront(m *Message) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.head = (r.head - 1 + len(r.buf)) % len(r.buf)
+	r.buf[r.head] = m
+	r.n++
+}
+
+// popFront removes and returns the head message; nil when empty.
+func (r *ring) popFront() *Message {
+	if r.n == 0 {
+		return nil
+	}
+	m := r.buf[r.head]
+	r.buf[r.head] = nil // release for GC
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return m
+}

@@ -1,0 +1,83 @@
+package broker
+
+import "testing"
+
+func TestRingFIFOAndGrowth(t *testing.T) {
+	var r ring
+	if r.popFront() != nil {
+		t.Fatal("pop on empty ring")
+	}
+	for i := 1; i <= 100; i++ {
+		r.pushBack(&Message{ID: uint64(i)})
+	}
+	if r.len() != 100 {
+		t.Fatalf("len = %d", r.len())
+	}
+	for i := 1; i <= 100; i++ {
+		m := r.popFront()
+		if m == nil || m.ID != uint64(i) {
+			t.Fatalf("pop %d = %+v", i, m)
+		}
+	}
+	if r.len() != 0 || r.popFront() != nil {
+		t.Fatal("ring not empty after drain")
+	}
+}
+
+func TestRingPushFront(t *testing.T) {
+	var r ring
+	r.pushBack(&Message{ID: 3})
+	r.pushFront(&Message{ID: 2})
+	r.pushFront(&Message{ID: 1})
+	for want := uint64(1); want <= 3; want++ {
+		if m := r.popFront(); m.ID != want {
+			t.Fatalf("got %d, want %d", m.ID, want)
+		}
+	}
+}
+
+// TestRingWrapAround interleaves pushes and pops so head walks the
+// backing array and the logical queue wraps past its end.
+func TestRingWrapAround(t *testing.T) {
+	var r ring
+	next, want := uint64(1), uint64(1)
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 3; i++ {
+			r.pushBack(&Message{ID: next})
+			next++
+		}
+		for i := 0; i < 2; i++ {
+			if m := r.popFront(); m.ID != want {
+				t.Fatalf("round %d: got %d, want %d", round, m.ID, want)
+			}
+			want++
+		}
+	}
+	for r.len() > 0 {
+		if m := r.popFront(); m.ID != want {
+			t.Fatalf("drain: got %d, want %d", m.ID, want)
+		}
+		want++
+	}
+	if want != next {
+		t.Fatalf("drained to %d, want %d", want, next)
+	}
+}
+
+// TestRingPushFrontAfterWrap exercises the head-decrement wrap (head at
+// index 0 borrowing the last slot).
+func TestRingPushFrontAfterWrap(t *testing.T) {
+	var r ring
+	for i := 13; i < 18; i++ {
+		r.pushBack(&Message{ID: uint64(i)}) // head = 0, len(buf) = 8
+	}
+	r.pushFront(&Message{ID: 12}) // head wraps to the last slot
+	r.pushFront(&Message{ID: 11})
+	r.pushFront(&Message{ID: 10}) // ring now exactly full, head mid-array
+	for want := uint64(10); want < 18; want++ {
+		m := r.popFront()
+		if m == nil || m.ID != want {
+			t.Fatalf("got %+v, want %d", m, want)
+		}
+	}
+}

@@ -14,8 +14,9 @@ import (
 // Client is safe for concurrent use.
 type Client struct {
 	conn net.Conn
-
-	writeMu sync.Mutex // serializes frame writes
+	fw   *frameWriter
+	fr   *frameReader
+	ver  int // negotiated protocol version (immutable after dial)
 
 	mu      sync.Mutex
 	nextSeq uint64
@@ -54,7 +55,8 @@ const DefaultDialTimeout = 10 * time.Second
 type DialOption func(*dialConfig)
 
 type dialConfig struct {
-	timeout time.Duration
+	timeout  time.Duration
+	jsonOnly bool
 }
 
 // WithDialTimeout caps how long the TCP dial may take. The context's own
@@ -67,8 +69,19 @@ func WithDialTimeout(d time.Duration) DialOption {
 	}
 }
 
+// WithJSONCodec pins the connection to the legacy JSON encoding,
+// skipping the HELLO negotiation entirely — exactly what a pre-binary
+// client on the wire looks like. Useful for interop tests and for
+// talking through middleboxes that inspect the JSON protocol.
+func WithJSONCodec() DialOption {
+	return func(c *dialConfig) { c.jsonOnly = true }
+}
+
 // DialContext connects to a brokerd server, honoring ctx for
-// cancellation and deadline.
+// cancellation and deadline. Unless WithJSONCodec is given, it offers
+// the binary encoding via a HELLO frame and uses it when the server
+// agrees; an ERR reply (an old, JSON-only server) quietly keeps the
+// connection on JSON.
 func DialContext(ctx context.Context, addr string, opts ...DialOption) (*Client, error) {
 	cfg := dialConfig{timeout: DefaultDialTimeout}
 	for _, o := range opts {
@@ -81,18 +94,66 @@ func DialContext(ctx context.Context, addr string, opts ...DialOption) (*Client,
 	}
 	c := &Client{
 		conn:    conn,
+		fw:      newFrameWriter(conn),
+		fr:      newFrameReader(conn),
+		ver:     ProtocolJSON,
 		pending: map[uint64]chan *Frame{},
 		msgs:    make(chan *Delivery, 1024),
 		done:    make(chan struct{}),
+	}
+	if !cfg.jsonOnly {
+		if err := c.hello(ctx, cfg.timeout); err != nil {
+			conn.Close()
+			return nil, err
+		}
 	}
 	go c.readLoop()
 	return c, nil
 }
 
+// hello negotiates the wire encoding before the read loop starts, so
+// the exchange can use the connection directly. The handshake is
+// bounded by the sooner of ctx's deadline and the dial timeout: a
+// server that accepts but never replies gets its connection closed by
+// the watchdog, failing the pending read.
+func (c *Client) hello(ctx context.Context, timeout time.Duration) error {
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	stop := context.AfterFunc(ctx, func() { c.conn.Close() })
+	defer stop()
+	if err := c.fw.write(&Frame{Op: OpHello, Version: ProtocolBinary}); err != nil {
+		return err
+	}
+	reply, err := c.fr.read()
+	if err != nil {
+		return err
+	}
+	switch {
+	case reply.Op == OpOK && reply.Version >= ProtocolBinary:
+		// The server switched right after its OK; mirror it.
+		c.fw.setCodec(BinaryCodec)
+		c.fr.codec = BinaryCodec
+		c.ver = ProtocolBinary
+	case reply.Op == OpOK, reply.Op == OpErr:
+		// OK with an old version, or an old server rejecting HELLO as an
+		// unknown op: stay on JSON.
+	default:
+		return fmt.Errorf("brokerd: unexpected %s reply to HELLO", reply.Op)
+	}
+	return nil
+}
+
+// ProtocolVersion reports the negotiated wire encoding (ProtocolJSON or
+// ProtocolBinary).
+func (c *Client) ProtocolVersion() int { return c.ver }
+
 func (c *Client) readLoop() {
 	defer close(c.done)
 	for {
-		f, err := ReadFrame(c.conn)
+		f, err := c.fr.read()
 		if err != nil {
 			c.mu.Lock()
 			c.readErr = err
@@ -144,10 +205,7 @@ func (c *Client) call(ctx context.Context, f *Frame) (*Frame, error) {
 	c.pending[f.Seq] = ch
 	c.mu.Unlock()
 
-	c.writeMu.Lock()
-	err := WriteFrame(c.conn, f)
-	c.writeMu.Unlock()
-	if err != nil {
+	if err := c.fw.write(f); err != nil {
 		c.mu.Lock()
 		delete(c.pending, f.Seq)
 		c.mu.Unlock()

@@ -1,0 +1,337 @@
+package brokerd
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net"
+	"testing"
+	"time"
+	"unicode/utf8"
+)
+
+var fuzzOps = []string{OpPub, OpSub, OpAck, OpReq, OpPing, OpOK, OpErr, OpMsg, OpClose, OpStats, OpHello}
+
+// FuzzFrameRoundTrip drives both wire encodings with the same frame and
+// checks Encode→Decode is the identity. The binary codec must take
+// anything; the JSON leg is skipped where encoding/json is lossy by
+// design (invalid UTF-8 in strings, years outside RFC 3339).
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add(uint8(0), uint64(1), uint64(42), 3, 8, int64(1700000000_000000001), true, "rai", "tasks", "", []byte("job payload"))
+	f.Add(uint8(7), uint64(9), uint64(0), 0, 0, int64(0), false, "", "", "boom", []byte{})
+	f.Add(uint8(10), uint64(1<<63), uint64(1<<62), -1, -5, int64(-1), true, "log_7#x", "worker#3", "", []byte{0, 0xff, 0x80})
+	f.Fuzz(func(t *testing.T, opIdx uint8, seq, msgID uint64, attempts, maxInFlight int, nanos int64, hasTime bool, topic, channel, errStr string, body []byte) {
+		in := &Frame{
+			Op:          fuzzOps[int(opIdx)%len(fuzzOps)],
+			Seq:         seq,
+			MsgID:       msgID,
+			Attempts:    attempts,
+			MaxInFlight: maxInFlight,
+			Topic:       topic,
+			Channel:     channel,
+			Error:       errStr,
+			Body:        body,
+		}
+		if hasTime {
+			in.Time = time.Unix(0, nanos).UTC()
+		}
+		check := func(name string, c Codec, strict bool) {
+			var buf bytes.Buffer
+			if err := c.Encode(&buf, in); err != nil {
+				if strict {
+					t.Fatalf("%s: encode: %v", name, err)
+				}
+				return // e.g. JSON refuses years outside [0,9999]
+			}
+			out, err := c.Decode(&buf)
+			if err != nil {
+				t.Fatalf("%s: decode: %v", name, err)
+			}
+			if out.Op != in.Op || out.Seq != in.Seq || out.MsgID != in.MsgID ||
+				out.Attempts != in.Attempts || out.MaxInFlight != in.MaxInFlight ||
+				out.Topic != in.Topic || out.Channel != in.Channel || out.Error != in.Error {
+				t.Fatalf("%s: fields drifted:\n in=%+v\nout=%+v", name, in, out)
+			}
+			if !bytes.Equal(out.Body, in.Body) {
+				t.Fatalf("%s: body %q != %q", name, out.Body, in.Body)
+			}
+			if !out.Time.Equal(in.Time) {
+				t.Fatalf("%s: time %v != %v", name, out.Time, in.Time)
+			}
+			if buf.Len() != 0 {
+				t.Fatalf("%s: %d trailing bytes after decode", name, buf.Len())
+			}
+		}
+		check("binary", BinaryCodec, true)
+		if utf8.ValidString(topic) && utf8.ValidString(channel) && utf8.ValidString(errStr) {
+			check("json", JSONCodec, false)
+		}
+	})
+}
+
+// FuzzBinaryDecode feeds arbitrary length-prefixed payloads to the
+// binary decoder: malformed frames must come back as errors, never
+// panics or hangs.
+func FuzzBinaryDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1})
+	f.Add(bytes.Repeat([]byte{0xff}, binHeaderLen))
+	// A valid PUB frame as a seed so the corpus mutates from real shapes.
+	var buf bytes.Buffer
+	if err := BinaryCodec.Encode(&buf, &Frame{Op: OpPub, Seq: 1, Topic: "rai", Body: []byte("x")}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes()[4:])
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		if len(payload) > maxFrameSize {
+			t.Skip()
+		}
+		var hdr [4]byte
+		hdr[0] = byte(len(payload) >> 24)
+		hdr[1] = byte(len(payload) >> 16)
+		hdr[2] = byte(len(payload) >> 8)
+		hdr[3] = byte(len(payload))
+		r := io.MultiReader(bytes.NewReader(hdr[:]), bytes.NewReader(payload))
+		out, err := BinaryCodec.Decode(r)
+		if err == nil {
+			// Whatever decoded must re-encode cleanly.
+			var buf bytes.Buffer
+			if err := BinaryCodec.Encode(&buf, out); err != nil {
+				t.Fatalf("decoded frame %+v will not re-encode: %v", out, err)
+			}
+		}
+	})
+}
+
+func TestStatsFrameBinaryRoundTrip(t *testing.T) {
+	in := &Frame{Op: OpOK, Seq: 3, Stats: []TopicStats{
+		{Topic: "rai", Backlog: 2, Channels: []ChannelStats{
+			{Channel: "tasks", Depth: 5, InFlight: 1, Subscribers: 3},
+		}},
+		{Topic: "log_1#x", Backlog: 0},
+	}}
+	var buf bytes.Buffer
+	if err := BinaryCodec.Encode(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := BinaryCodec.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Stats) != 2 || out.Stats[0].Topic != "rai" || len(out.Stats[0].Channels) != 1 ||
+		out.Stats[0].Channels[0].Depth != 5 || out.Stats[1].Topic != "log_1#x" {
+		t.Fatalf("stats round trip = %+v", out.Stats)
+	}
+}
+
+func TestBinaryDecodeMalformed(t *testing.T) {
+	cases := map[string][]byte{
+		"empty payload":    {},
+		"short header":     bytes.Repeat([]byte{0}, binHeaderLen-1),
+		"unknown op":       append([]byte{0xee}, bytes.Repeat([]byte{0}, binHeaderLen-1)...),
+		"field past end":   append(append([]byte{1}, bytes.Repeat([]byte{0}, binHeaderLen-1)...), 0xff, 0xff, 0xff, 0xff),
+		"truncated length": append(append([]byte{1}, bytes.Repeat([]byte{0}, binHeaderLen-1)...), 0, 0),
+	}
+	for name, payload := range cases {
+		var buf bytes.Buffer
+		var hdr [4]byte
+		hdr[3] = byte(len(payload))
+		hdr[2] = byte(len(payload) >> 8)
+		buf.Write(hdr[:])
+		buf.Write(payload)
+		if _, err := BinaryCodec.Decode(&buf); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}
+
+// TestNegotiatedBinaryProtocol checks the default dial lands on the
+// binary encoding against a binary-capable server and the connection
+// still does real work afterwards.
+func TestNegotiatedBinaryProtocol(t *testing.T) {
+	_, srv := newPair(t)
+	c := dialT(t, srv)
+	if got := c.ProtocolVersion(); got != ProtocolBinary {
+		t.Fatalf("ProtocolVersion() = %d, want %d", got, ProtocolBinary)
+	}
+	if err := c.Ping(bg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestJSONClientAgainstBinaryServer runs the full pub/sub/ack flow with
+// a client pinned to the legacy JSON encoding — the interop guarantee
+// that pre-HELLO clients keep working against an upgraded server.
+func TestJSONClientAgainstBinaryServer(t *testing.T) {
+	_, srv := newPair(t)
+	c, err := DialContext(bg, srv.Addr(), WithJSONCodec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	if got := c.ProtocolVersion(); got != ProtocolJSON {
+		t.Fatalf("ProtocolVersion() = %d, want %d", got, ProtocolJSON)
+	}
+	if err := c.Subscribe(bg, "rai", "tasks", 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Publish(bg, "rai", []byte("legacy payload")); err != nil {
+		t.Fatal(err)
+	}
+	d := recvT(t, c)
+	if string(d.Body) != "legacy payload" || d.Topic != "rai" {
+		t.Fatalf("delivery = %+v", d)
+	}
+	if err := c.Requeue(bg, d); err != nil {
+		t.Fatal(err)
+	}
+	d = recvT(t, c)
+	if d.Attempts != 2 {
+		t.Fatalf("attempts after requeue = %d, want 2", d.Attempts)
+	}
+	if err := c.Ack(bg, d); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Stats(bg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBinaryClientAgainstLegacyServer points a binary-capable client at
+// a hand-rolled JSON-only server that rejects HELLO as an unknown op,
+// exactly like a pre-binary brokerd. The client must fall back to JSON
+// and keep working.
+func TestBinaryClientAgainstLegacyServer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		for {
+			f, err := ReadFrame(conn)
+			if err != nil {
+				return
+			}
+			switch f.Op {
+			case OpPing:
+				_ = WriteFrame(conn, &Frame{Op: OpOK, Seq: f.Seq})
+			default: // a legacy server has never heard of HELLO
+				_ = WriteFrame(conn, &Frame{Op: OpErr, Seq: f.Seq, Error: "unknown op"})
+			}
+		}
+	}()
+
+	c, err := DialContext(bg, ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.ProtocolVersion(); got != ProtocolJSON {
+		t.Fatalf("ProtocolVersion() = %d, want %d (fallback)", got, ProtocolJSON)
+	}
+	if err := c.Ping(bg); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	ln.Close()
+	select {
+	case <-done:
+	case <-time.After(3 * time.Second):
+		t.Fatal("fake server goroutine did not exit")
+	}
+}
+
+// TestHelloHandshakeTimeout points the client at a server that accepts
+// and then never replies: the watchdog must close the connection and
+// fail the dial instead of hanging.
+func TestHelloHandshakeTimeout(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		_, _ = io.Copy(io.Discard, conn) // read forever, reply never
+	}()
+
+	ctx, cancel := context.WithTimeout(bg, 200*time.Millisecond)
+	defer cancel()
+	if _, err := DialContext(ctx, ln.Addr().String()); err == nil {
+		t.Fatal("dial against a mute server succeeded")
+	}
+}
+
+// TestLegacyWireBytesUnchanged pins the pre-negotiation wire format: a
+// hand-written JSON frame must be readable by the server path and the
+// reply must be plain length-prefixed JSON, so captured traffic from
+// old deployments stays decodable.
+func TestLegacyWireBytesUnchanged(t *testing.T) {
+	_, srv := newPair(t)
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	if err := WriteFrame(conn, &Frame{Op: OpPing, Seq: 99}); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := ReadFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Op != OpOK || reply.Seq != 99 {
+		t.Fatalf("reply = %+v", reply)
+	}
+}
+
+// TestBrokerdEndToEndBothCodecs cross-pollinates: a binary publisher
+// feeding a JSON subscriber and vice versa, through one server.
+func TestBrokerdEndToEndBothCodecs(t *testing.T) {
+	_, srv := newPair(t)
+	binC := dialT(t, srv)
+	jsonC, err := DialContext(bg, srv.Addr(), WithJSONCodec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { jsonC.Close() })
+
+	if err := jsonC.Subscribe(bg, "cross", "tasks", 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := binC.Publish(bg, "cross", []byte("binary to json")); err != nil {
+		t.Fatal(err)
+	}
+	d := recvT(t, jsonC)
+	if string(d.Body) != "binary to json" {
+		t.Fatalf("body = %q", d.Body)
+	}
+	if err := jsonC.Ack(bg, d); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := binC.Subscribe(bg, "ssorc", "tasks", 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := jsonC.Publish(bg, "ssorc", []byte("json to binary")); err != nil {
+		t.Fatal(err)
+	}
+	d = recvT(t, binC)
+	if string(d.Body) != "json to binary" {
+		t.Fatalf("body = %q", d.Body)
+	}
+	if err := binC.Ack(bg, d); err != nil {
+		t.Fatal(err)
+	}
+}

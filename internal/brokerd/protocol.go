@@ -4,15 +4,20 @@
 // laptops and AWS workers.
 //
 // The wire protocol is deliberately simple: each frame is a 4-byte
-// big-endian length followed by a JSON object. Requests carry a client
+// big-endian length followed by a payload. Requests carry a client
 // sequence number that the matching reply echoes, so one connection can
 // pipeline publishes while a subscription streams messages.
+//
+// Two payload encodings exist. Every connection starts in the legacy
+// JSON encoding (a JSON object per frame). A client that also speaks
+// the compact binary encoding opens with a HELLO frame; a
+// binary-capable server replies OK carrying the agreed version and both
+// directions switch (DESIGN.md §11). Servers never initiate the
+// upgrade, so pre-HELLO clients interoperate unchanged, and a client
+// whose HELLO is refused (ERR from an old server) stays on JSON.
 package brokerd
 
 import (
-	"encoding/binary"
-	"encoding/json"
-	"fmt"
 	"io"
 	"time"
 )
@@ -29,6 +34,17 @@ const (
 	OpMsg   = "MSG"   // server -> client: delivered message
 	OpClose = "CLOSE" // client -> server: close subscription
 	OpStats = "STATS" // client -> server: queue statistics snapshot
+	OpHello = "HELLO" // client -> server: negotiate the wire encoding
+)
+
+// Protocol versions carried in HELLO/OK frames.
+const (
+	// ProtocolJSON is the original encoding: JSON object payloads
+	// (message bodies base64-inflated by encoding/json).
+	ProtocolJSON = 1
+	// ProtocolBinary is the compact encoding: fixed-width header, raw
+	// body bytes, no per-frame reflection.
+	ProtocolBinary = 2
 )
 
 // Frame is the single wire message shape for both directions.
@@ -45,6 +61,9 @@ type Frame struct {
 	Attempts int       `json:"attempts,omitempty"`
 	Time     time.Time `json:"time"`
 	Error    string    `json:"error,omitempty"`
+	// Version carries the protocol version in HELLO requests and their
+	// OK replies.
+	Version int `json:"version,omitempty"`
 	// Stats carries the broker snapshot in OpStats replies (the queue
 	// depth signal provisioning watches, paper §VII).
 	Stats []TopicStats `json:"stats,omitempty"`
@@ -70,41 +89,15 @@ type ChannelStats struct {
 // and caps memory per connection).
 const maxFrameSize = 16 << 20
 
-// WriteFrame encodes f with a length prefix.
+// WriteFrame encodes f in the legacy JSON encoding with a length
+// prefix. Kept for wire compatibility (and the tests that speak the
+// old protocol by hand); connections negotiate codecs via HELLO.
 func WriteFrame(w io.Writer, f *Frame) error {
-	payload, err := json.Marshal(f)
-	if err != nil {
-		return err
-	}
-	if len(payload) > maxFrameSize {
-		return fmt.Errorf("brokerd: frame of %d bytes exceeds limit", len(payload))
-	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err = w.Write(payload)
-	return err
+	return JSONCodec.Encode(w, f)
 }
 
-// ReadFrame decodes one length-prefixed frame.
+// ReadFrame decodes one length-prefixed legacy JSON frame.
 func ReadFrame(r io.Reader) (*Frame, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, err
-	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n > maxFrameSize {
-		return nil, fmt.Errorf("brokerd: frame of %d bytes exceeds limit", n)
-	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, err
-	}
-	var f Frame
-	if err := json.Unmarshal(payload, &f); err != nil {
-		return nil, fmt.Errorf("brokerd: bad frame: %w", err)
-	}
-	return &f, nil
+	return JSONCodec.Decode(r)
 }
+

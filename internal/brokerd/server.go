@@ -38,7 +38,7 @@ func WithTelemetry(reg *telemetry.Registry) ServerOption {
 	return func(s *Server) {
 		s.connGauge = reg.Gauge("rai_brokerd_connections", "open client connections")
 		s.ops = map[string]*telemetry.Counter{}
-		for _, op := range []string{OpPing, OpPub, OpSub, OpAck, OpReq, OpStats, OpClose} {
+		for _, op := range []string{OpPing, OpPub, OpSub, OpAck, OpReq, OpStats, OpClose, OpHello} {
 			s.ops[op] = reg.Counter("rai_brokerd_ops_total", "wire operations served", telemetry.L("op", op))
 		}
 	}
@@ -101,7 +101,9 @@ func (s *Server) acceptLoop() {
 }
 
 // serveConn handles one client connection: a read loop executing
-// commands, plus (once subscribed) a pump goroutine streaming deliveries.
+// commands, plus (once subscribed) a pump goroutine streaming
+// deliveries. Each connection starts in the JSON encoding; a HELLO
+// exchange switches both directions to the binary codec.
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	s.connGauge.Add(1)
@@ -113,18 +115,14 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.connGauge.Add(-1)
 	}()
 
-	var writeMu sync.Mutex
-	send := func(f *Frame) error {
-		writeMu.Lock()
-		defer writeMu.Unlock()
-		return WriteFrame(conn, f)
-	}
+	fr := newFrameReader(conn)
+	fw := newFrameWriter(conn)
 	reply := func(seq uint64, err error, msgID uint64) {
 		if err != nil {
-			_ = send(&Frame{Op: OpErr, Seq: seq, Error: err.Error()})
+			_ = fw.write(&Frame{Op: OpErr, Seq: seq, Error: err.Error()})
 			return
 		}
-		_ = send(&Frame{Op: OpOK, Seq: seq, MsgID: msgID})
+		_ = fw.write(&Frame{Op: OpOK, Seq: seq, MsgID: msgID})
 	}
 
 	var (
@@ -140,7 +138,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	}()
 
 	for {
-		f, err := ReadFrame(conn)
+		f, err := fr.read()
 		if err != nil {
 			return // disconnect (EOF or broken frame)
 		}
@@ -148,6 +146,17 @@ func (s *Server) serveConn(conn net.Conn) {
 			s.ops[f.Op].Inc() // nil map entry (unknown op) is a no-op
 		}
 		switch f.Op {
+		case OpHello:
+			if f.Version >= ProtocolBinary {
+				// The OK still travels in the old encoding; everything after
+				// it — in both directions — is binary.
+				if err := fw.writeSwitch(&Frame{Op: OpOK, Seq: f.Seq, Version: ProtocolBinary}, BinaryCodec); err != nil {
+					return
+				}
+				fr.codec = BinaryCodec
+				continue
+			}
+			_ = fw.write(&Frame{Op: OpOK, Seq: f.Seq, Version: ProtocolJSON})
 		case OpPing:
 			reply(f.Seq, nil, 0)
 		case OpPub:
@@ -169,10 +178,13 @@ func (s *Server) serveConn(conn net.Conn) {
 				defer close(pumpDone)
 				for m := range sub.C() {
 					inFlight.Store(m.ID, m)
-					if err := send(&Frame{
+					// A burst of queued deliveries coalesces into one flush:
+					// while more messages are already waiting, keep appending
+					// to the write buffer.
+					if err := fw.writeHint(&Frame{
 						Op: OpMsg, MsgID: m.ID, Topic: m.Topic(),
 						Body: m.Body, Attempts: m.Attempts, Time: m.Timestamp,
-					}); err != nil {
+					}, len(sub.C()) > 0); err != nil {
 						return
 					}
 				}
@@ -207,7 +219,7 @@ func (s *Server) serveConn(conn net.Conn) {
 				}
 				stats = append(stats, out)
 			}
-			_ = send(&Frame{Op: OpOK, Seq: f.Seq, Stats: stats})
+			_ = fw.write(&Frame{Op: OpOK, Seq: f.Seq, Stats: stats})
 		case OpClose:
 			if sub != nil {
 				sub.Close()

@@ -1,11 +1,14 @@
 #!/bin/sh
 # Repo verification gate: vet, build everything, run the project's own
 # static-analysis pass (raivet — clock/context/span/HTTP/concurrency
-# invariants, see internal/lint), then the full suite under the race
-# detector. Used by CI and before committing.
+# invariants, see internal/lint), the full suite under the race
+# detector, and a one-iteration smoke of every benchmark so the perf
+# harness (DESIGN.md §3, §11) can't rot. Used by CI and before
+# committing.
 set -eux
 
 go vet ./...
 go build ./...
 go run ./cmd/raivet ./...
 go test -race ./...
+go test -run='^$' -bench=. -benchtime=1x .
