@@ -79,6 +79,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cmd := fs.Arg(0)
 	if cmd == "version" {
 		fmt.Fprintln(stdout, buildInfo)
+		fmt.Fprintln(stdout, telemetry.NewStamp("rai", buildInfo.Version))
 		return 0
 	}
 

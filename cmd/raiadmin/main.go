@@ -11,10 +11,11 @@
 //	raiadmin download -db url -fs url -out dir [-cleanup]
 //	raiadmin rerun   -db url -fs url -broker addr -keys keys.json -team NAME [-n 5]
 //	raiadmin grade   -db url [-manual manual.csv] [-target-accuracy 0.9]
-//	raiadmin top     [-filter prefix] [-buckets] URL [URL...]
-//	raiadmin collect -broker addr -db url [-metrics-addr addr]
+//	raiadmin top     [-filter prefix] [-buckets] [-json] URL [URL...]
+//	raiadmin collect -broker addr -db url [-metrics-addr addr] [-ready-file path]
 //	raiadmin trace   [-db url] JOB_ID
 //	raiadmin logs    [-db url] [-follow] JOB_ID
+//	raiadmin version
 package main
 
 import (
@@ -55,10 +56,13 @@ func main() {
 
 func run(args []string, stdout, stderr io.Writer) int {
 	if len(args) < 1 {
-		fmt.Fprintln(stderr, "usage: raiadmin keygen|teamgen|ranking|download|rerun|grade|top|collect|trace|logs [flags]")
+		fmt.Fprintln(stderr, "usage: raiadmin keygen|teamgen|ranking|download|rerun|grade|top|collect|trace|logs|version [flags]")
 		return 2
 	}
 	switch args[0] {
+	case "version", "-version", "--version":
+		fmt.Fprintln(stdout, telemetry.NewStamp("raiadmin", version))
+		return 0
 	case "keygen":
 		return keygen(args[1:], stdout, stderr)
 	case "teamgen":
@@ -443,6 +447,7 @@ func top(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	filter := fs.String("filter", "", "only show metric names with this prefix")
 	buckets := fs.Bool("buckets", false, "include per-bucket histogram series")
+	asJSON := fs.Bool("json", false, "emit machine-readable JSON instead of the aligned table")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -451,6 +456,19 @@ func top(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "raiadmin top: at least one metrics URL is required")
 		return 2
 	}
+	// topEndpoint is the per-URL scrape in the -json output; one element
+	// per URL, in argument order, so scripts can zip results to requests.
+	type topSample struct {
+		Name   string            `json:"name"`
+		Labels map[string]string `json:"labels,omitempty"`
+		Value  float64           `json:"value"`
+	}
+	type topEndpoint struct {
+		Endpoint      string      `json:"endpoint"`
+		UptimeSeconds float64     `json:"uptime_seconds,omitempty"`
+		Samples       []topSample `json:"samples"`
+	}
+	var report []topEndpoint
 	tbl := &stats.Table{Header: []string{"endpoint", "metric", "labels", "value"}}
 	for _, u := range urls {
 		snap, err := scrapeMetrics(u)
@@ -460,11 +478,13 @@ func top(args []string, stdout, stderr io.Writer) int {
 		}
 		short := strings.TrimPrefix(strings.TrimPrefix(u, "http://"), "https://")
 		short = strings.TrimSuffix(short, "/metrics")
+		ep := topEndpoint{Endpoint: short, Samples: []topSample{}}
 		// Derive uptime from rai_process_start_time_seconds (published
 		// by every daemon next to rai_build_info).
 		if start, ok := snap.Value("rai_process_start_time_seconds"); ok && start > 0 {
+			up := clock.Real{}.Now().Sub(time.Unix(0, int64(start*float64(time.Second)))).Round(time.Second)
+			ep.UptimeSeconds = up.Seconds()
 			if *filter == "" || strings.HasPrefix("uptime", *filter) {
-				up := clock.Real{}.Now().Sub(time.Unix(0, int64(start*float64(time.Second)))).Round(time.Second)
 				tbl.AddRow(short, "uptime", "-", up.String())
 			}
 		}
@@ -475,8 +495,19 @@ func top(args []string, stdout, stderr io.Writer) int {
 			if !*buckets && strings.HasSuffix(s.Name, "_bucket") {
 				continue
 			}
+			ep.Samples = append(ep.Samples, topSample{Name: s.Name, Labels: s.Labels, Value: s.Value})
 			tbl.AddRow(short, s.Name, formatLabels(s.Labels), strconv.FormatFloat(s.Value, 'g', -1, 64))
 		}
+		report = append(report, ep)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintf(stderr, "raiadmin top: %v\n", err)
+			return 1
+		}
+		return 0
 	}
 	fmt.Fprint(stdout, tbl.String())
 	return 0

@@ -19,6 +19,7 @@ import (
 	"rai/internal/collector"
 	"rai/internal/core"
 	"rai/internal/docstore"
+	"rai/internal/readyfile"
 	"rai/internal/telemetry"
 )
 
@@ -31,6 +32,7 @@ func collect(args []string, stdout, stderr io.Writer) int {
 	dbURL := fs.String("db", "http://127.0.0.1:7402", "database URL")
 	metricsAddr := fs.String("metrics-addr", "", "serve the collector's own /metrics here (empty = off)")
 	prefetch := fs.Int("prefetch", 64, "subscription in-flight window")
+	readyPath := fs.String("ready-file", "", "write a JSON readiness document (pid, metrics address) here once collecting")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -43,6 +45,8 @@ func collect(args []string, stdout, stderr io.Writer) int {
 
 	reg := telemetry.NewRegistry()
 	telemetry.RegisterBuildInfo(reg, "raiadmin-collect", version, nil)
+	telemetry.RegisterProcessMetrics(reg)
+	var metricsBound string
 	if *metricsAddr != "" {
 		addr, closeMetrics, err := reg.ServeMetrics(*metricsAddr)
 		if err != nil {
@@ -50,6 +54,7 @@ func collect(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		defer closeMetrics()
+		metricsBound = addr
 		fmt.Fprintf(stdout, "metrics on http://%s/metrics\n", addr)
 	}
 
@@ -62,6 +67,16 @@ func collect(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "collecting %s/%s from %s into %s\n",
 		core.TelemetryTopic, core.TelemetryChannel, *brokerAddr, *dbURL)
+	// The ready file is written before Run's subscribe completes; the
+	// broker buffers the telemetry topic's backlog, so records published
+	// in that window are delivered, not lost.
+	if *readyPath != "" {
+		info := readyfile.Info{Service: "raiadmin-collect", PID: os.Getpid(), MetricsAddr: metricsBound}
+		if err := readyfile.Write(*readyPath, info); err != nil {
+			fmt.Fprintf(stderr, "raiadmin collect: %v\n", err)
+			return 1
+		}
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if err := c.Run(ctx); err != nil {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -58,6 +59,49 @@ func TestTopFilterAndBuckets(t *testing.T) {
 	}
 	if !strings.Contains(got, "le=+Inf") {
 		t.Errorf("missing +Inf bucket:\n%s", got)
+	}
+}
+
+// TestTopJSON checks -json output: one element per URL in argument
+// order, with parsed samples scripts can consume directly.
+func TestTopJSON(t *testing.T) {
+	srv := metricsEndpoint(t)
+	var out, errb bytes.Buffer
+	if code := run([]string{"top", "-json", srv.URL + "/metrics"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d: %s", code, errb.String())
+	}
+	var report []struct {
+		Endpoint string `json:"endpoint"`
+		Samples  []struct {
+			Name   string            `json:"name"`
+			Labels map[string]string `json:"labels"`
+			Value  float64           `json:"value"`
+		} `json:"samples"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &report); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if len(report) != 1 {
+		t.Fatalf("report has %d endpoints, want 1", len(report))
+	}
+	if !strings.Contains(srv.URL, report[0].Endpoint) {
+		t.Errorf("endpoint %q not derived from %q", report[0].Endpoint, srv.URL)
+	}
+	found := map[string]float64{}
+	for _, s := range report[0].Samples {
+		found[s.Name] = s.Value
+		if s.Name == "rai_broker_publish_total" && s.Labels["topic"] != "rai" {
+			t.Errorf("publish counter labels = %v", s.Labels)
+		}
+		if strings.HasSuffix(s.Name, "_bucket") {
+			t.Errorf("bucket series in JSON without -buckets: %s", s.Name)
+		}
+	}
+	if found["rai_broker_publish_total"] != 41 {
+		t.Errorf("publish counter = %v, want 41", found["rai_broker_publish_total"])
+	}
+	if found["rai_worker_jobs_in_flight"] != 3 {
+		t.Errorf("gauge = %v, want 3", found["rai_worker_jobs_in_flight"])
 	}
 }
 

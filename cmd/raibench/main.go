@@ -1,0 +1,314 @@
+// Command raibench is the course-scale macro-benchmark harness: it
+// boots the real daemons (raibroker, raifs, raidb, N×raiworker, and
+// the telemetry collector) as subprocesses over loopback, drives M
+// concurrent simulated students through the submit → poll →
+// download-build loop with the workload package's course model,
+// scrapes every daemon's /metrics while the load runs, decomposes
+// each submission into its pipeline phases from the collector's span
+// store, and writes a schema-versioned BENCH_*.json. The compare mode
+// diffs two such reports with regression thresholds and exits nonzero
+// on breach — the tracked perf trajectory DESIGN.md §12 describes.
+//
+// Usage:
+//
+//	raibench run [-students 8] [-duration 10s] [-workers 2] [-concurrency 2]
+//	             [-out BENCH.json] [-bin dir] [-keep dir] [-seed 408]
+//	             [-full-images 12] [-scrape-interval 1s] [-think-min 10ms]
+//	             [-think-max 250ms] [-phase-timeout 30s]
+//	             [-pprof-capture raibroker] [-pprof-seconds 2]
+//	raibench compare OLD.json NEW.json [-max-throughput-drop 0.6]
+//	             [-max-latency-growth 3.0] [-latency-floor 2s]
+//	raibench version
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"rai/internal/auth"
+	"rai/internal/bench"
+	"rai/internal/clock"
+	"rai/internal/docstore"
+	"rai/internal/telemetry"
+)
+
+// version is stamped by the CI pipeline; kept in lockstep with cmd/rai.
+const version = "0.2.0-dev"
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		fmt.Fprintln(stderr, "usage: raibench run|compare|version [flags]")
+		return 2
+	}
+	switch args[0] {
+	case "run":
+		return runBench(args[1:], stdout, stderr)
+	case "compare":
+		return compareBench(args[1:], stdout, stderr)
+	case "version", "-version", "--version":
+		fmt.Fprintln(stdout, telemetry.NewStamp("raibench", version))
+		return 0
+	default:
+		fmt.Fprintf(stderr, "raibench: unknown command %q\n", args[0])
+		return 2
+	}
+}
+
+func runBench(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("raibench run", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	students := fs.Int("students", 8, "concurrent simulated students")
+	duration := fs.Duration("duration", 10*time.Second, "load duration")
+	workers := fs.Int("workers", 2, "raiworker daemons")
+	concurrency := fs.Int("concurrency", 2, "jobs per worker at once")
+	out := fs.String("out", "BENCH.json", "report output path")
+	binDir := fs.String("bin", "", "directory with prebuilt daemon binaries (empty = go build into the scratch dir)")
+	keep := fs.String("keep", "", "use this scratch directory and keep it (empty = temp dir, removed on success)")
+	seed := fs.Uint64("seed", 408, "course model/dataset seed")
+	fullImages := fs.Int("full-images", 12, "images in the workers' testfull.hdf5 (small = fast real-clock jobs)")
+	scrapeInterval := fs.Duration("scrape-interval", time.Second, "/metrics sampling interval")
+	thinkMin := fs.Duration("think-min", 10*time.Millisecond, "minimum think time between a student's submissions")
+	thinkMax := fs.Duration("think-max", 250*time.Millisecond, "maximum think time")
+	phaseTimeout := fs.Duration("phase-timeout", 30*time.Second, "wait for the collector to persist straggler traces")
+	rateLimit := fs.Duration("rate-limit", time.Millisecond, "worker per-user submission spacing")
+	pprofCapture := fs.String("pprof-capture", "", "daemon instance to CPU/heap-profile mid-load (e.g. raibroker, raiworker-1)")
+	pprofSeconds := fs.Int("pprof-seconds", 2, "CPU profile length for -pprof-capture")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	clk := clock.Real{}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	dir := *keep
+	removeDir := false
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "raibench-*")
+		if err != nil {
+			fmt.Fprintf(stderr, "raibench: %v\n", err)
+			return 1
+		}
+		dir = tmp
+		removeDir = true
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintf(stderr, "raibench: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "scratch directory: %s\n", dir)
+
+	bins := map[string]string{}
+	if *binDir != "" {
+		for _, name := range []string{"raibroker", "raifs", "raidb", "raiworker", "raiadmin"} {
+			bins[name] = filepath.Join(*binDir, name)
+		}
+	} else {
+		moduleRoot, err := bench.FindModuleRoot(".")
+		if err != nil {
+			fmt.Fprintf(stderr, "raibench: %v (pass -bin to use prebuilt binaries)\n", err)
+			return 1
+		}
+		built, err := bench.BuildBinaries(ctx, moduleRoot, dir, stdout)
+		if err != nil {
+			fmt.Fprintf(stderr, "raibench: %v\n", err)
+			return 1
+		}
+		bins = built
+	}
+
+	creds := make([]auth.Credentials, *students)
+	for i := range creds {
+		creds[i] = auth.NewCredentials(fmt.Sprintf("student-%03d", i+1))
+	}
+
+	cfg := bench.ClusterConfig{
+		Bin:               bins,
+		Dir:               dir,
+		Workers:           *workers,
+		WorkerConcurrency: *concurrency,
+		Seed:              *seed,
+		FullImages:        *fullImages,
+		RateLimit:         *rateLimit,
+		Pprof:             *pprofCapture != "",
+	}
+	fmt.Fprintf(stdout, "booting cluster: broker, fs, db, collector, %d worker(s)\n", *workers)
+	cluster, err := bench.StartCluster(ctx, clk, cfg, creds)
+	if err != nil {
+		fmt.Fprintf(stderr, "raibench: %v\n", err)
+		return 1
+	}
+	defer cluster.Stop()
+	fmt.Fprintf(stdout, "cluster up: broker %s, fs %s, db %s\n", cluster.BrokerAddr, cluster.FSURL, cluster.DBURL)
+
+	scraper := bench.StartScraper(ctx, clk, cluster.MetricsURLs, *scrapeInterval)
+	if *pprofCapture != "" {
+		go captureProfiles(ctx, clk, cluster, *pprofCapture, *pprofSeconds, *duration, dir, stdout)
+	}
+
+	loadCfg := bench.LoadConfig{
+		Students:      *students,
+		Duration:      *duration,
+		Seed:          *seed,
+		ThinkMin:      *thinkMin,
+		ThinkMax:      *thinkMax,
+		DownloadBuild: true,
+	}
+	plans := bench.BuildPlans(loadCfg, creds)
+	fmt.Fprintf(stdout, "driving %d students for %s\n", *students, *duration)
+	result, err := bench.RunLoad(ctx, clk, cluster, loadCfg, plans, stdout)
+	daemons := scraper.StopScraper()
+	if err != nil {
+		fmt.Fprintf(stderr, "raibench: %v\n", err)
+		return 1
+	}
+
+	fmt.Fprintf(stdout, "attributing phases for %d jobs\n", len(result.JobIDs))
+	att := bench.AttributePhases(ctx, clk, docstore.NewClient(cluster.DBURL), result.JobIDs, *phaseTimeout)
+
+	completed := result.Counts.Succeeded + result.Counts.Failed + result.Counts.Errors
+	report := &bench.Report{
+		Schema: bench.Schema,
+		Stamp:  telemetry.NewStamp("raibench", version),
+		Config: bench.RunConfig{
+			Students:          *students,
+			Workers:           *workers,
+			WorkerConcurrency: *concurrency,
+			DurationS:         duration.Seconds(),
+			Seed:              *seed,
+			FullImages:        *fullImages,
+			ThinkMinS:         thinkMin.Seconds(),
+			ThinkMaxS:         thinkMax.Seconds(),
+			ScrapeIntervalS:   scrapeInterval.Seconds(),
+		},
+		Jobs:          result.Counts,
+		Throughput:    float64(completed) / result.Elapsed.Seconds(),
+		Latency:       bench.PercentilesOf(result.Latency),
+		Phases:        att.PhasePercentiles(),
+		PhaseCoverage: att.Coverage,
+		TracedJobs:    att.Traced,
+		MissingTraces: att.Missing,
+		Daemons:       daemons,
+	}
+	if err := report.WriteFile(*out); err != nil {
+		fmt.Fprintf(stderr, "raibench: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "\n%s\nreport written to %s\n", report.Format(), *out)
+	cluster.Stop()
+	if removeDir {
+		os.RemoveAll(dir)
+	}
+	if completed == 0 {
+		fmt.Fprintln(stderr, "raibench: no jobs completed — the run measured nothing")
+		return 1
+	}
+	return 0
+}
+
+// captureProfiles waits until the load is about halfway through, then
+// pulls a CPU profile and a heap snapshot from the chosen daemon's
+// pprof endpoint.
+func captureProfiles(ctx context.Context, clk clock.Clock, cluster *bench.Cluster, instance string, seconds int, loadFor time.Duration, dir string, stdout io.Writer) {
+	metricsURL, ok := cluster.MetricsURLs[instance]
+	if !ok {
+		fmt.Fprintf(stdout, "pprof: no metrics endpoint for %q\n", instance)
+		return
+	}
+	base := metricsURL[:len(metricsURL)-len("/metrics")]
+	select {
+	case <-ctx.Done():
+		return
+	case <-clk.After(loadFor / 2):
+	}
+	for _, p := range []struct{ kind, url string }{
+		{"cpu", fmt.Sprintf("%s/debug/pprof/profile?seconds=%d", base, seconds)},
+		{"heap", base + "/debug/pprof/heap"},
+	} {
+		out := filepath.Join(dir, fmt.Sprintf("%s-%s.pprof", instance, p.kind))
+		if err := fetchToFile(ctx, p.url, out); err != nil {
+			fmt.Fprintf(stdout, "pprof: %s capture failed: %v\n", p.kind, err)
+			continue
+		}
+		fmt.Fprintf(stdout, "pprof: %s profile of %s written to %s\n", p.kind, instance, out)
+	}
+}
+
+func fetchToFile(ctx context.Context, url, path string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %s", resp.Status)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(f, resp.Body); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func compareBench(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("raibench compare", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	def := bench.DefaultThresholds()
+	maxDrop := fs.Float64("max-throughput-drop", def.MaxThroughputDrop, "allowed fractional throughput loss")
+	maxGrowth := fs.Float64("max-latency-growth", def.MaxLatencyGrowth, "allowed fractional latency growth")
+	floor := fs.Duration("latency-floor", time.Duration(def.LatencyFloorS*float64(time.Second)), "absolute slack added to every latency limit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(stderr, "usage: raibench compare [flags] OLD.json NEW.json")
+		return 2
+	}
+	oldR, err := bench.LoadReport(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "raibench compare: %v\n", err)
+		return 1
+	}
+	newR, err := bench.LoadReport(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintf(stderr, "raibench compare: %v\n", err)
+		return 1
+	}
+	th := bench.Thresholds{MaxThroughputDrop: *maxDrop, MaxLatencyGrowth: *maxGrowth, LatencyFloorS: floor.Seconds()}
+	breaches, err := bench.Compare(oldR, newR, th)
+	if err != nil {
+		fmt.Fprintf(stderr, "raibench compare: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "baseline: %s (%d jobs, %.2f jobs/s)\n", fs.Arg(0), oldR.Jobs.Submitted, oldR.Throughput)
+	fmt.Fprintf(stdout, "current:  %s (%d jobs, %.2f jobs/s)\n", fs.Arg(1), newR.Jobs.Submitted, newR.Throughput)
+	if len(breaches) == 0 {
+		fmt.Fprintln(stdout, "PASS: no regressions beyond thresholds")
+		return 0
+	}
+	for _, b := range breaches {
+		fmt.Fprintln(stdout, b)
+	}
+	return 1
+}

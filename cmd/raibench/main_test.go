@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rai/internal/bench"
+	"rai/internal/telemetry"
+)
+
+func writeReport(t *testing.T, dir, name string, mutate func(*bench.Report)) string {
+	t.Helper()
+	r := &bench.Report{
+		Schema:     bench.Schema,
+		Stamp:      telemetry.NewStamp("raibench", "test"),
+		Throughput: 12,
+		Jobs:       bench.JobCounts{Submitted: 80, Succeeded: 80},
+		Latency:    bench.Percentiles{P50: 0.05, P99: 0.14, P999: 0.15, Count: 80},
+		Phases: map[string]bench.Percentiles{
+			"upload": {P99: 0.01},
+			"run":    {P99: 0.1},
+			"total":  {P99: 0.14},
+		},
+	}
+	if mutate != nil {
+		mutate(r)
+	}
+	path := filepath.Join(dir, name)
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCompareCLIPassAndFail is the acceptance check for the compare
+// mode: identical runs pass with exit 0; an injected regression exits
+// nonzero and names the regressed metrics.
+func TestCompareCLIPassAndFail(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "old.json", nil)
+	same := writeReport(t, dir, "same.json", nil)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"compare", base, same}, &out, &errOut); code != 0 {
+		t.Fatalf("identical compare exited %d: %s%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "PASS") {
+		t.Fatalf("no PASS line:\n%s", out.String())
+	}
+
+	// Injected regression: throughput collapses, tail latency explodes.
+	regressed := writeReport(t, dir, "regressed.json", func(r *bench.Report) {
+		r.Throughput = 1
+		r.Latency.P99 = 30
+		r.Phases["run"] = bench.Percentiles{P99: 25}
+	})
+	out.Reset()
+	errOut.Reset()
+	code := run([]string{"compare", base, regressed}, &out, &errOut)
+	if code == 0 {
+		t.Fatalf("regressed compare exited 0:\n%s", out.String())
+	}
+	for _, metric := range []string{"throughput_jobs_per_s", "latency.p99", "phase.run.p99"} {
+		if !strings.Contains(out.String(), metric) {
+			t.Errorf("breach output missing %s:\n%s", metric, out.String())
+		}
+	}
+}
+
+func TestCompareCLIBadArgs(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"compare", "only-one.json"}, &out, &errOut); code != 2 {
+		t.Fatalf("one-arg compare exited %d", code)
+	}
+	if code := run([]string{"compare", "/nonexistent/a.json", "/nonexistent/b.json"}, &out, &errOut); code != 1 {
+		t.Fatalf("missing-file compare exited %d", code)
+	}
+}
+
+func TestVersionSubcommand(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"version"}, &out, &errOut); code != 0 {
+		t.Fatalf("version exited %d", code)
+	}
+	if !strings.Contains(out.String(), "raibench") {
+		t.Fatalf("version output %q", out.String())
+	}
+}
+
+func TestUnknownCommand(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"bogus"}, &out, &errOut); code != 2 {
+		t.Fatalf("unknown command exited %d", code)
+	}
+}

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	raibroker [-addr host:port] [-metrics-addr host:port] [-pprof]
+//	          [-ready-file path] [-version]
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"rai/internal/broker"
 	"rai/internal/brokerd"
 	"rai/internal/core"
+	"rai/internal/readyfile"
 	"rai/internal/telemetry"
 )
 
@@ -37,10 +39,17 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, quit <-ch
 	fs := flag.NewFlagSet("raibroker", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	addr := fs.String("addr", "127.0.0.1:7400", "listen address")
+	fs.StringVar(addr, "listen", *addr, "alias for -addr (\":0\" picks a free port, reported on stdout and the ready file)")
 	metricsAddr := fs.String("metrics-addr", "", "serve GET /metrics on this address (empty = disabled)")
 	pprofOn := fs.Bool("pprof", false, "mount /debug/pprof on the metrics address")
+	readyPath := fs.String("ready-file", "", "write a JSON readiness document (pid, bound addresses) here once serving")
+	showVersion := fs.Bool("version", false, "print build information and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *showVersion {
+		fmt.Fprintln(stdout, telemetry.NewStamp("raibroker", version))
+		return 0
 	}
 	var bopts []broker.Option
 	var sopts []brokerd.ServerOption
@@ -63,8 +72,10 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, quit <-ch
 		return 1
 	}
 	var exp *telemetry.Exporter
+	var metricsBound string
 	if reg != nil {
 		telemetry.RegisterBuildInfo(reg, "raibroker", version, nil)
+		telemetry.RegisterProcessMetrics(reg)
 		var mounts []func(*http.ServeMux)
 		if *pprofOn {
 			mounts = append(mounts, telemetry.MountPprof)
@@ -77,6 +88,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, quit <-ch
 			return 1
 		}
 		defer closeMetrics()
+		metricsBound = maddr
 		fmt.Fprintf(stdout, "raibroker metrics on http://%s/metrics\n", maddr)
 		// The broker ships its own telemetry into its own engine — the
 		// collector subscribes over TCP like any other consumer.
@@ -90,6 +102,13 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, quit <-ch
 	defer srv.Close()
 	defer b.Close()
 	fmt.Fprintf(stdout, "raibroker listening on %s\n", srv.Addr())
+	if *readyPath != "" {
+		info := readyfile.Info{Service: "raibroker", PID: os.Getpid(), Addr: srv.Addr(), MetricsAddr: metricsBound}
+		if err := readyfile.Write(*readyPath, info); err != nil {
+			fmt.Fprintf(stderr, "raibroker: %v\n", err)
+			return 1
+		}
+	}
 	if ready != nil {
 		ready <- srv.Addr()
 	}

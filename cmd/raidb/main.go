@@ -5,6 +5,7 @@
 // Usage:
 //
 //	raidb [-addr host:port] [-journal file] [-metrics-addr host:port] [-pprof] [-broker host:port]
+//	      [-ready-file path] [-version]
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 
 	"rai/internal/core"
 	"rai/internal/docstore"
+	"rai/internal/readyfile"
 	"rai/internal/telemetry"
 )
 
@@ -40,14 +42,23 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, quit <-ch
 	pprofOn := fs.Bool("pprof", false, "mount /debug/pprof on the metrics address")
 	brokerAddr := fs.String("broker", "", "broker address for shipping spans/events to the collector (empty = off)")
 	drain := fs.Duration("drain", 10*time.Second, "in-flight request drain budget at shutdown")
+	readyPath := fs.String("ready-file", "", "write a JSON readiness document (pid, bound addresses) here once serving")
+	showVersion := fs.Bool("version", false, "print build information and exit")
+	fs.StringVar(addr, "listen", *addr, "alias for -addr (\":0\" picks a free port, reported on stdout and the ready file)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	if *showVersion {
+		fmt.Fprintln(stdout, telemetry.NewStamp("raidb", version))
+		return 0
+	}
 	var handlerOpts []docstore.HandlerOption
 	var reg *telemetry.Registry
+	var metricsBound string
 	if *metricsAddr != "" {
 		reg = telemetry.NewRegistry()
 		telemetry.RegisterBuildInfo(reg, "raidb", version, nil)
+		telemetry.RegisterProcessMetrics(reg)
 		handlerOpts = append(handlerOpts, docstore.WithTelemetry(reg))
 		var mounts []func(*http.ServeMux)
 		if *pprofOn {
@@ -59,6 +70,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, quit <-ch
 			return 1
 		}
 		defer closeMetrics()
+		metricsBound = maddr
 		fmt.Fprintf(stdout, "raidb metrics on http://%s/metrics\n", maddr)
 	}
 	// With a broker configured, finished spans (including the child spans
@@ -101,6 +113,13 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, quit <-ch
 	srv := &http.Server{Handler: handler}
 	go srv.Serve(ln)
 	fmt.Fprintf(stdout, "raidb listening on %s\n", ln.Addr())
+	if *readyPath != "" {
+		info := readyfile.Info{Service: "raidb", PID: os.Getpid(), Addr: ln.Addr().String(), MetricsAddr: metricsBound}
+		if err := readyfile.Write(*readyPath, info); err != nil {
+			fmt.Fprintf(stderr, "raidb: %v\n", err)
+			return 1
+		}
+	}
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	raifs [-addr host:port] [-capacity bytes] [-ttl duration] [-keys keys.json] [-dir objects/]
-//	      [-metrics-addr host:port] [-pprof] [-broker host:port]
+//	      [-metrics-addr host:port] [-pprof] [-broker host:port] [-ready-file path] [-version]
 package main
 
 import (
@@ -26,6 +26,7 @@ import (
 	"rai/internal/auth"
 	"rai/internal/core"
 	"rai/internal/objstore"
+	"rai/internal/readyfile"
 	"rai/internal/telemetry"
 )
 
@@ -48,8 +49,15 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, quit <-ch
 	pprofOn := fs.Bool("pprof", false, "mount /debug/pprof on the metrics address")
 	brokerAddr := fs.String("broker", "", "broker address for shipping spans/events to the collector (empty = off)")
 	drain := fs.Duration("drain", 10*time.Second, "in-flight request drain budget at shutdown")
+	readyPath := fs.String("ready-file", "", "write a JSON readiness document (pid, bound addresses) here once serving")
+	showVersion := fs.Bool("version", false, "print build information and exit")
+	fs.StringVar(addr, "listen", *addr, "alias for -addr (\":0\" picks a free port, reported on stdout and the ready file)")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *showVersion {
+		fmt.Fprintln(stdout, telemetry.NewStamp("raifs", version))
+		return 0
 	}
 	var store *objstore.Store
 	if *dataDir != "" {
@@ -74,9 +82,11 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, quit <-ch
 	}
 	var handlerOpts []objstore.HandlerOption
 	var reg *telemetry.Registry
+	var metricsBound string
 	if *metricsAddr != "" {
 		reg = telemetry.NewRegistry()
 		telemetry.RegisterBuildInfo(reg, "raifs", version, nil)
+		telemetry.RegisterProcessMetrics(reg)
 		handlerOpts = append(handlerOpts, objstore.WithTelemetry(reg))
 		var mounts []func(*http.ServeMux)
 		if *pprofOn {
@@ -88,6 +98,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, quit <-ch
 			return 1
 		}
 		defer closeMetrics()
+		metricsBound = maddr
 		fmt.Fprintf(stdout, "raifs metrics on http://%s/metrics\n", maddr)
 	}
 	// With a broker configured, finished spans (including the child spans
@@ -117,6 +128,13 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, quit <-ch
 	srv := &http.Server{Handler: objstore.Handler(store, authFn, handlerOpts...)}
 	go srv.Serve(ln)
 	fmt.Fprintf(stdout, "raifs listening on %s\n", ln.Addr())
+	if *readyPath != "" {
+		info := readyfile.Info{Service: "raifs", PID: os.Getpid(), Addr: ln.Addr().String(), MetricsAddr: metricsBound}
+		if err := readyfile.Write(*readyPath, info); err != nil {
+			fmt.Fprintf(stderr, "raifs: %v\n", err)
+			return 1
+		}
+	}
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}

@@ -11,6 +11,7 @@
 //	          [-lifetime 1h] [-rate-limit 30s] [-seed 408] [-full-images 100]
 //	          [-metrics-addr host:port] [-pprof] [-telemetry=false]
 //	          [-dial-timeout 10s] [-rpc-attempts 4] [-rpc-timeout 0]
+//	          [-ready-file path] [-version]
 package main
 
 import (
@@ -32,6 +33,7 @@ import (
 	"rai/internal/docstore"
 	"rai/internal/netx"
 	"rai/internal/objstore"
+	"rai/internal/readyfile"
 	"rai/internal/registry"
 	"rai/internal/telemetry"
 	"rai/internal/vfs"
@@ -66,8 +68,14 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- struct{}, quit <-
 	dialTimeout := fs.Duration("dial-timeout", brokerd.DefaultDialTimeout, "broker dial timeout per attempt")
 	rpcAttempts := fs.Int("rpc-attempts", netx.DefaultMaxAttempts, "attempts per RPC before giving up")
 	rpcTimeout := fs.Duration("rpc-timeout", 0, "per-attempt RPC deadline (0 = each service's default)")
+	readyPath := fs.String("ready-file", "", "write a JSON readiness document (pid, metrics address) here once accepting jobs")
+	showVersion := fs.Bool("version", false, "print build information and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *showVersion {
+		fmt.Fprintln(stdout, telemetry.NewStamp("raiworker", version))
+		return 0
 	}
 	if *keysPath == "" {
 		fmt.Fprintln(stderr, "raiworker: -keys is required (run raiadmin keygen first)")
@@ -141,9 +149,11 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- struct{}, quit <-
 		w.Log = telemetry.NewLogger("raiworker", telemetry.WithLogWriter(stderr))
 	}
 	w.Tracer = telemetry.NewTracer(4096, tracerOpts...)
+	var metricsBound string
 	if telReg != nil {
 		w.Telemetry = telReg
 		telemetry.RegisterBuildInfo(telReg, "raiworker", version, nil)
+		telemetry.RegisterProcessMetrics(telReg)
 		var mounts []func(*http.ServeMux)
 		if *pprofOn {
 			mounts = append(mounts, telemetry.MountPprof)
@@ -154,6 +164,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- struct{}, quit <-
 			return 1
 		}
 		defer closeMetrics()
+		metricsBound = maddr
 		fmt.Fprintf(stdout, "raiworker metrics on http://%s/metrics\n", maddr)
 	}
 	fmt.Fprintf(stdout, "raiworker %s accepting jobs (concurrency %d)\n", *id, *concurrency)
@@ -166,6 +177,15 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- struct{}, quit <-
 	defer cancel()
 	done := make(chan error, 1)
 	go func() { done <- w.RunContext(runCtx) }()
+	if *readyPath != "" {
+		info := readyfile.Info{Service: "raiworker", PID: os.Getpid(), MetricsAddr: metricsBound}
+		if err := readyfile.Write(*readyPath, info); err != nil {
+			fmt.Fprintf(stderr, "raiworker: %v\n", err)
+			cancel()
+			<-done
+			return 1
+		}
+	}
 	if ready != nil {
 		close(ready)
 	}

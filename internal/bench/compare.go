@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Thresholds bound how much a new run may regress against a baseline
+// before `raibench compare` fails. Latency limits are multiplicative
+// with an absolute floor: a metric breaches when
+//
+//	new > old*(1+MaxLatencyGrowth) + LatencyFloorS
+//
+// The floor keeps microsecond-scale baselines from failing on
+// scheduling noise; the ratio keeps second-scale baselines honest.
+type Thresholds struct {
+	// MaxThroughputDrop is the allowed fractional throughput loss
+	// (0.5 = new may be half the baseline).
+	MaxThroughputDrop float64 `json:"max_throughput_drop"`
+	// MaxLatencyGrowth is the allowed fractional latency growth
+	// (1.0 = new may be twice the baseline).
+	MaxLatencyGrowth float64 `json:"max_latency_growth"`
+	// LatencyFloorS is absolute slack added to every latency limit.
+	LatencyFloorS float64 `json:"latency_floor_s"`
+}
+
+// DefaultThresholds are deliberately generous: the CI smoke run shares
+// a machine with the race-enabled test suite, so only order-of-
+// magnitude regressions should fail the build.
+func DefaultThresholds() Thresholds {
+	return Thresholds{MaxThroughputDrop: 0.6, MaxLatencyGrowth: 3.0, LatencyFloorS: 2.0}
+}
+
+// Breach is one threshold violation.
+type Breach struct {
+	Metric string  `json:"metric"`
+	Old    float64 `json:"old"`
+	New    float64 `json:"new"`
+	Limit  float64 `json:"limit"`
+}
+
+func (b Breach) String() string {
+	if strings.HasPrefix(b.Metric, "throughput") {
+		return fmt.Sprintf("REGRESSION %-28s %.3f -> %.3f jobs/s (limit %.3f)", b.Metric, b.Old, b.New, b.Limit)
+	}
+	return fmt.Sprintf("REGRESSION %-28s %s -> %s (limit %s)", b.Metric, fmtSec(b.Old), fmtSec(b.New), fmtSec(b.Limit))
+}
+
+// Compare diffs a new run against a baseline and returns every
+// threshold breach (empty = pass). It checks throughput, the
+// end-to-end p50/p99/p999, and each phase's p99. Phases present in only
+// one report are skipped — a new phase is information, not a
+// regression.
+func Compare(old, new *Report, th Thresholds) ([]Breach, error) {
+	if old.Schema != new.Schema {
+		return nil, fmt.Errorf("bench: comparing schema %d against %d", old.Schema, new.Schema)
+	}
+	var breaches []Breach
+	if old.Throughput > 0 {
+		limit := old.Throughput * (1 - th.MaxThroughputDrop)
+		if new.Throughput < limit {
+			breaches = append(breaches, Breach{Metric: "throughput_jobs_per_s", Old: old.Throughput, New: new.Throughput, Limit: limit})
+		}
+	}
+	latency := func(metric string, oldV, newV float64) {
+		if oldV <= 0 {
+			return
+		}
+		limit := oldV*(1+th.MaxLatencyGrowth) + th.LatencyFloorS
+		if newV > limit {
+			breaches = append(breaches, Breach{Metric: metric, Old: oldV, New: newV, Limit: limit})
+		}
+	}
+	latency("latency.p50", old.Latency.P50, new.Latency.P50)
+	latency("latency.p99", old.Latency.P99, new.Latency.P99)
+	latency("latency.p999", old.Latency.P999, new.Latency.P999)
+	for _, name := range old.SortedPhaseNames() {
+		oldP, ok1 := old.Phases[name]
+		newP, ok2 := new.Phases[name]
+		if !ok1 || !ok2 {
+			continue
+		}
+		latency("phase."+name+".p99", oldP.P99, newP.P99)
+	}
+	return breaches, nil
+}

@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"path/filepath"
+	"testing"
+
+	"rai/internal/telemetry"
+)
+
+// baseReport is a plausible baseline for threshold tests.
+func baseReport() *Report {
+	return &Report{
+		Schema:     Schema,
+		Throughput: 10,
+		Latency:    Percentiles{P50: 0.05, P99: 0.15, P999: 0.2, Count: 100},
+		Phases: map[string]Percentiles{
+			"upload": {P99: 0.01},
+			"run":    {P99: 0.1},
+			"total":  {P99: 0.15},
+		},
+	}
+}
+
+func TestCompareNoRegression(t *testing.T) {
+	old, cur := baseReport(), baseReport()
+	breaches, err := Compare(old, cur, Thresholds{MaxThroughputDrop: 0.5, MaxLatencyGrowth: 1.0, LatencyFloorS: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(breaches) != 0 {
+		t.Fatalf("identical reports breached: %v", breaches)
+	}
+}
+
+func TestCompareInjectedRegression(t *testing.T) {
+	old, cur := baseReport(), baseReport()
+	cur.Throughput = 2                 // 80% drop vs 50% allowed
+	cur.Latency.P99 = 1.0              // ~6.7x vs 2x allowed
+	cur.Phases["run"] = Percentiles{P99: 5} // 50x
+	breaches, err := Compare(old, cur, Thresholds{MaxThroughputDrop: 0.5, MaxLatencyGrowth: 1.0, LatencyFloorS: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, b := range breaches {
+		got[b.Metric] = true
+	}
+	for _, want := range []string{"throughput_jobs_per_s", "latency.p99", "phase.run.p99"} {
+		if !got[want] {
+			t.Errorf("expected breach on %s, got %v", want, breaches)
+		}
+	}
+	if got["latency.p50"] {
+		t.Errorf("p50 did not regress but breached: %v", breaches)
+	}
+}
+
+// TestCompareLatencyFloor: microsecond-scale baselines must not fail on
+// absolute noise that is far below the floor, even at huge ratios.
+func TestCompareLatencyFloor(t *testing.T) {
+	old, cur := baseReport(), baseReport()
+	old.Latency.P99, cur.Latency.P99 = 0.0001, 0.05 // 500x growth but +49.9ms absolute
+	breaches, err := Compare(old, cur, Thresholds{MaxLatencyGrowth: 1.0, LatencyFloorS: 2.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range breaches {
+		if b.Metric == "latency.p99" {
+			t.Fatalf("floor did not absorb noise: %v", b)
+		}
+	}
+}
+
+func TestCompareSchemaMismatch(t *testing.T) {
+	old, cur := baseReport(), baseReport()
+	cur.Schema = Schema + 1
+	if _, err := Compare(old, cur, DefaultThresholds()); err == nil {
+		t.Fatal("schema mismatch not rejected")
+	}
+}
+
+// TestComparePhaseOnlyInOne: a phase present in only one report is
+// information, not a regression.
+func TestComparePhaseOnlyInOne(t *testing.T) {
+	old, cur := baseReport(), baseReport()
+	cur.Phases["queue"] = Percentiles{P99: 100}
+	delete(cur.Phases, "upload")
+	breaches, err := Compare(old, cur, Thresholds{MaxLatencyGrowth: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(breaches) != 0 {
+		t.Fatalf("asymmetric phases breached: %v", breaches)
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_test.json")
+	r := baseReport()
+	r.Stamp = telemetry.NewStamp("raibench", "test")
+	r.Jobs = JobCounts{Submitted: 100, Succeeded: 95, Failed: 5}
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Throughput != r.Throughput || got.Jobs != r.Jobs || got.Latency != r.Latency {
+		t.Fatalf("round trip mangled report: %+v vs %+v", got, r)
+	}
+	if got.Phases["run"].P99 != r.Phases["run"].P99 {
+		t.Fatalf("phases lost in round trip")
+	}
+	// A future-schema file is refused, not misread.
+	r.Schema = Schema + 10
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadReport(path); err == nil {
+		t.Fatal("wrong-schema report loaded")
+	}
+}
+
+func TestPercentilesOf(t *testing.T) {
+	h := telemetry.NewHDRHistogram()
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i) * 0.001) // 1ms .. 1s uniform
+	}
+	p := PercentilesOf(h.Snapshot())
+	if p.Count != 1000 {
+		t.Fatalf("count = %d", p.Count)
+	}
+	// ~3.1% structural relative error.
+	checks := []struct{ got, want float64 }{
+		{p.P50, 0.5}, {p.P90, 0.9}, {p.P99, 0.99}, {p.P999, 0.999}, {p.Max, 1.0},
+	}
+	for _, c := range checks {
+		if c.got < c.want*0.95 || c.got > c.want*1.05 {
+			t.Errorf("percentile %v outside 5%% of %v", c.got, c.want)
+		}
+	}
+	if zero := PercentilesOf(nil); zero != (Percentiles{}) {
+		t.Fatalf("nil snapshot gave %+v", zero)
+	}
+}
+
+func TestSortedPhaseNames(t *testing.T) {
+	r := baseReport()
+	r.Phases["zz_custom"] = Percentiles{}
+	names := r.SortedPhaseNames()
+	want := []string{"upload", "run", "total", "zz_custom"}
+	if len(names) != len(want) {
+		t.Fatalf("names = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("names = %v, want %v", names, want)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"rai/internal/auth"
+)
+
+// TestBuildPlans checks the course-model derivation: every student
+// gets a non-empty script, thinks clamp into the configured window,
+// and specs are re-stamped with the student's own identity so worker
+// rate limiting sees distinct users.
+func TestBuildPlans(t *testing.T) {
+	cfg := LoadConfig{
+		Students: 4,
+		Seed:     408,
+		ThinkMin: 10 * time.Millisecond,
+		ThinkMax: 250 * time.Millisecond,
+	}
+	creds := make([]auth.Credentials, cfg.Students)
+	for i := range creds {
+		creds[i] = auth.NewCredentials("s" + string(rune('a'+i)))
+	}
+	plans := BuildPlans(cfg, creds)
+	if len(plans) != cfg.Students {
+		t.Fatalf("plans = %d, want %d", len(plans), cfg.Students)
+	}
+	for i, p := range plans {
+		if len(p.specs) == 0 || len(p.thinks) != len(p.specs) {
+			t.Fatalf("student %d: %d specs, %d thinks", i, len(p.specs), len(p.thinks))
+		}
+		if p.creds != creds[i] {
+			t.Fatalf("student %d has wrong creds", i)
+		}
+		var minSeen, maxSeen = p.thinks[0], p.thinks[0]
+		for _, th := range p.thinks {
+			if th < cfg.ThinkMin || th > cfg.ThinkMax {
+				t.Fatalf("student %d think %v outside [%v, %v]", i, th, cfg.ThinkMin, cfg.ThinkMax)
+			}
+			if th < minSeen {
+				minSeen = th
+			}
+			if th > maxSeen {
+				maxSeen = th
+			}
+		}
+		if minSeen == maxSeen && len(p.thinks) > 10 {
+			t.Errorf("student %d: all %d thinks identical (%v) — course gaps not used", i, len(p.thinks), minSeen)
+		}
+		for _, s := range p.specs {
+			if s.Team != creds[i].UserName {
+				t.Fatalf("student %d spec carries team %q, want %q", i, s.Team, creds[i].UserName)
+			}
+		}
+	}
+	// Deterministic: same seed, same plans.
+	again := BuildPlans(cfg, creds)
+	for i := range plans {
+		if len(again[i].specs) != len(plans[i].specs) {
+			t.Fatalf("plans not deterministic for student %d", i)
+		}
+		for j := range plans[i].thinks {
+			if again[i].thinks[j] != plans[i].thinks[j] {
+				t.Fatalf("think %d/%d differs across generations", i, j)
+			}
+		}
+	}
+}

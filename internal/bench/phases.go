@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"context"
+	"time"
+
+	"rai/internal/clock"
+	"rai/internal/collector"
+	"rai/internal/docstore"
+	"rai/internal/telemetry"
+)
+
+// PhaseAttribution is the per-phase latency decomposition pulled from
+// the collector's span store after the load finishes.
+type PhaseAttribution struct {
+	// Hists holds one HDR histogram per phase name ("upload", "enqueue",
+	// "queue", "download", "build", "run", "total").
+	Hists map[string]*telemetry.HDRHistogram
+	// Traced/Missing count jobs whose span tree was (not) found and
+	// complete by the deadline.
+	Traced  int
+	Missing int
+	// Coverage is mean(sum of phases / total) over traced jobs: how much
+	// of the trace-side end-to-end time the phases explain.
+	Coverage float64
+}
+
+// phaseKey maps the collector's phase names onto report keys.
+func phaseKey(name string) string {
+	if name == "queue delay" {
+		return "queue"
+	}
+	return name
+}
+
+// AttributePhases resolves each job's span tree from the collector's
+// store and folds its phase durations into per-phase histograms. The
+// collector persists asynchronously, so jobs whose traces are missing
+// or incomplete are retried until timeout; leftovers count as Missing.
+func AttributePhases(ctx context.Context, clk clock.Clock, db docstore.Store, jobIDs []string, timeout time.Duration) *PhaseAttribution {
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	att := &PhaseAttribution{Hists: map[string]*telemetry.HDRHistogram{}}
+	pending := append([]string(nil), jobIDs...)
+	deadline := clk.Now().Add(timeout)
+	var coverageSum float64
+	for len(pending) > 0 {
+		var retry []string
+		for _, jobID := range pending {
+			spans, err := collector.TraceByJob(db, jobID)
+			if err != nil {
+				retry = append(retry, jobID)
+				continue
+			}
+			phases := collector.Phases(spans)
+			total, phaseSum := foldPhases(att.Hists, phases)
+			if total <= 0 {
+				// Root span not persisted yet; the trace is still in flight.
+				retry = append(retry, jobID)
+				continue
+			}
+			att.Traced++
+			coverageSum += phaseSum / total
+		}
+		pending = retry
+		if len(pending) == 0 || !clk.Now().Before(deadline) || ctx.Err() != nil {
+			break
+		}
+		select {
+		case <-ctx.Done():
+		case <-clk.After(100 * time.Millisecond):
+		}
+	}
+	att.Missing = len(pending)
+	if att.Traced > 0 {
+		att.Coverage = coverageSum / float64(att.Traced)
+	}
+	return att
+}
+
+// foldPhases records one job's phases, returning the total seconds and
+// the sum of the non-total phase seconds. Nothing is recorded when the
+// trace lacks a total (the job root span), so a retried job is not
+// double counted.
+func foldPhases(hists map[string]*telemetry.HDRHistogram, phases []collector.Phase) (total, phaseSum float64) {
+	for _, p := range phases {
+		if p.Name == "total" {
+			total = p.Duration.Seconds()
+		}
+	}
+	if total <= 0 {
+		return 0, 0
+	}
+	for _, p := range phases {
+		key := phaseKey(p.Name)
+		h := hists[key]
+		if h == nil {
+			h = telemetry.NewHDRHistogram()
+			hists[key] = h
+		}
+		h.Observe(p.Duration.Seconds())
+		if key != "total" {
+			phaseSum += p.Duration.Seconds()
+		}
+	}
+	return total, phaseSum
+}
+
+// PhasePercentiles condenses the attribution for the report.
+func (a *PhaseAttribution) PhasePercentiles() map[string]Percentiles {
+	out := map[string]Percentiles{}
+	for name, h := range a.Hists {
+		out[name] = PercentilesOf(h.Snapshot())
+	}
+	return out
+}

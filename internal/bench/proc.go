@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"rai/internal/clock"
+	"rai/internal/readyfile"
+)
+
+// Proc is one managed daemon subprocess. Its stdout/stderr stream to a
+// per-daemon log file in the run directory so a failed run leaves a
+// post-mortem trail.
+type Proc struct {
+	Name    string
+	LogPath string
+	cmd     *exec.Cmd
+	logFile *os.File
+	done    chan struct{}
+	waitErr error
+}
+
+// startProc launches bin with args, logging to <logDir>/<name>.log.
+// The child gets its own process group so a harness signal does not
+// propagate to it implicitly.
+func startProc(name, bin string, args []string, logDir string) (*Proc, error) {
+	logPath := filepath.Join(logDir, name+".log")
+	f, err := os.Create(logPath)
+	if err != nil {
+		return nil, fmt.Errorf("bench: %w", err)
+	}
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = f
+	cmd.Stderr = f
+	cmd.SysProcAttr = &syscall.SysProcAttr{Setpgid: true}
+	if err := cmd.Start(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("bench: starting %s: %w", name, err)
+	}
+	p := &Proc{Name: name, LogPath: logPath, cmd: cmd, logFile: f, done: make(chan struct{})}
+	go func() {
+		p.waitErr = cmd.Wait()
+		f.Close()
+		close(p.done)
+	}()
+	return p, nil
+}
+
+// Exited is closed once the child has exited.
+func (p *Proc) Exited() <-chan struct{} { return p.done }
+
+// WaitErr reports the child's exit error; valid after Exited closes.
+func (p *Proc) WaitErr() error {
+	<-p.done
+	return p.waitErr
+}
+
+// Stop asks the child to shut down cleanly (SIGTERM, so daemons drain
+// in-flight work) and escalates to SIGKILL after grace.
+func (p *Proc) Stop(clk clock.Clock, grace time.Duration) {
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	select {
+	case <-p.done:
+		return
+	default:
+	}
+	p.cmd.Process.Signal(syscall.SIGTERM)
+	select {
+	case <-p.done:
+	case <-clk.After(grace):
+		p.cmd.Process.Kill()
+		<-p.done
+	}
+}
+
+// awaitReady waits for the child's ready file, failing fast if the
+// child exits first (with a pointer at its log).
+func awaitReady(ctx context.Context, clk clock.Clock, p *Proc, path string, timeout time.Duration) (readyfile.Info, error) {
+	waitCtx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	info, err := readyfile.Await(waitCtx, clk, path, 0, p.done)
+	if err != nil {
+		return info, fmt.Errorf("bench: %s not ready: %w (see %s)", p.Name, err, p.LogPath)
+	}
+	return info, nil
+}

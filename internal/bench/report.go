@@ -1,0 +1,221 @@
+// Package bench is the course-scale macro-benchmark harness: it boots
+// the real daemons as subprocesses over loopback, drives simulated
+// students through the submit → poll → download-build loop with the
+// workload package's course model, scrapes every daemon's /metrics
+// while the load runs, attributes each submission's latency to its
+// pipeline phases from the collector's span store, and emits a
+// schema-versioned report that `raibench compare` diffs across PRs —
+// the tracked perf trajectory the ROADMAP's scale items measure
+// themselves against.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"rai/internal/telemetry"
+)
+
+// Schema identifies the BENCH_*.json layout. Bump on incompatible
+// changes; compare refuses to diff mismatched schemas.
+const Schema = 1
+
+// Percentiles condenses an HDR snapshot into the fields the trajectory
+// tracks. All latencies are seconds.
+type Percentiles struct {
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	P999  float64 `json:"p999"`
+	Mean  float64 `json:"mean"`
+	Max   float64 `json:"max"`
+	Count uint64  `json:"count"`
+}
+
+// PercentilesOf summarizes a snapshot; a nil or empty snapshot yields
+// the zero value.
+func PercentilesOf(s *telemetry.HDRSnapshot) Percentiles {
+	if s == nil || s.Count == 0 {
+		return Percentiles{}
+	}
+	return Percentiles{
+		P50:   s.Quantile(0.50),
+		P90:   s.Quantile(0.90),
+		P99:   s.Quantile(0.99),
+		P999:  s.Quantile(0.999),
+		Mean:  s.Mean(),
+		Max:   s.Max,
+		Count: s.Count,
+	}
+}
+
+// RunConfig records how the measurement was taken, so a trajectory
+// entry is reproducible and two entries are comparable.
+type RunConfig struct {
+	Students          int     `json:"students"`
+	Workers           int     `json:"workers"`
+	WorkerConcurrency int     `json:"worker_concurrency"`
+	DurationS         float64 `json:"duration_s"`
+	Seed              uint64  `json:"seed"`
+	FullImages        int     `json:"full_images"`
+	ThinkMinS         float64 `json:"think_min_s"`
+	ThinkMaxS         float64 `json:"think_max_s"`
+	ScrapeIntervalS   float64 `json:"scrape_interval_s"`
+}
+
+// JobCounts are the load generator's outcome counters.
+type JobCounts struct {
+	Submitted uint64 `json:"submitted"`
+	Succeeded uint64 `json:"succeeded"`
+	Failed    uint64 `json:"failed"`
+	Errors    uint64 `json:"errors"`
+	Downloads uint64 `json:"downloads"`
+}
+
+// DaemonSample is one /metrics scrape of one daemon.
+type DaemonSample struct {
+	OffsetS       float64 `json:"offset_s"`
+	ResidentBytes float64 `json:"resident_bytes"`
+	HeapBytes     float64 `json:"heap_bytes"`
+	Goroutines    float64 `json:"goroutines"`
+	GCCycles      float64 `json:"gc_cycles"`
+}
+
+// DaemonStats is a daemon's health trajectory over the run plus its
+// final drop/retry counters.
+type DaemonStats struct {
+	Service       string         `json:"service"`
+	Samples       []DaemonSample `json:"samples"`
+	DroppedTotal  float64        `json:"dropped_total"`
+	RetriesTotal  float64        `json:"retries_total"`
+	ScrapeErrors  int            `json:"scrape_errors"`
+	FinalResident float64        `json:"final_resident_bytes"`
+}
+
+// Report is the BENCH_*.json document.
+type Report struct {
+	Schema    int             `json:"schema"`
+	Stamp     telemetry.Stamp `json:"stamp"`
+	Config    RunConfig       `json:"config"`
+	Jobs      JobCounts       `json:"jobs"`
+	Throughput float64        `json:"throughput_jobs_per_s"`
+	// Latency is the client-observed submit-to-End distribution.
+	Latency Percentiles `json:"latency"`
+	// Phases decomposes traced submissions: upload, enqueue, queue,
+	// download, build, run, and the trace-side total.
+	Phases map[string]Percentiles `json:"phases"`
+	// PhaseCoverage is mean(sum of phases / total) over attributed jobs:
+	// how much of the end-to-end time the decomposition explains. The
+	// acceptance bar is that this stays near 1 (small gaps are worker
+	// bookkeeping between spans).
+	PhaseCoverage float64 `json:"phase_coverage"`
+	// TracedJobs / MissingTraces report attribution reach.
+	TracedJobs    int            `json:"traced_jobs"`
+	MissingTraces int            `json:"missing_traces"`
+	Daemons       []DaemonStats  `json:"daemons"`
+	Notes         map[string]any `json:"notes,omitempty"`
+}
+
+// PhaseNames is the canonical phase order for rendering.
+var PhaseNames = []string{"upload", "enqueue", "queue", "download", "build", "run", "total"}
+
+// WriteFile marshals the report with stable formatting.
+func (r *Report) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadReport reads and schema-checks a BENCH_*.json file.
+func LoadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("bench: parsing %s: %w", path, err)
+	}
+	if r.Schema != Schema {
+		return nil, fmt.Errorf("bench: %s has schema %d, this build reads schema %d", path, r.Schema, Schema)
+	}
+	return &r, nil
+}
+
+// Format renders the human-readable run summary raibench prints.
+func (r *Report) Format() string {
+	out := fmt.Sprintf("%s\n", r.Stamp)
+	out += fmt.Sprintf("load: %d students, %d workers × %d, %s\n",
+		r.Config.Students, r.Config.Workers, r.Config.WorkerConcurrency,
+		time.Duration(r.Config.DurationS*float64(time.Second)).Round(time.Millisecond))
+	out += fmt.Sprintf("jobs: %d submitted, %d succeeded, %d failed, %d errors — %.2f jobs/s\n",
+		r.Jobs.Submitted, r.Jobs.Succeeded, r.Jobs.Failed, r.Jobs.Errors, r.Throughput)
+	out += fmt.Sprintf("latency: p50 %s  p90 %s  p99 %s  p999 %s  max %s\n",
+		fmtSec(r.Latency.P50), fmtSec(r.Latency.P90), fmtSec(r.Latency.P99),
+		fmtSec(r.Latency.P999), fmtSec(r.Latency.Max))
+	if len(r.Phases) > 0 {
+		out += fmt.Sprintf("phases (%d traced, %d missing, coverage %.1f%%):\n",
+			r.TracedJobs, r.MissingTraces, 100*r.PhaseCoverage)
+		for _, name := range PhaseNames {
+			p, ok := r.Phases[name]
+			if !ok {
+				continue
+			}
+			out += fmt.Sprintf("  %-9s p50 %-10s p99 %-10s mean %s\n",
+				name, fmtSec(p.P50), fmtSec(p.P99), fmtSec(p.Mean))
+		}
+	}
+	for _, d := range r.Daemons {
+		last := DaemonSample{}
+		if len(d.Samples) > 0 {
+			last = d.Samples[len(d.Samples)-1]
+		}
+		out += fmt.Sprintf("  %-12s rss %s  heap %s  goroutines %.0f  gc %.0f  dropped %.0f  retries %.0f\n",
+			d.Service, fmtBytes(last.ResidentBytes), fmtBytes(last.HeapBytes),
+			last.Goroutines, last.GCCycles, d.DroppedTotal, d.RetriesTotal)
+	}
+	return out
+}
+
+// SortedPhaseNames returns the report's phase keys in canonical order,
+// unknown names appended alphabetically.
+func (r *Report) SortedPhaseNames() []string {
+	known := map[string]bool{}
+	var out []string
+	for _, n := range PhaseNames {
+		known[n] = true
+		if _, ok := r.Phases[n]; ok {
+			out = append(out, n)
+		}
+	}
+	var extra []string
+	for n := range r.Phases {
+		if !known[n] {
+			extra = append(extra, n)
+		}
+	}
+	sort.Strings(extra)
+	return append(out, extra...)
+}
+
+func fmtSec(s float64) string {
+	return time.Duration(s * float64(time.Second)).Round(10 * time.Microsecond).String()
+}
+
+func fmtBytes(b float64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", b/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", b/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", b/(1<<10))
+	default:
+		return fmt.Sprintf("%.0fB", b)
+	}
+}

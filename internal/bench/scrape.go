@@ -1,0 +1,139 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"rai/internal/clock"
+	"rai/internal/telemetry"
+)
+
+// Scraper samples every daemon's /metrics endpoint on an interval
+// while the load runs, building the per-daemon health trajectory
+// (RSS, heap, goroutines, GC cycles) and capturing the final
+// drop/retry counters.
+type Scraper struct {
+	interval time.Duration
+	clk      clock.Clock
+	targets  map[string]string // service -> metrics URL
+	client   *http.Client
+
+	mu    sync.Mutex
+	stats map[string]*DaemonStats
+
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// StartScraper begins sampling targets (service name → metrics URL)
+// every interval until StopScraper is called.
+func StartScraper(ctx context.Context, clk clock.Clock, targets map[string]string, interval time.Duration) *Scraper {
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	if interval <= 0 {
+		interval = time.Second
+	}
+	sctx, cancel := context.WithCancel(ctx)
+	s := &Scraper{
+		interval: interval,
+		clk:      clk,
+		targets:  targets,
+		client:   &http.Client{Timeout: 5 * time.Second},
+		stats:    map[string]*DaemonStats{},
+		cancel:   cancel,
+		done:     make(chan struct{}),
+	}
+	for service := range targets {
+		s.stats[service] = &DaemonStats{Service: service}
+	}
+	go s.loop(sctx)
+	return s
+}
+
+func (s *Scraper) loop(ctx context.Context) {
+	defer close(s.done)
+	started := s.clk.Now()
+	for {
+		s.sampleAll(ctx, s.clk.Now().Sub(started))
+		select {
+		case <-ctx.Done():
+			return
+		case <-s.clk.After(s.interval):
+		}
+	}
+}
+
+func (s *Scraper) sampleAll(ctx context.Context, offset time.Duration) {
+	for service, url := range s.targets {
+		snap, err := s.scrape(ctx, url)
+		s.mu.Lock()
+		st := s.stats[service]
+		if err != nil {
+			st.ScrapeErrors++
+			s.mu.Unlock()
+			continue
+		}
+		sample := DaemonSample{OffsetS: offset.Seconds()}
+		sample.ResidentBytes, _ = snap.Value("rai_process_resident_bytes")
+		sample.HeapBytes, _ = snap.Value("rai_process_heap_bytes")
+		sample.Goroutines, _ = snap.Value("rai_process_goroutines")
+		sample.GCCycles, _ = snap.Value("rai_process_gc_cycles_total")
+		st.Samples = append(st.Samples, sample)
+		st.FinalResident = sample.ResidentBytes
+		// Drops and retries are labeled families; sum across label sets.
+		st.DroppedTotal = sumSamples(snap, "rai_telemetry_dropped_total")
+		st.RetriesTotal = sumSamples(snap, "rai_rpc_retries_total")
+		s.mu.Unlock()
+	}
+}
+
+func (s *Scraper) scrape(ctx context.Context, url string) (*telemetry.Snapshot, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := s.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("bench: scraping %s: status %s", url, resp.Status)
+	}
+	return telemetry.ParseText(resp.Body)
+}
+
+// sumSamples totals every series of one metric family.
+func sumSamples(snap *telemetry.Snapshot, name string) float64 {
+	var total float64
+	for _, s := range snap.Samples {
+		if s.Name == name {
+			total += s.Value
+		}
+	}
+	return total
+}
+
+// StopScraper halts sampling and returns the per-daemon trajectories,
+// ordered by service name.
+func (s *Scraper) StopScraper() []DaemonStats {
+	s.cancel()
+	<-s.done
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]DaemonStats, 0, len(s.stats))
+	for _, st := range s.stats {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Service < out[j].Service })
+	return out
+}

@@ -1,0 +1,103 @@
+// Package readyfile implements the daemon readiness handshake the
+// macro-benchmark harness (and any parallel test driver) relies on:
+// each daemon started with -ready-file writes a small JSON document
+// once it is actually serving, carrying the bound addresses (which
+// matter when listening on ":0") and its PID. The file appears
+// atomically — written to a temp name and renamed — so a reader never
+// observes a half-written document.
+package readyfile
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"rai/internal/clock"
+)
+
+// Info is the document a daemon publishes when it is ready to serve.
+type Info struct {
+	Service string `json:"service"`
+	PID     int    `json:"pid"`
+	// Addr is the daemon's primary bound address (empty for daemons
+	// without a listener of their own, e.g. raiworker).
+	Addr string `json:"addr,omitempty"`
+	// MetricsAddr is the bound /metrics address, when enabled.
+	MetricsAddr string `json:"metrics_addr,omitempty"`
+}
+
+// Write publishes info at path atomically: the JSON is written to a
+// temporary file in the same directory and renamed into place, so a
+// concurrent Read either sees nothing or the complete document.
+func Write(path string, info Info) error {
+	data, err := json.Marshal(info)
+	if err != nil {
+		return fmt.Errorf("readyfile: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".ready-*")
+	if err != nil {
+		return fmt.Errorf("readyfile: %w", err)
+	}
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("readyfile: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("readyfile: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("readyfile: %w", err)
+	}
+	return nil
+}
+
+// Read parses the document at path. A missing file returns the
+// underlying fs error so callers can distinguish "not ready yet" from
+// "corrupt".
+func Read(path string) (Info, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Info{}, err
+	}
+	var info Info
+	if err := json.Unmarshal(data, &info); err != nil {
+		return Info{}, fmt.Errorf("readyfile: parsing %s: %w", path, err)
+	}
+	return info, nil
+}
+
+// Await polls until the document at path exists and parses, the context
+// is canceled, or abort is closed (the harness closes it when the child
+// process exits early, turning an infinite wait into a crisp error).
+// interval <= 0 defaults to 25ms; clk nil uses the wall clock.
+func Await(ctx context.Context, clk clock.Clock, path string, interval time.Duration, abort <-chan struct{}) (Info, error) {
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	if interval <= 0 {
+		interval = 25 * time.Millisecond
+	}
+	for {
+		info, err := Read(path)
+		if err == nil {
+			return info, nil
+		}
+		if !os.IsNotExist(err) {
+			return Info{}, err
+		}
+		select {
+		case <-ctx.Done():
+			return Info{}, fmt.Errorf("readyfile: waiting for %s: %w", path, ctx.Err())
+		case <-abort:
+			return Info{}, fmt.Errorf("readyfile: process exited before %s appeared", path)
+		case <-clk.After(interval):
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package readyfile
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "svc.ready")
+	want := Info{Service: "raifs", PID: 1234, Addr: "127.0.0.1:41459", MetricsAddr: "127.0.0.1:9000"}
+	if err := Write(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("got %+v, want %+v", got, want)
+	}
+	// No temp litter left behind.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory holds %d entries, want just the ready file", len(entries))
+	}
+}
+
+func TestReadMissingAndCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Read(filepath.Join(dir, "absent")); !os.IsNotExist(err) {
+		t.Fatalf("missing file error = %v, want IsNotExist", err)
+	}
+	bad := filepath.Join(dir, "bad")
+	os.WriteFile(bad, []byte("{half a doc"), 0o644)
+	if _, err := Read(bad); err == nil || os.IsNotExist(err) {
+		t.Fatalf("corrupt file error = %v", err)
+	}
+}
+
+func TestAwaitSeesLateFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "late.ready")
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		Write(path, Info{Service: "raidb", PID: 1})
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	info, err := Await(ctx, nil, path, time.Millisecond, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Service != "raidb" {
+		t.Fatalf("info = %+v", info)
+	}
+}
+
+func TestAwaitAbortsOnProcessExit(t *testing.T) {
+	abort := make(chan struct{})
+	close(abort)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_, err := Await(ctx, nil, filepath.Join(t.TempDir(), "never"), time.Millisecond, abort)
+	if err == nil {
+		t.Fatal("await survived a closed abort channel")
+	}
+}
+
+func TestAwaitHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Await(ctx, nil, filepath.Join(t.TempDir(), "never"), time.Millisecond, nil)
+	if err == nil {
+		t.Fatal("await survived a canceled context")
+	}
+}

@@ -1,0 +1,235 @@
+package telemetry
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// sortedQuantile is the oracle: the exact q-quantile of a sample slice
+// using the same ceil-rank rule the histogram implements.
+func sortedQuantile(samples []float64, q float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// TestHDRQuantileAccuracy drives log-uniform samples spanning six
+// orders of magnitude through the histogram and checks every reported
+// quantile against the sorted-slice oracle within the structural error
+// bound (1/hdrSubHalf relative, plus one tick of quantization).
+func TestHDRQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(408))
+	h := NewHDRHistogram()
+	samples := make([]float64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		// 10 µs .. 100 s, log-uniform.
+		v := math.Pow(10, -5+7*rng.Float64())
+		h.Observe(v)
+		samples = append(samples, v)
+	}
+	snap := h.Snapshot()
+	if snap.Count != uint64(len(samples)) {
+		t.Fatalf("count = %d, want %d", snap.Count, len(samples))
+	}
+	relErr := 1.0/float64(hdrSubHalf) + 1e-6
+	for _, q := range []float64{0, 0.01, 0.1, 0.5, 0.9, 0.99, 0.999, 0.9999, 1} {
+		got := snap.Quantile(q)
+		want := sortedQuantile(samples, q)
+		if diff := math.Abs(got - want); diff > want*relErr+hdrTick {
+			t.Errorf("q=%v: got %v want %v (err %v, bound %v)", q, got, want, diff, want*relErr)
+		}
+	}
+	wantMean := 0.0
+	for _, v := range samples {
+		wantMean += v
+	}
+	wantMean /= float64(len(samples))
+	if m := snap.Mean(); math.Abs(m-wantMean) > 1e-9*wantMean {
+		t.Errorf("mean = %v, want %v", m, wantMean)
+	}
+	if snap.Max != sortedQuantile(samples, 1) {
+		t.Errorf("max = %v, want %v", snap.Max, sortedQuantile(samples, 1))
+	}
+}
+
+// TestHDRConcurrentObserve hammers one histogram from many goroutines;
+// under -race this doubles as the data-race check, and the final count
+// and sum must account for every sample exactly.
+func TestHDRConcurrentObserve(t *testing.T) {
+	h := NewHDRHistogram()
+	const goroutines = 16
+	const perG = 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < perG; i++ {
+				h.Observe(rng.Float64())
+			}
+		}(g)
+	}
+	wg.Wait()
+	snap := h.Snapshot()
+	if snap.Count != goroutines*perG {
+		t.Fatalf("count = %d, want %d", snap.Count, goroutines*perG)
+	}
+	var slotTotal uint64
+	for _, c := range snap.Counts {
+		slotTotal += c
+	}
+	if slotTotal != snap.Count {
+		t.Fatalf("slot total %d != count %d", slotTotal, snap.Count)
+	}
+	if snap.Min < 0 || snap.Max > 1 {
+		t.Fatalf("min/max out of range: %v/%v", snap.Min, snap.Max)
+	}
+}
+
+// TestHDRMergeAssociativity checks that snapshot merging is associative
+// and commutative: (a∪b)∪c == a∪(b∪c) == (c∪a)∪b, field for field.
+func TestHDRMergeAssociativity(t *testing.T) {
+	mk := func(seed int64, n int, scale float64) *HDRSnapshot {
+		h := NewHDRHistogram()
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < n; i++ {
+			h.Observe(scale * rng.Float64())
+		}
+		return h.Snapshot()
+	}
+	a := func() *HDRSnapshot { return mk(1, 1000, 0.01) }
+	b := func() *HDRSnapshot { return mk(2, 500, 1.0) }
+	c := func() *HDRSnapshot { return mk(3, 2000, 10.0) }
+
+	left := a()
+	if err := left.Merge(b()); err != nil {
+		t.Fatal(err)
+	}
+	if err := left.Merge(c()); err != nil {
+		t.Fatal(err)
+	}
+	bc := b()
+	if err := bc.Merge(c()); err != nil {
+		t.Fatal(err)
+	}
+	right := a()
+	if err := right.Merge(bc); err != nil {
+		t.Fatal(err)
+	}
+	rotated := c()
+	if err := rotated.Merge(a()); err != nil {
+		t.Fatal(err)
+	}
+	if err := rotated.Merge(b()); err != nil {
+		t.Fatal(err)
+	}
+	for _, other := range []*HDRSnapshot{right, rotated} {
+		if other.Count != left.Count || math.Abs(other.Sum-left.Sum) > 1e-9 ||
+			other.Min != left.Min || other.Max != left.Max {
+			t.Fatalf("merge not associative: %+v vs %+v", left, other)
+		}
+		for i := range left.Counts {
+			if left.Counts[i] != other.Counts[i] {
+				t.Fatalf("slot %d differs after merge order change", i)
+			}
+		}
+	}
+	// Quantiles of the merged view match an oracle over the union.
+	var union []float64
+	for seed, spec := range map[int64]struct {
+		n     int
+		scale float64
+	}{1: {1000, 0.01}, 2: {500, 1.0}, 3: {2000, 10.0}} {
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < spec.n; i++ {
+			union = append(union, spec.scale*rng.Float64())
+		}
+	}
+	relErr := 1.0/float64(hdrSubHalf) + 1e-6
+	for _, q := range []float64{0.5, 0.99, 0.999} {
+		got, want := left.Quantile(q), sortedQuantile(union, q)
+		if math.Abs(got-want) > want*relErr+hdrTick {
+			t.Errorf("merged q=%v: got %v want %v", q, got, want)
+		}
+	}
+	// Merging an empty or nil snapshot is a no-op.
+	before := left.Count
+	if err := left.Merge(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := left.Merge(NewHDRHistogram().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if left.Count != before {
+		t.Fatalf("empty merge changed count")
+	}
+	// Mismatched slot layouts are rejected, not silently mangled.
+	if err := left.Merge(&HDRSnapshot{Counts: make([]uint64, 3), Count: 1}); err == nil {
+		t.Fatal("merge of mismatched layouts succeeded")
+	}
+}
+
+// TestHDRPrometheusExposition checks the text rendering: cumulative le
+// buckets, a +Inf bucket equal to the total count, _sum/_count lines,
+// and that the document round-trips through the telemetry text parser.
+func TestHDRPrometheusExposition(t *testing.T) {
+	h := NewHDRHistogram()
+	for _, v := range []float64{0.0001, 0.005, 0.005, 0.25, 30} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	if err := h.Snapshot().WritePrometheus(&b, "rai_bench_latency_seconds", L("phase", "total")); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	snap, err := ParseText(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, text)
+	}
+	if v, ok := snap.Value("rai_bench_latency_seconds_count", L("phase", "total")); !ok || v != 5 {
+		t.Fatalf("_count = %v,%v want 5\n%s", v, ok, text)
+	}
+	inf, ok := snap.Value("rai_bench_latency_seconds_bucket", L("phase", "total"), L("le", "+Inf"))
+	if !ok || inf != 5 {
+		t.Fatalf("+Inf bucket = %v,%v want 5\n%s", inf, ok, text)
+	}
+	// Buckets are cumulative: values never decrease as le grows.
+	var lastLE, lastV float64 = -1, -1
+	for _, s := range snap.Samples {
+		if s.Name != "rai_bench_latency_seconds_bucket" || s.Labels["le"] == "+Inf" {
+			continue
+		}
+		le, err := parseValue(s.Labels["le"])
+		if err != nil {
+			t.Fatalf("bad le %q", s.Labels["le"])
+		}
+		if le < lastLE {
+			t.Fatalf("le bounds not ascending in exposition:\n%s", text)
+		}
+		if s.Value < lastV {
+			t.Fatalf("bucket counts not cumulative at le=%v:\n%s", le, text)
+		}
+		lastLE, lastV = le, s.Value
+	}
+	if lastV > inf {
+		t.Fatalf("finite bucket exceeds +Inf bucket:\n%s", text)
+	}
+	if v, ok := snap.Value("rai_bench_latency_seconds_sum", L("phase", "total")); !ok || math.Abs(v-30.2601) > 1e-9 {
+		t.Fatalf("_sum = %v,%v\n%s", v, ok, text)
+	}
+}

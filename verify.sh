@@ -2,9 +2,10 @@
 # Repo verification gate: vet, build everything, run the project's own
 # static-analysis pass (raivet — clock/context/span/HTTP/concurrency
 # invariants, see internal/lint), the full suite under the race
-# detector, and a one-iteration smoke of every benchmark so the perf
-# harness (DESIGN.md §3, §11) can't rot. Used by CI and before
-# committing.
+# detector, a one-iteration smoke of every benchmark so the perf
+# harness (DESIGN.md §3, §11) can't rot, and a closed-loop macro-bench
+# smoke compared against the committed baseline (DESIGN.md §12). Used
+# by CI and before committing.
 set -eux
 
 go vet ./...
@@ -12,3 +13,15 @@ go build ./...
 go run ./cmd/raivet ./...
 go test -race ./...
 go test -run='^$' -bench=. -benchtime=1x .
+
+# Macro-benchmark smoke: boot the real daemons, drive 8 simulated
+# students for 10s, and gate on the tracked baseline with generous
+# thresholds — this catches collapses (queue stalls, dead phases,
+# order-of-magnitude tail growth), not single-digit-percent noise.
+BENCH_OUT=$(mktemp -d)
+trap 'rm -rf "$BENCH_OUT"' EXIT
+go run ./cmd/raibench run -students 8 -duration 10s -workers 2 \
+	-out "$BENCH_OUT/BENCH_smoke.json"
+go run ./cmd/raibench compare \
+	-max-throughput-drop 0.6 -max-latency-growth 3.0 -latency-floor 2s \
+	BENCH_6.json "$BENCH_OUT/BENCH_smoke.json"
