@@ -236,13 +236,16 @@ func submit(ctx context.Context, cmd string, creds auth.Credentials, dir, broker
 		}
 	}
 
-	// Step 3: compress the project directory.
-	archive, err := archivex.PackDir(dir)
+	// Step 3: compress the project directory — streamed through a temp
+	// file, so the archive never has to fit in memory and the upload can
+	// rewind for retries.
+	archive, size, err := packToTemp(dir)
 	if err != nil {
 		fmt.Fprintf(stderr, "rai: packing project: %v\n", err)
 		return 1
 	}
-	fmt.Fprintf(stdout, "uploading %d byte project archive\n", len(archive))
+	defer archive.Close()
+	fmt.Fprintf(stdout, "uploading %d byte project archive\n", size)
 
 	queue, err := rpc.queue(ctx, brokerAddr)
 	if err != nil {
@@ -261,7 +264,7 @@ func submit(ctx context.Context, cmd string, creds auth.Credentials, dir, broker
 		Tracer:  tracer,
 		Log:     logger,
 	}
-	res, err := client.SubmitContext(ctx, kind, spec, archive)
+	res, err := client.SubmitReaderContext(ctx, kind, spec, archive, size)
 	if err != nil {
 		fmt.Fprintf(stderr, "rai: %v\n", err)
 		return 1
@@ -289,6 +292,31 @@ func showRanking(creds auth.Credentials, dbURL string, stdout, stderr io.Writer)
 		fmt.Fprintf(stdout, "\nyour team is ranked %d of %d\n", rank, total)
 	}
 	return 0
+}
+
+// packToTemp streams a .tar.bz2 of dir into an unlinked temp file and
+// returns it positioned at the start, with its size. Being an
+// *os.File, it is seekable, so the upload client can rewind and retry.
+func packToTemp(dir string) (*os.File, int64, error) {
+	f, err := os.CreateTemp("", "rai-archive-*.tar.bz2")
+	if err != nil {
+		return nil, 0, err
+	}
+	os.Remove(f.Name()) // unlink now; the fd keeps the bytes alive
+	if err := archivex.PackDirTo(f, dir); err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	size, err := f.Seek(0, io.SeekCurrent)
+	if err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	return f, size, nil
 }
 
 // loadProfile reads credentials from path or $HOME/.rai.profile.

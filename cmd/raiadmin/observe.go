@@ -146,16 +146,73 @@ func logsCmd(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "raiadmin logs: %v\n", err)
 		return 1
 	}
-	for *follow {
+	if !*follow {
+		return 0
+	}
+	// Prefer the database's watch stream: each insert into the events
+	// collection wakes the cursor immediately instead of waiting out a
+	// poll interval. Any failure to negotiate or hold the stream (old
+	// server, restart mid-tail) degrades to interval polling.
+	if ch := openEventWatch(ctx, db); ch != nil {
+		for {
+			select {
+			case <-ctx.Done():
+				return 0
+			case _, ok := <-ch:
+				if !ok {
+					return followByPolling(ctx, stdout, stderr, print, *interval)
+				}
+				drainWatch(ch)
+				if err := print(); err != nil {
+					fmt.Fprintf(stderr, "raiadmin logs: %v\n", err)
+					return 1
+				}
+			}
+		}
+	}
+	return followByPolling(ctx, stdout, stderr, print, *interval)
+}
+
+// openEventWatch negotiates capabilities and subscribes to the events
+// collection; nil means the server cannot stream and the caller should
+// poll.
+func openEventWatch(ctx context.Context, db *docstore.Client) <-chan docstore.WatchEvent {
+	caps, err := db.CapsContext(ctx)
+	if err != nil || !caps.Watch {
+		return nil
+	}
+	ch, err := db.WatchContext(ctx, core.CollEvents)
+	if err != nil {
+		return nil
+	}
+	return ch
+}
+
+// drainWatch empties queued notifications so one print covers a burst.
+func drainWatch(ch <-chan docstore.WatchEvent) {
+	for {
+		select {
+		case _, ok := <-ch:
+			if !ok {
+				return
+			}
+		default:
+			return
+		}
+	}
+}
+
+// followByPolling is the pre-watch behavior: reprint on a fixed cadence.
+func followByPolling(ctx context.Context, stdout, stderr io.Writer, print func() error, interval time.Duration) int {
+	for {
 		select {
 		case <-ctx.Done():
 			return 0
-		case <-clock.Real{}.After(*interval):
+		case <-clock.Real{}.After(interval):
 		}
 		if err := print(); err != nil {
 			fmt.Fprintf(stderr, "raiadmin logs: %v\n", err)
 			return 1
 		}
 	}
-	return 0
 }

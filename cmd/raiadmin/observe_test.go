@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"rai/internal/core"
+	"rai/internal/docstore"
+)
+
+func insertEvent(t *testing.T, db *docstore.Client, jobID, msg string, tsS float64) {
+	t.Helper()
+	ts := time.Unix(int64(tsS), 0).UTC().Format(time.RFC3339Nano)
+	if _, err := db.Insert(core.CollEvents, docstore.M{
+		"job_id": jobID, "msg": msg, "level": "info", "service": "test",
+		"ts": ts, "ts_s": tsS,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogsPrintsEvents(t *testing.T) {
+	srv := httptest.NewServer(docstore.HandlerStore(docstore.New(), nil))
+	defer srv.Close()
+	db := docstore.NewClient(srv.URL)
+	insertEvent(t, db, "job-1", "container started", 100)
+	insertEvent(t, db, "job-2", "other job noise", 101)
+
+	var out, errb bytes.Buffer
+	if code := logsCmd([]string{"-db", srv.URL, "job-1"}, &out, &errb); code != 0 {
+		t.Fatalf("logs exited %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "container started") {
+		t.Errorf("output missing event:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "other job noise") {
+		t.Errorf("output leaked another job's events:\n%s", out.String())
+	}
+}
+
+// TestLogsWatchNegotiation exercises the -follow fast path: the watch
+// stream opens against a capable server and delivers a notification per
+// events-collection insert.
+func TestLogsWatchNegotiation(t *testing.T) {
+	srv := httptest.NewServer(docstore.HandlerStore(docstore.New(), nil))
+	defer srv.Close()
+	db := docstore.NewClient(srv.URL)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ch := openEventWatch(ctx, db)
+	if ch == nil {
+		t.Fatal("openEventWatch returned nil against a watch-capable server")
+	}
+	insertEvent(t, db, "job-w", "woke the follower", 200)
+	select {
+	case ev, ok := <-ch:
+		if !ok {
+			t.Fatal("watch channel closed before delivering")
+		}
+		if ev.Coll != core.CollEvents || ev.Op != "insert" {
+			t.Fatalf("event = %+v", ev)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no watch notification within 5s")
+	}
+	// Extra queued notifications collapse into one reprint.
+	insertEvent(t, db, "job-w", "a", 201)
+	insertEvent(t, db, "job-w", "b", 202)
+	deadline := time.After(5 * time.Second)
+	for got := 0; got < 2; {
+		select {
+		case _, ok := <-ch:
+			if !ok {
+				t.Fatal("watch channel closed early")
+			}
+			got++
+		case <-deadline:
+			t.Fatal("burst notifications never arrived")
+		}
+	}
+	drainWatch(ch)
+	cancel()
+	select {
+	case <-func() chan struct{} {
+		done := make(chan struct{})
+		go func() {
+			for range ch {
+			}
+			close(done)
+		}()
+		return done
+	}():
+	case <-time.After(5 * time.Second):
+		t.Fatal("watch channel did not close after cancel")
+	}
+}
+
+// TestLogsWatchFallback: a server without watch support (or without the
+// endpoints at all) yields a nil channel, sending -follow down the
+// polling path.
+func TestLogsWatchFallback(t *testing.T) {
+	srv := httptest.NewServer(http.NotFoundHandler())
+	defer srv.Close()
+	if ch := openEventWatch(context.Background(), docstore.NewClient(srv.URL)); ch != nil {
+		t.Fatal("expected nil watch channel from a watchless server")
+	}
+}

@@ -18,7 +18,14 @@
 //	             [-pprof-capture raibroker] [-pprof-seconds 2]
 //	raibench compare OLD.json NEW.json [-max-throughput-drop 0.6]
 //	             [-max-latency-growth 3.0] [-latency-floor 2s]
+//	raibench fs-smoke [-size 32MiB-bytes] [-allowance bytes] [-bin dir] [-keep dir]
 //	raibench version
+//
+// fs-smoke is the streaming storage canary: it boots raifs on the disk
+// backend, round-trips a synthetic archive and then one twice the size
+// through the streamed PUT/GET paths, and fails if the daemon's
+// resident set grows with the archive (whole-object buffering crept
+// back in).
 package main
 
 import (
@@ -49,7 +56,7 @@ func main() {
 
 func run(args []string, stdout, stderr io.Writer) int {
 	if len(args) < 1 {
-		fmt.Fprintln(stderr, "usage: raibench run|compare|version [flags]")
+		fmt.Fprintln(stderr, "usage: raibench run|compare|fs-smoke|version [flags]")
 		return 2
 	}
 	switch args[0] {
@@ -57,6 +64,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return runBench(args[1:], stdout, stderr)
 	case "compare":
 		return compareBench(args[1:], stdout, stderr)
+	case "fs-smoke":
+		return fsSmoke(args[1:], stdout, stderr)
 	case "version", "-version", "--version":
 		fmt.Fprintln(stdout, telemetry.NewStamp("raibench", version))
 		return 0
@@ -269,6 +278,69 @@ func fetchToFile(ctx context.Context, url, path string) error {
 		return err
 	}
 	return f.Close()
+}
+
+func fsSmoke(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("raibench fs-smoke", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	size := fs.Int64("size", 32<<20, "base archive size in bytes (the second upload doubles it)")
+	allowance := fs.Int64("allowance", 0, "tolerated RSS growth in bytes between the 1x and 2x uploads (0 = size/2)")
+	binDir := fs.String("bin", "", "directory with a prebuilt raifs binary (empty = go build into the scratch dir)")
+	keep := fs.String("keep", "", "use this scratch directory and keep it (empty = temp dir, removed on success)")
+	readyTimeout := fs.Duration("ready-timeout", 30*time.Second, "raifs boot deadline")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	clk := clock.Real{}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	dir := *keep
+	removeDir := false
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "raibench-fssmoke-*")
+		if err != nil {
+			fmt.Fprintf(stderr, "raibench fs-smoke: %v\n", err)
+			return 1
+		}
+		dir = tmp
+		removeDir = true
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintf(stderr, "raibench fs-smoke: %v\n", err)
+		return 1
+	}
+
+	bin := filepath.Join(*binDir, "raifs")
+	if *binDir == "" {
+		moduleRoot, err := bench.FindModuleRoot(".")
+		if err != nil {
+			fmt.Fprintf(stderr, "raibench fs-smoke: %v (pass -bin to use a prebuilt raifs)\n", err)
+			return 1
+		}
+		built, err := bench.BuildBinary(ctx, moduleRoot, dir, "raifs", stdout)
+		if err != nil {
+			fmt.Fprintf(stderr, "raibench fs-smoke: %v\n", err)
+			return 1
+		}
+		bin = built
+	}
+
+	res, err := bench.FSSmoke(ctx, clk, bench.FSSmokeConfig{
+		Bin: bin, Dir: dir, BaseBytes: *size, GrowthAllowance: *allowance, ReadyTimeout: *readyTimeout,
+	}, stdout)
+	if err != nil {
+		fmt.Fprintf(stderr, "raibench fs-smoke: %v\n", err)
+		return 1
+	}
+	fmt.Fprintln(stdout, res)
+	if !res.Flat {
+		fmt.Fprintln(stderr, "raibench fs-smoke: FAIL — raifs memory tracks the archive size; the streamed storage path is buffering")
+		return 1
+	}
+	if removeDir {
+		os.RemoveAll(dir)
+	}
+	return 0
 }
 
 func compareBench(args []string, stdout, stderr io.Writer) int {

@@ -17,6 +17,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -38,6 +39,8 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, quit <-ch
 	fs.SetOutput(stderr)
 	addr := fs.String("addr", "127.0.0.1:7402", "listen address")
 	journal := fs.String("journal", "", "journal file for durability (empty = in-memory only)")
+	storeBackend := fs.String("store-backend", "", "journal storage backend: memory or disk (default: disk when a journal path or -store-root is set, else memory)")
+	storeRoot := fs.String("store-root", "", "root directory for the disk backend; the journal lives at <root>/rai.journal")
 	metricsAddr := fs.String("metrics-addr", "", "serve GET /metrics on this address (empty = disabled)")
 	pprofOn := fs.Bool("pprof", false, "mount /debug/pprof on the metrics address")
 	brokerAddr := fs.String("broker", "", "broker address for shipping spans/events to the collector (empty = off)")
@@ -92,18 +95,40 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, quit <-ch
 			telemetry.WithLogWriter(stderr), telemetry.WithLogSink(exp.ExportEvent))
 		logger.Info(context.Background(), "database started", telemetry.L("addr", *addr))
 	}
+	// Backend selection mirrors raifs: -store-backend names it
+	// explicitly; otherwise a journal path (or -store-root) implies disk.
+	journalPath := *journal
+	if journalPath == "" && *storeRoot != "" {
+		journalPath = filepath.Join(*storeRoot, "rai.journal")
+	}
+	backend := *storeBackend
+	if backend == "" {
+		if journalPath != "" {
+			backend = "disk"
+		} else {
+			backend = "memory"
+		}
+	}
 	var handler http.Handler
-	if *journal != "" {
-		pdb, err := docstore.OpenPersistent(*journal)
+	switch backend {
+	case "disk":
+		if journalPath == "" {
+			fmt.Fprintln(stderr, "raidb: -store-backend disk requires -journal or -store-root")
+			return 2
+		}
+		pdb, err := docstore.OpenPersistent(journalPath)
 		if err != nil {
 			fmt.Fprintf(stderr, "raidb: opening journal: %v\n", err)
 			return 1
 		}
 		defer pdb.Close()
 		handler = docstore.HandlerStore(pdb, nil, handlerOpts...)
-		fmt.Fprintf(stdout, "raidb journaling to %s\n", *journal)
-	} else {
-		handler = docstore.Handler(docstore.New(), nil, handlerOpts...)
+		fmt.Fprintf(stdout, "raidb journaling to %s\n", journalPath)
+	case "memory":
+		handler = docstore.HandlerStore(docstore.New(), nil, handlerOpts...)
+	default:
+		fmt.Fprintf(stderr, "raidb: unknown -store-backend %q (want memory or disk)\n", backend)
+		return 2
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -44,7 +44,9 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, quit <-ch
 	capacity := fs.Int64("capacity", 0, "total byte capacity (0 = unlimited)")
 	ttl := fs.Duration("ttl", 30*24*time.Hour, "default object lifetime from last use")
 	keysPath := fs.String("keys", "", "credentials file for request authentication (empty = open)")
-	dataDir := fs.String("dir", "", "directory for durable object storage (empty = in-memory)")
+	dataDir := fs.String("dir", "", "directory for durable object storage (empty = in-memory); alias for -store-root")
+	storeBackend := fs.String("store-backend", "", "storage backend: memory or disk (default: disk when -store-root/-dir is set, else memory)")
+	storeRoot := fs.String("store-root", "", "root directory for the disk backend")
 	metricsAddr := fs.String("metrics-addr", "", "serve GET /metrics on this address (empty = disabled)")
 	pprofOn := fs.Bool("pprof", false, "mount /debug/pprof on the metrics address")
 	brokerAddr := fs.String("broker", "", "broker address for shipping spans/events to the collector (empty = off)")
@@ -59,17 +61,40 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, quit <-ch
 		fmt.Fprintln(stdout, telemetry.NewStamp("raifs", version))
 		return 0
 	}
+	// Backend selection: -store-backend names it explicitly; otherwise a
+	// configured root directory implies disk and its absence memory.
+	// -dir remains as a compatibility alias for -store-root.
+	root := *storeRoot
+	if root == "" {
+		root = *dataDir
+	}
+	backend := *storeBackend
+	if backend == "" {
+		if root != "" {
+			backend = "disk"
+		} else {
+			backend = "memory"
+		}
+	}
 	var store *objstore.Store
-	if *dataDir != "" {
+	switch backend {
+	case "disk":
+		if root == "" {
+			fmt.Fprintln(stderr, "raifs: -store-backend disk requires -store-root (or -dir)")
+			return 2
+		}
 		var err error
-		store, err = objstore.Open(*dataDir, objstore.WithCapacity(*capacity), objstore.WithDefaultTTL(*ttl))
+		store, err = objstore.Open(root, objstore.WithCapacity(*capacity), objstore.WithDefaultTTL(*ttl))
 		if err != nil {
 			fmt.Fprintf(stderr, "raifs: %v\n", err)
 			return 1
 		}
-		fmt.Fprintf(stdout, "raifs persisting to %s\n", *dataDir)
-	} else {
+		fmt.Fprintf(stdout, "raifs persisting to %s\n", root)
+	case "memory":
 		store = objstore.New(objstore.WithCapacity(*capacity), objstore.WithDefaultTTL(*ttl))
+	default:
+		fmt.Fprintf(stderr, "raifs: unknown -store-backend %q (want memory or disk)\n", backend)
+		return 2
 	}
 	var authFn objstore.AuthFunc
 	if *keysPath != "" {

@@ -61,16 +61,26 @@ type Cluster struct {
 func BuildBinaries(ctx context.Context, moduleRoot, outDir string, logTo io.Writer) (map[string]string, error) {
 	bins := map[string]string{}
 	for _, name := range daemonBinaries {
-		out := filepath.Join(outDir, name)
-		fmt.Fprintf(logTo, "building %s\n", name)
-		cmd := exec.CommandContext(ctx, "go", "build", "-o", out, "./cmd/"+name)
-		cmd.Dir = moduleRoot
-		if b, err := cmd.CombinedOutput(); err != nil {
-			return nil, fmt.Errorf("bench: go build %s: %v\n%s", name, err, b)
+		out, err := BuildBinary(ctx, moduleRoot, outDir, name, logTo)
+		if err != nil {
+			return nil, err
 		}
 		bins[name] = out
 	}
 	return bins, nil
+}
+
+// BuildBinary compiles one daemon command into outDir and returns its
+// path.
+func BuildBinary(ctx context.Context, moduleRoot, outDir, name string, logTo io.Writer) (string, error) {
+	out := filepath.Join(outDir, name)
+	fmt.Fprintf(logTo, "building %s\n", name)
+	cmd := exec.CommandContext(ctx, "go", "build", "-o", out, "./cmd/"+name)
+	cmd.Dir = moduleRoot
+	if b, err := cmd.CombinedOutput(); err != nil {
+		return "", fmt.Errorf("bench: go build %s: %v\n%s", name, err, b)
+	}
+	return out, nil
 }
 
 // FindModuleRoot walks up from dir to the directory containing go.mod.

@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"testing"
+
+	"rai/internal/clock"
+)
+
+func TestPatternReaderSeekAndDeterminism(t *testing.T) {
+	p := &patternReader{size: 1 << 16}
+	first, err := io.ReadAll(p)
+	if err != nil || len(first) != 1<<16 {
+		t.Fatalf("read: %d bytes, %v", len(first), err)
+	}
+	if _, err := p.Seek(0, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	second, _ := io.ReadAll(p)
+	if !bytes.Equal(first, second) {
+		t.Fatal("pattern not deterministic across a rewind")
+	}
+	if off, _ := p.Seek(-16, io.SeekEnd); off != 1<<16-16 {
+		t.Fatalf("SeekEnd: off = %d", off)
+	}
+	tail, _ := io.ReadAll(p)
+	if !bytes.Equal(tail, first[len(first)-16:]) {
+		t.Fatal("tail after SeekEnd diverges from the straight read")
+	}
+}
+
+// TestFSSmokeEndToEnd builds raifs and runs the canary with a small
+// archive; beyond the flat-memory verdict it proves the disk backend
+// round-trips streamed bytes under a real daemon.
+func TestFSSmokeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots a real raifs subprocess")
+	}
+	dir := t.TempDir()
+	moduleRoot, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	bin, err := BuildBinary(ctx, moduleRoot, dir, "raifs", io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := FSSmoke(ctx, clock.Real{}, FSSmokeConfig{
+		Bin: bin, Dir: dir, BaseBytes: 4 << 20,
+		// A tiny archive sits inside allocator noise; the assertion that
+		// matters at this scale is that growth is nowhere near the
+		// archive size (buffering would add >= 8 MiB on the 2x pass).
+		GrowthAllowance: 8 << 20,
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Flat {
+		t.Fatalf("RSS grew with the archive: %s", res)
+	}
+	if res.RSSAfter1x <= 0 || res.RSSAfter2x <= 0 {
+		t.Fatalf("RSS not measured: %+v", res)
+	}
+}

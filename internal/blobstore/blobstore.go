@@ -1,0 +1,234 @@
+// Package blobstore is the shared streaming storage layer under RAI's
+// storage services (objstore's S3-like object server and docstore's
+// journal). It replaces the persistence code those packages used to
+// hand-roll — and, crucially, replaces their buffer-the-whole-archive
+// data path with streaming reads and writes, so a submission archive
+// flows through a daemon in constant memory regardless of its size.
+//
+// The package provides:
+//
+//   - Backend: the storage-backend interface. Open returns an
+//     io.ReadCloser, Create returns a committing Writer, plus Stat,
+//     List, Remove, Touch, per-blob TTLs measured from last use, and
+//     Sweep for expiry collection.
+//   - Memory and Disk backends. Memory hands out copy-on-write readers
+//     over immutable buffers (no defensive copying); Disk streams to a
+//     temp file and commits with an atomic rename, cleaning up partial
+//     writes on error.
+//   - Table: a mount table routing bucket prefixes to backends, so one
+//     daemon can keep uploads on disk and scratch buckets in memory.
+//   - Capability negotiation: each backend advertises what it can do
+//     (streaming, atomic rename commits, watch, append) and callers
+//     degrade gracefully when a capability is absent.
+//   - Watch events: subscribers observe create/update/delete events in
+//     operation order, which drives cache invalidation and `raiadmin
+//     logs -follow` without polling.
+package blobstore
+
+import (
+	"context"
+	"errors"
+	"io"
+	"strings"
+	"time"
+
+	"rai/internal/clock"
+)
+
+// Errors reported by backends.
+var (
+	ErrNoBucket     = errors.New("blobstore: no such bucket")
+	ErrNotFound     = errors.New("blobstore: no such blob")
+	ErrBadName      = errors.New("blobstore: invalid bucket or key")
+	ErrQuota        = errors.New("blobstore: capacity exceeded")
+	ErrExists       = errors.New("blobstore: bucket already exists")
+	ErrNoCapability = errors.New("blobstore: backend lacks capability")
+	ErrClosed       = errors.New("blobstore: backend closed")
+)
+
+// Capability is a bitmask of optional backend behaviours. Callers check
+// capabilities before relying on an optional path and fall back when it
+// is absent (polling instead of watching, copy-rewrite instead of
+// atomic rename, whole-value writes instead of appends).
+type Capability uint32
+
+const (
+	// CapStream: Open/Create move bytes incrementally; the backend never
+	// materializes a whole blob to serve one.
+	CapStream Capability = 1 << iota
+	// CapAtomicRename: Create commits by atomically renaming a temp
+	// file, so a crashed writer never leaves a torn blob visible.
+	CapAtomicRename
+	// CapWatch: the backend delivers create/update/delete events to
+	// Watch subscribers in operation order.
+	CapWatch
+	// CapAppend: the backend supports Append for journal-style writers
+	// (see Appender).
+	CapAppend
+)
+
+// Has reports whether all bits in want are present.
+func (c Capability) Has(want Capability) bool { return c&want == want }
+
+// String renders the set for logs and /caps endpoints.
+func (c Capability) String() string {
+	var parts []string
+	for _, e := range []struct {
+		bit  Capability
+		name string
+	}{{CapStream, "stream"}, {CapAtomicRename, "atomic-rename"}, {CapWatch, "watch"}, {CapAppend, "append"}} {
+		if c.Has(e.bit) {
+			parts = append(parts, e.name)
+		}
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ",")
+}
+
+// Info is blob metadata. Field names (not tags) are the on-disk meta
+// JSON schema, kept compatible with the sidecar files the old objstore
+// disk write-through produced.
+type Info struct {
+	Bucket   string
+	Key      string
+	Size     int64
+	ETag     string // hex SHA-256 of the content ("" when unknown, e.g. after appends)
+	Modified time.Time
+	LastUsed time.Time
+	// TTL is the lifetime measured from LastUsed; zero means no expiry.
+	TTL time.Duration
+}
+
+// PutOptions configures one Create.
+type PutOptions struct {
+	// TTL is the blob lifetime from last use; zero adopts the backend
+	// default.
+	TTL time.Duration
+}
+
+// Writer is a streaming blob writer. Nothing is visible to readers
+// until Close commits; Abort discards a partial write (the partial
+// bytes are cleaned up, not left as a torn blob). Exactly one of Close
+// or Abort should be called; Abort after a failed Close is a no-op.
+type Writer interface {
+	io.Writer
+	// Close commits the blob and finalizes Info.
+	Close() error
+	// Abort discards the partial write.
+	Abort() error
+	// Info returns the committed metadata; valid after a successful
+	// Close.
+	Info() Info
+}
+
+// Backend is the storage-backend interface shared by the memory and
+// disk engines and the mount table.
+type Backend interface {
+	// Capabilities advertises the optional behaviours this backend
+	// supports.
+	Capabilities() Capability
+	// MakeBucket creates a bucket; an existing bucket is ErrExists.
+	// (Create also makes buckets implicitly, as RAI pre-creates only a
+	// handful of well-known ones.)
+	MakeBucket(ctx context.Context, bucket string) error
+	// Buckets lists bucket names, sorted.
+	Buckets(ctx context.Context) ([]string, error)
+	// Create opens a streaming writer for bucket/key. The blob becomes
+	// visible (and an event fires) when the writer is closed.
+	Create(ctx context.Context, bucket, key string, opts PutOptions) (Writer, error)
+	// Open returns a streaming reader and the blob's metadata,
+	// refreshing its last-use time (expiry is measured from last use).
+	Open(ctx context.Context, bucket, key string) (io.ReadCloser, Info, error)
+	// Stat returns metadata without touching last-use.
+	Stat(ctx context.Context, bucket, key string) (Info, error)
+	// Touch refreshes last-use without reading content.
+	Touch(ctx context.Context, bucket, key string) error
+	// List returns metadata for keys under prefix, sorted by key.
+	// Expired blobs are excluded (and lazily collected).
+	List(ctx context.Context, bucket, prefix string) ([]Info, error)
+	// Remove deletes a blob.
+	Remove(ctx context.Context, bucket, key string) error
+	// Used reports total stored bytes.
+	Used(ctx context.Context) (int64, error)
+	// Sweep collects expired blobs and reports how many were removed.
+	Sweep(ctx context.Context) (int, error)
+	// Watch subscribes to this backend's events, filtered to bucket
+	// ("" = all buckets). ErrNoCapability when CapWatch is absent. The
+	// subscription closes when ctx is canceled or Close is called.
+	Watch(ctx context.Context, bucket string) (*Subscription, error)
+	// Close releases the backend; watch subscriptions are closed.
+	Close() error
+}
+
+// Appender is the optional append port (CapAppend): journal-style
+// callers extend a blob without rewriting it. Size and Modified update
+// when the returned writer closes; ETag becomes "" (unknown) because
+// the content was not re-hashed.
+type Appender interface {
+	Append(ctx context.Context, bucket, key string) (io.WriteCloser, error)
+}
+
+// ValidBucket reports whether b is a legal bucket name: 1-63 runes of
+// [a-z0-9.-].
+func ValidBucket(b string) bool {
+	if b == "" || len(b) > 63 {
+		return false
+	}
+	for _, r := range b {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-', r == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// ValidKey reports whether k is a legal object key: non-empty, at most
+// 512 bytes, relative, and free of empty/dot path segments.
+func ValidKey(k string) bool {
+	if k == "" || len(k) > 512 || strings.HasPrefix(k, "/") {
+		return false
+	}
+	for _, seg := range strings.Split(k, "/") {
+		if seg == "" || seg == "." || seg == ".." {
+			return false
+		}
+	}
+	return true
+}
+
+// Option configures a backend at construction.
+type Option func(*config)
+
+type config struct {
+	capacity int64
+	defTTL   time.Duration
+	clk      clock.Clock
+	watchBuf int
+}
+
+func newConfig(opts []Option) config {
+	cfg := config{clk: clock.Real{}, watchBuf: defaultWatchBuffer}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+// WithCapacity bounds total stored bytes (0 = unlimited). Streaming
+// writers that cross the bound fail mid-write with ErrQuota.
+func WithCapacity(n int64) Option { return func(c *config) { c.capacity = n } }
+
+// WithDefaultTTL sets the lifetime applied when PutOptions.TTL is zero.
+func WithDefaultTTL(d time.Duration) Option { return func(c *config) { c.defTTL = d } }
+
+// WithClock substitutes the time source (virtual in tests).
+func WithClock(clk clock.Clock) Option { return func(c *config) { c.clk = clk } }
+
+// WithWatchBuffer sets the per-subscription event buffer; a subscriber
+// that falls further behind drops events (counted on the
+// Subscription).
+func WithWatchBuffer(n int) Option { return func(c *config) { c.watchBuf = n } }

@@ -1,0 +1,162 @@
+package blobstore
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// defaultWatchBuffer is the per-subscription event buffer. Events are
+// delivered asynchronously; a subscriber that falls further behind than
+// this loses the oldest undelivered events (counted, never blocking the
+// store's write path).
+const defaultWatchBuffer = 256
+
+// Op classifies a watch event.
+type Op uint8
+
+const (
+	// OpCreate: a blob that did not exist became visible.
+	OpCreate Op = iota + 1
+	// OpUpdate: an existing blob was overwritten or appended to.
+	OpUpdate
+	// OpDelete: a blob was removed (explicitly, by sweep, or by lazy
+	// TTL expiry).
+	OpDelete
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case OpCreate:
+		return "create"
+	case OpUpdate:
+		return "update"
+	case OpDelete:
+		return "delete"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one storage mutation. Seq is a per-backend monotonically
+// increasing sequence number assigned in operation order, so a
+// subscriber can detect gaps after drops.
+type Event struct {
+	Seq    uint64
+	Op     Op
+	Bucket string
+	Key    string
+	Size   int64
+}
+
+// Subscription is a watch stream. Receive events from C; Close (or the
+// subscribing context's cancellation) ends the stream and closes C.
+type Subscription struct {
+	h       *hub
+	bucket  string
+	ch      chan Event
+	dropped atomic.Uint64
+	// stopAfter detaches the context.AfterFunc cleanup when the
+	// subscription is closed explicitly.
+	stopAfter func() bool
+}
+
+// C returns the event channel. It is closed when the subscription ends.
+func (s *Subscription) C() <-chan Event { return s.ch }
+
+// Dropped reports how many events were discarded because the subscriber
+// fell behind the buffer.
+func (s *Subscription) Dropped() uint64 { return s.dropped.Load() }
+
+// Close ends the subscription and closes C. Safe to call more than
+// once and concurrently with event delivery.
+func (s *Subscription) Close() error {
+	if s.stopAfter != nil {
+		s.stopAfter()
+	}
+	s.h.unsubscribe(s)
+	return nil
+}
+
+// hub fans events out to subscriptions. emit is called with the owning
+// index's mutex held, which is what guarantees delivery order matches
+// operation order; the hub's own lock only protects the subscriber set
+// and never calls back into the index.
+type hub struct {
+	mu     sync.Mutex
+	seq    uint64
+	subs   map[*Subscription]struct{}
+	closed bool
+}
+
+func (h *hub) subscribe(ctx context.Context, bucket string, buf int) *Subscription {
+	if buf <= 0 {
+		buf = defaultWatchBuffer
+	}
+	s := &Subscription{h: h, bucket: bucket, ch: make(chan Event, buf)}
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		close(s.ch)
+		return s
+	}
+	if h.subs == nil {
+		h.subs = map[*Subscription]struct{}{}
+	}
+	h.subs[s] = struct{}{}
+	h.mu.Unlock()
+	if ctx != nil && ctx.Done() != nil {
+		// The callback goes straight to unsubscribe rather than s.Close so
+		// it never races with this assignment.
+		s.stopAfter = context.AfterFunc(ctx, func() { h.unsubscribe(s) })
+	}
+	return s
+}
+
+func (h *hub) unsubscribe(s *Subscription) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.subs[s]; !ok {
+		return
+	}
+	delete(h.subs, s)
+	close(s.ch)
+}
+
+// emit assigns the next sequence number and delivers to matching
+// subscribers without blocking: a full buffer drops the event for that
+// subscriber only.
+func (h *hub) emit(op Op, bucket, key string, size int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.seq++
+	ev := Event{Seq: h.seq, Op: op, Bucket: bucket, Key: key, Size: size}
+	for s := range h.subs {
+		if s.bucket != "" && s.bucket != bucket {
+			continue
+		}
+		select {
+		case s.ch <- ev:
+		default:
+			s.dropped.Add(1)
+		}
+	}
+}
+
+// closeAll ends every subscription (backend Close).
+func (h *hub) closeAll() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for s := range h.subs {
+		delete(h.subs, s)
+		close(s.ch)
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"errors"
+	"io"
 	"strings"
 	"sync"
 	"testing"
@@ -47,6 +48,34 @@ func (f *flakyObjects) Put(ctx context.Context, bucket, key string, data []byte,
 		return errors.New("injected: file server unavailable")
 	}
 	return f.inner.Put(ctx, bucket, key, data, ttl)
+}
+
+// The streaming pair shares the failure counters with Get/Put, so the
+// worker's streamed download path exercises the same injected faults.
+func (f *flakyObjects) GetReader(ctx context.Context, bucket, key string) (io.ReadCloser, int64, error) {
+	f.mu.Lock()
+	fail := f.failGets > 0
+	if fail {
+		f.failGets--
+	}
+	f.mu.Unlock()
+	if fail {
+		return nil, 0, errors.New("injected: file server unavailable")
+	}
+	return f.inner.GetReader(ctx, bucket, key)
+}
+
+func (f *flakyObjects) PutReader(ctx context.Context, bucket, key string, r io.Reader, size int64, ttl time.Duration) error {
+	f.mu.Lock()
+	fail := f.failPuts > 0
+	if fail {
+		f.failPuts--
+	}
+	f.mu.Unlock()
+	if fail {
+		return errors.New("injected: file server unavailable")
+	}
+	return f.inner.PutReader(ctx, bucket, key, r, size, ttl)
 }
 
 func (f *flakyObjects) List(ctx context.Context, bucket, prefix string) ([]objstore.ObjectInfo, error) {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"io"
 	"time"
 
 	"rai/internal/broker"
@@ -206,9 +207,15 @@ func (s remoteSub) Close() error       { return s.conn.Close() }
 
 // Objects is the file-server port, satisfied by the HTTP client
 // (objstore.Client) directly and by the engine through LocalObjects.
+// The streaming pair moves archives without materializing them: the
+// client uploads from a temp file, the worker unpacks straight off the
+// response body. size < 0 means unknown (chunked upload); GetReader's
+// int64 is the content length (-1 when the server does not say).
 type Objects interface {
 	Put(ctx context.Context, bucket, key string, data []byte, ttl time.Duration) error
 	Get(ctx context.Context, bucket, key string) ([]byte, error)
+	PutReader(ctx context.Context, bucket, key string, r io.Reader, size int64, ttl time.Duration) error
+	GetReader(ctx context.Context, bucket, key string) (io.ReadCloser, int64, error)
 	List(ctx context.Context, bucket, prefix string) ([]objstore.ObjectInfo, error)
 	Delete(ctx context.Context, bucket, key string) error
 }
@@ -233,6 +240,21 @@ func (o LocalObjects) Get(ctx context.Context, bucket, key string) ([]byte, erro
 	}
 	data, _, err := o.S.Get(bucket, key)
 	return data, err
+}
+
+// PutReader implements Objects, streaming into the engine.
+func (o LocalObjects) PutReader(ctx context.Context, bucket, key string, r io.Reader, size int64, ttl time.Duration) error {
+	_, err := o.S.PutReader(ctx, bucket, key, r, ttl)
+	return err
+}
+
+// GetReader implements Objects, streaming out of the engine.
+func (o LocalObjects) GetReader(ctx context.Context, bucket, key string) (io.ReadCloser, int64, error) {
+	rc, info, err := o.S.GetReader(ctx, bucket, key)
+	if err != nil {
+		return nil, 0, err
+	}
+	return rc, info.Size, nil
 }
 
 // List implements Objects.

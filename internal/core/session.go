@@ -216,13 +216,15 @@ func tokenFor(c *Client, req *JobRequest) string {
 func (w *Worker) runSession(ctx context.Context, req *JobRequest, logf func(kind, format string, args ...any)) execResult {
 	var res execResult
 
-	archive, err := w.Objects.Get(ctx, req.UploadBucket, req.UploadKey)
+	rc, _, err := w.Objects.GetReader(ctx, req.UploadBucket, req.UploadKey)
 	if err != nil {
 		logf(LogSystem, "cannot download project archive: %v", err)
 		return res
 	}
 	hostFS := vfs.New()
-	if err := unpackProject(archive, hostFS); err != nil {
+	err = unpackProject(rc, hostFS)
+	rc.Close()
+	if err != nil {
 		logf(LogSystem, "cannot unpack project archive: %v", err)
 		return res
 	}

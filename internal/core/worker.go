@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"strings"
 	"sync"
 	"time"
@@ -461,20 +462,25 @@ type execResult struct {
 func (w *Worker) execute(ctx context.Context, req *JobRequest, spec *build.Spec, logf func(kind, format string, args ...any), parent *telemetry.Span) execResult {
 	var res execResult
 
-	// Worker step 4: download and unpack the project archive. The
-	// download span rides the request context so the objstore server's
-	// child span nests under it.
+	// Worker step 4: download and unpack the project archive. The body
+	// streams straight into the unpacker — the worker never holds the
+	// compressed archive in memory. The download span rides the request
+	// context so the objstore server's child span nests under it, and
+	// covers the whole transfer (the bytes arrive while unpacking).
 	dl := parent.Child("download")
-	archive, err := w.Objects.Get(telemetry.ContextWithSpan(ctx, dl), req.UploadBucket, req.UploadKey)
+	rc, _, err := w.Objects.GetReader(telemetry.ContextWithSpan(ctx, dl), req.UploadBucket, req.UploadKey)
 	if err != nil {
 		dl.End()
 		logf(LogSystem, "cannot download project archive: %v", err)
 		return res
 	}
-	dl.SetAttr("bytes", fmt.Sprint(len(archive)))
-	dl.End()
 	hostFS := vfs.New()
-	if err := unpackProject(archive, hostFS); err != nil {
+	counted := &countingReader{r: rc}
+	err = unpackProject(counted, hostFS)
+	rc.Close()
+	dl.SetAttr("bytes", fmt.Sprint(counted.n))
+	dl.End()
+	if err != nil {
 		logf(LogSystem, "cannot unpack project archive: %v", err)
 		return res
 	}
@@ -551,9 +557,22 @@ func (w *Worker) execute(ctx context.Context, req *JobRequest, spec *build.Spec,
 	return res
 }
 
-// unpackProject extracts a submitted archive into hostFS at /src.
-func unpackProject(archive []byte, hostFS *vfs.FS) error {
-	return archivex.UnpackVFS(archive, hostFS, "/src", archivex.Limits{})
+// unpackProject extracts a submitted archive streamed from r into
+// hostFS at /src.
+func unpackProject(r io.Reader, hostFS *vfs.FS) error {
+	return archivex.UnpackVFSFrom(r, hostFS, "/src", archivex.Limits{})
+}
+
+// countingReader counts bytes consumed from a stream (span accounting).
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
 }
 
 // packBuild archives the container's /build directory (nil on failure,

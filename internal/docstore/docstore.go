@@ -43,6 +43,12 @@ type DB struct {
 	mu          sync.RWMutex
 	collections map[string]*collection
 	idSeq       uint64
+
+	// Watch plumbing (watch.go). watchMu nests inside mu: mutations emit
+	// while holding mu, so events arrive in operation order.
+	watchMu   sync.Mutex
+	watchSeq  uint64
+	watchSubs map[*WatchSub]struct{}
 }
 
 type collection struct {
@@ -131,6 +137,7 @@ func (db *DB) Insert(collName string, doc any) (string, error) {
 	}
 	c.docs[id] = d
 	c.order = append(c.order, id)
+	db.emit("insert", collName, id)
 	return id, nil
 }
 
@@ -248,6 +255,7 @@ func (db *DB) Update(collName string, filter M, update M) (int, error) {
 			return n, err
 		}
 		n++
+		db.emit("update", collName, id)
 	}
 	return n, nil
 }
@@ -317,6 +325,7 @@ func (db *DB) Delete(collName string, filter M) (int, error) {
 		if match {
 			delete(c.docs, id)
 			n++
+			db.emit("delete", collName, id)
 		} else {
 			kept = append(kept, id)
 		}
@@ -341,7 +350,10 @@ func (db *DB) Collections() []string {
 func (db *DB) Drop(collName string) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	delete(db.collections, collName)
+	if _, ok := db.collections[collName]; ok {
+		delete(db.collections, collName)
+		db.emit("drop", collName, "")
+	}
 }
 
 // Decode re-marshals a stored document into a typed struct.

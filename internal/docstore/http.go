@@ -25,6 +25,8 @@ import (
 //	POST /c/{coll}/update  {"filter": {...}, "update":{}}  -> {"n": 2}
 //	POST /c/{coll}/upsert  {"filter": {...}, "update":{}}  -> {"id": "..."}
 //	POST /c/{coll}/delete  {"filter": {...}}               -> {"n": 1}
+//	GET  /caps                                             -> {"watch": true}
+//	GET  /w/{coll}         ndjson stream of WatchEvent ({coll} empty = all)
 //	GET  /healthz
 
 // AuthFunc validates credentials attached to a request; nil admits all.
@@ -48,6 +50,13 @@ type rpcResponse struct {
 	N     int    `json:"n,omitempty"`
 	Docs  []M    `json:"docs,omitempty"`
 	Error string `json:"error,omitempty"`
+}
+
+// Caps is the capability document served at GET /caps, so clients can
+// negotiate optional features (watch streams) and degrade to polling
+// against servers that lack them.
+type Caps struct {
+	Watch bool `json:"watch"`
 }
 
 // HandlerOption configures the HTTP layer.
@@ -122,6 +131,41 @@ func HandlerStore(db Store, auth AuthFunc, opts ...HandlerOption) http.Handler {
 	if h.reg != nil {
 		mux.Handle("/metrics", h.reg.Handler())
 	}
+	// Capability negotiation: a follower probes /caps before choosing
+	// between a watch stream and polling. Unauthenticated, like /healthz
+	// — it reveals feature flags, not data.
+	watcher, canWatch := db.(Watcher)
+	mux.HandleFunc("/caps", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, Caps{Watch: canWatch})
+	})
+	mux.HandleFunc("/w/", func(w http.ResponseWriter, r *http.Request) {
+		if auth != nil && !auth(r.Header.Get(HeaderAccessKey), r.Header.Get(HeaderSignature), r) {
+			writeJSON(w, http.StatusForbidden, rpcResponse{Error: "forbidden"})
+			return
+		}
+		if !canWatch {
+			writeJSON(w, http.StatusNotImplemented, rpcResponse{Error: "watch unsupported"})
+			return
+		}
+		fl, ok := w.(http.Flusher)
+		if !ok {
+			writeJSON(w, http.StatusInternalServerError, rpcResponse{Error: "streaming unsupported"})
+			return
+		}
+		coll := strings.TrimPrefix(r.URL.Path, "/w/")
+		sub := watcher.Watch(r.Context(), coll)
+		defer sub.Close()
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		fl.Flush()
+		enc := json.NewEncoder(w)
+		for ev := range sub.Events() {
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	})
 	mux.HandleFunc("/c/", func(w http.ResponseWriter, r *http.Request) {
 		start := h.clk.Now()
 		h.inFlight.Add(1)
@@ -152,17 +196,13 @@ func HandlerStore(db Store, auth AuthFunc, opts ...HandlerOption) http.Handler {
 			writeJSON(w, http.StatusBadRequest, rpcResponse{Error: "want /c/{collection}/{verb}"})
 			return
 		}
+		// Decode straight off the wire (bounded) instead of buffering the
+		// whole body first; an empty body is a valid empty request.
 		var req rpcRequest
-		body, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
-		if err != nil {
-			writeJSON(w, http.StatusBadRequest, rpcResponse{Error: err.Error()})
+		dec := json.NewDecoder(io.LimitReader(r.Body, 64<<20))
+		if err := dec.Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+			writeJSON(w, http.StatusBadRequest, rpcResponse{Error: "bad JSON: " + err.Error()})
 			return
-		}
-		if len(body) > 0 {
-			if err := json.Unmarshal(body, &req); err != nil {
-				writeJSON(w, http.StatusBadRequest, rpcResponse{Error: "bad JSON: " + err.Error()})
-				return
-			}
 		}
 		if req.Filter == nil {
 			req.Filter = M{}
@@ -361,6 +401,89 @@ func (c *Client) UpsertContext(ctx context.Context, coll string, filter, update 
 func (c *Client) DeleteContext(ctx context.Context, coll string, filter M) (int, error) {
 	resp, err := c.call(ctx, coll, "delete", rpcRequest{Filter: filter}, true)
 	return resp.N, err
+}
+
+// CapsContext fetches the server's capability document. A
+// pre-capability server (404 on /caps) reports no capabilities and no
+// error, so callers can fall back without special-casing old daemons.
+func (c *Client) CapsContext(ctx context.Context) (Caps, error) {
+	caps, err := netx.DoVal(ctx, c.Policy, func(ctx context.Context) (Caps, error) {
+		hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/caps", nil)
+		if err != nil {
+			return Caps{}, netx.Permanent(err)
+		}
+		if c.Sign != nil {
+			c.Sign(hreq)
+		}
+		hresp, err := c.HTTP.Do(hreq)
+		if err != nil {
+			return Caps{}, err
+		}
+		defer func() {
+			io.Copy(io.Discard, io.LimitReader(hresp.Body, 64<<10))
+			hresp.Body.Close()
+		}()
+		if hresp.StatusCode != http.StatusOK {
+			return Caps{}, &netx.StatusError{Op: "docstore caps", Code: hresp.StatusCode, Msg: hresp.Status}
+		}
+		var caps Caps
+		if err := json.NewDecoder(hresp.Body).Decode(&caps); err != nil {
+			return Caps{}, fmt.Errorf("docstore client: bad caps: %w", err)
+		}
+		return caps, nil
+	})
+	var se *netx.StatusError
+	if errors.As(err, &se) && se.Code == http.StatusNotFound {
+		return Caps{}, nil
+	}
+	return caps, err
+}
+
+// WatchContext subscribes to the server's mutation stream for coll
+// ("" = all collections). The returned channel closes when ctx ends or
+// the stream breaks; callers wanting resilience probe CapsContext and
+// fall back to polling. The stream is long-lived, so it runs outside
+// the retry policy on the caller's context alone.
+func (c *Client) WatchContext(ctx context.Context, coll string) (<-chan WatchEvent, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/w/"+coll, nil)
+	if err != nil {
+		return nil, err
+	}
+	if c.Sign != nil {
+		c.Sign(hreq)
+	}
+	hresp, err := c.HTTP.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	if hresp.StatusCode != http.StatusOK {
+		var resp rpcResponse
+		json.NewDecoder(io.LimitReader(hresp.Body, 64<<10)).Decode(&resp)
+		hresp.Body.Close()
+		msg := resp.Error
+		if msg == "" {
+			msg = hresp.Status
+		}
+		return nil, &netx.StatusError{Op: "docstore watch", Code: hresp.StatusCode, Msg: msg}
+	}
+	ch := make(chan WatchEvent, 16)
+	go func() {
+		defer hresp.Body.Close()
+		defer close(ch)
+		dec := json.NewDecoder(hresp.Body)
+		for {
+			var ev WatchEvent
+			if err := dec.Decode(&ev); err != nil {
+				return
+			}
+			select {
+			case ch <- ev:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return ch, nil
 }
 
 // storeCtx parents the context-free Store adapters below. The Store

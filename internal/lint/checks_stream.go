@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// streamPackageMarkers select the storage data plane: the packages whose
+// whole point after the streaming refactor is that object and journal
+// bytes flow through io.Reader/io.Writer without ever being buffered
+// whole. Matching by import-path substring covers the server, client,
+// and backend halves alike.
+var streamPackageMarkers = []string{"objstore", "docstore", "blobstore"}
+
+// checkStream flags io.ReadAll inside the storage packages. A ReadAll
+// there reintroduces the O(object size) memory spike the streaming
+// storage layer exists to eliminate — one large upload regresses the
+// file server back to buffering whole archives.
+//
+// Two shapes stay legal:
+//   - io.ReadAll(io.LimitReader(r, n)): explicitly bounded, the idiom
+//     for small error bodies and capped metadata reads;
+//   - the blobstore conformance harness, which buffers deliberately so
+//     it can compare full contents across backends.
+func checkStream(prog *Program, pkg *Package) []Diagnostic {
+	if !streamCheckedPath(pkg.Path) {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !isIoFunc(pkg, call.Fun, "ReadAll") {
+				return true
+			}
+			if len(call.Args) == 1 {
+				if inner, ok := call.Args[0].(*ast.CallExpr); ok && isIoFunc(pkg, inner.Fun, "LimitReader") {
+					return true
+				}
+			}
+			diags = append(diags, Diagnostic{
+				Check: "stream",
+				Pos:   prog.Fset.Position(call.Pos()),
+				Message: "io.ReadAll buffers the whole object in the storage data plane: " +
+					"stream through io.Copy/GetReader, or bound it with io.ReadAll(io.LimitReader(r, n))",
+			})
+			return true
+		})
+	}
+	return diags
+}
+
+// streamCheckedPath reports whether an import path belongs to the
+// storage data plane (and is not the conformance harness).
+func streamCheckedPath(path string) bool {
+	if strings.Contains(path, "conformance") {
+		return false
+	}
+	for _, m := range streamPackageMarkers {
+		if strings.Contains(path, m) {
+			return true
+		}
+	}
+	return false
+}
+
+// isIoFunc reports whether fun denotes the standard library io.<name>.
+func isIoFunc(pkg *Package, fun ast.Expr, name string) bool {
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pkg.Info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == "io"
+}

@@ -63,6 +63,7 @@ func Checks() []*Check {
 		{Name: "goloop", Doc: "goroutines do not capture loop variables; pass them as arguments", Run: checkGoLoop},
 		{Name: "wgadd", Doc: "sync.WaitGroup.Add happens before the goroutine it accounts for", Run: checkWgAdd},
 		{Name: "lockcopy", Doc: "types containing sync primitives are not passed, received, or returned by value", Run: checkLockCopy},
+		{Name: "stream", Doc: "no io.ReadAll in the storage data plane (objstore/docstore/blobstore); stream or bound with LimitReader", Run: checkStream},
 	}
 }
 

@@ -1,0 +1,36 @@
+// Package streambadobjstore plants storage-data-plane buffering
+// violations: its fixture path contains "objstore", so the stream check
+// applies. Unbounded io.ReadAll is flagged; LimitReader-bounded reads
+// and plain streaming copies are not.
+package streambadobjstore
+
+import (
+	"io"
+)
+
+// Slurp buffers a whole object in memory.
+func Slurp(r io.Reader) ([]byte, error) {
+	return io.ReadAll(r) // want stream
+}
+
+// SlurpAssigned buffers through an assignment.
+func SlurpAssigned(r io.Reader) int {
+	data, _ := io.ReadAll(r) // want stream
+	return len(data)
+}
+
+// Bounded reads a capped error body; the explicit limit keeps it legal.
+func Bounded(r io.Reader) ([]byte, error) {
+	return io.ReadAll(io.LimitReader(r, 512))
+}
+
+// Streamed copies without buffering.
+func Streamed(w io.Writer, r io.Reader) (int64, error) {
+	return io.Copy(w, r)
+}
+
+// Suppressed documents a deliberate whole-object read.
+func Suppressed(r io.Reader) ([]byte, error) {
+	//lint:ignore stream test fixture for the suppression path
+	return io.ReadAll(r)
+}

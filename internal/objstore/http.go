@@ -12,6 +12,7 @@ import (
 	"strings"
 	"time"
 
+	"rai/internal/blobstore"
 	"rai/internal/clock"
 	"rai/internal/netx"
 	"rai/internal/telemetry"
@@ -28,17 +29,32 @@ const (
 	HeaderSignature = "X-RAI-Signature"
 )
 
+// MaxObjectBytes bounds one uploaded object (2 GiB, as before — but now
+// enforced on the stream, not by buffering the body first).
+const MaxObjectBytes = 2 << 30
+
+// Caps is the JSON document served at /caps: the backend's negotiated
+// capabilities, so clients degrade gracefully against older servers or
+// leaner backends.
+type Caps struct {
+	Stream       bool `json:"stream"`
+	AtomicRename bool `json:"atomic_rename"`
+	Watch        bool `json:"watch"`
+	Append       bool `json:"append"`
+}
+
 // Handler serves the store over HTTP:
 //
-//	PUT    /o/{bucket}/{key}   store (X-RAI-TTL-Seconds optional)
-//	GET    /o/{bucket}/{key}   fetch
+//	PUT    /o/{bucket}/{key}   store (X-RAI-TTL-Seconds optional; body streamed)
+//	GET    /o/{bucket}/{key}   fetch (streamed)
 //	HEAD   /o/{bucket}/{key}   metadata
 //	DELETE /o/{bucket}/{key}   remove
 //	GET    /l/{bucket}?prefix= list (JSON)
+//	GET    /caps               backend capabilities (JSON)
 //	GET    /healthz            liveness
 //	GET    /metrics            Prometheus exposition (with WithTelemetry)
 func Handler(s *Store, auth AuthFunc, opts ...HandlerOption) http.Handler {
-	h := &handlerState{clk: clock.Real{}}
+	h := &handlerState{clk: clock.Real{}, maxBytes: MaxObjectBytes}
 	for _, o := range opts {
 		o(h)
 	}
@@ -49,6 +65,19 @@ func Handler(s *Store, auth AuthFunc, opts ...HandlerOption) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/caps", func(w http.ResponseWriter, r *http.Request) {
+		// Capability negotiation: clients probe this before relying on
+		// optional behaviour (watch vs poll). Unauthenticated like
+		// /healthz — it reveals backend shape, not data.
+		caps := s.Capabilities()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(Caps{
+			Stream:       caps.Has(blobstore.CapStream),
+			AtomicRename: caps.Has(blobstore.CapAtomicRename),
+			Watch:        caps.Has(blobstore.CapWatch),
+			Append:       caps.Has(blobstore.CapAppend),
+		})
 	})
 	if h.reg != nil {
 		mux.Handle("/metrics", h.reg.Handler())
@@ -66,11 +95,6 @@ func Handler(s *Store, auth AuthFunc, opts ...HandlerOption) http.Handler {
 		}
 		switch r.Method {
 		case http.MethodPut:
-			body, err := io.ReadAll(io.LimitReader(r.Body, 2<<30))
-			if err != nil {
-				http.Error(w, err.Error(), http.StatusBadRequest)
-				return
-			}
 			var ttl time.Duration
 			if v := r.Header.Get("X-RAI-TTL-Seconds"); v != "" {
 				secs, err := strconv.ParseInt(v, 10, 64)
@@ -80,23 +104,36 @@ func Handler(s *Store, auth AuthFunc, opts ...HandlerOption) http.Handler {
 				}
 				ttl = time.Duration(secs) * time.Second
 			}
-			info, err := s.Put(bucket, key, body, ttl)
+			// The body streams straight into the backend — the server never
+			// holds the archive in memory. Crossing the size limit aborts
+			// the partial write and answers 413.
+			body := http.MaxBytesReader(w, r.Body, h.maxBytes)
+			info, err := s.PutReader(r.Context(), bucket, key, &countingReader{r: body, c: h.streamIn}, ttl)
 			if err != nil {
+				var tooBig *http.MaxBytesError
+				if errors.As(err, &tooBig) {
+					http.Error(w, fmt.Sprintf("object exceeds the %d byte limit", h.maxBytes), http.StatusRequestEntityTooLarge)
+					return
+				}
 				writeStoreErr(w, err)
 				return
 			}
 			w.Header().Set("ETag", info.ETag)
 			w.WriteHeader(http.StatusCreated)
 		case http.MethodGet:
-			data, info, err := s.Get(bucket, key)
+			rc, info, err := s.GetReader(r.Context(), bucket, key)
 			if err != nil {
 				writeStoreErr(w, err)
 				return
 			}
+			defer rc.Close()
 			w.Header().Set("ETag", info.ETag)
 			w.Header().Set("Content-Type", "application/octet-stream")
-			w.Header().Set("Content-Length", strconv.Itoa(len(data)))
-			w.Write(data)
+			w.Header().Set("Content-Length", strconv.FormatInt(info.Size, 10))
+			// A copy error here is a dead client or a vanished file; headers
+			// are gone, so the short body (vs Content-Length) is the signal.
+			n, _ := io.Copy(w, rc)
+			h.streamOut.Add(float64(n))
 		case http.MethodHead:
 			info, err := s.Head(bucket, key)
 			if err != nil {
@@ -158,8 +195,16 @@ func WithTelemetry(reg *telemetry.Registry) HandlerOption {
 		}
 		h.bytesIn = reg.Counter("rai_objstore_bytes_total", "payload bytes transferred", telemetry.L("direction", "in"))
 		h.bytesOut = reg.Counter("rai_objstore_bytes_total", "payload bytes transferred", telemetry.L("direction", "out"))
+		h.streamIn = reg.Counter("rai_objstore_stream_bytes_total", "object payload bytes moved through the streaming data path", telemetry.L("direction", "in"))
+		h.streamOut = reg.Counter("rai_objstore_stream_bytes_total", "object payload bytes moved through the streaming data path", telemetry.L("direction", "out"))
 		h.inFlight = reg.Gauge("rai_objstore_requests_in_flight", "requests currently being served")
 	}
+}
+
+// WithMaxObjectBytes overrides the per-object upload limit (default
+// MaxObjectBytes).
+func WithMaxObjectBytes(n int64) HandlerOption {
+	return func(h *handlerState) { h.maxBytes = n }
 }
 
 // WithHandlerClock substitutes the latency time source (virtual in tests).
@@ -178,11 +223,14 @@ type handlerState struct {
 	reg      *telemetry.Registry
 	clk      clock.Clock
 	tracer   *telemetry.Tracer
-	requests map[string]*telemetry.Counter
-	latency  map[string]*telemetry.Histogram
-	bytesIn  *telemetry.Counter
-	bytesOut *telemetry.Counter
-	inFlight *telemetry.Gauge
+	requests  map[string]*telemetry.Counter
+	latency   map[string]*telemetry.Histogram
+	bytesIn   *telemetry.Counter
+	bytesOut  *telemetry.Counter
+	streamIn  *telemetry.Counter
+	streamOut *telemetry.Counter
+	inFlight  *telemetry.Gauge
+	maxBytes  int64
 }
 
 func objOp(r *http.Request) string {
@@ -240,6 +288,19 @@ type countingWriter struct {
 func (c *countingWriter) Write(p []byte) (int, error) {
 	n, err := c.ResponseWriter.Write(p)
 	c.n += int64(n)
+	return n, err
+}
+
+// countingReader feeds a stream-byte counter as the body flows through
+// (nil-safe: the counter may be absent when telemetry is off).
+type countingReader struct {
+	r io.Reader
+	c *telemetry.Counter
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.c.Add(float64(n))
 	return n, err
 }
 
@@ -309,7 +370,13 @@ func NewClient(baseURL string, opts ...ClientOption) *Client {
 // deadline. handle consumes a success response; error responses are
 // drained so the pooled connection is reused.
 func (c *Client) roundTrip(ctx context.Context, op string, okStatus int, build func(ctx context.Context) (*http.Request, error), handle func(*http.Response) error) error {
-	return netx.Do(ctx, c.Policy, func(ctx context.Context) error {
+	return c.roundTripPolicy(ctx, c.Policy, op, okStatus, build, handle)
+}
+
+// roundTripPolicy is roundTrip with an explicit policy, for calls whose
+// retry shape differs from the client default (unrewindable streams).
+func (c *Client) roundTripPolicy(ctx context.Context, policy netx.Policy, op string, okStatus int, build func(ctx context.Context) (*http.Request, error), handle func(*http.Response) error) error {
+	return netx.Do(ctx, policy, func(ctx context.Context) error {
 		req, err := build(ctx)
 		if err != nil {
 			return netx.Permanent(err)
@@ -336,12 +403,35 @@ func (c *Client) roundTrip(ctx context.Context, op string, okStatus int, build f
 	})
 }
 
-// Put uploads data to bucket/key with an optional TTL.
+// Put uploads data to bucket/key with an optional TTL. Thin adapter
+// over PutReader for callers already holding the object in memory.
 func (c *Client) Put(ctx context.Context, bucket, key string, data []byte, ttl time.Duration) error {
-	return c.roundTrip(ctx, "put", http.StatusCreated, func(ctx context.Context) (*http.Request, error) {
-		req, err := http.NewRequestWithContext(ctx, http.MethodPut, c.objURL(bucket, key), bytes.NewReader(data))
+	return c.PutReader(ctx, bucket, key, bytes.NewReader(data), int64(len(data)), ttl)
+}
+
+// PutReader uploads the stream r (size bytes, or -1 when unknown) to
+// bucket/key. When r is an io.ReadSeeker — a file, a bytes.Reader —
+// each retry attempt rewinds it and the full retry policy applies; a
+// one-shot stream gets a single attempt, because a half-consumed body
+// cannot be replayed.
+func (c *Client) PutReader(ctx context.Context, bucket, key string, r io.Reader, size int64, ttl time.Duration) error {
+	policy := c.Policy
+	seeker, rewindable := r.(io.ReadSeeker)
+	if !rewindable {
+		policy.MaxAttempts = 1
+	}
+	return c.roundTripPolicy(ctx, policy, "put", http.StatusCreated, func(ctx context.Context) (*http.Request, error) {
+		if rewindable {
+			if _, err := seeker.Seek(0, io.SeekStart); err != nil {
+				return nil, netx.Permanent(err)
+			}
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPut, c.objURL(bucket, key), io.NopCloser(r))
 		if err != nil {
 			return nil, err
+		}
+		if size >= 0 {
+			req.ContentLength = size
 		}
 		if ttl > 0 {
 			req.Header.Set("X-RAI-TTL-Seconds", strconv.FormatInt(int64(ttl/time.Second), 10))
@@ -350,20 +440,79 @@ func (c *Client) Put(ctx context.Context, bucket, key string, data []byte, ttl t
 	}, nil)
 }
 
-// Get downloads bucket/key.
+// Get downloads bucket/key into memory. Thin adapter over GetReader;
+// prefer GetReader for archive-sized objects.
 func (c *Client) Get(ctx context.Context, bucket, key string) ([]byte, error) {
-	var data []byte
-	err := c.roundTrip(ctx, "get", http.StatusOK, func(ctx context.Context) (*http.Request, error) {
-		return http.NewRequestWithContext(ctx, http.MethodGet, c.objURL(bucket, key), nil)
-	}, func(resp *http.Response) error {
-		var err error
-		data, err = io.ReadAll(resp.Body)
-		return err
-	})
+	rc, size, err := c.GetReader(ctx, bucket, key)
 	if err != nil {
 		return nil, err
 	}
-	return data, nil
+	defer rc.Close()
+	if size >= 0 {
+		data := make([]byte, size)
+		if _, err := io.ReadFull(rc, data); err != nil {
+			return nil, err
+		}
+		return data, nil
+	}
+	//lint:ignore stream []byte adapter by contract; size-unknown fallback, streaming callers use GetReader
+	return io.ReadAll(rc)
+}
+
+// GetReader streams bucket/key: it returns the response body and the
+// advertised size (-1 when unknown). The caller must Close the reader.
+// Retries cover connecting and the response header; once the stream is
+// handed over, a mid-body failure surfaces as a read error.
+func (c *Client) GetReader(ctx context.Context, bucket, key string) (io.ReadCloser, int64, error) {
+	policy := c.Policy
+	// The body outlives the retry loop, so the request deliberately binds
+	// to the caller's ctx, not the per-attempt one (which Do cancels as
+	// the attempt returns), and no overall budget applies — only the
+	// caller's ctx bounds the stream.
+	policy.Overall = 0
+	//lint:ignore httpresp the body IS the return value; the caller must Close it
+	resp, err := netx.DoVal(ctx, policy, func(context.Context) (*http.Response, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.objURL(bucket, key), nil)
+		if err != nil {
+			return nil, netx.Permanent(err)
+		}
+		if c.Sign != nil {
+			c.Sign(req)
+		}
+		telemetry.InjectHTTP(ctx, req.Header)
+		resp, err := c.HTTP.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, httpError("get", resp)
+		}
+		return resp, nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return resp.Body, resp.ContentLength, nil
+}
+
+// Caps fetches the server's capability document. A server predating
+// /caps answers 404, which reports as no optional capabilities rather
+// than an error — exactly the degradation the negotiation exists for.
+func (c *Client) Caps(ctx context.Context) (Caps, error) {
+	var caps Caps
+	err := c.roundTrip(ctx, "caps", http.StatusOK, func(ctx context.Context) (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/caps", nil)
+	}, func(resp *http.Response) error {
+		return json.NewDecoder(resp.Body).Decode(&caps)
+	})
+	if err != nil {
+		var se *netx.StatusError
+		if errors.As(err, &se) && se.Code == http.StatusNotFound {
+			return Caps{}, nil
+		}
+		return Caps{}, err
+	}
+	return caps, nil
 }
 
 // Delete removes bucket/key.

@@ -5,307 +5,218 @@
 // after which they get deleted" (1–3 months in the paper's deployment;
 // expiry is measured from last use, matching §V step 3).
 //
-// The package provides an in-process engine (Store), an HTTP server
-// exposing it, and an HTTP client, so the same code path works embedded
-// in simulations and as a standalone daemon.
+// The storage engine itself lives in internal/blobstore (memory and
+// disk backends behind one streaming interface); this package is the
+// object-server facade over a blobstore.Backend: an in-process API
+// (Store), an HTTP server exposing it, and an HTTP client, so the same
+// code path works embedded in simulations and as a standalone daemon.
+// Archives stream through — PutReader/GetReader on both Store and
+// Client move bytes without materializing them, and the []byte
+// Put/Get remain as thin adapters for small objects and older callers.
 package objstore
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
-	"errors"
-	"fmt"
-	"sort"
-	"strings"
-	"sync"
+	"context"
+	"io"
 	"time"
 
+	"rai/internal/blobstore"
 	"rai/internal/clock"
 )
 
-// Errors reported by the store.
+// Errors reported by the store. These alias the blobstore sentinels, so
+// errors.Is works across both packages' names for the same condition.
 var (
-	ErrNoBucket  = errors.New("objstore: no such bucket")
-	ErrNoObject  = errors.New("objstore: no such object")
-	ErrBadName   = errors.New("objstore: invalid bucket or key")
-	ErrQuota     = errors.New("objstore: capacity exceeded")
-	ErrKeyExists = errors.New("objstore: bucket already exists")
+	ErrNoBucket  = blobstore.ErrNoBucket
+	ErrNoObject  = blobstore.ErrNotFound
+	ErrBadName   = blobstore.ErrBadName
+	ErrQuota     = blobstore.ErrQuota
+	ErrKeyExists = blobstore.ErrExists
 )
 
-// ObjectInfo is object metadata.
-type ObjectInfo struct {
-	Bucket   string
-	Key      string
-	Size     int64
-	ETag     string // hex SHA-256 of the content
-	Modified time.Time
-	LastUsed time.Time
-	// TTL is the lifetime measured from LastUsed; zero means no expiry.
-	TTL time.Duration
-}
+// ObjectInfo is object metadata (the blobstore Info, re-exported under
+// the name this package always used).
+type ObjectInfo = blobstore.Info
 
-type object struct {
-	data []byte
-	info ObjectInfo
-}
-
-// Store is the in-memory object store engine.
+// Store is the object-store engine: a thin, context-free facade over a
+// blobstore.Backend, preserved because simulations and the HTTP
+// handler drive it synchronously.
 type Store struct {
-	mu       sync.RWMutex
-	buckets  map[string]map[string]*object
-	clk      clock.Clock
-	capacity int64 // 0 = unlimited
-	used     int64
-	// defaultTTL applies to objects stored without an explicit TTL.
-	defaultTTL time.Duration
-	// diskDir, when set, write-throughs objects to disk (see disk.go).
-	diskDir string
+	be blobstore.Backend
 }
 
-// Option configures a Store.
-type Option func(*Store)
+// Option configures the backend a Store constructor builds.
+type Option func(*[]blobstore.Option)
 
 // WithClock substitutes the time source.
-func WithClock(c clock.Clock) Option { return func(s *Store) { s.clk = c } }
+func WithClock(c clock.Clock) Option {
+	return func(o *[]blobstore.Option) { *o = append(*o, blobstore.WithClock(c)) }
+}
 
 // WithCapacity bounds total stored bytes.
-func WithCapacity(n int64) Option { return func(s *Store) { s.capacity = n } }
+func WithCapacity(n int64) Option {
+	return func(o *[]blobstore.Option) { *o = append(*o, blobstore.WithCapacity(n)) }
+}
 
 // WithDefaultTTL sets the lifetime applied when Put is called with ttl=0.
 // The paper's deployment used one month.
-func WithDefaultTTL(d time.Duration) Option { return func(s *Store) { s.defaultTTL = d } }
+func WithDefaultTTL(d time.Duration) Option {
+	return func(o *[]blobstore.Option) { *o = append(*o, blobstore.WithDefaultTTL(d)) }
+}
+
+func backendOptions(opts []Option) []blobstore.Option {
+	var bopts []blobstore.Option
+	for _, o := range opts {
+		o(&bopts)
+	}
+	return bopts
+}
 
 // New creates an empty in-memory store. For a disk-backed store use
-// Open (WithDiskDir passed here is ignored to keep New infallible).
+// Open; for mount tables or custom engines use NewWithBackend.
 func New(opts ...Option) *Store {
-	s := &Store{buckets: map[string]map[string]*object{}, clk: clock.Real{}}
-	for _, o := range opts {
-		o(s)
-	}
-	s.diskDir = ""
-	return s
+	return &Store{be: blobstore.NewMemory(backendOptions(opts)...)}
 }
 
 // Open creates a store that persists objects under dir, loading whatever
-// a previous run left there.
+// a previous run left there (only metadata is loaded; object bytes stay
+// on disk and stream on demand).
 func Open(dir string, opts ...Option) (*Store, error) {
-	s := &Store{buckets: map[string]map[string]*object{}, clk: clock.Real{}}
-	for _, o := range opts {
-		o(s)
+	be, err := blobstore.NewDisk(dir, backendOptions(opts)...)
+	if err != nil {
+		return nil, err
 	}
-	s.diskDir = dir
-	if err := s.loadDisk(); err != nil {
-		return nil, fmt.Errorf("objstore: loading %s: %w", dir, err)
-	}
-	return s, nil
+	return &Store{be: be}, nil
 }
 
-func validBucket(b string) bool {
-	if b == "" || len(b) > 63 {
-		return false
-	}
-	for _, r := range b {
-		switch {
-		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-', r == '.':
-		default:
-			return false
-		}
-	}
-	return true
-}
+// NewWithBackend wraps an existing backend (e.g. a blobstore.Table
+// routing bucket prefixes to different engines).
+func NewWithBackend(be blobstore.Backend) *Store { return &Store{be: be} }
 
-func validKey(k string) bool {
-	if k == "" || len(k) > 512 || strings.HasPrefix(k, "/") {
-		return false
-	}
-	for _, seg := range strings.Split(k, "/") {
-		if seg == "" || seg == "." || seg == ".." {
-			return false
-		}
-	}
-	return true
-}
+// Backend exposes the underlying engine for capability negotiation and
+// watch subscriptions.
+func (s *Store) Backend() blobstore.Backend { return s.be }
+
+// Capabilities reports what the underlying backend supports.
+func (s *Store) Capabilities() blobstore.Capability { return s.be.Capabilities() }
+
+// Close releases the backend (ends watch subscriptions).
+func (s *Store) Close() error { return s.be.Close() }
+
+// The Store API is deliberately context-free — simulations and tests
+// drive it synchronously — so this is the one sanctioned root context
+// for the backend calls underneath it. Context-aware callers use
+// PutReader/GetReader/Watch, which take the caller's context.
+//
+//lint:ignore ctxbg the context-free Store facade needs a root context; ctx-aware callers use the *Reader/Watch methods
+var storeCtx = context.Background()
 
 // CreateBucket makes a bucket; creating an existing bucket is an error.
 func (s *Store) CreateBucket(bucket string) error {
-	if !validBucket(bucket) {
-		return fmt.Errorf("%w: bucket %q", ErrBadName, bucket)
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.buckets[bucket]; ok {
-		return fmt.Errorf("%w: %q", ErrKeyExists, bucket)
-	}
-	s.buckets[bucket] = map[string]*object{}
-	return nil
+	return s.be.MakeBucket(storeCtx, bucket)
 }
 
 // Put stores data at bucket/key (creating the bucket implicitly, as the
 // RAI deployment pre-creates only a handful of well-known buckets). A
-// zero ttl adopts the store default.
+// zero ttl adopts the store default. Thin adapter over PutReader for
+// callers holding small objects in memory.
 func (s *Store) Put(bucket, key string, data []byte, ttl time.Duration) (ObjectInfo, error) {
-	if !validBucket(bucket) || !validKey(key) {
-		return ObjectInfo{}, fmt.Errorf("%w: %q/%q", ErrBadName, bucket, key)
+	w, err := s.be.Create(storeCtx, bucket, key, blobstore.PutOptions{TTL: ttl})
+	if err != nil {
+		return ObjectInfo{}, err
 	}
-	if ttl == 0 {
-		ttl = s.defaultTTL
+	if _, err := w.Write(data); err != nil {
+		w.Abort()
+		return ObjectInfo{}, err
 	}
-	sum := sha256.Sum256(data)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	bk, ok := s.buckets[bucket]
-	if !ok {
-		bk = map[string]*object{}
-		s.buckets[bucket] = bk
+	if err := w.Close(); err != nil {
+		return ObjectInfo{}, err
 	}
-	var prev int64
-	if old, ok := bk[key]; ok {
-		prev = old.info.Size
+	return w.Info(), nil
+}
+
+// PutReader streams r into bucket/key; nothing becomes visible unless
+// the whole stream commits, and a failed copy cleans up its partial
+// write.
+func (s *Store) PutReader(ctx context.Context, bucket, key string, r io.Reader, ttl time.Duration) (ObjectInfo, error) {
+	w, err := s.be.Create(ctx, bucket, key, blobstore.PutOptions{TTL: ttl})
+	if err != nil {
+		return ObjectInfo{}, err
 	}
-	if s.capacity > 0 && s.used-prev+int64(len(data)) > s.capacity {
-		return ObjectInfo{}, fmt.Errorf("%w: %d bytes requested", ErrQuota, len(data))
+	if _, err := io.Copy(w, r); err != nil {
+		w.Abort()
+		return ObjectInfo{}, err
 	}
-	s.used += int64(len(data)) - prev
-	now := s.clk.Now()
-	obj := &object{
-		data: append([]byte(nil), data...),
-		info: ObjectInfo{
-			Bucket: bucket, Key: key, Size: int64(len(data)),
-			ETag: hex.EncodeToString(sum[:]), Modified: now, LastUsed: now, TTL: ttl,
-		},
+	if err := w.Close(); err != nil {
+		return ObjectInfo{}, err
 	}
-	bk[key] = obj
-	if err := s.persistPut(obj); err != nil {
-		return ObjectInfo{}, fmt.Errorf("objstore: persisting %s/%s: %w", bucket, key, err)
-	}
-	return obj.info, nil
+	return w.Info(), nil
 }
 
 // Get returns the object content and refreshes its last-use time (the
-// paper: "deleted one month after the last use").
+// paper: "deleted one month after the last use"). Thin adapter over
+// GetReader; the returned slice is freshly allocated, never aliasing
+// store internals.
 func (s *Store) Get(bucket, key string) ([]byte, ObjectInfo, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	obj, err := s.lookupLocked(bucket, key)
+	rc, info, err := s.be.Open(storeCtx, bucket, key)
 	if err != nil {
 		return nil, ObjectInfo{}, err
 	}
-	obj.info.LastUsed = s.clk.Now()
-	return append([]byte(nil), obj.data...), obj.info, nil
+	defer rc.Close()
+	data := make([]byte, info.Size)
+	if _, err := io.ReadFull(rc, data); err != nil {
+		return nil, ObjectInfo{}, err
+	}
+	return data, info, nil
+}
+
+// GetReader returns a streaming reader over the object content,
+// refreshing last-use. The caller must Close it.
+func (s *Store) GetReader(ctx context.Context, bucket, key string) (io.ReadCloser, ObjectInfo, error) {
+	return s.be.Open(ctx, bucket, key)
 }
 
 // Head returns metadata without touching last-use.
 func (s *Store) Head(bucket, key string) (ObjectInfo, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	obj, err := s.lookupLocked(bucket, key)
-	if err != nil {
-		return ObjectInfo{}, err
-	}
-	return obj.info, nil
-}
-
-func (s *Store) lookupLocked(bucket, key string) (*object, error) {
-	bk, ok := s.buckets[bucket]
-	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrNoBucket, bucket)
-	}
-	obj, ok := bk[key]
-	if !ok {
-		return nil, fmt.Errorf("%w: %q/%q", ErrNoObject, bucket, key)
-	}
-	if s.expiredLocked(obj) {
-		delete(bk, key)
-		s.used -= obj.info.Size
-		s.persistDelete(bucket, key)
-		return nil, fmt.Errorf("%w: %q/%q (expired)", ErrNoObject, bucket, key)
-	}
-	return obj, nil
-}
-
-func (s *Store) expiredLocked(o *object) bool {
-	return o.info.TTL > 0 && s.clk.Now().After(o.info.LastUsed.Add(o.info.TTL))
+	return s.be.Stat(storeCtx, bucket, key)
 }
 
 // Delete removes an object.
 func (s *Store) Delete(bucket, key string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	bk, ok := s.buckets[bucket]
-	if !ok {
-		return fmt.Errorf("%w: %q", ErrNoBucket, bucket)
-	}
-	obj, ok := bk[key]
-	if !ok {
-		return fmt.Errorf("%w: %q/%q", ErrNoObject, bucket, key)
-	}
-	s.used -= obj.info.Size
-	delete(bk, key)
-	s.persistDelete(bucket, key)
-	return nil
+	return s.be.Remove(storeCtx, bucket, key)
 }
 
 // List returns metadata for keys in bucket with the given prefix, sorted
 // by key. Expired objects are excluded (and lazily collected).
 func (s *Store) List(bucket, prefix string) ([]ObjectInfo, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	bk, ok := s.buckets[bucket]
-	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrNoBucket, bucket)
-	}
-	var out []ObjectInfo
-	for key, obj := range bk {
-		if !strings.HasPrefix(key, prefix) {
-			continue
-		}
-		if s.expiredLocked(obj) {
-			delete(bk, key)
-			s.used -= obj.info.Size
-			s.persistDelete(bucket, key)
-			continue
-		}
-		out = append(out, obj.info)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
-	return out, nil
+	return s.be.List(storeCtx, bucket, prefix)
 }
 
 // Buckets lists bucket names, sorted.
 func (s *Store) Buckets() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]string, 0, len(s.buckets))
-	for b := range s.buckets {
-		out = append(out, b)
+	names, err := s.be.Buckets(storeCtx)
+	if err != nil {
+		return nil
 	}
-	sort.Strings(out)
-	return out
+	return names
 }
 
 // Used reports total stored bytes (expired-but-uncollected objects
 // included until a sweep or access removes them).
 func (s *Store) Used() int64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.used
+	n, err := s.be.Used(storeCtx)
+	if err != nil {
+		return 0
+	}
+	return n
 }
 
 // Sweep removes all expired objects and reports how many were deleted.
 // Deployments run this periodically; simulations call it explicitly.
 func (s *Store) Sweep() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	n := 0
-	for bucket, bk := range s.buckets {
-		for key, obj := range bk {
-			if s.expiredLocked(obj) {
-				delete(bk, key)
-				s.used -= obj.info.Size
-				s.persistDelete(bucket, key)
-				n++
-			}
-		}
+	n, err := s.be.Sweep(storeCtx)
+	if err != nil {
+		return 0
 	}
 	return n
 }
@@ -313,12 +224,11 @@ func (s *Store) Sweep() int {
 // Touch refreshes an object's last-use time without reading it (used
 // when a URL is shared but the content is not yet fetched).
 func (s *Store) Touch(bucket, key string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	obj, err := s.lookupLocked(bucket, key)
-	if err != nil {
-		return err
-	}
-	obj.info.LastUsed = s.clk.Now()
-	return nil
+	return s.be.Touch(storeCtx, bucket, key)
+}
+
+// Watch subscribes to create/update/delete events for bucket ("" = all)
+// when the backend supports watching.
+func (s *Store) Watch(ctx context.Context, bucket string) (*blobstore.Subscription, error) {
+	return s.be.Watch(ctx, bucket)
 }
