@@ -65,6 +65,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	dialTimeout := fs.Duration("dial-timeout", brokerd.DefaultDialTimeout, "broker dial timeout per attempt")
 	rpcAttempts := fs.Int("rpc-attempts", netx.DefaultMaxAttempts, "attempts per RPC before giving up")
 	rpcTimeout := fs.Duration("rpc-timeout", 0, "per-attempt RPC deadline (0 = each service's default)")
+	traceSample := fs.Float64("trace-sample", 1, "head-sampling rate for this submission's trace (decided at the root, propagated everywhere)")
 	fs.Usage = func() {
 		fmt.Fprintln(stderr, "usage: rai [flags] run|submit|session|ranking|version")
 		fs.PrintDefaults()
@@ -99,11 +100,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	switch cmd {
 	case "run", "submit":
-		return submit(ctx, cmd, creds, *projectDir, *brokerAddr, *fsURL, *timeout, rpc, stdout, stderr)
+		return submit(ctx, cmd, creds, *projectDir, *brokerAddr, *fsURL, *timeout, rpc, *traceSample, stdout, stderr)
 	case "ranking":
 		return showRanking(creds, *dbURL, stdout, stderr)
 	case "session":
-		return session(ctx, creds, *projectDir, *brokerAddr, *fsURL, *timeout, rpc, os.Stdin, stdout, stderr)
+		return session(ctx, creds, *projectDir, *brokerAddr, *fsURL, *timeout, rpc, *traceSample, os.Stdin, stdout, stderr)
 	default:
 		fmt.Fprintf(stderr, "rai: unknown command %q\n", cmd)
 		return 2
@@ -131,18 +132,25 @@ func (r rpcConfig) objects(baseURL string) *objstore.Client {
 // collector can assemble the job timeline (`raiadmin trace <job_id>`).
 // Records ship in the background and nothing is printed locally; the
 // returned func flushes whatever is pending before the process exits.
-func observe(ctx context.Context, queue core.Queue) (*telemetry.Tracer, *telemetry.Logger, func()) {
+// The CLI is the trace root: when sampleRate < 1 the returned sampler
+// decides keep/drop here, and the verdict rides the job envelope so
+// every downstream service agrees without coordination.
+func observe(ctx context.Context, queue core.Queue, sampleRate float64) (*telemetry.Tracer, *telemetry.Sampler, *telemetry.Logger, func()) {
 	exp := telemetry.NewExporter(ctx, "rai", core.ShipTelemetry(queue))
-	tracer := telemetry.NewTracer(256, telemetry.WithSpanSink(exp.ExportSpan),
+	var sampler *telemetry.Sampler
+	if sampleRate < 1 {
+		sampler = telemetry.NewSampler(sampleRate)
+	}
+	tracer := telemetry.NewTracer(256, telemetry.WithSpanSink(sampler.SpanSink(exp.ExportSpan)),
 		telemetry.WithTracerInstance(telemetry.NewInstanceID("rai")))
 	logger := telemetry.NewLogger("rai", telemetry.WithLogSink(exp.ExportEvent))
-	return tracer, logger, func() { exp.Close() }
+	return tracer, sampler, logger, func() { exp.Close() }
 }
 
 // session opens an interactive container and relays stdin commands —
 // the §VIII future-work feature ("interactive sessions to enable more
 // debugging and profiling tools").
-func session(ctx context.Context, creds auth.Credentials, dir, brokerAddr, fsURL string, timeout time.Duration, rpc rpcConfig, stdin io.Reader, stdout, stderr io.Writer) int {
+func session(ctx context.Context, creds auth.Credentials, dir, brokerAddr, fsURL string, timeout time.Duration, rpc rpcConfig, sampleRate float64, stdin io.Reader, stdout, stderr io.Writer) int {
 	archive, err := archivex.PackDir(dir)
 	if err != nil {
 		fmt.Fprintf(stderr, "rai: packing project: %v\n", err)
@@ -154,7 +162,7 @@ func session(ctx context.Context, creds auth.Credentials, dir, brokerAddr, fsURL
 		return 1
 	}
 	defer queue.Close()
-	tracer, logger, flushTel := observe(ctx, queue)
+	tracer, sampler, logger, flushTel := observe(ctx, queue, sampleRate)
 	defer flushTel()
 	client := &core.Client{
 		Creds: creds, Queue: queue,
@@ -162,6 +170,7 @@ func session(ctx context.Context, creds auth.Credentials, dir, brokerAddr, fsURL
 		Stdout:  stdout,
 		LogWait: timeout,
 		Tracer:  tracer,
+		Sampler: sampler,
 		Log:     logger,
 	}
 	sess, err := client.OpenSessionContext(ctx, archive)
@@ -204,7 +213,7 @@ func session(ctx context.Context, creds auth.Credentials, dir, brokerAddr, fsURL
 }
 
 // submit runs the §V client sequence against a live deployment.
-func submit(ctx context.Context, cmd string, creds auth.Credentials, dir, brokerAddr, fsURL string, timeout time.Duration, rpc rpcConfig, stdout, stderr io.Writer) int {
+func submit(ctx context.Context, cmd string, creds auth.Credentials, dir, brokerAddr, fsURL string, timeout time.Duration, rpc rpcConfig, sampleRate float64, stdout, stderr io.Writer) int {
 	// Client step 1: the project directory must exist; rai-build.yml is
 	// optional (the Listing 1 default applies).
 	info, err := os.Stat(dir)
@@ -253,7 +262,7 @@ func submit(ctx context.Context, cmd string, creds auth.Credentials, dir, broker
 		return 1
 	}
 	defer queue.Close()
-	tracer, logger, flushTel := observe(ctx, queue)
+	tracer, sampler, logger, flushTel := observe(ctx, queue, sampleRate)
 	defer flushTel()
 	client := &core.Client{
 		Creds:   creds,
@@ -262,6 +271,7 @@ func submit(ctx context.Context, cmd string, creds auth.Credentials, dir, broker
 		Stdout:  stdout,
 		LogWait: timeout,
 		Tracer:  tracer,
+		Sampler: sampler,
 		Log:     logger,
 	}
 	res, err := client.SubmitReaderContext(ctx, kind, spec, archive, size)

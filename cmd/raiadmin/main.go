@@ -12,8 +12,14 @@
 //	raiadmin rerun   -db url -fs url -broker addr -keys keys.json -team NAME [-n 5]
 //	raiadmin grade   -db url [-manual manual.csv] [-target-accuracy 0.9]
 //	raiadmin top     [-filter prefix] [-buckets] [-json] URL [URL...]
-//	raiadmin collect -broker addr -db url [-metrics-addr addr] [-ready-file path]
+//	raiadmin collect -broker addr -db url [-metrics-addr addr] [-retain 24h]
+//	                 [-tail-linger 2s] [-tail-keep 0.1] [-tail-slow-quantile 0.99]
+//	                 [-slo config.json] [-slo-scrape url,url] [-slo-interval 15s]
+//	                 [-ready-file path]
+//	raiadmin health  [-slo config.json] [-json] URL [URL...]
+//	raiadmin alerts  [-slo config.json] [-json] URL [URL...]
 //	raiadmin trace   [-db url] JOB_ID
+//	raiadmin trace   -exemplar slowest -metrics url [-metric prefix] [-db url]
 //	raiadmin logs    [-db url] [-follow] JOB_ID
 //	raiadmin version
 package main
@@ -56,7 +62,7 @@ func main() {
 
 func run(args []string, stdout, stderr io.Writer) int {
 	if len(args) < 1 {
-		fmt.Fprintln(stderr, "usage: raiadmin keygen|teamgen|ranking|download|rerun|grade|top|collect|trace|logs|version [flags]")
+		fmt.Fprintln(stderr, "usage: raiadmin keygen|teamgen|ranking|download|rerun|grade|top|collect|health|alerts|trace|logs|version [flags]")
 		return 2
 	}
 	switch args[0] {
@@ -79,6 +85,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return top(args[1:], stdout, stderr)
 	case "collect":
 		return collect(args[1:], stdout, stderr)
+	case "health":
+		return health(args[1:], stdout, stderr)
+	case "alerts":
+		return alerts(args[1:], stdout, stderr)
 	case "trace":
 		return traceCmd(args[1:], stdout, stderr)
 	case "logs":

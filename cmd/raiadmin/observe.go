@@ -13,6 +13,7 @@ import (
 	"os"
 	"os/signal"
 	"rai/internal/clock"
+	"strings"
 	"syscall"
 	"time"
 
@@ -24,7 +25,10 @@ import (
 )
 
 // collect subscribes to the rai.telemetry route and persists batches
-// into the database until interrupted.
+// into the database until interrupted. Optional stages ride along:
+// tail-based trace retention (-tail-linger), a TTL sweep over the
+// persisted collections (-retain), and an SLO engine that scrapes the
+// deployment and exports rai_slo_* gauges (-slo-scrape).
 func collect(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("raiadmin collect", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -32,6 +36,13 @@ func collect(args []string, stdout, stderr io.Writer) int {
 	dbURL := fs.String("db", "http://127.0.0.1:7402", "database URL")
 	metricsAddr := fs.String("metrics-addr", "", "serve the collector's own /metrics here (empty = off)")
 	prefetch := fs.Int("prefetch", 64, "subscription in-flight window")
+	retain := fs.Duration("retain", 0, "delete persisted traces and events older than this (0 = keep forever)")
+	tailLinger := fs.Duration("tail-linger", 0, "buffer each trace this long after its last span before deciding retention (0 = persist everything immediately)")
+	tailKeep := fs.Float64("tail-keep", 0.1, "retention probability for traces that are neither errored nor slow (with -tail-linger)")
+	tailSlow := fs.Float64("tail-slow-quantile", 0.99, "always keep traces with root duration at or above this quantile of the observed distribution (with -tail-linger)")
+	sloPath := fs.String("slo", "", "SLO config JSON (empty = the built-in objectives)")
+	sloScrape := fs.String("slo-scrape", "", "comma-separated metrics URLs to evaluate SLOs against (empty = SLO engine off)")
+	sloInterval := fs.Duration("slo-interval", 15*time.Second, "SLO scrape cadence (with -slo-scrape)")
 	readyPath := fs.String("ready-file", "", "write a JSON readiness document (pid, metrics address) here once collecting")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -46,9 +57,10 @@ func collect(args []string, stdout, stderr io.Writer) int {
 	reg := telemetry.NewRegistry()
 	telemetry.RegisterBuildInfo(reg, "raiadmin-collect", version, nil)
 	telemetry.RegisterProcessMetrics(reg)
+	health := telemetry.NewHealth()
 	var metricsBound string
 	if *metricsAddr != "" {
-		addr, closeMetrics, err := reg.ServeMetrics(*metricsAddr)
+		addr, closeMetrics, err := reg.ServeMetrics(*metricsAddr, health.Mount)
 		if err != nil {
 			fmt.Fprintf(stderr, "raiadmin collect: metrics listener: %v\n", err)
 			return 1
@@ -64,6 +76,30 @@ func collect(args []string, stdout, stderr io.Writer) int {
 		Telemetry: reg,
 		Log:       telemetry.NewLogger("raiadmin-collect", telemetry.WithLogWriter(stderr)),
 		Prefetch:  *prefetch,
+		Tail: collector.TailConfig{
+			Linger:       *tailLinger,
+			KeepRate:     *tailKeep,
+			SlowQuantile: *tailSlow,
+		},
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *retain > 0 {
+		go c.RunRetention(ctx, collector.RetentionConfig{Retain: *retain})
+		fmt.Fprintf(stdout, "retention sweep: dropping traces/events older than %v\n", *retain)
+	}
+	if *sloScrape != "" {
+		engine, err := newSLOEngine(*sloPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "raiadmin collect: %v\n", err)
+			return 1
+		}
+		engine.Export(reg)
+		urls := strings.Split(*sloScrape, ",")
+		go engine.Run(ctx, urls, *sloInterval, func(err error) {
+			fmt.Fprintf(stderr, "raiadmin collect: slo scrape: %v\n", err)
+		})
+		fmt.Fprintf(stdout, "slo engine scraping %d endpoint(s) every %v\n", len(urls), *sloInterval)
 	}
 	fmt.Fprintf(stdout, "collecting %s/%s from %s into %s\n",
 		core.TelemetryTopic, core.TelemetryChannel, *brokerAddr, *dbURL)
@@ -77,8 +113,8 @@ func collect(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	health.SetReady(true)
+	defer health.SetReady(false)
 	if err := c.Run(ctx); err != nil {
 		fmt.Fprintf(stderr, "raiadmin collect: %v\n", err)
 		return 1
@@ -86,20 +122,59 @@ func collect(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// traceCmd prints the assembled span tree for one job.
+// traceCmd prints the assembled span tree for one job — or, with
+// -exemplar, for the trace a histogram exemplar points at: the bridge
+// from "the p99 looks bad" to the concrete request that caused it.
 func traceCmd(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("raiadmin trace", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	dbURL := fs.String("db", "http://127.0.0.1:7402", "database URL")
+	exemplar := fs.String("exemplar", "", `pick the trace from a scraped exemplar instead of a job id ("slowest" = largest exemplar value)`)
+	metricsURL := fs.String("metrics", "", "metrics URL to scrape for -exemplar")
+	metricName := fs.String("metric", "", "restrict -exemplar to metric names with this prefix")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	db := docstore.NewClient(*dbURL)
+	if *exemplar != "" {
+		if *exemplar != "slowest" {
+			fmt.Fprintf(stderr, "raiadmin trace: unknown -exemplar %q (only \"slowest\" is supported)\n", *exemplar)
+			return 2
+		}
+		if *metricsURL == "" || fs.NArg() != 0 {
+			fmt.Fprintln(stderr, "usage: raiadmin trace -exemplar slowest -metrics url [-metric prefix] [-db url]")
+			return 2
+		}
+		snap, err := scrapeMetrics(*metricsURL)
+		if err != nil {
+			fmt.Fprintf(stderr, "raiadmin trace: %s: %v\n", *metricsURL, err)
+			return 1
+		}
+		best := slowestExemplar(snap, *metricName)
+		if best == nil {
+			fmt.Fprintf(stderr, "raiadmin trace: no exemplars with trace links on %s (is the daemon recording with ObserveExemplar?)\n", *metricsURL)
+			return 1
+		}
+		traceID := best.Exemplar.TraceID()
+		fmt.Fprintf(stdout, "slowest exemplar: %s = %.6gs (trace %s)\n\n", best.Name, best.Exemplar.Value, traceID)
+		spans, err := collector.TraceSpans(db, traceID)
+		if err != nil {
+			fmt.Fprintf(stderr, "raiadmin trace: %v\n", err)
+			return 1
+		}
+		if len(spans) == 0 {
+			fmt.Fprintf(stderr, "raiadmin trace: trace %s has no persisted spans (sampled out, not yet collected, or expired by -retain)\n", traceID)
+			return 1
+		}
+		fmt.Fprint(stdout, collector.FormatTimeline(spans))
+		return 0
 	}
 	if fs.NArg() != 1 {
 		fmt.Fprintln(stderr, "usage: raiadmin trace [-db url] <job_id>")
 		return 2
 	}
 	jobID := fs.Arg(0)
-	spans, err := collector.TraceByJob(docstore.NewClient(*dbURL), jobID)
+	spans, err := collector.TraceByJob(db, jobID)
 	if err != nil {
 		fmt.Fprintf(stderr, "raiadmin trace: %v\n", err)
 		return 1
@@ -107,6 +182,26 @@ func traceCmd(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "job %s trace %s (%d spans)\n\n", jobID, spans[0].TraceID, len(spans))
 	fmt.Fprint(stdout, collector.FormatTimeline(spans))
 	return 0
+}
+
+// slowestExemplar scans a scrape for the bucket exemplar with the
+// largest value whose metric name matches the prefix and that carries a
+// trace link. Nil when the scrape holds none.
+func slowestExemplar(snap *telemetry.Snapshot, prefix string) *telemetry.Sample {
+	var best *telemetry.Sample
+	for i := range snap.Samples {
+		s := &snap.Samples[i]
+		if prefix != "" && !strings.HasPrefix(s.Name, prefix) {
+			continue
+		}
+		if s.Exemplar == nil || s.Exemplar.TraceID() == "" {
+			continue
+		}
+		if best == nil || s.Exemplar.Value > best.Exemplar.Value {
+			best = s
+		}
+	}
+	return best
 }
 
 // logsCmd prints (and with -follow, tails) a job's merged event stream.

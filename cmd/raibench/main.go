@@ -16,6 +16,8 @@
 //	             [-full-images 12] [-scrape-interval 1s] [-think-min 10ms]
 //	             [-think-max 250ms] [-phase-timeout 30s]
 //	             [-pprof-capture raibroker] [-pprof-seconds 2]
+//	             [-trace-sample 1] [-tail-linger 0] [-tail-keep 0.1]
+//	             [-retain 0] [-slo]
 //	raibench compare OLD.json NEW.json [-max-throughput-drop 0.6]
 //	             [-max-latency-growth 3.0] [-latency-floor 2s]
 //	raibench fs-smoke [-size 32MiB-bytes] [-allowance bytes] [-bin dir] [-keep dir]
@@ -33,10 +35,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -94,6 +98,11 @@ func runBench(args []string, stdout, stderr io.Writer) int {
 	rateLimit := fs.Duration("rate-limit", time.Millisecond, "worker per-user submission spacing")
 	pprofCapture := fs.String("pprof-capture", "", "daemon instance to CPU/heap-profile mid-load (e.g. raibroker, raiworker-1)")
 	pprofSeconds := fs.Int("pprof-seconds", 2, "CPU profile length for -pprof-capture")
+	traceSample := fs.Float64("trace-sample", 1, "head-sampling rate for submission traces (1 = keep every trace)")
+	tailLinger := fs.Duration("tail-linger", 0, "collector tail-retention linger window (0 = persist immediately)")
+	tailKeep := fs.Float64("tail-keep", 0.1, "collector keep rate for boring traces (with -tail-linger)")
+	retain := fs.Duration("retain", 0, "collector TTL for persisted traces/events (0 = keep forever)")
+	sloOn := fs.Bool("slo", false, "run the collector's SLO engine against every daemon and assert rai_slo_* gauges export")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -150,6 +159,12 @@ func runBench(args []string, stdout, stderr io.Writer) int {
 		FullImages:        *fullImages,
 		RateLimit:         *rateLimit,
 		Pprof:             *pprofCapture != "",
+		TraceSample:       *traceSample,
+		TailLinger:        *tailLinger,
+		TailKeep:          *tailKeep,
+		Retain:            *retain,
+		SLOScrape:         *sloOn,
+		SLOInterval:       *scrapeInterval,
 	}
 	fmt.Fprintf(stdout, "booting cluster: broker, fs, db, collector, %d worker(s)\n", *workers)
 	cluster, err := bench.StartCluster(ctx, clk, cfg, creds)
@@ -172,6 +187,7 @@ func runBench(args []string, stdout, stderr io.Writer) int {
 		ThinkMin:      *thinkMin,
 		ThinkMax:      *thinkMax,
 		DownloadBuild: true,
+		SampleRate:    *traceSample,
 	}
 	plans := bench.BuildPlans(loadCfg, creds)
 	fmt.Fprintf(stdout, "driving %d students for %s\n", *students, *duration)
@@ -182,8 +198,16 @@ func runBench(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
-	fmt.Fprintf(stdout, "attributing phases for %d jobs\n", len(result.JobIDs))
-	att := bench.AttributePhases(ctx, clk, docstore.NewClient(cluster.DBURL), result.JobIDs, *phaseTimeout)
+	// Under head sampling only the kept traces can resolve: attributing
+	// over every job would count sampled-out submissions as "missing"
+	// and bury a real collector failure in expected noise.
+	sampling := *traceSample > 0 && *traceSample < 1
+	attrIDs := result.JobIDs
+	if sampling {
+		attrIDs = result.SampledJobIDs
+	}
+	fmt.Fprintf(stdout, "attributing phases for %d jobs\n", len(attrIDs))
+	att := bench.AttributePhases(ctx, clk, docstore.NewClient(cluster.DBURL), attrIDs, *phaseTimeout)
 
 	completed := result.Counts.Succeeded + result.Counts.Failed + result.Counts.Errors
 	report := &bench.Report{
@@ -199,6 +223,8 @@ func runBench(args []string, stdout, stderr io.Writer) int {
 			ThinkMinS:         thinkMin.Seconds(),
 			ThinkMaxS:         thinkMax.Seconds(),
 			ScrapeIntervalS:   scrapeInterval.Seconds(),
+			TraceSampleRate:   sampleRateForReport(*traceSample),
+			TailLingerS:       tailLinger.Seconds(),
 		},
 		Jobs:          result.Counts,
 		Throughput:    float64(completed) / result.Elapsed.Seconds(),
@@ -209,20 +235,97 @@ func runBench(args []string, stdout, stderr io.Writer) int {
 		MissingTraces: att.Missing,
 		Daemons:       daemons,
 	}
+	failed := false
+	if sampling {
+		if err := checkSamplingHonesty(*traceSample, result.Counts.Sampled, uint64(len(result.JobIDs))); err != nil {
+			fmt.Fprintf(stderr, "raibench: %v\n", err)
+			failed = true
+		}
+	}
+	if *sloOn {
+		if err := checkSLOGauges(ctx, cluster.MetricsURLs["collector"]); err != nil {
+			fmt.Fprintf(stderr, "raibench: %v\n", err)
+			failed = true
+		} else {
+			fmt.Fprintln(stdout, "slo: rai_slo_* gauges exported on the collector")
+		}
+	}
+
 	if err := report.WriteFile(*out); err != nil {
 		fmt.Fprintf(stderr, "raibench: %v\n", err)
 		return 1
 	}
 	fmt.Fprintf(stdout, "\n%s\nreport written to %s\n", report.Format(), *out)
 	cluster.Stop()
-	if removeDir {
-		os.RemoveAll(dir)
-	}
 	if completed == 0 {
 		fmt.Fprintln(stderr, "raibench: no jobs completed — the run measured nothing")
 		return 1
 	}
+	if failed {
+		return 1
+	}
+	if removeDir {
+		os.RemoveAll(dir)
+	}
 	return 0
+}
+
+// sampleRateForReport records the head-sampling rate only when it
+// actually sampled (rate 1 and 0 both mean "kept everything" and stay
+// out of the JSON via omitempty).
+func sampleRateForReport(rate float64) float64 {
+	if rate > 0 && rate < 1 {
+		return rate
+	}
+	return 0
+}
+
+// checkSamplingHonesty verifies the kept fraction sits within five
+// standard deviations of the configured rate (floored at ±0.1 so tiny
+// runs don't flap). A breach means verdicts are being lost or
+// duplicated between the sampler and the job envelopes.
+func checkSamplingHonesty(rate float64, sampled, submitted uint64) error {
+	if submitted == 0 {
+		return fmt.Errorf("sampling: no jobs submitted, nothing to check")
+	}
+	n := float64(submitted)
+	frac := float64(sampled) / n
+	tol := 5 * math.Sqrt(rate*(1-rate)/n)
+	if tol < 0.1 {
+		tol = 0.1
+	}
+	if diff := math.Abs(frac - rate); diff > tol {
+		return fmt.Errorf("sampling: kept %d/%d traces (%.3f), want %.3f ± %.3f — sampler verdicts are not propagating honestly",
+			sampled, submitted, frac, rate, tol)
+	}
+	return nil
+}
+
+// checkSLOGauges scrapes the collector and confirms its SLO engine is
+// exporting burn-rate gauges.
+func checkSLOGauges(ctx context.Context, url string) error {
+	if url == "" {
+		return fmt.Errorf("slo: collector has no metrics endpoint")
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("slo: scraping collector: %w", err)
+	}
+	defer resp.Body.Close()
+	snap, err := telemetry.ParseText(resp.Body)
+	if err != nil {
+		return fmt.Errorf("slo: parsing collector metrics: %w", err)
+	}
+	for _, s := range snap.Samples {
+		if strings.HasPrefix(s.Name, "rai_slo_") {
+			return nil
+		}
+	}
+	return fmt.Errorf("slo: no rai_slo_* samples on the collector's /metrics — the engine is not exporting")
 }
 
 // captureProfiles waits until the load is about halfway through, then

@@ -73,10 +73,11 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, quit <-ch
 	}
 	var exp *telemetry.Exporter
 	var metricsBound string
+	health := telemetry.NewHealth()
 	if reg != nil {
 		telemetry.RegisterBuildInfo(reg, "raibroker", version, nil)
 		telemetry.RegisterProcessMetrics(reg)
-		var mounts []func(*http.ServeMux)
+		mounts := []func(*http.ServeMux){health.Mount}
 		if *pprofOn {
 			mounts = append(mounts, telemetry.MountPprof)
 		}
@@ -112,6 +113,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, quit <-ch
 	if ready != nil {
 		ready <- srv.Addr()
 	}
+	health.SetReady(true)
 	// Block until asked to stop: quit (tests) or SIGINT/SIGTERM. Closing
 	// the server drops every connection, which requeues unacked
 	// deliveries inside the engine before b.Close releases it — clients
@@ -124,5 +126,6 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, quit <-ch
 	case <-ctx.Done():
 		fmt.Fprintln(stdout, "raibroker shutting down")
 	}
+	health.SetReady(false)
 	return 0
 }

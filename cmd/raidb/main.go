@@ -5,7 +5,7 @@
 // Usage:
 //
 //	raidb [-addr host:port] [-journal file] [-metrics-addr host:port] [-pprof] [-broker host:port]
-//	      [-ready-file path] [-version]
+//	      [-trace-sample 1] [-ready-file path] [-version]
 package main
 
 import (
@@ -44,6 +44,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, quit <-ch
 	metricsAddr := fs.String("metrics-addr", "", "serve GET /metrics on this address (empty = disabled)")
 	pprofOn := fs.Bool("pprof", false, "mount /debug/pprof on the metrics address")
 	brokerAddr := fs.String("broker", "", "broker address for shipping spans/events to the collector (empty = off)")
+	traceSample := fs.Float64("trace-sample", 1, "head-sampling rate for traces this server starts spans for; propagated X-RAI-Sampled verdicts always win")
 	drain := fs.Duration("drain", 10*time.Second, "in-flight request drain budget at shutdown")
 	readyPath := fs.String("ready-file", "", "write a JSON readiness document (pid, bound addresses) here once serving")
 	showVersion := fs.Bool("version", false, "print build information and exit")
@@ -58,12 +59,13 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, quit <-ch
 	var handlerOpts []docstore.HandlerOption
 	var reg *telemetry.Registry
 	var metricsBound string
+	health := telemetry.NewHealth()
 	if *metricsAddr != "" {
 		reg = telemetry.NewRegistry()
 		telemetry.RegisterBuildInfo(reg, "raidb", version, nil)
 		telemetry.RegisterProcessMetrics(reg)
 		handlerOpts = append(handlerOpts, docstore.WithTelemetry(reg))
-		var mounts []func(*http.ServeMux)
+		mounts := []func(*http.ServeMux){health.Mount}
 		if *pprofOn {
 			mounts = append(mounts, telemetry.MountPprof)
 		}
@@ -88,7 +90,15 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, quit <-ch
 		exp := telemetry.NewExporter(context.Background(), "raidb", core.ShipTelemetry(queue),
 			telemetry.WithExportMetrics(reg))
 		defer exp.Close()
-		tracer := telemetry.NewTracer(4096, telemetry.WithSpanSink(exp.ExportSpan),
+		// The sampler honors propagated X-RAI-Sampled verdicts (noted by
+		// the handler) and hashes orphan traces at the local rate; spans
+		// of dropped traces are filtered before the export queue.
+		var sampler *telemetry.Sampler
+		if *traceSample < 1 {
+			sampler = telemetry.NewSampler(*traceSample, telemetry.WithSamplerMetrics(reg))
+			handlerOpts = append(handlerOpts, docstore.WithHandlerSampler(sampler))
+		}
+		tracer := telemetry.NewTracer(4096, telemetry.WithSpanSink(sampler.SpanSink(exp.ExportSpan)),
 			telemetry.WithTracerInstance(telemetry.NewInstanceID("raidb")))
 		handlerOpts = append(handlerOpts, docstore.WithHandlerTracer(tracer))
 		logger := telemetry.NewLogger("raidb",
@@ -148,6 +158,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, quit <-ch
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
+	health.SetReady(true)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	select {
@@ -156,7 +167,9 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, quit <-ch
 		fmt.Fprintln(stdout, "raidb shutting down")
 	}
 	// Graceful drain: in-flight queries finish (and reach the journal)
-	// before the listener goes away.
+	// before the listener goes away. Readiness flips first so load
+	// balancers stop routing before the listener dies.
+	health.SetReady(false)
 	dctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(dctx); err != nil {

@@ -6,7 +6,8 @@
 // Usage:
 //
 //	raifs [-addr host:port] [-capacity bytes] [-ttl duration] [-keys keys.json] [-dir objects/]
-//	      [-metrics-addr host:port] [-pprof] [-broker host:port] [-ready-file path] [-version]
+//	      [-metrics-addr host:port] [-pprof] [-broker host:port] [-trace-sample 1]
+//	      [-ready-file path] [-version]
 package main
 
 import (
@@ -50,6 +51,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, quit <-ch
 	metricsAddr := fs.String("metrics-addr", "", "serve GET /metrics on this address (empty = disabled)")
 	pprofOn := fs.Bool("pprof", false, "mount /debug/pprof on the metrics address")
 	brokerAddr := fs.String("broker", "", "broker address for shipping spans/events to the collector (empty = off)")
+	traceSample := fs.Float64("trace-sample", 1, "head-sampling rate for traces this server starts spans for; propagated X-RAI-Sampled verdicts always win")
 	drain := fs.Duration("drain", 10*time.Second, "in-flight request drain budget at shutdown")
 	readyPath := fs.String("ready-file", "", "write a JSON readiness document (pid, bound addresses) here once serving")
 	showVersion := fs.Bool("version", false, "print build information and exit")
@@ -108,12 +110,13 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, quit <-ch
 	var handlerOpts []objstore.HandlerOption
 	var reg *telemetry.Registry
 	var metricsBound string
+	health := telemetry.NewHealth()
 	if *metricsAddr != "" {
 		reg = telemetry.NewRegistry()
 		telemetry.RegisterBuildInfo(reg, "raifs", version, nil)
 		telemetry.RegisterProcessMetrics(reg)
 		handlerOpts = append(handlerOpts, objstore.WithTelemetry(reg))
-		var mounts []func(*http.ServeMux)
+		mounts := []func(*http.ServeMux){health.Mount}
 		if *pprofOn {
 			mounts = append(mounts, telemetry.MountPprof)
 		}
@@ -138,7 +141,15 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, quit <-ch
 		exp := telemetry.NewExporter(context.Background(), "raifs", core.ShipTelemetry(queue),
 			telemetry.WithExportMetrics(reg))
 		defer exp.Close()
-		tracer := telemetry.NewTracer(4096, telemetry.WithSpanSink(exp.ExportSpan),
+		// The sampler honors propagated X-RAI-Sampled verdicts (noted by
+		// the handler) and hashes orphan traces at the local rate; spans
+		// of dropped traces are filtered before the export queue.
+		var sampler *telemetry.Sampler
+		if *traceSample < 1 {
+			sampler = telemetry.NewSampler(*traceSample, telemetry.WithSamplerMetrics(reg))
+			handlerOpts = append(handlerOpts, objstore.WithHandlerSampler(sampler))
+		}
+		tracer := telemetry.NewTracer(4096, telemetry.WithSpanSink(sampler.SpanSink(exp.ExportSpan)),
 			telemetry.WithTracerInstance(telemetry.NewInstanceID("raifs")))
 		handlerOpts = append(handlerOpts, objstore.WithHandlerTracer(tracer))
 		logger := telemetry.NewLogger("raifs",
@@ -163,6 +174,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, quit <-ch
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
+	health.SetReady(true)
 	// Periodic expired-object sweep, active however the daemon was
 	// started (it used to run only in the signal path, so test-driven
 	// daemons never swept).
@@ -187,7 +199,9 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, quit <-ch
 		fmt.Fprintln(stdout, "raifs shutting down")
 	}
 	// Graceful drain: stop accepting, finish in-flight uploads and
-	// downloads within the budget, then cut whatever is left.
+	// downloads within the budget, then cut whatever is left. Readiness
+	// flips first so load balancers stop routing before the listener dies.
+	health.SetReady(false)
 	dctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(dctx); err != nil {

@@ -40,6 +40,21 @@ type ClusterConfig struct {
 	Pprof bool
 	// ReadyTimeout bounds each daemon's boot (default 30 s).
 	ReadyTimeout time.Duration
+	// TraceSample, when in (0,1), is passed to every worker as the
+	// head-sampling fallback rate for orphan traces (the clients' own
+	// verdicts ride the job envelopes regardless).
+	TraceSample float64
+	// TailLinger/TailKeep configure the collector's tail retention
+	// (linger 0 = off, persist everything immediately).
+	TailLinger time.Duration
+	TailKeep   float64
+	// Retain turns on the collector's TTL sweep over persisted traces
+	// and events (0 = keep forever).
+	Retain time.Duration
+	// SLOScrape points the collector's SLO engine at every daemon's
+	// metrics endpoint, exporting rai_slo_* gauges on the collector.
+	SLOScrape   bool
+	SLOInterval time.Duration
 }
 
 // Cluster is a running loopback deployment.
@@ -209,21 +224,13 @@ func StartCluster(ctx context.Context, clk clock.Clock, cfg ClusterConfig, creds
 	}
 	c.DBURL = "http://" + dbAddr
 
-	p, err = start("collector", []string{"collect",
-		"-broker", c.BrokerAddr, "-db", c.DBURL,
-		"-metrics-addr", "127.0.0.1:0",
-		"-ready-file", filepath.Join(cfg.Dir, "collector.ready")})
-	if err != nil {
-		return nil, err
-	}
-	if _, _, err = ready(p, "collector.ready"); err != nil {
-		return nil, err
-	}
-
+	// Workers boot before the collector so its -slo-scrape flag can list
+	// their metrics endpoints; telemetry published in the gap sits in the
+	// broker's topic backlog until the collector subscribes.
 	for i := 0; i < cfg.Workers; i++ {
 		name := fmt.Sprintf("raiworker-%d", i+1)
 		readyFile := name + ".ready"
-		p, err := start(name, pprofArgs([]string{
+		workerArgs := []string{
 			"-broker", c.BrokerAddr, "-fs", c.FSURL, "-db", c.DBURL,
 			"-keys", keysPath, "-id", name,
 			"-concurrency", fmt.Sprint(cfg.WorkerConcurrency),
@@ -231,13 +238,51 @@ func StartCluster(ctx context.Context, clk clock.Clock, cfg ClusterConfig, creds
 			"-seed", fmt.Sprint(cfg.Seed),
 			"-full-images", fmt.Sprint(cfg.FullImages),
 			"-metrics-addr", "127.0.0.1:0",
-			"-ready-file", filepath.Join(cfg.Dir, readyFile)}))
+			"-ready-file", filepath.Join(cfg.Dir, readyFile)}
+		if cfg.TraceSample > 0 && cfg.TraceSample < 1 {
+			workerArgs = append(workerArgs, "-trace-sample", fmt.Sprint(cfg.TraceSample))
+		}
+		p, err := start(name, pprofArgs(workerArgs))
 		if err != nil {
 			return nil, err
 		}
 		if _, _, err = ready(p, readyFile); err != nil {
 			return nil, err
 		}
+	}
+
+	collectArgs := []string{"collect",
+		"-broker", c.BrokerAddr, "-db", c.DBURL,
+		"-metrics-addr", "127.0.0.1:0",
+		"-ready-file", filepath.Join(cfg.Dir, "collector.ready")}
+	if cfg.TailLinger > 0 {
+		collectArgs = append(collectArgs,
+			"-tail-linger", cfg.TailLinger.String(),
+			"-tail-keep", fmt.Sprint(cfg.TailKeep))
+	}
+	if cfg.Retain > 0 {
+		collectArgs = append(collectArgs, "-retain", cfg.Retain.String())
+	}
+	if cfg.SLOScrape {
+		urls := ""
+		for _, u := range c.MetricsURLs {
+			if urls != "" {
+				urls += ","
+			}
+			urls += u
+		}
+		interval := cfg.SLOInterval
+		if interval <= 0 {
+			interval = time.Second
+		}
+		collectArgs = append(collectArgs, "-slo-scrape", urls, "-slo-interval", interval.String())
+	}
+	p, err = start("collector", collectArgs)
+	if err != nil {
+		return nil, err
+	}
+	if _, _, err = ready(p, "collector.ready"); err != nil {
+		return nil, err
 	}
 	ok = true
 	return c, nil

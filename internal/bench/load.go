@@ -35,6 +35,10 @@ type LoadConfig struct {
 	// DownloadBuild fetches the /build artifact after a success, closing
 	// the loop the way real students do.
 	DownloadBuild bool
+	// SampleRate is the head-sampling rate applied at each submission's
+	// trace root (0 or >= 1 keeps every trace). All students share one
+	// sampler so the kept fraction is measured across the whole run.
+	SampleRate float64
 }
 
 // studentPlan is one student's scripted behaviour, derived from the
@@ -53,7 +57,10 @@ type LoadResult struct {
 	Latency *telemetry.HDRSnapshot
 	Counts  JobCounts
 	JobIDs  []string
-	Elapsed time.Duration
+	// SampledJobIDs are the jobs whose traces survived head sampling —
+	// the only ones phase attribution can hope to resolve.
+	SampledJobIDs []string
+	Elapsed       time.Duration
 }
 
 // BuildPlans derives one scripted behaviour per student from the
@@ -141,14 +148,22 @@ func RunLoad(ctx context.Context, clk clock.Clock, c *Cluster, cfg LoadConfig, p
 	defer cancel()
 
 	var (
-		counts  JobCounts
-		jobMu   sync.Mutex
-		jobIDs  []string
-		hists   = make([]*telemetry.HDRHistogram, len(plans))
-		errMu   sync.Mutex
-		loadErr error
-		wg      sync.WaitGroup
+		counts     JobCounts
+		jobMu      sync.Mutex
+		jobIDs     []string
+		sampledIDs []string
+		hists      = make([]*telemetry.HDRHistogram, len(plans))
+		errMu      sync.Mutex
+		loadErr    error
+		wg         sync.WaitGroup
 	)
+	// One sampler across all students: each verdict is decided once at
+	// the job's trace root and propagated, and the run-wide kept
+	// fraction is what the honesty assertions check.
+	var sampler *telemetry.Sampler
+	if cfg.SampleRate > 0 && cfg.SampleRate < 1 {
+		sampler = telemetry.NewSampler(cfg.SampleRate)
+	}
 	setErr := func(err error) {
 		errMu.Lock()
 		if loadErr == nil {
@@ -184,8 +199,9 @@ func RunLoad(ctx context.Context, clk clock.Clock, c *Cluster, cfg LoadConfig, p
 				Stdout:  io.Discard,
 				Clock:   clk,
 				LogWait: cfg.LogWait,
+				Sampler: sampler,
 				Tracer: telemetry.NewTracer(4096,
-					telemetry.WithSpanSink(exp.ExportSpan),
+					telemetry.WithSpanSink(sampler.SpanSink(exp.ExportSpan)),
 					telemetry.WithTracerInstance(telemetry.NewInstanceID(plan.creds.UserName))),
 			}
 			defer exp.Flush()
@@ -203,6 +219,10 @@ func RunLoad(ctx context.Context, clk clock.Clock, c *Cluster, cfg LoadConfig, p
 				if res != nil && res.JobID != "" {
 					jobMu.Lock()
 					jobIDs = append(jobIDs, res.JobID)
+					if res.Sampled {
+						sampledIDs = append(sampledIDs, res.JobID)
+						atomic.AddUint64(&counts.Sampled, 1)
+					}
 					jobMu.Unlock()
 				}
 				switch {
@@ -246,5 +266,9 @@ func RunLoad(ctx context.Context, clk clock.Clock, c *Cluster, cfg LoadConfig, p
 	}
 	fmt.Fprintf(logTo, "load done: %d submitted, %d succeeded, %d failed, %d errors in %s\n",
 		counts.Submitted, counts.Succeeded, counts.Failed, counts.Errors, elapsed.Round(time.Millisecond))
-	return &LoadResult{Latency: merged, Counts: counts, JobIDs: jobIDs, Elapsed: elapsed}, nil
+	if sampler != nil {
+		fmt.Fprintf(logTo, "sampling: %d of %d job traces kept (rate %.2f)\n",
+			counts.Sampled, len(jobIDs), cfg.SampleRate)
+	}
+	return &LoadResult{Latency: merged, Counts: counts, JobIDs: jobIDs, SampledJobIDs: sampledIDs, Elapsed: elapsed}, nil
 }

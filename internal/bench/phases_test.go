@@ -1,0 +1,144 @@
+package bench
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"rai/internal/clock"
+	"rai/internal/docstore"
+)
+
+// putSpan persists one span document shaped the way the collector
+// writes them (only the fields attribution reads).
+func putSpan(t *testing.T, db *docstore.DB, traceID, jobID, name string, start time.Time, d time.Duration) {
+	t.Helper()
+	doc := docstore.M{
+		"trace_id":  traceID,
+		"span_id":   traceID + "/" + name,
+		"parent_id": "",
+		"name":      name,
+		"service":   "test",
+		"start":     start.UTC().Format(time.RFC3339Nano),
+		"end":       start.Add(d).UTC().Format(time.RFC3339Nano),
+		"start_s":   float64(start.Unix()),
+	}
+	if jobID != "" {
+		doc["job_id"] = jobID
+	}
+	if _, err := db.Insert("traces", doc); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// putJobTrace persists a complete submission trace: a 1 s job root
+// whose phases explain 890 ms of it (coverage 0.89).
+func putJobTrace(t *testing.T, db *docstore.DB, traceID, jobID string, t0 time.Time) {
+	t.Helper()
+	putSpan(t, db, traceID, jobID, "job", t0, time.Second)
+	putSpan(t, db, traceID, "", "upload", t0, 100*time.Millisecond)
+	putSpan(t, db, traceID, "", "enqueue", t0.Add(100*time.Millisecond), 50*time.Millisecond)
+	putSpan(t, db, traceID, "", "dequeue", t0.Add(250*time.Millisecond), 10*time.Millisecond) // queue delay = 100ms
+	putSpan(t, db, traceID, "", "download", t0.Add(260*time.Millisecond), 40*time.Millisecond)
+	putSpan(t, db, traceID, "", "build", t0.Add(300*time.Millisecond), 200*time.Millisecond)
+	putSpan(t, db, traceID, "", "run", t0.Add(500*time.Millisecond), 400*time.Millisecond)
+}
+
+// TestAttributePhasesSampledSubset is the shape a head-sampled bench
+// run produces: spans exist only for the kept jobs, and attribution is
+// asked about exactly those. Every kept trace must resolve with the
+// full decomposition; nothing counts as missing.
+func TestAttributePhasesSampledSubset(t *testing.T) {
+	db := docstore.New()
+	t0 := time.Date(2017, 5, 1, 12, 0, 0, 0, time.UTC)
+	putJobTrace(t, db, "tr-1", "job-1", t0)
+	putJobTrace(t, db, "tr-2", "job-2", t0.Add(2*time.Second))
+	// job-3 and job-4 were sampled out: no spans, and not asked about.
+
+	att := AttributePhases(context.Background(), clock.NewVirtual(t0), db, []string{"job-1", "job-2"}, 0)
+	if att.Traced != 2 || att.Missing != 0 {
+		t.Fatalf("traced/missing = %d/%d, want 2/0", att.Traced, att.Missing)
+	}
+	if math.Abs(att.Coverage-0.89) > 0.005 {
+		t.Errorf("coverage = %.3f, want ~0.89", att.Coverage)
+	}
+	for _, name := range []string{"upload", "enqueue", "queue", "download", "build", "run", "total"} {
+		h := att.Hists[name]
+		if h == nil {
+			t.Fatalf("phase %q missing from attribution", name)
+		}
+		if got := h.Snapshot().Count; got != 2 {
+			t.Errorf("phase %q observed %d jobs, want 2", name, got)
+		}
+	}
+	if p := att.PhasePercentiles()["queue"]; math.Abs(p.Mean-0.1) > 0.01 {
+		t.Errorf("queue delay mean = %.3fs, want ~0.1s", p.Mean)
+	}
+}
+
+// TestAttributePhasesMissingTracesHonest: jobs with no persisted spans
+// must be reported as missing, with zero coverage and no phase
+// histograms — never fabricated numbers.
+func TestAttributePhasesMissingTracesHonest(t *testing.T) {
+	db := docstore.New()
+	t0 := time.Date(2017, 5, 1, 12, 0, 0, 0, time.UTC)
+	att := AttributePhases(context.Background(), clock.NewVirtual(t0), db, []string{"gone-1", "gone-2"}, 0)
+	if att.Traced != 0 || att.Missing != 2 {
+		t.Fatalf("traced/missing = %d/%d, want 0/2", att.Traced, att.Missing)
+	}
+	if att.Coverage != 0 {
+		t.Errorf("coverage = %v for zero traced jobs, want 0", att.Coverage)
+	}
+	if len(att.Hists) != 0 {
+		t.Errorf("fabricated %d phase histograms from missing traces", len(att.Hists))
+	}
+}
+
+// TestAttributePhasesPartialTraceNoFabrication: a trace whose child
+// spans arrived but whose job root has not been persisted yet carries
+// no total — it must stay missing and contribute nothing, not be
+// attributed from the partial data.
+func TestAttributePhasesPartialTraceNoFabrication(t *testing.T) {
+	db := docstore.New()
+	t0 := time.Date(2017, 5, 1, 12, 0, 0, 0, time.UTC)
+	// The upload span carries the job_id attr here so TraceByJob can
+	// resolve the trace even though the root is absent.
+	putSpan(t, db, "tr-part", "job-part", "upload", t0, 100*time.Millisecond)
+	putSpan(t, db, "tr-part", "", "build", t0.Add(time.Second), 200*time.Millisecond)
+
+	att := AttributePhases(context.Background(), clock.NewVirtual(t0), db, []string{"job-part"}, 0)
+	if att.Traced != 0 || att.Missing != 1 {
+		t.Fatalf("traced/missing = %d/%d, want 0/1", att.Traced, att.Missing)
+	}
+	if len(att.Hists) != 0 {
+		t.Errorf("recorded phases from a rootless trace: %v", att.Hists)
+	}
+}
+
+// TestAttributePhasesRetriesUntilPersisted: the collector persists
+// asynchronously, so attribution polls. A trace that lands after the
+// first pass must still resolve before the deadline.
+func TestAttributePhasesRetriesUntilPersisted(t *testing.T) {
+	db := docstore.New()
+	t0 := time.Date(2017, 5, 1, 12, 0, 0, 0, time.UTC)
+	clk := clock.NewVirtual(t0)
+	done := make(chan *PhaseAttribution, 1)
+	go func() {
+		done <- AttributePhases(context.Background(), clk, db, []string{"job-late"}, 10*time.Second)
+	}()
+	// Wait for the first pass to miss and park on the retry timer, then
+	// persist the trace and release the timer.
+	for i := 0; clk.PendingTimers() == 0; i++ {
+		if i > 5000 {
+			t.Fatal("attribution never armed its retry timer")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	putJobTrace(t, db, "tr-late", "job-late", t0)
+	clk.Advance(100 * time.Millisecond)
+	att := <-done
+	if att.Traced != 1 || att.Missing != 0 {
+		t.Fatalf("traced/missing = %d/%d, want 1/0 after retry", att.Traced, att.Missing)
+	}
+}

@@ -64,6 +64,12 @@ type RunConfig struct {
 	ThinkMinS         float64 `json:"think_min_s"`
 	ThinkMaxS         float64 `json:"think_max_s"`
 	ScrapeIntervalS   float64 `json:"scrape_interval_s"`
+	// TraceSampleRate is the head-sampling rate the load ran at (0 when
+	// every trace was kept — the pre-sampling layout).
+	TraceSampleRate float64 `json:"trace_sample_rate,omitempty"`
+	// TailLingerS is the collector's tail-retention linger window (0 =
+	// tail retention off).
+	TailLingerS float64 `json:"tail_linger_s,omitempty"`
 }
 
 // JobCounts are the load generator's outcome counters.
@@ -73,6 +79,9 @@ type JobCounts struct {
 	Failed    uint64 `json:"failed"`
 	Errors    uint64 `json:"errors"`
 	Downloads uint64 `json:"downloads"`
+	// Sampled counts jobs whose traces survived head sampling (absent
+	// when the run kept everything).
+	Sampled uint64 `json:"sampled,omitempty"`
 }
 
 // DaemonSample is one /metrics scrape of one daemon.
@@ -155,6 +164,10 @@ func (r *Report) Format() string {
 		time.Duration(r.Config.DurationS*float64(time.Second)).Round(time.Millisecond))
 	out += fmt.Sprintf("jobs: %d submitted, %d succeeded, %d failed, %d errors — %.2f jobs/s\n",
 		r.Jobs.Submitted, r.Jobs.Succeeded, r.Jobs.Failed, r.Jobs.Errors, r.Throughput)
+	if r.Config.TraceSampleRate > 0 && r.Config.TraceSampleRate < 1 {
+		out += fmt.Sprintf("sampling: rate %.2f, %d job traces kept\n",
+			r.Config.TraceSampleRate, r.Jobs.Sampled)
+	}
 	out += fmt.Sprintf("latency: p50 %s  p90 %s  p99 %s  p999 %s  max %s\n",
 		fmtSec(r.Latency.P50), fmtSec(r.Latency.P90), fmtSec(r.Latency.P99),
 		fmtSec(r.Latency.P999), fmtSec(r.Latency.Max))

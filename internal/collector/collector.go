@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"time"
 
+	"rai/internal/clock"
 	"rai/internal/core"
 	"rai/internal/docstore"
 	"rai/internal/telemetry"
@@ -26,13 +27,35 @@ type Collector struct {
 	Log *telemetry.Logger
 	// Prefetch is the subscription window (default 64).
 	Prefetch int
+	// Tail configures tail-based retention. The zero value persists every
+	// span immediately; a nonzero Linger buffers each trace and keeps
+	// error/slow traces at 100% while downsampling the boring bulk.
+	Tail TailConfig
+	// Clock is the time source for tail linger windows and the retention
+	// sweep (default real time; virtual in tests).
+	Clock clock.Clock
+}
+
+func (c *Collector) clock() clock.Clock {
+	if c.Clock != nil {
+		return c.Clock
+	}
+	return clock.Real{}
 }
 
 // Run subscribes on core.TelemetryTopic/TelemetryChannel and persists
 // batches until ctx is done. The shared channel means running several
 // collector replicas divides the stream, not duplicates it; batches are
-// acked only after persistence, and span writes are idempotent upserts
-// keyed by span_id, so at-least-once redelivery cannot duplicate spans.
+// acked only after persistence (or tail buffering), and span writes are
+// idempotent upserts keyed by span_id, so at-least-once redelivery
+// cannot duplicate spans.
+//
+// With Tail.Linger > 0 spans detour through the tail buffer and persist
+// only when their trace survives the retention decision; events always
+// persist immediately (they are bounded by the retention sweep instead).
+// A batch is acked once buffered — a crash loses at most one linger
+// window of undecided traces, which is the price of deciding with the
+// whole trace in hand.
 func (c *Collector) Run(ctx context.Context) error {
 	prefetch := c.Prefetch
 	if prefetch <= 0 {
@@ -48,10 +71,42 @@ func (c *Collector) Run(ctx context.Context) error {
 	spans := c.Telemetry.Counter("rai_collector_spans_total", "spans persisted")
 	events := c.Telemetry.Counter("rai_collector_events_total", "events persisted")
 	malformed := c.Telemetry.Counter("rai_collector_malformed_total", "batches that failed to decode")
+
+	var tail *tailBuffer
+	var flush <-chan time.Time
+	clk := c.clock()
+	flushEvery := c.Tail.Linger / 4
+	if flushEvery < time.Millisecond {
+		flushEvery = time.Millisecond
+	}
+	if c.Tail.Linger > 0 {
+		tail = newTailBuffer(c.Tail, clk, c.Telemetry)
+		flush = clk.After(flushEvery)
+	}
+	// persistKept writes tail survivors. Shutdown uses a detached context
+	// so the final flush is not cut off by the very cancellation that
+	// triggered it.
+	persistKept := func(ctx context.Context, recs []spanRec) {
+		for _, r := range recs {
+			if err := c.persistSpan(ctx, r.service, r.data); err != nil {
+				c.Log.Warn(ctx, "persisting span failed",
+					telemetry.L("span_id", r.data.SpanID), telemetry.L("error", err.Error()))
+				continue
+			}
+			spans.Add(1)
+		}
+	}
+	drain := func() {
+		if tail != nil {
+			persistKept(context.WithoutCancel(ctx), tail.evict(true))
+		}
+	}
+
 	for {
 		select {
 		case m, ok := <-sub.C():
 			if !ok {
+				drain()
 				return nil
 			}
 			b, err := telemetry.DecodeBatch(m.Body)
@@ -62,12 +117,26 @@ func (c *Collector) Run(ctx context.Context) error {
 				m.Ack()
 				continue
 			}
-			ns, ne := c.Persist(ctx, b)
-			spans.Add(float64(ns))
+			if tail == nil {
+				ns, ne := c.Persist(ctx, b)
+				spans.Add(float64(ns))
+				events.Add(float64(ne))
+				batches.Inc()
+				m.Ack()
+				continue
+			}
+			for _, s := range b.Spans {
+				tail.add(b.Service, s)
+			}
+			ne := c.persistEvents(ctx, b)
 			events.Add(float64(ne))
 			batches.Inc()
 			m.Ack()
+		case <-flush:
+			persistKept(ctx, tail.evict(false))
+			flush = clk.After(flushEvery)
 		case <-ctx.Done():
+			drain()
 			return nil
 		}
 	}
@@ -85,6 +154,12 @@ func (c *Collector) Persist(ctx context.Context, b *Batch) (spans, events int) {
 		}
 		spans++
 	}
+	return spans, c.persistEvents(ctx, b)
+}
+
+// persistEvents writes only the batch's events (the tail-buffered path,
+// where spans wait on the retention decision but events land at once).
+func (c *Collector) persistEvents(ctx context.Context, b *Batch) (events int) {
 	for _, e := range b.Events {
 		if err := c.persistEvent(ctx, b.Service, e); err != nil {
 			c.Log.Warn(ctx, "persisting event failed", telemetry.L("error", err.Error()))
@@ -92,7 +167,7 @@ func (c *Collector) Persist(ctx context.Context, b *Batch) (spans, events int) {
 		}
 		events++
 	}
-	return spans, events
+	return events
 }
 
 // Batch aliases the telemetry wire type so callers need not import both

@@ -35,6 +35,12 @@ type Client struct {
 	// and "enqueue"). Both are optional and nil-safe.
 	Telemetry *telemetry.Registry
 	Tracer    *telemetry.Tracer
+	// Sampler, when set, makes the head-sampling decision at each job's
+	// trace root; the verdict rides the request context (X-RAI-Sampled
+	// on storage hops) and the job envelope so every downstream process
+	// agrees. The same sampler should wrap the Tracer's span sink so the
+	// client's own spans honor the verdict. Nil keeps every trace.
+	Sampler *telemetry.Sampler
 	// Log, when set, emits structured lifecycle events stamped with the
 	// job's trace identity. Optional and nil-safe.
 	Log *telemetry.Logger
@@ -55,6 +61,11 @@ type JobResult struct {
 	// TraceID identifies the job's telemetry trace ("" when the client
 	// has no Tracer).
 	TraceID string
+	// Sampled reports the head-sampling verdict for the trace: false
+	// only when a sampler decided to drop it (unsampled clients always
+	// report true). Dropped traces never reach the collector, so
+	// tooling should not wait for their spans.
+	Sampled bool
 }
 
 // PrepareProject inspects the project directory in fs, returning the
@@ -108,8 +119,9 @@ func (c *Client) SubmitContext(ctx context.Context, kind string, spec *build.Spe
 // topic).
 func (c *Client) SubmitReaderContext(ctx context.Context, kind string, spec *build.Spec, r io.Reader, size int64) (*JobResult, error) {
 	jobID := NewJobID()
-	root := c.startJobSpan(jobID, kind)
+	root, sampled := c.startJobSpan(jobID, kind)
 	ctx = telemetry.ContextWithJobID(ctx, jobID)
+	ctx = telemetry.ContextWithSampling(ctx, sampled)
 	// Step 3: compress (done by the caller via archivex) and upload the
 	// project directory; one-month lifetime from last use. The upload
 	// span rides the request context so the objstore server opens its
@@ -133,16 +145,23 @@ func (c *Client) SubmitReaderContext(ctx context.Context, kind string, spec *bui
 // submission multiple times and keep the best time (§VI, §VII).
 func (c *Client) ResubmitContext(ctx context.Context, kind, uploadBucket, uploadKey string) (*JobResult, error) {
 	jobID := NewJobID()
-	return c.submitUploaded(ctx, c.startJobSpan(jobID, kind), jobID, kind, nil, uploadBucket, uploadKey)
+	root, sampled := c.startJobSpan(jobID, kind)
+	return c.submitUploaded(telemetry.ContextWithSampling(ctx, sampled), root, jobID, kind, nil, uploadBucket, uploadKey)
 }
 
-// startJobSpan opens the trace root covering the whole submission.
-func (c *Client) startJobSpan(jobID, kind string) *telemetry.Span {
+// startJobSpan opens the trace root covering the whole submission and
+// makes the head-sampling decision for it — once, here, so every child
+// span and downstream process inherits one verdict.
+func (c *Client) startJobSpan(jobID, kind string) (*telemetry.Span, telemetry.Decision) {
 	root := c.Tracer.StartRoot("job")
 	root.SetAttr("job_id", jobID)
 	root.SetAttr("kind", kind)
 	root.SetAttr("user", c.Creds.UserName)
-	return root
+	sampled := telemetry.DecisionUnknown
+	if c.Sampler != nil && root.TraceID() != "" {
+		sampled = c.Sampler.Decide(root.TraceID())
+	}
+	return root, sampled
 }
 
 func (c *Client) submitUploaded(ctx context.Context, root *telemetry.Span, jobID, kind string, spec *build.Spec, uploadBucket, uploadKey string) (*JobResult, error) {
@@ -175,6 +194,7 @@ func (c *Client) submitUploaded(ctx context.Context, root *telemetry.Span, jobID
 		SubmittedAt:  clk.Now(),
 		TraceID:      root.TraceID(),
 		ParentSpan:   root.SpanID(),
+		Sampled:      telemetry.SamplingFrom(ctx).String(),
 	}
 	req.Token = authToken(c, req)
 
@@ -199,7 +219,11 @@ func (c *Client) submitUploaded(ctx context.Context, root *telemetry.Span, jobID
 	c.Log.Info(ctx, "job submitted", telemetry.L("kind", kind), telemetry.L("user", c.Creds.UserName))
 
 	// Step 6: print messages until End (step 8: exit on End).
-	res := &JobResult{JobID: jobID, TraceID: root.TraceID()}
+	res := &JobResult{
+		JobID:   jobID,
+		TraceID: root.TraceID(),
+		Sampled: telemetry.SamplingFrom(ctx) != telemetry.DecisionDrop,
+	}
 	var timeout <-chan time.Time
 	if c.LogWait > 0 {
 		timeout = clk.After(c.LogWait)

@@ -94,6 +94,12 @@ type Worker struct {
 	// job's trace. Both are optional and nil-safe.
 	Telemetry *telemetry.Registry
 	Tracer    *telemetry.Tracer
+	// Sampler, when set, honors the head-sampling verdict riding each
+	// job envelope: the decision is noted so this worker's spans for
+	// the trace follow the client's call, and exemplars only link to
+	// traces that will actually be retained. The same sampler should
+	// wrap the Tracer's span sink. Nil keeps every trace.
+	Sampler *telemetry.Sampler
 	// Log, when set, emits structured lifecycle events stamped with each
 	// job's trace identity. Optional and nil-safe.
 	Log *telemetry.Logger
@@ -112,8 +118,12 @@ type workerTelemetry struct {
 	queueDelay *telemetry.Histogram
 	inFlight   *telemetry.Gauge
 	jobSecs    *telemetry.Histogram
-	jobs       map[string]*telemetry.Counter   // by terminal status
-	phases     map[string]*telemetry.Histogram // by execution phase
+	// jobHDR is the exemplar-linked job duration distribution: each
+	// populated latency bucket names a sampled trace to pull up, which
+	// is how `raiadmin trace -exemplar slowest` finds its target.
+	jobHDR *telemetry.HDRHistogram
+	jobs   map[string]*telemetry.Counter   // by terminal status
+	phases map[string]*telemetry.Histogram // by execution phase
 }
 
 // initRuntime lazily builds the container runtime.
@@ -135,6 +145,8 @@ func (w *Worker) initRuntime() {
 		w.tel.inFlight = reg.Gauge("rai_worker_jobs_in_flight", "jobs executing right now")
 		w.tel.jobSecs = reg.Histogram("rai_worker_job_seconds",
 			"modeled container wall time per job", telemetry.QueueDelayBuckets)
+		w.tel.jobHDR = reg.HDR("rai_worker_job_duration_seconds",
+			"per-job wall time with trace exemplars per latency bucket")
 		w.tel.jobs = map[string]*telemetry.Counter{}
 		for _, st := range []string{StatusSucceeded, StatusFailed, StatusRejected} {
 			w.tel.jobs[st] = reg.Counter("rai_worker_jobs_total", "jobs finished", telemetry.L("status", st))
@@ -253,12 +265,18 @@ func (w *Worker) process(ctx context.Context, m QueueMsg) {
 	// root whose IDs rode inside the request, and the context carries the
 	// dequeue span so storage RPCs (and their server-side child spans)
 	// and log events land inside the same tree.
+	// Honor the client's head-sampling verdict before any span of ours
+	// finishes: the noted decision steers this tracer's span sink, and
+	// the context carries it onto storage hops (X-RAI-Sampled).
+	sampled := telemetry.ParseDecision(req.Sampled)
+	w.Sampler.Note(req.TraceID, sampled)
 	proc := w.Tracer.StartSpan(req.TraceID, req.ParentSpan, "dequeue")
 	proc.SetAttr("worker", w.Cfg.ID)
 	proc.SetAttr("job_id", req.ID)
 	defer proc.End()
 	ctx = telemetry.ContextWithJobID(ctx, req.ID)
 	ctx = telemetry.ContextWithSpan(ctx, proc)
+	ctx = telemetry.ContextWithSampling(ctx, sampled)
 	w.Log.Info(ctx, "job dequeued",
 		telemetry.L("worker", w.Cfg.ID), telemetry.L("kind", req.Kind), telemetry.L("user", req.User))
 	logTopic := LogTopic(req.ID)
@@ -277,6 +295,10 @@ func (w *Worker) process(ctx context.Context, m QueueMsg) {
 		end(&LogMessage{Status: StatusRejected, Line: reason})
 		w.recordJob(ctx, &req, docstore.M{"status": StatusRejected, "error": reason})
 		w.tel.jobs[StatusRejected].Inc()
+		// The status attr is the collector's tail-retention signal: a
+		// rejected trace is an error trace and is always kept.
+		proc.SetAttr("status", StatusRejected)
+		proc.SetAttr("error", reason)
 		w.Log.Warn(ctx, "job rejected", telemetry.L("reason", reason))
 		m.Ack()
 	}
@@ -337,6 +359,19 @@ func (w *Worker) process(ctx context.Context, m QueueMsg) {
 	}
 	w.tel.jobs[status].Inc()
 	w.tel.jobSecs.Observe(result.elapsed.Seconds())
+	// Stamp the terminal status onto the worker's span so the collector
+	// can keep failed traces at 100% regardless of sampling.
+	proc.SetAttr("status", status)
+	if status == StatusFailed {
+		proc.SetAttr("error", "job failed")
+	}
+	// Exemplars only point at traces that will be retained; an exemplar
+	// naming a head-dropped trace would be a dead link.
+	exemplarTrace := ""
+	if req.TraceID != "" && w.Sampler.Keep(req.TraceID) {
+		exemplarTrace = req.TraceID
+	}
+	w.tel.jobHDR.ObserveExemplar(result.elapsed.Seconds(), exemplarTrace)
 	update := docstore.M{
 		"status":           status,
 		"elapsed_s":        result.elapsed.Seconds(),

@@ -1,0 +1,69 @@
+package slo
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"rai/internal/telemetry"
+)
+
+// Scrape fetches every metrics URL, parses the expositions, and folds
+// one Observe round into the engine. Endpoints that fail are skipped —
+// a worker mid-restart must not blind the whole evaluation — and the
+// joined error reports them. An all-endpoints-down round observes
+// nothing (the history keeps its last reading) rather than recording a
+// false zero.
+func (e *Engine) Scrape(ctx context.Context, urls []string) error {
+	var snaps []*telemetry.Snapshot
+	var errs []error
+	for _, u := range urls {
+		snap, err := fetch(ctx, u)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", u, err))
+			continue
+		}
+		snaps = append(snaps, snap)
+	}
+	if len(snaps) > 0 {
+		e.Observe(snaps...)
+	}
+	return errors.Join(errs...)
+}
+
+// Run scrapes the URLs every interval until ctx is done, reporting
+// scrape failures to onErr (nil to ignore). The engine clock paces the
+// loop, so tests drive it with a virtual clock.
+func (e *Engine) Run(ctx context.Context, urls []string, interval time.Duration, onErr func(error)) {
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-e.clk.After(interval):
+			if err := e.Scrape(ctx, urls); err != nil && onErr != nil {
+				onErr(err)
+			}
+		}
+	}
+}
+
+func fetch(ctx context.Context, url string) (*telemetry.Snapshot, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %s", resp.Status)
+	}
+	return telemetry.ParseText(resp.Body)
+}

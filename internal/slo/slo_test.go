@@ -1,0 +1,66 @@
+package slo
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseConfigRoundTrip(t *testing.T) {
+	cfg, err := ParseConfig([]byte(`{
+		"objectives": [
+			{"name": "avail", "target": 0.99,
+			 "total": {"name": "rai_worker_jobs_total"},
+			 "bad": {"name": "rai_worker_jobs_total", "labels": {"status": "failed"}}},
+			{"name": "lat", "target": 0.95,
+			 "histogram": {"name": "rai_worker_job_seconds"}, "threshold_s": 30}
+		],
+		"rules": [{"name": "page", "long": "1h", "short": "5m", "burn": 14.4}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Objectives) != 2 || len(cfg.Rules) != 1 {
+		t.Fatalf("parsed %d objectives %d rules", len(cfg.Objectives), len(cfg.Rules))
+	}
+	if r := cfg.Rules[0]; r.Long != time.Hour || r.Short != 5*time.Minute || r.Burn != 14.4 {
+		t.Fatalf("rule = %+v", r)
+	}
+}
+
+func TestParseConfigRejects(t *testing.T) {
+	cases := map[string]string{
+		"no objectives": `{"objectives": []}`,
+		"bad target": `{"objectives": [{"name": "x", "target": 1.5,
+			"total": {"name": "a"}, "bad": {"name": "b"}}]}`,
+		"both forms": `{"objectives": [{"name": "x", "target": 0.9,
+			"total": {"name": "a"}, "bad": {"name": "b"},
+			"histogram": {"name": "c"}, "threshold_s": 1}]}`,
+		"neither form": `{"objectives": [{"name": "x", "target": 0.9}]}`,
+		"zero threshold": `{"objectives": [{"name": "x", "target": 0.9,
+			"histogram": {"name": "c"}}]}`,
+		"duplicate names": `{"objectives": [
+			{"name": "x", "target": 0.9, "total": {"name": "a"}, "bad": {"name": "b"}},
+			{"name": "x", "target": 0.9, "total": {"name": "a"}, "bad": {"name": "b"}}]}`,
+		"short > long": `{"objectives": [{"name": "x", "target": 0.9,
+			"total": {"name": "a"}, "bad": {"name": "b"}}],
+			"rules": [{"name": "r", "long": "5m", "short": "1h", "burn": 2}]}`,
+	}
+	for what, cfg := range cases {
+		if _, err := ParseConfig([]byte(cfg)); err == nil {
+			t.Errorf("%s: config accepted", what)
+		}
+	}
+}
+
+func TestDefaultObjectivesValidate(t *testing.T) {
+	for _, o := range DefaultObjectives() {
+		if err := o.Validate(); err != nil {
+			t.Errorf("default objective %s invalid: %v", o.Name, err)
+		}
+	}
+	for _, r := range DefaultRules() {
+		if err := r.validate(); err != nil {
+			t.Errorf("default rule %s invalid: %v", r.Name, err)
+		}
+	}
+}

@@ -20,19 +20,29 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		return nil
 	}
 	r.mu.Lock()
-	names := make([]string, 0, len(r.families))
+	names := make([]string, 0, len(r.families)+len(r.hdrs))
 	for name := range r.families {
 		names = append(names, name)
 	}
-	fams := make([]*family, 0, len(names))
+	for name := range r.hdrs {
+		names = append(names, name)
+	}
 	sort.Strings(names)
-	for _, name := range names {
-		fams = append(fams, r.families[name])
+	fams := make([]*family, len(names))
+	hfams := make([]*hdrFamily, len(names))
+	for i, name := range names {
+		fams[i] = r.families[name]
+		hfams[i] = r.hdrs[name]
 	}
 	r.mu.Unlock()
 
 	bw := bufio.NewWriter(w)
-	for _, f := range fams {
+	for i := range names {
+		if hf := hfams[i]; hf != nil {
+			writeHDRFamily(bw, hf)
+			continue
+		}
+		f := fams[i]
 		if f.help != "" {
 			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " "))
 		}
@@ -49,6 +59,27 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		f.mu.Unlock()
 	}
 	return bw.Flush()
+}
+
+func writeHDRFamily(w io.Writer, hf *hdrFamily) {
+	if hf.help != "" {
+		fmt.Fprintf(w, "# HELP %s %s\n", hf.name, strings.ReplaceAll(hf.help, "\n", " "))
+	}
+	fmt.Fprintf(w, "# TYPE %s histogram\n", hf.name)
+	hf.mu.Lock()
+	keys := make([]string, 0, len(hf.series))
+	for k := range hf.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	sers := make([]*hdrSeries, len(keys))
+	for i, k := range keys {
+		sers[i] = hf.series[k]
+	}
+	hf.mu.Unlock()
+	for _, s := range sers {
+		s.h.Snapshot().WritePrometheus(w, hf.name, s.labels...)
+	}
 }
 
 func writeSeries(w io.Writer, f *family, s *series) {
@@ -141,6 +172,23 @@ type Sample struct {
 	Name   string
 	Labels map[string]string
 	Value  float64
+	// Exemplar carries the OpenMetrics-style exemplar suffix of a
+	// histogram bucket line, when present.
+	Exemplar *SampleExemplar
+}
+
+// SampleExemplar is a parsed `# {labels} value` exemplar suffix.
+type SampleExemplar struct {
+	Labels map[string]string
+	Value  float64
+}
+
+// TraceID is the exemplar's trace link ("" when absent).
+func (e *SampleExemplar) TraceID() string {
+	if e == nil {
+		return ""
+	}
+	return e.Labels["trace_id"]
 }
 
 // Snapshot is a parsed exposition document, as scraped by raiadmin top.
@@ -205,6 +253,17 @@ func ParseText(r io.Reader) (*Snapshot, error) {
 func parseSample(line string) (Sample, error) {
 	smp := Sample{Labels: map[string]string{}}
 	rest := line
+	// Split off an OpenMetrics exemplar suffix (` # {...} value`) before
+	// label parsing, so the exemplar's braces don't confuse the
+	// LastIndex scan below.
+	if i := strings.Index(rest, " # "); i >= 0 {
+		ex, err := parseExemplar(strings.TrimSpace(rest[i+3:]))
+		if err != nil {
+			return smp, fmt.Errorf("telemetry: %v in %q", err, line)
+		}
+		smp.Exemplar = ex
+		rest = strings.TrimSpace(rest[:i])
+	}
 	if i := strings.IndexAny(rest, "{ "); i < 0 {
 		return smp, fmt.Errorf("telemetry: malformed sample %q", line)
 	} else if rest[i] == '{' {
@@ -231,6 +290,30 @@ func parseSample(line string) (Sample, error) {
 	}
 	smp.Value = v
 	return smp, nil
+}
+
+func parseExemplar(s string) (*SampleExemplar, error) {
+	if len(s) == 0 || s[0] != '{' {
+		return nil, fmt.Errorf("malformed exemplar %q", s)
+	}
+	end := strings.IndexByte(s, '}')
+	if end < 0 {
+		return nil, fmt.Errorf("unterminated exemplar labels in %q", s)
+	}
+	ex := &SampleExemplar{Labels: map[string]string{}}
+	if err := parseLabels(s[1:end], ex.Labels); err != nil {
+		return nil, err
+	}
+	fields := strings.Fields(s[end+1:])
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("exemplar %q has no value", s)
+	}
+	v, err := parseValue(fields[0])
+	if err != nil {
+		return nil, fmt.Errorf("bad exemplar value: %v", err)
+	}
+	ex.Value = v
+	return ex, nil
 }
 
 func parseValue(s string) (float64, error) {

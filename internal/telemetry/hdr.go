@@ -15,6 +15,7 @@ import (
 	"io"
 	"math"
 	"math/bits"
+	"sort"
 	"sync/atomic"
 	"time"
 )
@@ -44,6 +45,28 @@ type HDRHistogram struct {
 	sumBits atomic.Uint64 // float64 bits of the sum in seconds
 	minBits atomic.Uint64 // float64 bits of the smallest observed value
 	maxBits atomic.Uint64 // float64 bits of the largest observed value
+	// exemplars holds one (value, trace ID) pair per power-of-two
+	// exposition edge, latest observation wins — the bounded
+	// metrics→trace link: a scrape of the histogram names a concrete
+	// trace to pull up for every populated latency band.
+	exemplars [hdrBuckets]atomic.Pointer[Exemplar]
+}
+
+// Exemplar links one observed value to the trace that produced it.
+type Exemplar struct {
+	Value   float64 `json:"value"`
+	TraceID string  `json:"trace_id"`
+}
+
+// hdrEdgeIndex maps a tick count onto its power-of-two exposition edge
+// (the `le` bucket WritePrometheus emits), clamping overflow into the
+// last finite edge.
+func hdrEdgeIndex(ticks uint64) int {
+	b := bits.Len64(ticks|(hdrSubCount-1)) - hdrSubBits
+	if b >= hdrBuckets {
+		return hdrBuckets - 1
+	}
+	return b
 }
 
 // NewHDRHistogram returns an empty histogram.
@@ -106,6 +129,28 @@ func (h *HDRHistogram) Observe(seconds float64) {
 // ObserveDuration records a duration sample.
 func (h *HDRHistogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
 
+// ObserveExemplar records a sample and, when traceID is non-empty,
+// stores it as the exemplar for the sample's exposition bucket
+// (latest wins; at most one exemplar per bucket, so the set is bounded
+// by the bucket count). Callers should only pass trace IDs of sampled
+// traces — an exemplar pointing at a dropped trace is a dead link.
+func (h *HDRHistogram) ObserveExemplar(seconds float64, traceID string) {
+	if h == nil {
+		return
+	}
+	h.Observe(seconds)
+	if traceID == "" {
+		return
+	}
+	var ticks uint64
+	if seconds > 0 {
+		ticks = uint64(seconds / hdrTick)
+	} else {
+		seconds = 0
+	}
+	h.exemplars[hdrEdgeIndex(ticks)].Store(&Exemplar{Value: seconds, TraceID: traceID})
+}
+
 // Count reports the number of recorded samples.
 func (h *HDRHistogram) Count() uint64 {
 	if h == nil {
@@ -139,6 +184,11 @@ func (h *HDRHistogram) Snapshot() *HDRSnapshot {
 		s.Min = min
 	}
 	s.Max = math.Float64frombits(h.maxBits.Load())
+	for edge := range h.exemplars {
+		if ex := h.exemplars[edge].Load(); ex != nil {
+			s.Exemplars = append(s.Exemplars, BucketExemplar{Edge: edge, Value: ex.Value, TraceID: ex.TraceID})
+		}
+	}
 	return s
 }
 
@@ -150,6 +200,25 @@ type HDRSnapshot struct {
 	Sum    float64  `json:"sum"`
 	Min    float64  `json:"min"`
 	Max    float64  `json:"max"`
+	// Exemplars are the per-edge trace links, sorted by Edge.
+	Exemplars []BucketExemplar `json:"exemplars,omitempty"`
+}
+
+// BucketExemplar is one exposition bucket's trace link.
+type BucketExemplar struct {
+	Edge    int     `json:"edge"` // power-of-two exposition edge index
+	Value   float64 `json:"value"`
+	TraceID string  `json:"trace_id"`
+}
+
+// exemplarAt returns the snapshot's exemplar for an edge, nil if none.
+func (s *HDRSnapshot) exemplarAt(edge int) *BucketExemplar {
+	for i := range s.Exemplars {
+		if s.Exemplars[i].Edge == edge {
+			return &s.Exemplars[i]
+		}
+	}
+	return nil
 }
 
 // Merge folds other into s. Merging is commutative and associative:
@@ -173,6 +242,16 @@ func (s *HDRSnapshot) Merge(other *HDRSnapshot) error {
 	}
 	s.Count += other.Count
 	s.Sum += other.Sum
+	// Exemplar merge keeps the larger value per edge: max is commutative
+	// and associative, preserving the snapshot-merge algebra.
+	for _, ex := range other.Exemplars {
+		if mine := s.exemplarAt(ex.Edge); mine == nil {
+			s.Exemplars = append(s.Exemplars, ex)
+		} else if ex.Value > mine.Value {
+			*mine = ex
+		}
+	}
+	sort.Slice(s.Exemplars, func(i, j int) bool { return s.Exemplars[i].Edge < s.Exemplars[j].Edge })
 	return nil
 }
 
@@ -219,7 +298,10 @@ func (s *HDRSnapshot) Mean() float64 {
 // WritePrometheus renders the snapshot as one Prometheus histogram
 // family: cumulative `le` buckets at every power-of-two edge that is
 // populated (plus one empty leading edge and the mandatory +Inf), then
-// _sum and _count. labels apply to every series.
+// _sum and _count. labels apply to every series. Buckets holding an
+// exemplar carry it as an OpenMetrics-style suffix:
+//
+//	name_bucket{le="0.065536"} 12 # {trace_id="abc"} 0.041
 func (s *HDRSnapshot) WritePrometheus(w io.Writer, name string, labels ...Label) error {
 	rendered := renderLabels(labels)
 	// Fold slots into power-of-two edges: edge b covers ticks
@@ -236,14 +318,22 @@ func (s *HDRSnapshot) WritePrometheus(w io.Writer, name string, labels ...Label)
 			cum += s.Counts[slot]
 		}
 		le := float64(uint64(hdrSubCount)<<uint(b)) * hdrTick
-		if _, err := fmt.Fprintf(w, "%s_bucket{%s} %d\n", name, withLE(rendered, formatFloat(le)), cum); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_bucket{%s} %d%s\n", name, withLE(rendered, formatFloat(le)), cum, exemplarSuffix(s.exemplarAt(b))); err != nil {
 			return err
 		}
 	}
 	for ; slot < len(s.Counts); slot++ {
 		cum += s.Counts[slot]
 	}
-	if _, err := fmt.Fprintf(w, "%s_bucket{%s} %d\n", name, withLE(rendered, "+Inf"), cum); err != nil {
+	// Exemplars above the last rendered edge (clamped overflow) ride the
+	// +Inf bucket; keep the largest.
+	var inf *BucketExemplar
+	for i := range s.Exemplars {
+		if ex := &s.Exemplars[i]; ex.Edge > maxEdge && (inf == nil || ex.Value > inf.Value) {
+			inf = ex
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{%s} %d%s\n", name, withLE(rendered, "+Inf"), cum, exemplarSuffix(inf)); err != nil {
 		return err
 	}
 	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, braced(rendered), formatFloat(s.Sum)); err != nil {
@@ -251,6 +341,15 @@ func (s *HDRSnapshot) WritePrometheus(w io.Writer, name string, labels ...Label)
 	}
 	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, braced(rendered), s.Count)
 	return err
+}
+
+// exemplarSuffix renders the OpenMetrics exemplar tail for a bucket
+// line ("" when the bucket has none).
+func exemplarSuffix(ex *BucketExemplar) string {
+	if ex == nil || ex.TraceID == "" {
+		return ""
+	}
+	return fmt.Sprintf(` # {trace_id="%s"} %s`, escapeLabel(ex.TraceID), formatFloat(ex.Value))
 }
 
 // hdrMaxPopulatedEdge returns the highest power-of-two edge index that

@@ -1,0 +1,85 @@
+package telemetry
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestHealthEndpoints(t *testing.T) {
+	h := NewHealth()
+	mux := http.NewServeMux()
+	h.Mount(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var body [64]byte
+		n, _ := resp.Body.Read(body[:])
+		resp.Body.Close()
+		return resp.StatusCode, string(body[:n])
+	}
+
+	// Liveness answers immediately, readiness starts false.
+	if code, body := get("/healthz"); code != http.StatusOK || body != "ok\n" {
+		t.Errorf("GET /healthz = %d %q before ready", code, body)
+	}
+	if code, _ := get("/readyz"); code != http.StatusServiceUnavailable {
+		t.Errorf("GET /readyz = %d before SetReady, want 503", code)
+	}
+
+	h.SetReady(true)
+	if code, body := get("/readyz"); code != http.StatusOK || body != "ready\n" {
+		t.Errorf("GET /readyz = %d %q when ready", code, body)
+	}
+
+	// Drain flips readiness without touching liveness.
+	h.SetReady(false)
+	if code, body := get("/readyz"); code != http.StatusServiceUnavailable || body != "draining\n" {
+		t.Errorf("GET /readyz = %d %q during drain", code, body)
+	}
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Errorf("GET /healthz = %d during drain, want 200", code)
+	}
+
+	req, _ := http.NewRequestWithContext(t.Context(), http.MethodPost, srv.URL+"/readyz", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /readyz = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestHealthNilSafe(t *testing.T) {
+	var h *Health
+	h.SetReady(true)
+	if h.Ready() {
+		t.Error("nil Health must report not ready")
+	}
+}
+
+func TestServeMetricsMountsHealth(t *testing.T) {
+	reg := NewRegistry()
+	h := NewHealth()
+	h.SetReady(true)
+	addr, closeFn, err := reg.ServeMetrics("127.0.0.1:0", h.Mount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeFn()
+	resp, err := http.Get("http://" + addr + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /readyz via ServeMetrics = %d", resp.StatusCode)
+	}
+}

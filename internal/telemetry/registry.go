@@ -63,6 +63,24 @@ func (k kind) String() string {
 type Registry struct {
 	mu       sync.Mutex
 	families map[string]*family
+	hdrs     map[string]*hdrFamily
+}
+
+// hdrFamily groups HDR histogram series under one exposition name.
+// HDR families render as TYPE histogram with power-of-two `le` edges
+// (and exemplars), so scrapers see them exactly like fixed-bucket
+// histograms.
+type hdrFamily struct {
+	name string
+	help string
+
+	mu     sync.Mutex
+	series map[string]*hdrSeries
+}
+
+type hdrSeries struct {
+	labels []Label
+	h      *HDRHistogram
 }
 
 type family struct {
@@ -91,7 +109,36 @@ type series struct {
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{families: map[string]*family{}}
+	return &Registry{families: map[string]*family{}, hdrs: map[string]*hdrFamily{}}
+}
+
+// HDR registers (or fetches) an HDR histogram series: the high-range
+// log-linear histogram for tail latencies, with exemplar support.
+// Nil-registry safe (returns a nil histogram, which records nothing).
+func (r *Registry) HDR(name, help string, labels ...Label) *HDRHistogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	if _, clash := r.families[name]; clash {
+		r.mu.Unlock()
+		panic(fmt.Sprintf("telemetry: %s already registered as a non-HDR family", name))
+	}
+	f, ok := r.hdrs[name]
+	if !ok {
+		f = &hdrFamily{name: name, help: help, series: map[string]*hdrSeries{}}
+		r.hdrs[name] = f
+	}
+	r.mu.Unlock()
+	key := renderLabels(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.series[key]
+	if !ok {
+		s = &hdrSeries{labels: append([]Label(nil), labels...), h: NewHDRHistogram()}
+		f.series[key] = s
+	}
+	return s.h
 }
 
 func (r *Registry) family(name, help string, k kind, buckets []float64) *family {
@@ -99,6 +146,9 @@ func (r *Registry) family(name, help string, k kind, buckets []float64) *family 
 	defer r.mu.Unlock()
 	f, ok := r.families[name]
 	if !ok {
+		if _, clash := r.hdrs[name]; clash {
+			panic(fmt.Sprintf("telemetry: %s already registered as an HDR family", name))
+		}
 		f = &family{name: name, help: help, kind: k, buckets: buckets, series: map[string]*series{}}
 		r.families[name] = f
 		return f

@@ -25,3 +25,22 @@ go run ./cmd/raibench run -students 8 -duration 10s -workers 2 \
 go run ./cmd/raibench compare \
 	-max-throughput-drop 0.6 -max-latency-growth 3.0 -latency-floor 2s \
 	BENCH_6.json "$BENCH_OUT/BENCH_smoke.json"
+
+# The SLO engine is the one package whose races would lie to operators
+# (Observe/Evaluate/Export run concurrently in the collector): race it
+# twice on top of the full -race pass above.
+go test -race -count=2 ./internal/slo/
+
+# Sampling smoke: the same macro-bench at 10% head sampling with the
+# collector's SLO engine on. raibench itself exits nonzero unless the
+# kept fraction tracks the rate and rai_slo_* gauges appear on the
+# collector; the greps assert phase attribution resolved for the kept
+# traces instead of degrading to an empty report.
+go run ./cmd/raibench run -students 8 -duration 10s -workers 2 \
+	-trace-sample 0.1 -slo \
+	-out "$BENCH_OUT/BENCH_sampled.json"
+grep -E '"traced_jobs": [1-9]' "$BENCH_OUT/BENCH_sampled.json"
+if grep -E '"missing_traces": [1-9]' "$BENCH_OUT/BENCH_sampled.json"; then
+	echo "verify: sampled run left kept traces unattributed" >&2
+	exit 1
+fi
