@@ -312,18 +312,18 @@ func packToTemp(dir string) (*os.File, int64, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	os.Remove(f.Name()) // unlink now; the fd keeps the bytes alive
+	_ = os.Remove(f.Name()) // unlink now; the fd keeps the bytes alive
 	if err := archivex.PackDirTo(f, dir); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, 0, err
 	}
 	size, err := f.Seek(0, io.SeekCurrent)
 	if err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, 0, err
 	}
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, 0, err
 	}
 	return f, size, nil

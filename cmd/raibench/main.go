@@ -265,7 +265,7 @@ func runBench(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	if removeDir {
-		os.RemoveAll(dir)
+		_ = os.RemoveAll(dir)
 	}
 	return 0
 }
@@ -366,7 +366,7 @@ func fetchToFile(ctx context.Context, url, path string) error {
 		return err
 	}
 	defer func() {
-		io.Copy(io.Discard, resp.Body)
+		_, _ = io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
 	}()
 	if resp.StatusCode != http.StatusOK {
@@ -377,7 +377,7 @@ func fetchToFile(ctx context.Context, url, path string) error {
 		return err
 	}
 	if _, err := io.Copy(f, resp.Body); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	return f.Close()
@@ -441,7 +441,7 @@ func fsSmoke(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	if removeDir {
-		os.RemoveAll(dir)
+		_ = os.RemoveAll(dir)
 	}
 	return 0
 }

@@ -84,7 +84,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, quit <-ch
 		maddr, closeMetrics, err := reg.ServeMetrics(*metricsAddr, mounts...)
 		if err != nil {
 			fmt.Fprintf(stderr, "raibroker: metrics listener: %v\n", err)
-			srv.Close()
+			_ = srv.Close()
 			b.Close()
 			return 1
 		}

@@ -146,7 +146,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, quit <-ch
 		return 1
 	}
 	srv := &http.Server{Handler: handler}
-	go srv.Serve(ln)
+	go func() { _ = srv.Serve(ln) }()
 	fmt.Fprintf(stdout, "raidb listening on %s\n", ln.Addr())
 	if *readyPath != "" {
 		info := readyfile.Info{Service: "raidb", PID: os.Getpid(), Addr: ln.Addr().String(), MetricsAddr: metricsBound}
@@ -173,7 +173,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, quit <-ch
 	dctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(dctx); err != nil {
-		srv.Close()
+		_ = srv.Close()
 	}
 	return 0
 }

@@ -162,7 +162,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, quit <-ch
 		return 1
 	}
 	srv := &http.Server{Handler: objstore.Handler(store, authFn, handlerOpts...)}
-	go srv.Serve(ln)
+	go func() { _ = srv.Serve(ln) }()
 	fmt.Fprintf(stdout, "raifs listening on %s\n", ln.Addr())
 	if *readyPath != "" {
 		info := readyfile.Info{Service: "raifs", PID: os.Getpid(), Addr: ln.Addr().String(), MetricsAddr: metricsBound}
@@ -205,7 +205,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, quit <-ch
 	dctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(dctx); err != nil {
-		srv.Close()
+		_ = srv.Close()
 	}
 	return 0
 }

@@ -101,7 +101,7 @@ func liveAutoscaler(start time.Time) {
 		for drained := 0; drained < fleet; drained++ {
 			select {
 			case m := <-sub.C():
-				sub.Ack(m)
+				_ = sub.Ack(m)
 				jobSecs.Observe(60)
 			default:
 				drained = fleet

@@ -46,7 +46,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fsSrv := &http.Server{Handler: objstore.Handler(store, nil)}
-	go fsSrv.Serve(fsLn)
+	go func() { _ = fsSrv.Serve(fsLn) }()
 	defer fsSrv.Close()
 	fsURL := "http://" + fsLn.Addr().String()
 	fmt.Println("fileserv :", fsURL)
@@ -57,7 +57,7 @@ func main() {
 		log.Fatal(err)
 	}
 	dbSrv := &http.Server{Handler: docstore.Handler(db, nil)}
-	go dbSrv.Serve(dbLn)
+	go func() { _ = dbSrv.Serve(dbLn) }()
 	defer dbSrv.Close()
 	dbURL := "http://" + dbLn.Addr().String()
 	fmt.Println("database :", dbURL)
@@ -86,7 +86,7 @@ func main() {
 		DataFS:   dataFS,
 		DataPath: "/data",
 	}
-	go worker.RunContext(ctx)
+	go func() { _ = worker.RunContext(ctx) }()
 	defer worker.Stop()
 	fmt.Println("worker   : remote-worker subscribed to rai/tasks")
 
@@ -130,18 +130,18 @@ func buildData() *vfs.FS {
 	if err != nil {
 		log.Fatal(err)
 	}
-	dataFS.WriteFile("/data/model.hdf5", model)
+	_ = dataFS.WriteFile("/data/model.hdf5", model)
 	ds, err := cnn.SynthesizeDataset(nw, 409, 10)
 	if err != nil {
 		log.Fatal(err)
 	}
 	blob, _ := ds.Encode()
-	dataFS.WriteFile("/data/test10.hdf5", blob)
+	_ = dataFS.WriteFile("/data/test10.hdf5", blob)
 	full, err := cnn.SynthesizeDataset(nw, 410, 20)
 	if err != nil {
 		log.Fatal(err)
 	}
 	blob, _ = full.Encode()
-	dataFS.WriteFile("/data/testfull.hdf5", blob)
+	_ = dataFS.WriteFile("/data/testfull.hdf5", blob)
 	return dataFS
 }

@@ -33,7 +33,7 @@ func main() {
 	worker := deployment.Workers()[0]
 	worker.Cfg.AllowSessions = true
 	worker.Cfg.SessionIdleTimeout = time.Hour
-	go worker.RunContext(ctx)
+	go func() { _ = worker.RunContext(ctx) }()
 	defer worker.Stop()
 
 	client, err := deployment.NewClient("debug-team", os.Stdout)

@@ -260,7 +260,7 @@ func PackDirTo(w io.Writer, dir string) error {
 			return err
 		}
 		_, err = io.Copy(tw, f)
-		f.Close()
+		_ = f.Close()
 		return err
 	})
 	if err != nil {

@@ -144,7 +144,7 @@ func scrapeRSS(ctx context.Context, url string) (float64, error) {
 		return 0, err
 	}
 	defer func() {
-		io.Copy(io.Discard, resp.Body)
+		_, _ = io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
 	}()
 	if resp.StatusCode != http.StatusOK {

@@ -39,13 +39,13 @@ func startProc(name, bin string, args []string, logDir string) (*Proc, error) {
 	cmd.Stderr = f
 	cmd.SysProcAttr = &syscall.SysProcAttr{Setpgid: true}
 	if err := cmd.Start(); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, fmt.Errorf("bench: starting %s: %w", name, err)
 	}
 	p := &Proc{Name: name, LogPath: logPath, cmd: cmd, logFile: f, done: make(chan struct{})}
 	go func() {
 		p.waitErr = cmd.Wait()
-		f.Close()
+		_ = f.Close()
 		close(p.done)
 	}()
 	return p, nil
@@ -71,11 +71,11 @@ func (p *Proc) Stop(clk clock.Clock, grace time.Duration) {
 		return
 	default:
 	}
-	p.cmd.Process.Signal(syscall.SIGTERM)
+	_ = p.cmd.Process.Signal(syscall.SIGTERM)
 	select {
 	case <-p.done:
 	case <-clk.After(grace):
-		p.cmd.Process.Kill()
+		_ = p.cmd.Process.Kill()
 		<-p.done
 	}
 }

@@ -103,7 +103,7 @@ func (s *Scraper) scrape(ctx context.Context, url string) (*telemetry.Snapshot, 
 		return nil, err
 	}
 	defer func() {
-		io.Copy(io.Discard, resp.Body)
+		_, _ = io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
 	}()
 	if resp.StatusCode != http.StatusOK {

@@ -120,7 +120,7 @@ func (s Suite) Run(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		w.Write([]byte("partial"))
+		_, _ = w.Write([]byte("partial"))
 		if _, err := be.Stat(ctx, "b", "k"); !errors.Is(err, blobstore.ErrNotFound) && !errors.Is(err, blobstore.ErrNoBucket) {
 			t.Errorf("uncommitted blob visible: %v", err)
 		}
@@ -140,7 +140,7 @@ func (s Suite) Run(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		w.Write(bytes.Repeat([]byte("x"), 10000))
+		_, _ = w.Write(bytes.Repeat([]byte("x"), 10000))
 		if err := w.Abort(); err != nil {
 			t.Fatalf("Abort: %v", err)
 		}
@@ -163,7 +163,7 @@ func (s Suite) Run(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		w.Write([]byte("v2-partial"))
+		_, _ = w.Write([]byte("v2-partial"))
 		w.Abort()
 		if got := get(t, be, "b", "k"); string(got) != "v1" {
 			t.Errorf("original clobbered by aborted overwrite: %q", got)
@@ -378,7 +378,7 @@ func (s Suite) Run(t *testing.T) {
 		put(t, be, "b", "k1", []byte("v1"), 0)
 		put(t, be, "b", "k1", []byte("v2"), 0)
 		put(t, be, "b", "k2", []byte("v3"), 0)
-		be.Remove(ctx, "b", "k1")
+		_ = be.Remove(ctx, "b", "k1")
 		want := []struct {
 			op  blobstore.Op
 			key string
@@ -441,7 +441,7 @@ func (s Suite) Run(t *testing.T) {
 		defer sub.Close()
 		put(t, be, "b", "k", []byte("v"), time.Hour)
 		vc.Advance(2 * time.Hour)
-		be.Sweep(ctx)
+		_, _ = be.Sweep(ctx)
 		if ev := <-sub.C(); ev.Op != blobstore.OpCreate {
 			t.Fatalf("first event %s", ev.Op)
 		}

@@ -107,7 +107,7 @@ func (d *Disk) load() error {
 			}
 			if strings.HasPrefix(name, tmpPrefix) {
 				// A writer died mid-stream; the partial file is garbage.
-				os.Remove(filepath.Join(bucketDir, name))
+				_ = os.Remove(filepath.Join(bucketDir, name))
 				continue
 			}
 			var info Info
@@ -140,8 +140,8 @@ func (d *Disk) load() error {
 
 // removeFiles is the index drop hook (called with the index lock held).
 func (d *Disk) removeFiles(bucket, key string) {
-	os.Remove(d.dataPath(bucket, key))
-	os.Remove(d.metaPath(bucket, key))
+	_ = os.Remove(d.dataPath(bucket, key))
+	_ = os.Remove(d.metaPath(bucket, key))
 }
 
 // writeMeta atomically replaces a blob's metadata sidecar (temp file in
@@ -157,16 +157,16 @@ func (d *Disk) writeMeta(info Info) error {
 		return err
 	}
 	if _, err := tmp.Write(raw); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
+		_ = tmp.Close()
+		_ = os.Remove(tmp.Name())
 		return err
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
+		_ = os.Remove(tmp.Name())
 		return err
 	}
 	if err := os.Rename(tmp.Name(), d.metaPath(info.Bucket, info.Key)); err != nil {
-		os.Remove(tmp.Name())
+		_ = os.Remove(tmp.Name())
 		return err
 	}
 	return nil
@@ -242,7 +242,7 @@ func (d *Disk) Open(ctx context.Context, bucket, key string) (io.ReadCloser, Inf
 		}
 		return nil, Info{}, err
 	}
-	d.writeMeta(info) // best-effort LastUsed persistence
+	_ = d.writeMeta(info) // best-effort LastUsed persistence
 	return f, info, nil
 }
 
@@ -263,7 +263,7 @@ func (d *Disk) Touch(ctx context.Context, bucket, key string) error {
 		return err
 	}
 	if info, err := d.idx.stat(bucket, key); err == nil {
-		d.writeMeta(info)
+		_ = d.writeMeta(info)
 	}
 	return nil
 }
@@ -404,7 +404,7 @@ func (w *diskWriter) Close() error {
 	}
 	w.done = true
 	if err := w.f.Close(); err != nil {
-		os.Remove(w.f.Name())
+		_ = os.Remove(w.f.Name())
 		return err
 	}
 	now := w.d.idx.now()
@@ -420,7 +420,7 @@ func (w *diskWriter) Close() error {
 		return w.d.writeMeta(info)
 	})
 	if err != nil {
-		os.Remove(w.f.Name())
+		_ = os.Remove(w.f.Name())
 		return err
 	}
 	w.info = committed
@@ -432,7 +432,7 @@ func (w *diskWriter) Abort() error {
 		return nil
 	}
 	w.done = true
-	w.f.Close()
+	_ = w.f.Close()
 	return os.Remove(w.f.Name())
 }
 
@@ -469,7 +469,7 @@ func (a *diskAppender) Close() error {
 	}
 	a.d.idx.appendCommit(a.bucket, a.key, st.Size(), 0)
 	if info, err := a.d.idx.stat(a.bucket, a.key); err == nil {
-		a.d.writeMeta(info)
+		_ = a.d.writeMeta(info)
 	}
 	return nil
 }

@@ -103,7 +103,7 @@ func DialContext(ctx context.Context, addr string, opts ...DialOption) (*Client,
 	}
 	if !cfg.jsonOnly {
 		if err := c.hello(ctx, cfg.timeout); err != nil {
-			conn.Close()
+			_ = conn.Close()
 			return nil, err
 		}
 	}
@@ -122,7 +122,7 @@ func (c *Client) hello(ctx context.Context, timeout time.Duration) error {
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
-	stop := context.AfterFunc(ctx, func() { c.conn.Close() })
+	stop := context.AfterFunc(ctx, func() { _ = c.conn.Close() })
 	defer stop()
 	if err := c.fw.write(&Frame{Op: OpHello, Version: ProtocolBinary}); err != nil {
 		return err

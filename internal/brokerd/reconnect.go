@@ -117,11 +117,11 @@ func (r *ReconnClient) conn(ctx context.Context) (*Client, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.closed {
-		c.Close()
+		_ = c.Close()
 		return nil, ErrClientClosed
 	}
 	if r.cur != nil { // lost a dial race; keep the established one
-		go c.Close()
+		go func() { _ = c.Close() }()
 		return r.cur, nil
 	}
 	if r.ever {
@@ -146,7 +146,7 @@ func (r *ReconnClient) invalidate(c *Client) {
 		}
 	}
 	r.mu.Unlock()
-	c.Close()
+	_ = c.Close()
 }
 
 // do runs op against a live connection under the retry policy,

@@ -73,7 +73,7 @@ func (s *Server) Close() error {
 	s.closed = true
 	err := s.ln.Close()
 	for c := range s.conns {
-		c.Close()
+		_ = c.Close()
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
@@ -90,7 +90,7 @@ func (s *Server) acceptLoop() {
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
-			conn.Close()
+			_ = conn.Close()
 			return
 		}
 		s.conns[conn] = struct{}{}
@@ -111,7 +111,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
-		conn.Close()
+		_ = conn.Close()
 		s.connGauge.Add(-1)
 	}()
 

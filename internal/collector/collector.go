@@ -114,7 +114,7 @@ func (c *Collector) Run(ctx context.Context) error {
 				// A malformed batch will never decode; ack it away.
 				malformed.Inc()
 				c.Log.Warn(ctx, "malformed telemetry batch", telemetry.L("error", err.Error()))
-				m.Ack()
+				_ = m.Ack()
 				continue
 			}
 			if tail == nil {
@@ -122,7 +122,7 @@ func (c *Collector) Run(ctx context.Context) error {
 				spans.Add(float64(ns))
 				events.Add(float64(ne))
 				batches.Inc()
-				m.Ack()
+				_ = m.Ack()
 				continue
 			}
 			for _, s := range b.Spans {
@@ -131,7 +131,7 @@ func (c *Collector) Run(ctx context.Context) error {
 			ne := c.persistEvents(ctx, b)
 			events.Add(float64(ne))
 			batches.Inc()
-			m.Ack()
+			_ = m.Ack()
 		case <-flush:
 			persistKept(ctx, tail.evict(false))
 			flush = clk.After(flushEvery)

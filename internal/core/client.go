@@ -236,10 +236,10 @@ func (c *Client) submitUploaded(ctx context.Context, root *telemetry.Span, jobID
 			}
 			var lm LogMessage
 			if err := json.Unmarshal(m.Body, &lm); err != nil {
-				m.Ack()
+				_ = m.Ack()
 				continue // tolerate malformed log lines
 			}
-			m.Ack()
+			_ = m.Ack()
 			switch lm.Kind {
 			case LogStdout, LogStderr, LogSystem:
 				res.LogLines++

@@ -139,7 +139,7 @@ func NewRemoteQueue(ctx context.Context, addr string, opts ...RemoteQueueOption)
 	}
 	q.pub = q.newClient()
 	if err := q.pub.Ping(ctx); err != nil {
-		q.pub.Close()
+		_ = q.pub.Close()
 		return nil, err
 	}
 	return q, nil
@@ -169,7 +169,7 @@ func (q *RemoteQueue) Publish(ctx context.Context, topic string, body []byte) er
 func (q *RemoteQueue) Subscribe(ctx context.Context, topic, channel string, maxInFlight int) (Subscription, error) {
 	conn := q.newClient()
 	if err := conn.Subscribe(ctx, topic, channel, maxInFlight); err != nil {
-		conn.Close()
+		_ = conn.Close()
 		return nil, err
 	}
 	// Settlement outlives the Subscribe call (the consumer acks from its

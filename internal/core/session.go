@@ -143,10 +143,10 @@ func (s *Session) waitCmdDone(cmd string) (*CommandResult, error) {
 			}
 			var lm LogMessage
 			if err := json.Unmarshal(m.Body, &lm); err != nil {
-				m.Ack()
+				_ = m.Ack()
 				continue
 			}
-			m.Ack()
+			_ = m.Ack()
 			switch lm.Kind {
 			case LogStdout, LogStderr, LogSystem:
 				res.Output += lm.Line + "\n"
@@ -180,7 +180,7 @@ func (s *Session) Close() error {
 	if s.closed {
 		return nil
 	}
-	s.client.Queue.Publish(s.base, CmdTopic(s.JobID), encodeJSON(&sessionCommand{JobID: s.JobID, Close: true}))
+	_ = s.client.Queue.Publish(s.base, CmdTopic(s.JobID), encodeJSON(&sessionCommand{JobID: s.JobID, Close: true}))
 	// Drain until End so Result is populated.
 	for {
 		m, ok := <-s.sub.C()
@@ -194,10 +194,10 @@ func (s *Session) Close() error {
 				Elapsed:     time.Duration(lm.Elapsed * float64(time.Second)),
 				BuildBucket: lm.BuildBucket, BuildKey: lm.BuildKey,
 			}
-			m.Ack()
+			_ = m.Ack()
 			break
 		}
-		m.Ack()
+		_ = m.Ack()
 	}
 	s.closed = true
 	return s.sub.Close()
@@ -273,10 +273,10 @@ loop:
 			}
 			var sc sessionCommand
 			if err := json.Unmarshal(m.Body, &sc); err != nil {
-				m.Ack()
+				_ = m.Ack()
 				continue
 			}
-			m.Ack()
+			_ = m.Ack()
 			if sc.Close || sc.Cmd == "exit" {
 				logf(LogSystem, "session closed by client")
 				break loop
@@ -313,7 +313,7 @@ loop:
 // signalCmdDone publishes the per-command completion marker; the exit
 // code travels in the numeric Elapsed field.
 func (w *Worker) signalCmdDone(ctx context.Context, jobID string, exitCode int) {
-	w.Queue.Publish(ctx, LogTopic(jobID), encodeJSON(&LogMessage{
+	_ = w.Queue.Publish(ctx, LogTopic(jobID), encodeJSON(&LogMessage{
 		JobID: jobID, Kind: LogCmdDone, Elapsed: float64(exitCode),
 	}))
 }

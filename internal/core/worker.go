@@ -254,7 +254,7 @@ func (w *Worker) process(ctx context.Context, m QueueMsg) {
 	var req JobRequest
 	if err := json.Unmarshal(m.Body, &req); err != nil {
 		// Malformed message: nothing to reply to; drop it.
-		m.Ack()
+		_ = m.Ack()
 		return
 	}
 	// Figure 4's queue delay: submission to worker pickup.
@@ -281,14 +281,14 @@ func (w *Worker) process(ctx context.Context, m QueueMsg) {
 		telemetry.L("worker", w.Cfg.ID), telemetry.L("kind", req.Kind), telemetry.L("user", req.User))
 	logTopic := LogTopic(req.ID)
 	logf := func(kind, format string, args ...any) {
-		w.Queue.Publish(ctx, logTopic, encodeJSON(&LogMessage{
+		_ = w.Queue.Publish(ctx, logTopic, encodeJSON(&LogMessage{
 			JobID: req.ID, Kind: kind, Line: fmt.Sprintf(format, args...),
 		}))
 	}
 	end := func(lm *LogMessage) {
 		lm.JobID = req.ID
 		lm.Kind = LogEnd
-		w.Queue.Publish(ctx, logTopic, encodeJSON(lm))
+		_ = w.Queue.Publish(ctx, logTopic, encodeJSON(lm))
 	}
 	reject := func(reason string) {
 		logf(LogSystem, "job rejected: %s", reason)
@@ -300,7 +300,7 @@ func (w *Worker) process(ctx context.Context, m QueueMsg) {
 		proc.SetAttr("status", StatusRejected)
 		proc.SetAttr("error", reason)
 		w.Log.Warn(ctx, "job rejected", telemetry.L("reason", reason))
-		m.Ack()
+		_ = m.Ack()
 	}
 
 	// Worker step 2: check credentials and parse the embedded build file.
@@ -405,7 +405,7 @@ func (w *Worker) process(ctx context.Context, m QueueMsg) {
 		BuildBucket:   result.buildBucket,
 		BuildKey:      result.buildKey,
 	})
-	m.Ack()
+	_ = m.Ack()
 }
 
 // resolveSpec picks the effective build file: the enforced Listing 2
@@ -473,10 +473,10 @@ func (w *Worker) upsert(ctx context.Context, coll string, filter, update docstor
 		UpsertContext(ctx context.Context, coll string, filter, update docstore.M) (string, error)
 	}
 	if u, ok := w.DB.(ctxUpserter); ok {
-		u.UpsertContext(ctx, coll, filter, update)
+		_, _ = u.UpsertContext(ctx, coll, filter, update)
 		return
 	}
-	w.DB.Upsert(coll, filter, update)
+	_, _ = w.DB.Upsert(coll, filter, update)
 }
 
 // execResult aggregates one job execution.

@@ -264,7 +264,7 @@ func respond(w http.ResponseWriter, resp rpcResponse, err error) {
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v)
+	_ = json.NewEncoder(w).Encode(v)
 }
 
 // DefaultRequestTimeout bounds each attempt when the policy does not
@@ -342,7 +342,7 @@ func (c *Client) call(ctx context.Context, coll, verb string, req rpcRequest, re
 			return rpcResponse{}, err
 		}
 		defer func() {
-			io.Copy(io.Discard, io.LimitReader(hresp.Body, 64<<10))
+			_, _ = io.Copy(io.Discard, io.LimitReader(hresp.Body, 64<<10))
 			hresp.Body.Close()
 		}()
 		var resp rpcResponse
@@ -430,7 +430,7 @@ func (c *Client) CapsContext(ctx context.Context) (Caps, error) {
 			return Caps{}, err
 		}
 		defer func() {
-			io.Copy(io.Discard, io.LimitReader(hresp.Body, 64<<10))
+			_, _ = io.Copy(io.Discard, io.LimitReader(hresp.Body, 64<<10))
 			hresp.Body.Close()
 		}()
 		if hresp.StatusCode != http.StatusOK {
@@ -468,7 +468,7 @@ func (c *Client) WatchContext(ctx context.Context, coll string) (<-chan WatchEve
 	}
 	if hresp.StatusCode != http.StatusOK {
 		var resp rpcResponse
-		json.NewDecoder(io.LimitReader(hresp.Body, 64<<10)).Decode(&resp)
+		_ = json.NewDecoder(io.LimitReader(hresp.Body, 64<<10)).Decode(&resp)
 		hresp.Body.Close()
 		msg := resp.Error
 		if msg == "" {

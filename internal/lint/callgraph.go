@@ -1,0 +1,392 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file builds the whole-module call graph the interprocedural
+// checks (lockorder, goroleak) compose function summaries over. Nodes
+// are function bodies: every declared function or method in the module,
+// plus every function literal (literals are their own nodes so a
+// goroutine body is analyzable independently of its enclosing
+// function). Edges are resolved statically:
+//
+//   - direct calls to module functions and methods;
+//   - interface method calls, fanned out to every module type whose
+//     method set satisfies the interface (the implements-set);
+//   - immediately-invoked and deferred function literals;
+//   - calls through a local variable bound exactly once to a literal.
+//
+// Calls through other function values (fields, parameters, escaping
+// closures) are not resolved; escaping literals are still analyzed as
+// roots of their own, so their lock acquisitions feed the global lock
+// graph, but effects do not propagate to the caller. This unsoundness
+// is deliberate: it keeps the engine quiet where it cannot be precise.
+
+// CGNode is one function body in the call graph.
+type CGNode struct {
+	// Fn is the declared function or method; nil for literals.
+	Fn *types.Func
+	// Lit is the function literal; nil for declared functions.
+	Lit  *ast.FuncLit
+	Decl *ast.FuncDecl
+	Pkg  *Package
+	// Name is the display name: "(*Broker).Publish", "Publish",
+	// or "Publish$lit" for a literal nested in Publish.
+	Name string
+
+	// Calls are edges executed on the caller's goroutine (direct calls,
+	// deferred calls, immediately-invoked literals).
+	Calls []CGEdge
+	// Spawns are go-statement edges: the callee runs on a new goroutine.
+	Spawns []CGEdge
+
+	index, lowlink int
+	onStack        bool
+}
+
+// Body returns the node's function body.
+func (n *CGNode) Body() *ast.BlockStmt {
+	if n.Lit != nil {
+		return n.Lit.Body
+	}
+	return n.Decl.Body
+}
+
+// CGEdge is one resolved call or spawn site.
+type CGEdge struct {
+	Callee *CGNode
+	Site   token.Pos
+	// Defer marks edges from defer statements: the callee runs at
+	// function exit, not at the site.
+	Defer bool
+}
+
+// CallGraph is the module-wide graph plus the bottom-up SCC order the
+// summary computation walks.
+type CallGraph struct {
+	ByObj map[*types.Func]*CGNode
+	ByLit map[*ast.FuncLit]*CGNode
+	Nodes []*CGNode
+	// SCCs lists strongly connected components bottom-up: every edge
+	// out of SCCs[i] lands in SCCs[j<=i], so callee summaries exist
+	// (or are in the same component) when a node is summarized.
+	SCCs [][]*CGNode
+
+	prog       *Program
+	implCache  map[*types.Interface]map[string][]*CGNode
+	namedTypes []types.Type
+}
+
+// buildCallGraph constructs the graph over every package in prog.
+func buildCallGraph(prog *Program) *CallGraph {
+	g := &CallGraph{
+		ByObj:     map[*types.Func]*CGNode{},
+		ByLit:     map[*ast.FuncLit]*CGNode{},
+		prog:      prog,
+		implCache: map[*types.Interface]map[string][]*CGNode{},
+	}
+	// Node pass: declared functions, then literals (named by their
+	// innermost enclosing declared function).
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if obj == nil {
+					continue
+				}
+				n := &CGNode{Fn: obj, Decl: fd, Pkg: pkg, Name: declName(fd)}
+				g.ByObj[obj] = n
+				g.Nodes = append(g.Nodes, n)
+				i := 0
+				ast.Inspect(fd.Body, func(m ast.Node) bool {
+					if lit, ok := m.(*ast.FuncLit); ok {
+						i++
+						ln := &CGNode{Lit: lit, Pkg: pkg, Name: fmt.Sprintf("%s$%d", n.Name, i)}
+						g.ByLit[lit] = ln
+						g.Nodes = append(g.Nodes, ln)
+					}
+					return true
+				})
+			}
+		}
+	}
+	g.collectNamedTypes()
+	for _, n := range g.Nodes {
+		g.addEdges(n)
+	}
+	g.scc()
+	return g
+}
+
+func declName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	recv := fd.Recv.List[0].Type
+	if star, ok := recv.(*ast.StarExpr); ok {
+		recv = star.X
+	}
+	if idx, ok := recv.(*ast.IndexExpr); ok { // generic receiver
+		recv = idx.X
+	}
+	if id, ok := recv.(*ast.Ident); ok {
+		return "(*" + id.Name + ")." + fd.Name.Name
+	}
+	return fd.Name.Name
+}
+
+// collectNamedTypes gathers every package-level named (non-interface)
+// type in the module; these are the candidates for implements-sets.
+func (g *CallGraph) collectNamedTypes() {
+	for _, pkg := range g.prog.Packages {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			t := tn.Type()
+			if types.IsInterface(t) {
+				continue
+			}
+			g.namedTypes = append(g.namedTypes, t)
+		}
+	}
+}
+
+// implementers resolves an interface method call to the matching
+// concrete methods of every module type satisfying the interface.
+func (g *CallGraph) implementers(iface *types.Interface, method string) []*CGNode {
+	byMethod := g.implCache[iface]
+	if byMethod == nil {
+		byMethod = map[string][]*CGNode{}
+		g.implCache[iface] = byMethod
+	}
+	if nodes, ok := byMethod[method]; ok {
+		return nodes
+	}
+	var nodes []*CGNode
+	for _, t := range g.namedTypes {
+		pt := types.NewPointer(t)
+		if !types.Implements(t, iface) && !types.Implements(pt, iface) {
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(pt, true, nil, method)
+		fn, ok := obj.(*types.Func)
+		if !ok {
+			continue
+		}
+		if n := g.ByObj[fn]; n != nil {
+			nodes = append(nodes, n)
+		}
+	}
+	byMethod[method] = nodes
+	return nodes
+}
+
+// resolveCall returns the module nodes a call expression may reach.
+// Unresolvable calls (function values, out-of-module callees, type
+// conversions) return nil.
+func (g *CallGraph) resolveCall(pkg *Package, call *ast.CallExpr) []*CGNode {
+	fun := ast.Unparen(call.Fun)
+	if lit, ok := fun.(*ast.FuncLit); ok {
+		if n := g.ByLit[lit]; n != nil {
+			return []*CGNode{n}
+		}
+		return nil
+	}
+	var id *ast.Ident
+	switch v := fun.(type) {
+	case *ast.Ident:
+		id = v
+	case *ast.SelectorExpr:
+		id = v.Sel
+		if sel, ok := pkg.Info.Selections[v]; ok && sel.Kind() == types.MethodVal {
+			if iface, ok := sel.Recv().Underlying().(*types.Interface); ok {
+				return g.implementers(iface, id.Name)
+			}
+		}
+	default:
+		return nil
+	}
+	switch obj := pkg.Info.Uses[id].(type) {
+	case *types.Func:
+		if n := g.ByObj[obj]; n != nil {
+			return []*CGNode{n}
+		}
+		// Instantiated generic functions resolve via their origin.
+		if n := g.ByObj[obj.Origin()]; n != nil {
+			return []*CGNode{n}
+		}
+	case *types.Var:
+		// A local variable bound exactly once to a function literal.
+		if lit := singleLitBinding(pkg, obj); lit != nil {
+			if n := g.ByLit[lit]; n != nil {
+				return []*CGNode{n}
+			}
+		}
+	}
+	return nil
+}
+
+// singleLitBinding returns the literal a local function variable is
+// bound to, provided it is assigned exactly once in its defining
+// function (so the binding is unambiguous).
+func singleLitBinding(pkg *Package, obj *types.Var) *ast.FuncLit {
+	decl := enclosingDecl(pkg, obj.Pos())
+	if decl == nil {
+		return nil
+	}
+	var lit *ast.FuncLit
+	writes := 0
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			o := pkg.Info.Defs[id]
+			if o == nil {
+				o = pkg.Info.Uses[id]
+			}
+			if o != obj {
+				continue
+			}
+			writes++
+			if i < len(as.Rhs) {
+				if l, ok := ast.Unparen(as.Rhs[i]).(*ast.FuncLit); ok {
+					lit = l
+				}
+			}
+		}
+		return true
+	})
+	if writes == 1 {
+		return lit
+	}
+	return nil
+}
+
+// enclosingDecl finds the function declaration whose body covers pos.
+func enclosingDecl(pkg *Package, pos token.Pos) *ast.FuncDecl {
+	for _, f := range pkg.Files {
+		if f.FileStart > pos || f.FileEnd < pos {
+			continue
+		}
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil && fd.Body.Pos() <= pos && pos <= fd.Body.End() {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// addEdges walks one node's body — stopping at nested literal
+// boundaries — and records its resolved calls and spawns.
+func (g *CallGraph) addEdges(n *CGNode) {
+	walkNode(n.Body(), n.Lit, func(m ast.Node) {
+		switch v := m.(type) {
+		case *ast.GoStmt:
+			for _, c := range g.resolveCall(n.Pkg, v.Call) {
+				n.Spawns = append(n.Spawns, CGEdge{Callee: c, Site: v.Pos()})
+			}
+		case *ast.DeferStmt:
+			for _, c := range g.resolveCall(n.Pkg, v.Call) {
+				n.Calls = append(n.Calls, CGEdge{Callee: c, Site: v.Pos(), Defer: true})
+			}
+		case *ast.CallExpr:
+			for _, c := range g.resolveCall(n.Pkg, v) {
+				n.Calls = append(n.Calls, CGEdge{Callee: c, Site: v.Pos()})
+			}
+		}
+	})
+}
+
+// walkNode visits every go statement, defer statement, and call
+// expression in body, except inside nested function literals (each
+// literal is its own CGNode). The call expression directly under a
+// go/defer statement is delivered only via its statement, so spawned
+// callees are not double-counted as synchronous calls.
+func walkNode(body *ast.BlockStmt, self *ast.FuncLit, visit func(ast.Node)) {
+	statementCall := map[*ast.CallExpr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit != self {
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.GoStmt:
+			statementCall[v.Call] = true
+			visit(n)
+		case *ast.DeferStmt:
+			statementCall[v.Call] = true
+			visit(n)
+		case *ast.CallExpr:
+			if !statementCall[v] {
+				visit(n)
+			}
+		}
+		return true
+	})
+}
+
+// scc runs Tarjan's algorithm over Calls+Spawns edges. Components are
+// emitted callees-first, the order bottom-up summarization needs.
+func (g *CallGraph) scc() {
+	for _, n := range g.Nodes {
+		n.index = -1
+	}
+	var (
+		counter int
+		stack   []*CGNode
+		visit   func(n *CGNode)
+	)
+	visit = func(n *CGNode) {
+		n.index = counter
+		n.lowlink = counter
+		counter++
+		stack = append(stack, n)
+		n.onStack = true
+		for _, e := range append(append([]CGEdge{}, n.Calls...), n.Spawns...) {
+			c := e.Callee
+			if c.index < 0 {
+				visit(c)
+				if c.lowlink < n.lowlink {
+					n.lowlink = c.lowlink
+				}
+			} else if c.onStack && c.index < n.lowlink {
+				n.lowlink = c.index
+			}
+		}
+		if n.lowlink == n.index {
+			var comp []*CGNode
+			for {
+				m := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				m.onStack = false
+				comp = append(comp, m)
+				if m == n {
+					break
+				}
+			}
+			g.SCCs = append(g.SCCs, comp)
+		}
+	}
+	for _, n := range g.Nodes {
+		if n.index < 0 {
+			visit(n)
+		}
+	}
+}

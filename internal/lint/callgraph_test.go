@@ -1,0 +1,117 @@
+package lint
+
+import "testing"
+
+func TestCallGraphStaticAndSpawnEdges(t *testing.T) {
+	prog := loadSrc(t, map[string]map[string]string{
+		"m/a": {"a.go": `package a
+
+func F() {
+	G()
+	go H()
+	go func() { G() }()
+}
+
+func G() {}
+func H() {}
+`},
+	})
+	a := prog.IPA()
+	f := nodeByName(t, a, "F")
+	if got := calleeNames(f.Calls); !contains(got, "G") {
+		t.Errorf("F.Calls = %v, want G among them", got)
+	}
+	spawns := calleeNames(f.Spawns)
+	if !contains(spawns, "H") || !contains(spawns, "F$1") {
+		t.Errorf("F.Spawns = %v, want H and F$1", spawns)
+	}
+	lit := nodeByName(t, a, "F$1")
+	if got := calleeNames(lit.Calls); !contains(got, "G") {
+		t.Errorf("F$1.Calls = %v, want G", got)
+	}
+}
+
+func TestCallGraphInterfaceDispatch(t *testing.T) {
+	prog := loadSrc(t, map[string]map[string]string{
+		"m/iface": {"iface.go": `package iface
+
+type Store interface{ Put(string) error }
+
+type mem struct{}
+
+func (m *mem) Put(string) error { return nil }
+
+type disk struct{}
+
+func (d disk) Put(string) error { return nil }
+
+type unrelated struct{}
+
+func (u unrelated) Get(string) error { return nil }
+
+func Use(s Store) { _ = s.Put("x") }
+`},
+	})
+	a := prog.IPA()
+	use := nodeByName(t, a, "Use")
+	got := calleeNames(use.Calls)
+	if !contains(got, "(*mem).Put") || !contains(got, "(*disk).Put") {
+		t.Errorf("interface call fan-out = %v, want (*mem).Put and (*disk).Put", got)
+	}
+	for _, n := range got {
+		if n == "(*unrelated).Get" {
+			t.Errorf("interface call resolved to non-implementing method: %v", got)
+		}
+	}
+}
+
+// TestSCCOrderBottomUp checks the invariant the summary pass relies
+// on: every edge out of SCCs[i] lands in SCCs[j] with j <= i, and a
+// mutually recursive pair shares one component.
+func TestSCCOrderBottomUp(t *testing.T) {
+	prog := loadSrc(t, map[string]map[string]string{
+		"m/scc": {"scc.go": `package scc
+
+func Even(n int) bool {
+	if n == 0 {
+		return true
+	}
+	return Odd(n - 1)
+}
+
+func Odd(n int) bool {
+	if n == 0 {
+		return false
+	}
+	return Even(n - 1)
+}
+
+func Driver() bool { return Even(4) }
+`},
+	})
+	a := prog.IPA()
+	comp := map[*CGNode]int{}
+	for i, scc := range a.Graph.SCCs {
+		for _, n := range scc {
+			comp[n] = i
+		}
+	}
+	even := nodeByName(t, a, "Even")
+	odd := nodeByName(t, a, "Odd")
+	driver := nodeByName(t, a, "Driver")
+	if comp[even] != comp[odd] {
+		t.Errorf("Even in SCC %d, Odd in SCC %d; mutual recursion should share one", comp[even], comp[odd])
+	}
+	if comp[driver] <= comp[even] {
+		t.Errorf("Driver (SCC %d) should come after its callee Even (SCC %d)", comp[driver], comp[even])
+	}
+	for i, scc := range a.Graph.SCCs {
+		for _, n := range scc {
+			for _, e := range n.Calls {
+				if j, ok := comp[e.Callee]; ok && j > i {
+					t.Errorf("edge %s -> %s goes up the SCC order (%d -> %d)", n.Name, e.Callee.Name, i, j)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,261 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// checkErrFlow flags error results that vanish before any code looks
+// at them, on non-test code paths:
+//
+//   - a call whose last result is an error, used as a bare statement
+//     (the error is dropped on the floor);
+//   - a go statement spawning such a call (the error has nowhere to
+//     go at all);
+//   - an error assigned to a variable and then overwritten by another
+//     assignment in the same block with no read in between (the first
+//     error is checked by nobody — the classic paste-then-shadow bug
+//     on commit/ack paths).
+//
+// Sanctioned shapes stay quiet: explicit discards (`_ = f()`) are an
+// audited decision, deferred calls follow the resource-cleanup idiom,
+// and writers that cannot fail by contract (bytes.Buffer,
+// strings.Builder, fmt.Fprint* — the output-boundary convention) are
+// exempt. Calls to module functions whose summaries prove the error
+// is nil on every return path are exempt too — that is the
+// interprocedural half: a facade that cannot fail yet returns error
+// for interface reasons does not force ritual checks on its callers.
+func checkErrFlow(prog *Program, pkg *Package) []Diagnostic {
+	a := prog.IPA()
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		if isTestFile(prog, f) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			diags = append(diags, errFlowInBody(a, pkg, fd.Body)...)
+		}
+	}
+	return diags
+}
+
+func isTestFile(prog *Program, f *ast.File) bool {
+	return strings.HasSuffix(prog.Fset.Position(f.FileStart).Filename, "_test.go")
+}
+
+func errFlowInBody(a *Analysis, pkg *Package, body *ast.BlockStmt) []Diagnostic {
+	var diags []Diagnostic
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := v.X.(*ast.CallExpr); ok {
+				if d, bad := droppedError(a, pkg, call, "discarded"); bad {
+					diags = append(diags, d)
+				}
+			}
+		case *ast.GoStmt:
+			if d, bad := droppedError(a, pkg, v.Call, "discarded by go statement"); bad {
+				diags = append(diags, d)
+			}
+		case *ast.BlockStmt:
+			diags = append(diags, overwrittenErrors(a, pkg, v)...)
+		}
+		return true
+	})
+	return diags
+}
+
+// droppedError reports a call statement whose error result nobody can
+// ever see.
+func droppedError(a *Analysis, pkg *Package, call *ast.CallExpr, how string) (Diagnostic, bool) {
+	if !returnsError(pkg, call) || errExempt(a, pkg, call) {
+		return Diagnostic{}, false
+	}
+	return Diagnostic{
+		Check:   "errflow",
+		Pos:     a.Graph.prog.Fset.Position(call.Pos()),
+		Message: "error result of " + calleeName(call) + " " + how + ": handle it, or assign to _ to make the drop explicit",
+	}, true
+}
+
+// returnsError reports whether the call's last result is an error.
+func returnsError(pkg *Package, call *ast.CallExpr) bool {
+	t := pkg.Info.Types[call].Type
+	if t == nil {
+		return false
+	}
+	if tuple, ok := t.(*types.Tuple); ok {
+		if tuple.Len() == 0 {
+			return false
+		}
+		return isErrorType(tuple.At(tuple.Len() - 1).Type())
+	}
+	return isErrorType(t)
+}
+
+// errExempt covers callees whose dropped error is conventional:
+// cannot-fail writers, the fmt output boundary, and module functions
+// proven always-nil by their summaries.
+func errExempt(a *Analysis, pkg *Package, call *ast.CallExpr) bool {
+	fun := ast.Unparen(call.Fun)
+	if name, ok := stdlibFunc(pkg, fun, "fmt"); ok && strings.HasPrefix(name, "Print") || ok && strings.HasPrefix(name, "Fprint") {
+		return true
+	}
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		// hash.Hash (and friends in package hash) document that Write
+		// never returns an error.
+		if t := pkg.Info.Types[sel.X].Type; t != nil {
+			if named, isNamed := derefType(t).(*types.Named); isNamed {
+				if o := named.Obj(); o.Pkg() != nil && o.Pkg().Path() == "hash" {
+					return true
+				}
+			}
+		}
+		if fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil {
+			recv := fn.Type().(*types.Signature).Recv()
+			if recv != nil {
+				if named, ok := derefType(recv.Type()).(*types.Named); ok {
+					owner := named.Obj()
+					if owner.Pkg() != nil {
+						switch owner.Pkg().Path() + "." + owner.Name() {
+						case "bytes.Buffer", "strings.Builder":
+							return true // documented to never return an error
+						}
+					}
+				}
+			}
+		}
+	}
+	for _, callee := range a.Graph.resolveCall(pkg, call) {
+		if cs := a.Summaries[callee]; cs != nil && cs.AlwaysNilErr {
+			return true
+		}
+	}
+	return false
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			return id.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	}
+	return "call"
+}
+
+// overwrittenErrors scans one block's statement list for an error
+// variable written twice with no intervening read. Only sibling
+// top-level statements are compared, so branch-local rebinds ("if x
+// { err = f() }") never false-positive; a write inside a nested
+// statement conservatively clears the pending state.
+func overwrittenErrors(a *Analysis, pkg *Package, block *ast.BlockStmt) []Diagnostic {
+	pending := map[types.Object]token.Pos{}
+	var diags []Diagnostic
+	for _, st := range block.List {
+		writes, reads, nestedWrites := errAccesses(pkg, st)
+		for obj := range reads {
+			delete(pending, obj)
+		}
+		for obj := range nestedWrites {
+			delete(pending, obj)
+		}
+		for obj, pos := range writes {
+			if prev, ok := pending[obj]; ok {
+				diags = append(diags, Diagnostic{
+					Check: "errflow",
+					Pos:   a.Graph.prog.Fset.Position(prev),
+					Message: "error assigned to " + obj.Name() +
+						" is overwritten before any check (see " + shortPos(a.Graph.prog.Fset.Position(pos)) + ")",
+				})
+			}
+			pending[obj] = pos
+		}
+	}
+	return diags
+}
+
+// errAccesses classifies how one statement touches error variables:
+// top-level writes (assignment statements directly in the block),
+// reads anywhere within, and writes buried in nested statements.
+func errAccesses(pkg *Package, st ast.Stmt) (writes, reads, nestedWrites map[types.Object]token.Pos) {
+	writes = map[types.Object]token.Pos{}
+	reads = map[types.Object]token.Pos{}
+	nestedWrites = map[types.Object]token.Pos{}
+
+	topLHS := map[*ast.Ident]bool{}
+	if as, ok := st.(*ast.AssignStmt); ok {
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+				obj := objOf(pkg, id)
+				if obj != nil && isErrorType(obj.Type()) {
+					topLHS[id] = true
+					writes[obj] = as.Pos()
+				}
+			}
+		}
+	}
+	ast.Inspect(st, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.Ident:
+			if topLHS[v] {
+				return true
+			}
+			obj := objOf(pkg, v)
+			if obj == nil || !isErrorType(obj.Type()) {
+				return true
+			}
+			if isWriteTarget(pkg, st, v) {
+				nestedWrites[obj] = v.Pos()
+			} else {
+				reads[obj] = v.Pos()
+			}
+		case *ast.UnaryExpr:
+			// &err passed along: treat as a read (escape).
+			if v.Op == token.AND {
+				if id, ok := ast.Unparen(v.X).(*ast.Ident); ok {
+					if obj := objOf(pkg, id); obj != nil && isErrorType(obj.Type()) {
+						reads[obj] = v.Pos()
+					}
+				}
+			}
+		}
+		return true
+	})
+	return writes, reads, nestedWrites
+}
+
+func objOf(pkg *Package, id *ast.Ident) types.Object {
+	if obj := pkg.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return pkg.Info.Defs[id]
+}
+
+// isWriteTarget reports whether id appears as an assignment LHS of
+// some (possibly nested) assignment within st.
+func isWriteTarget(pkg *Package, st ast.Stmt, id *ast.Ident) bool {
+	target := false
+	ast.Inspect(st, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if lhs == id {
+				target = true
+			}
+		}
+		return true
+	})
+	return target
+}

@@ -1,0 +1,162 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// checkGoroLeak flags go statements whose spawned function —
+// transitively, through the call graph — can park forever: a channel
+// send or receive, or a sync wait, with no reachable cancellation path
+// (a ctx.Done/default/timer select case, a close of the channel
+// anywhere in the module, or a buffered result channel).
+//
+// A leaked goroutine is invisible until deadline day: each one pins
+// its stack, its captured job state, and often a subscription, and a
+// surge multiplies them. The analysis is deliberately conservative in
+// what it claims: operations on channels it cannot resolve to a field
+// or variable (method results, parameters of unknown provenance) are
+// trusted, so every report names a concrete op on a concrete channel.
+//
+// Recognized-safe shapes, beyond per-op cancellation:
+//
+//   - handshake: the spawning function itself receives from the same
+//     channel class outside any select (the send must be drained for
+//     the spawner to proceed), and symmetrically for sends;
+//   - waiter-closer: wg.Wait followed by close(ch) in the spawned
+//     body (the goroutine exists to turn Wait into a signal).
+func checkGoroLeak(prog *Program, pkg *Package) []Diagnostic {
+	a := prog.IPA()
+	var diags []Diagnostic
+	for _, n := range a.Graph.Nodes {
+		if n.Pkg != pkg {
+			continue
+		}
+		for _, spawn := range n.Spawns {
+			sum := a.Summaries[spawn.Callee]
+			if sum == nil || len(sum.Blocks) == 0 {
+				continue
+			}
+			exempt := spawnerChanOps(a, pkg, n)
+			for _, bp := range sum.Blocks {
+				if bp.exemptedBy(exempt) {
+					continue
+				}
+				if waiterCloser(pkg, spawn.Callee, bp) {
+					continue
+				}
+				pos := prog.Fset.Position(spawn.Site)
+				bpos := prog.Fset.Position(bp.Pos)
+				msg := "goroutine can block forever: " + bp.What
+				if bp.Via != "" {
+					msg += " (via " + bp.Via + ")"
+				}
+				msg += " at " + shortPos(bpos) + " with no cancellation path"
+				diags = append(diags, Diagnostic{Check: "goroleak", Pos: pos, Message: msg})
+				break // one finding per go statement
+			}
+		}
+	}
+	return diags
+}
+
+// blockClass extracts the channel class a block point is about, when
+// it carries one (wired through What by construction — the class is
+// stored alongside instead).
+type spawnerOps struct {
+	recvs map[types.Object]bool // bare receives in the spawner
+	sends map[types.Object]bool // bare sends in the spawner
+}
+
+// exemptedBy applies the handshake exemption.
+func (bp BlockPoint) exemptedBy(ops spawnerOps) bool {
+	if bp.Class == nil {
+		return false
+	}
+	if bp.IsSend {
+		return ops.recvs[bp.Class]
+	}
+	if bp.IsRecv {
+		return ops.sends[bp.Class]
+	}
+	return false
+}
+
+// spawnerChanOps collects the channel classes the spawning function
+// sends to / receives from outside selects: a bare receive in the
+// spawner means a send in the goroutine is drained (the handshake
+// idiom), and vice versa. Receives inside selects do not count — a
+// select that can take another case is exactly how the drain is
+// abandoned and the goroutine leaked.
+func spawnerChanOps(a *Analysis, pkg *Package, n *CGNode) spawnerOps {
+	ops := spawnerOps{recvs: map[types.Object]bool{}, sends: map[types.Object]bool{}}
+	inSelect := func(stack []ast.Node) bool {
+		for _, s := range stack {
+			if _, ok := s.(*ast.SelectStmt); ok {
+				return true
+			}
+		}
+		return false
+	}
+	var stack []ast.Node
+	ast.Inspect(n.Body(), func(m ast.Node) bool {
+		if m == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, m)
+		if lit, ok := m.(*ast.FuncLit); ok && lit != n.Lit {
+			// Sibling goroutines count too: a consumer goroutine spawned
+			// next to the producer drains it.
+			return true
+		}
+		switch v := m.(type) {
+		case *ast.UnaryExpr:
+			if v.Op == token.ARROW && !inSelect(stack) {
+				if c := a.Chans.resolve(chanClassOf(pkg, v.X)); c != nil {
+					ops.recvs[c] = true
+				}
+			}
+		case *ast.RangeStmt:
+			if t := pkg.Info.Types[v.X].Type; t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					if c := a.Chans.resolve(chanClassOf(pkg, v.X)); c != nil {
+						ops.recvs[c] = true
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if !inSelect(stack) {
+				if c := a.Chans.resolve(chanClassOf(pkg, v.Chan)); c != nil {
+					ops.sends[c] = true
+				}
+			}
+		}
+		return true
+	})
+	return ops
+}
+
+// waiterCloser recognizes the wg.Wait-then-close signal goroutine:
+// the Wait exists to be turned into a channel close, and the Dones it
+// waits for are the spawner's business, not this goroutine's.
+func waiterCloser(pkg *Package, n *CGNode, bp BlockPoint) bool {
+	if !bp.IsSyncWait {
+		return false
+	}
+	found := false
+	ast.Inspect(n.Body(), func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, isIdent := ast.Unparen(call.Fun).(*ast.Ident); isIdent && id.Name == "close" {
+			if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); isBuiltin && call.Pos() > bp.Pos {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

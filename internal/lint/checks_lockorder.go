@@ -1,0 +1,172 @@
+package lint
+
+import (
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// checkLockOrder builds the global lock-ordering graph from the
+// composed function summaries — an edge A→B means some path acquires B
+// while holding A — and reports every edge that participates in a
+// cycle. A cycle (the registry RWMutex taken before a topic mutex on
+// one path and after it on another) is the classic two-thread
+// deadlock: each diagnostic names the conflicting acquisition so both
+// paths are visible from either end.
+//
+// Cycles are detected on lock *classes* (the field or variable a mutex
+// lives in), so two instances of one sharded class never form a cycle
+// by themselves; only genuinely inverted orderings between classes are
+// reported.
+func checkLockOrder(prog *Program, pkg *Package) []Diagnostic {
+	a := prog.IPA()
+	cycles := a.lockCycles()
+	var diags []Diagnostic
+	for _, edge := range cycles {
+		site := a.Pairs[edge]
+		pos := prog.Fset.Position(site.Pos)
+		if a.PkgOf(pos) != pkg {
+			continue
+		}
+		reverse := a.counterSite(edge)
+		msg := "lock order cycle: " + a.LockName(edge[0]) + " held while acquiring " + a.LockName(edge[1])
+		if site.Via != "" {
+			msg += " (via " + site.Via + ")"
+		}
+		if reverse != "" {
+			msg += "; inverse order at " + reverse
+		}
+		diags = append(diags, Diagnostic{Check: "lockorder", Pos: pos, Message: msg})
+	}
+	return diags
+}
+
+// lockCycles returns every pair edge that lies inside a strongly
+// connected component of the lock graph with more than one lock class
+// — i.e. every edge that is part of some ordering cycle. Self-edges
+// (nested acquisition of two instances of one class) are excluded:
+// sharded designs order instances explicitly and a class-level
+// self-loop cannot distinguish that from a bug.
+func (a *Analysis) lockCycles() []pairKey {
+	a.cyclesOnce.Do(func() {
+		adj := map[types.Object][]types.Object{}
+		nodes := map[types.Object]bool{}
+		for k := range a.Pairs {
+			if k[0] == k[1] {
+				continue
+			}
+			adj[k[0]] = append(adj[k[0]], k[1])
+			nodes[k[0]], nodes[k[1]] = true, true
+		}
+		comp := sccOf(nodes, adj)
+		for k := range a.Pairs {
+			if k[0] != k[1] && comp[k[0]] == comp[k[1]] && comp[k[0]] != 0 {
+				a.cycleEdges = append(a.cycleEdges, k)
+			}
+		}
+		sort.Slice(a.cycleEdges, func(i, j int) bool {
+			return a.Pairs[a.cycleEdges[i]].Pos < a.Pairs[a.cycleEdges[j]].Pos
+		})
+	})
+	return a.cycleEdges
+}
+
+// counterSite renders the site of the reversed ordering for a cyclic
+// edge: for A→B, where B is held while (eventually) acquiring A. For
+// cycles longer than two it names the next edge along the cycle.
+func (a *Analysis) counterSite(edge pairKey) string {
+	direct := pairKey{edge[1], edge[0]}
+	if site, ok := a.Pairs[direct]; ok {
+		return a.describeSite(direct, site)
+	}
+	// Longer cycle: any in-cycle edge leaving edge[1].
+	for _, k := range a.cycleEdges {
+		if k[0] == edge[1] {
+			return a.describeSite(k, a.Pairs[k])
+		}
+	}
+	return ""
+}
+
+func (a *Analysis) describeSite(k pairKey, site *PairSite) string {
+	pos := a.Graph.prog.Fset.Position(site.Pos)
+	var b strings.Builder
+	b.WriteString(shortPos(pos))
+	b.WriteString(" (in " + site.Func)
+	if site.Via != "" {
+		b.WriteString(" via " + site.Via)
+	}
+	b.WriteString(", " + a.LockName(k[0]) + " → " + a.LockName(k[1]) + ")")
+	return b.String()
+}
+
+func shortPos(pos interface{ String() string }) string {
+	s := pos.String()
+	// Trim everything before the last path separator pair to keep the
+	// message readable; full positions remain on the diagnostic itself.
+	if i := strings.LastIndex(s, "/"); i >= 0 {
+		if j := strings.LastIndex(s[:i], "/"); j >= 0 {
+			return s[j+1:]
+		}
+	}
+	return s
+}
+
+// sccOf is Kosaraju-free: an iterative Tarjan over a small generic
+// graph, returning a component id per node (ids start at 1).
+func sccOf(nodes map[types.Object]bool, adj map[types.Object][]types.Object) map[types.Object]int {
+	index := map[types.Object]int{}
+	low := map[types.Object]int{}
+	onStack := map[types.Object]bool{}
+	comp := map[types.Object]int{}
+	var stack []types.Object
+	counter, compID := 0, 0
+
+	var visit func(n types.Object)
+	visit = func(n types.Object) {
+		counter++
+		index[n] = counter
+		low[n] = counter
+		stack = append(stack, n)
+		onStack[n] = true
+		for _, m := range adj[n] {
+			if index[m] == 0 {
+				visit(m)
+				if low[m] < low[n] {
+					low[n] = low[m]
+				}
+			} else if onStack[m] && index[m] < low[n] {
+				low[n] = index[m]
+			}
+		}
+		if low[n] == index[n] {
+			compID++
+			size := 0
+			for {
+				m := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[m] = false
+				comp[m] = compID
+				size++
+				if m == n {
+					break
+				}
+			}
+			if size == 1 {
+				// Singleton components are not cycles; zero them so the
+				// caller's comp[a]==comp[b] test means "in a real cycle"
+				// only when a multi-node component matched.
+				comp[n] = -compID
+			}
+		}
+	}
+	for n := range nodes {
+		if index[n] == 0 {
+			visit(n)
+		}
+	}
+	// Normalize: multi-node components keep positive ids, singletons
+	// get unique negative ids (never equal across nodes unless the
+	// same node).
+	return comp
+}

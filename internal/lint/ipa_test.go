@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// loadSrc writes the given packages (import path -> file name -> source)
+// into a temp tree and loads them through one Loader. Cross-package
+// imports work as long as both packages are in the map.
+func loadSrc(t *testing.T, pkgs map[string]map[string]string) *Program {
+	t.Helper()
+	root := t.TempDir()
+	var dirs, paths []string
+	for ip := range pkgs {
+		paths = append(paths, ip)
+	}
+	sort.Strings(paths)
+	for _, ip := range paths {
+		dir := filepath.Join(root, filepath.FromSlash(ip))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for name, src := range pkgs[ip] {
+			if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		dirs = append(dirs, dir)
+	}
+	prog, err := NewLoader().LoadDirs(dirs, paths)
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	return prog
+}
+
+// nodeByName finds a call-graph node by its display name.
+func nodeByName(t *testing.T, a *Analysis, name string) *CGNode {
+	t.Helper()
+	for _, n := range a.Graph.Nodes {
+		if n.Name == name {
+			return n
+		}
+	}
+	var have []string
+	for _, n := range a.Graph.Nodes {
+		have = append(have, n.Name)
+	}
+	t.Fatalf("no call-graph node named %q (have %v)", name, have)
+	return nil
+}
+
+func calleeNames(edges []CGEdge) []string {
+	var out []string
+	for _, e := range edges {
+		out = append(out, e.Callee.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func contains(names []string, want string) bool {
+	for _, n := range names {
+		if n == want {
+			return true
+		}
+	}
+	return false
+}

@@ -64,6 +64,10 @@ func Checks() []*Check {
 		{Name: "wgadd", Doc: "sync.WaitGroup.Add happens before the goroutine it accounts for", Run: checkWgAdd},
 		{Name: "lockcopy", Doc: "types containing sync primitives are not passed, received, or returned by value", Run: checkLockCopy},
 		{Name: "stream", Doc: "no io.ReadAll in the storage data plane (objstore/docstore/blobstore); stream or bound with LimitReader", Run: checkStream},
+		{Name: "lockorder", Doc: "no cycles in the whole-module lock-ordering graph (composed from function summaries)", Run: checkLockOrder},
+		{Name: "goroleak", Doc: "spawned goroutines cannot block forever on a channel or sync wait without a cancellation path", Run: checkGoroLeak},
+		{Name: "errflow", Doc: "error results are not discarded or overwritten before any check", Run: checkErrFlow},
+		{Name: "ctxflow", Doc: "a caller with ctx in scope does not pass a context.Background-rooted context", Run: checkCtxFlow},
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // The loader turns a directory tree into type-checked packages using
@@ -45,6 +46,11 @@ type Program struct {
 	// Deprecated records every function or method whose doc comment
 	// carries a "Deprecated:" marker, across all loaded packages.
 	Deprecated map[types.Object]bool
+
+	// ipa caches the interprocedural analysis (call graph, summaries,
+	// lock graph); built lazily by IPA() and shared by every check.
+	ipaOnce sync.Once
+	ipa     *Analysis
 }
 
 // Loader loads and type-checks packages. The zero value is not usable;
@@ -55,6 +61,16 @@ type Loader struct {
 	parsed  map[string]*pkgSrc // import path -> parsed-but-unchecked
 	checked map[string]*Package
 	order   []string // load order of import paths
+	tests   bool     // also load _test.go files
+}
+
+// IncludeTests makes subsequent loads parse _test.go files as well:
+// in-package test files join their package, and external (package
+// foo_test) files become their own unit named "<path> [tests]".
+// Checks that are not test-appropriate skip test files themselves.
+func (l *Loader) IncludeTests() *Loader {
+	l.tests = true
+	return l
 }
 
 type pkgSrc struct {
@@ -96,7 +112,7 @@ func (l *Loader) LoadTree(root, modPath string) (*Program, error) {
 			}
 			return nil
 		}
-		if strings.HasSuffix(p, ".go") && !strings.HasSuffix(p, "_test.go") {
+		if strings.HasSuffix(p, ".go") && (l.tests || !strings.HasSuffix(p, "_test.go")) {
 			dir := filepath.Dir(p)
 			if !seen[dir] {
 				seen[dir] = true
@@ -146,22 +162,37 @@ func (l *Loader) parseDir(dir, importPath string) error {
 		return err
 	}
 	src := &pkgSrc{dir: dir}
+	var extern []*ast.File // external test package (package foo_test)
 	for _, e := range ents {
 		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+		if e.IsDir() || !strings.HasSuffix(name, ".go") {
+			continue
+		}
+		isTest := strings.HasSuffix(name, "_test.go")
+		if isTest && !l.tests {
 			continue
 		}
 		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
 		if err != nil {
 			return fmt.Errorf("lint: parsing %s: %w", filepath.Join(dir, name), err)
 		}
+		if isTest && strings.HasSuffix(f.Name.Name, "_test") {
+			extern = append(extern, f)
+			continue
+		}
 		src.files = append(src.files, f)
 	}
-	if len(src.files) == 0 {
-		return nil
+	if len(src.files) > 0 {
+		l.parsed[importPath] = src
+		l.order = append(l.order, importPath)
 	}
-	l.parsed[importPath] = src
-	l.order = append(l.order, importPath)
+	if len(extern) > 0 {
+		// The external unit is ordered after its base package so the
+		// base is checked (and importable) first.
+		tp := importPath + " [tests]"
+		l.parsed[tp] = &pkgSrc{dir: dir, files: extern}
+		l.order = append(l.order, tp)
+	}
 	return nil
 }
 

@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+	"strings"
+)
+
+// SARIF output: the minimal slice of the SARIF 2.1.0 schema that CI
+// annotation services consume — one run, one tool, one rule per check,
+// one result per diagnostic with a physical location. Nothing here is
+// raivet-specific beyond the driver name, so the structs double as the
+// decode side for the round-trip test.
+
+// SarifLog is the document root.
+type SarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []SarifRun `json:"runs"`
+}
+
+type SarifRun struct {
+	Tool    SarifTool     `json:"tool"`
+	Results []SarifResult `json:"results"`
+}
+
+type SarifTool struct {
+	Driver SarifDriver `json:"driver"`
+}
+
+type SarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []SarifRule `json:"rules"`
+}
+
+type SarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription SarifMessage `json:"shortDescription"`
+}
+
+type SarifMessage struct {
+	Text string `json:"text"`
+}
+
+type SarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   SarifMessage    `json:"message"`
+	Locations []SarifLocation `json:"locations"`
+}
+
+type SarifLocation struct {
+	PhysicalLocation SarifPhysical `json:"physicalLocation"`
+}
+
+type SarifPhysical struct {
+	ArtifactLocation SarifArtifact `json:"artifactLocation"`
+	Region           SarifRegion   `json:"region"`
+}
+
+type SarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type SarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// SarifFromDiagnostics builds the document for a finished run. Every
+// registered check appears as a rule (so a clean run still names what
+// it enforced); findings become warning-level results.
+func SarifFromDiagnostics(diags []Diagnostic) SarifLog {
+	var rules []SarifRule
+	for _, c := range Checks() {
+		rules = append(rules, SarifRule{ID: c.Name, ShortDescription: SarifMessage{Text: c.Doc}})
+	}
+	results := []SarifResult{}
+	for _, d := range diags {
+		results = append(results, SarifResult{
+			RuleID:  d.Check,
+			Level:   "warning",
+			Message: SarifMessage{Text: d.Message},
+			Locations: []SarifLocation{{
+				PhysicalLocation: SarifPhysical{
+					ArtifactLocation: SarifArtifact{URI: d.File},
+					Region:           SarifRegion{StartLine: d.Line, StartColumn: d.Col},
+				},
+			}},
+		})
+	}
+	return SarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []SarifRun{{
+			Tool:    SarifTool{Driver: SarifDriver{Name: "raivet", Rules: rules}},
+			Results: results,
+		}},
+	}
+}
+
+// WriteSARIF encodes the diagnostics as an indented SARIF document.
+func WriteSARIF(w io.Writer, diags []Diagnostic) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(SarifFromDiagnostics(diags))
+}
+
+// CountIgnores counts the live (well-formed) //lint:ignore directives
+// across the program — the suppression debt a build budgets with
+// raivet -max-ignores.
+func CountIgnores(prog *Program) int {
+	n := 0
+	known := map[string]bool{"*": true}
+	for _, name := range CheckNames() {
+		known[name] = true
+	}
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+					if !ok {
+						continue
+					}
+					if fields := strings.Fields(rest); len(fields) >= 2 && known[fields[0]] {
+						n++
+					}
+				}
+			}
+		}
+	}
+	return n
+}

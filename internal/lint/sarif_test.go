@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// TestSARIFRoundTrip encodes diagnostics with WriteSARIF and decodes
+// the document back through the same structs: every finding must
+// survive with its rule, message, and location intact, and every
+// registered check must appear as a rule even when it found nothing.
+func TestSARIFRoundTrip(t *testing.T) {
+	in := []Diagnostic{
+		{Check: "clock", File: "internal/auth/auth.go", Line: 42, Col: 7, Message: "direct time.Now"},
+		{Check: "lockorder", File: "internal/broker/broker.go", Line: 9, Col: 2, Message: "lock cycle"},
+	}
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	var log SarifLog
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("decoding our own SARIF: %v", err)
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", log.Version)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "raivet" {
+		t.Errorf("driver = %q, want raivet", run.Tool.Driver.Name)
+	}
+	rules := map[string]bool{}
+	for _, r := range run.Tool.Driver.Rules {
+		rules[r.ID] = true
+	}
+	for _, name := range CheckNames() {
+		if !rules[name] {
+			t.Errorf("check %q missing from rules", name)
+		}
+	}
+	if len(run.Results) != len(in) {
+		t.Fatalf("results = %d, want %d", len(run.Results), len(in))
+	}
+	for i, r := range run.Results {
+		d := in[i]
+		if r.RuleID != d.Check || r.Message.Text != d.Message {
+			t.Errorf("result %d = %s %q, want %s %q", i, r.RuleID, r.Message.Text, d.Check, d.Message)
+		}
+		loc := r.Locations[0].PhysicalLocation
+		if loc.ArtifactLocation.URI != d.File || loc.Region.StartLine != d.Line || loc.Region.StartColumn != d.Col {
+			t.Errorf("result %d location = %s:%d:%d, want %s:%d:%d",
+				i, loc.ArtifactLocation.URI, loc.Region.StartLine, loc.Region.StartColumn, d.File, d.Line, d.Col)
+		}
+	}
+}
+
+// TestSARIFEmptyRun keeps the zero-findings document well-formed:
+// results must encode as [], not null, for strict SARIF consumers.
+func TestSARIFEmptyRun(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(buf.Bytes(), []byte(`"results": null`)) {
+		t.Errorf("empty run encodes results as null:\n%s", buf.String())
+	}
+}
+
+func TestCountIgnores(t *testing.T) {
+	src := `package p
+
+//lint:ignore clock the scheduler needs the real wall clock
+var a int
+
+//lint:ignore nope unknown check does not count
+var b int
+
+//lint:ignore span
+var c int // no reason given: malformed, does not count
+
+//lint:ignore * fixture exercises every check
+var d int
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := &Program{Fset: fset, Packages: []*Package{{Path: "p", Files: []*ast.File{f}}}}
+	if got := CountIgnores(prog); got != 2 {
+		t.Errorf("CountIgnores = %d, want 2 (one known check, one wildcard)", got)
+	}
+}

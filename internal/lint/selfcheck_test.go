@@ -14,11 +14,7 @@ func TestRepositoryIsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("loads and type-checks the whole module")
 	}
-	root, modPath, err := ModuleRoot(".")
-	if err != nil {
-		t.Fatal(err)
-	}
-	prog, err := NewLoader().LoadTree(root, modPath)
+	prog, root, err := loadSelf()
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,1299 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"sync"
+)
+
+// This file computes per-function summaries bottom-up over the call
+// graph's SCCs, and the program-wide facts (lock-order pairs, channel
+// close/make sites) the interprocedural checks consume. Within an SCC
+// the summaries are iterated to a fixed point, so recursion and mutual
+// calls converge.
+//
+// The flow model is deliberately structured, not a full CFG: statements
+// are walked in source order, branches are analyzed independently and
+// merged by intersection (a lock counts as held after a conditional
+// only when every non-terminating branch holds it), and loop bodies are
+// walked once. Intersection-merging trades a little soundness for
+// precision: the lock graph only gains edges the code provably creates
+// on some path, which keeps cycle reports trustworthy.
+
+// maxBlockPoints caps the blocking sites one summary carries; a
+// function reaching more than this many distinct uncancellable ops is
+// already reportable from the first.
+const maxBlockPoints = 8
+
+// Summary is what one function exposes to its callers.
+type Summary struct {
+	// Acquires holds every lock class the function (or any callee,
+	// transitively) may acquire.
+	Acquires map[types.Object]bool
+	// HeldAtExit holds lock classes still held on EVERY return path —
+	// the lock-helper shape ("caller must unlock"). Must-hold
+	// intersection, so a helper that returns locked only on success
+	// (the `t, err := lockX(); if err != nil { return }` idiom)
+	// contributes nothing rather than poisoning every caller.
+	HeldAtExit map[types.Object]bool
+	// Releases holds lock classes the function unlocks without having
+	// acquired itself — the unlock-helper shape ("caller held it").
+	Releases map[types.Object]bool
+	// Blocks lists reachable blocking operations with no cancellation
+	// path (see goroleak); capped at maxBlockPoints.
+	Blocks []BlockPoint
+	// AlwaysNilErr is true when the function's error result is provably
+	// nil on every return path.
+	AlwaysNilErr bool
+}
+
+// BlockPoint is one potentially-forever blocking operation.
+type BlockPoint struct {
+	Pos  token.Pos
+	What string // "send on field ch", "sync.WaitGroup.Wait", ...
+	Via  string // call path from the summarized function, "" if direct
+
+	// Class is the channel class for send/receive points (nil for
+	// selects and sync waits); IsSend/IsRecv/IsSyncWait classify the
+	// op for goroleak's exemptions.
+	Class      types.Object
+	IsSend     bool
+	IsRecv     bool
+	IsSyncWait bool
+}
+
+// pairKey orders two lock classes: [0] held while [1] is acquired.
+type pairKey [2]types.Object
+
+// PairSite records where a lock-order pair was first observed.
+type PairSite struct {
+	Pos  token.Pos
+	Func string // display name of the function holding pair[0]
+	Via  string // callee chain when the acquisition is indirect
+}
+
+// chanFacts are module-wide channel observations keyed by channel
+// class (the field or variable object a channel lives in).
+type chanFacts struct {
+	closed map[types.Object]bool
+	// buffered records make sites: class -> saw buffered / saw
+	// unbuffered. A class is "safe buffered" when every make site has a
+	// capacity.
+	makesBuffered   map[types.Object]bool
+	makesUnbuffered map[types.Object]bool
+	// params marks channel-typed parameters and results: their
+	// capacity and consumers belong to the caller, so ops on them are
+	// conservative-quiet.
+	params map[types.Object]bool
+	// alias maps a local copied from a tracked class back to it
+	// (`pumpDone := r.pumpDone`); opaque marks variables whose source
+	// cannot be pinned (map lookups, call results, received values).
+	alias  map[types.Object]types.Object
+	opaque map[types.Object]bool
+	// wgParams marks *sync.WaitGroup parameters anywhere in the
+	// module. A Wait on one of these (even captured by a nested
+	// literal) depends on Dones the module may never perform; a Wait
+	// on a field or local group is balanced by code the module owns.
+	wgParams map[types.Object]bool
+}
+
+// resolve follows local aliases to the underlying class; nil when the
+// channel's provenance is unknowable (a parameter, or an opaque or
+// ambiguous source) — operations on those are never reported.
+func (c chanFacts) resolve(class types.Object) types.Object {
+	for hops := 0; class != nil && hops < 8; hops++ {
+		if c.params[class] || c.opaque[class] {
+			return nil
+		}
+		next, ok := c.alias[class]
+		if !ok {
+			return class
+		}
+		class = next
+	}
+	return nil
+}
+
+// Analysis bundles the interprocedural results, built once per Program
+// and shared by every check (and every package's run of each check).
+type Analysis struct {
+	Graph     *CallGraph
+	Summaries map[*CGNode]*Summary
+	// Pairs is the global lock-order graph: pair -> first site.
+	Pairs map[pairKey]*PairSite
+	// LockNames renders a lock class for humans.
+	LockNames map[types.Object]string
+	Chans     chanFacts
+
+	// fileOf maps a source filename to its package, for attributing
+	// program-wide findings to the package being checked.
+	fileOf map[string]*Package
+
+	cyclesOnce sync.Once
+	cycleEdges []pairKey
+}
+
+// IPA returns the program's interprocedural analysis, computing it on
+// first use. Checks share the result, so the whole-module call graph
+// and summaries are built once no matter how many checks consume them.
+func (p *Program) IPA() *Analysis {
+	p.ipaOnce.Do(func() {
+		p.ipa = buildAnalysis(p)
+	})
+	return p.ipa
+}
+
+func buildAnalysis(prog *Program) *Analysis {
+	a := &Analysis{
+		Graph:     buildCallGraph(prog),
+		Summaries: map[*CGNode]*Summary{},
+		Pairs:     map[pairKey]*PairSite{},
+		LockNames: map[types.Object]string{},
+		Chans: chanFacts{
+			closed:          map[types.Object]bool{},
+			makesBuffered:   map[types.Object]bool{},
+			makesUnbuffered: map[types.Object]bool{},
+			params:          map[types.Object]bool{},
+			alias:           map[types.Object]types.Object{},
+			opaque:          map[types.Object]bool{},
+			wgParams:        map[types.Object]bool{},
+		},
+		fileOf: map[string]*Package{},
+	}
+	// Provenance first (params, aliases, opaque sources), then facts
+	// (closes, makes), so a close through an alias lands on the
+	// underlying class no matter the declaration order.
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			a.fileOf[prog.Fset.Position(f.FileStart).Filename] = pkg
+		}
+		a.collectChanVars(pkg)
+	}
+	for _, pkg := range prog.Packages {
+		a.collectChanFacts(pkg)
+	}
+	// Bottom-up: every SCC sees its callees' finished summaries; within
+	// an SCC, iterate to a fixed point.
+	for _, comp := range a.Graph.SCCs {
+		for _, n := range comp {
+			a.Summaries[n] = newSummary()
+		}
+		for iter := 0; iter < 5; iter++ {
+			changed := false
+			for _, n := range comp {
+				next := a.summarize(n)
+				if !summaryEqual(a.Summaries[n], next) {
+					changed = true
+				}
+				a.Summaries[n] = next
+			}
+			if !changed {
+				break
+			}
+		}
+	}
+	return a
+}
+
+func newSummary() *Summary {
+	return &Summary{
+		Acquires:   map[types.Object]bool{},
+		HeldAtExit: map[types.Object]bool{},
+		Releases:   map[types.Object]bool{},
+	}
+}
+
+func summaryEqual(a, b *Summary) bool {
+	if len(a.Acquires) != len(b.Acquires) || len(a.HeldAtExit) != len(b.HeldAtExit) ||
+		len(a.Releases) != len(b.Releases) || len(a.Blocks) != len(b.Blocks) ||
+		a.AlwaysNilErr != b.AlwaysNilErr {
+		return false
+	}
+	for k := range b.Acquires {
+		if !a.Acquires[k] {
+			return false
+		}
+	}
+	for k := range b.HeldAtExit {
+		if !a.HeldAtExit[k] {
+			return false
+		}
+	}
+	for k := range b.Releases {
+		if !a.Releases[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// PkgOf maps a diagnostic position to the package owning its file.
+func (a *Analysis) PkgOf(pos token.Position) *Package { return a.fileOf[pos.Filename] }
+
+// ---- channel facts ----
+
+// collectChanVars records channel provenance for the package: which
+// objects are parameters or results, which locals alias a tracked
+// class, and which come from sources the analysis cannot pin.
+func (a *Analysis) collectChanVars(pkg *Package) {
+	chanVar := func(id *ast.Ident) types.Object {
+		obj := pkg.Info.Defs[id]
+		if obj == nil {
+			obj = pkg.Info.Uses[id]
+		}
+		if obj == nil || obj.Type() == nil {
+			return nil
+		}
+		if _, isChan := obj.Type().Underlying().(*types.Chan); !isChan {
+			return nil
+		}
+		return obj
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.FuncType:
+				for _, fl := range []*ast.FieldList{v.Params, v.Results} {
+					if fl == nil {
+						continue
+					}
+					for _, field := range fl.List {
+						for _, name := range field.Names {
+							if obj := chanVar(name); obj != nil {
+								a.Chans.params[obj] = true
+							} else if obj := waitGroupVar(pkg, name); obj != nil {
+								a.Chans.wgParams[obj] = true
+							}
+						}
+					}
+				}
+			case *ast.AssignStmt:
+				if len(v.Rhs) == 1 && len(v.Lhs) > 1 {
+					// Multi-value: map lookup, call, receive, type
+					// assertion — all opaque sources.
+					for _, l := range v.Lhs {
+						if id, ok := ast.Unparen(l).(*ast.Ident); ok {
+							if obj := chanVar(id); obj != nil {
+								a.Chans.opaque[obj] = true
+							}
+						}
+					}
+					return true
+				}
+				for i, rhs := range v.Rhs {
+					if i >= len(v.Lhs) {
+						break
+					}
+					dst := chanClassOf(pkg, v.Lhs[i])
+					if dst == nil {
+						continue
+					}
+					if _, isChan := dst.Type().Underlying().(*types.Chan); !isChan {
+						continue
+					}
+					if _, isMake := makeChan(pkg, rhs); isMake {
+						continue // recorded as a make site below
+					}
+					if isNilExpr(pkg, rhs) {
+						continue // clearing a handle changes nothing
+					}
+					src := chanClassOf(pkg, rhs)
+					switch {
+					case src == nil:
+						a.Chans.opaque[dst] = true
+					case src != dst:
+						if old, have := a.Chans.alias[dst]; have && old != src {
+							a.Chans.opaque[dst] = true // ambiguous
+						} else {
+							a.Chans.alias[dst] = src
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// waitGroupVar resolves an identifier to its object when the type is
+// sync.WaitGroup (possibly behind a pointer).
+func waitGroupVar(pkg *Package, id *ast.Ident) types.Object {
+	obj := pkg.Info.Defs[id]
+	if obj == nil {
+		obj = pkg.Info.Uses[id]
+	}
+	if obj == nil || obj.Type() == nil {
+		return nil
+	}
+	named, ok := derefType(obj.Type()).(*types.Named)
+	if !ok {
+		return nil
+	}
+	if o := named.Obj(); o.Pkg() != nil && o.Pkg().Path() == "sync" && o.Name() == "WaitGroup" {
+		return obj
+	}
+	return nil
+}
+
+func isNilExpr(pkg *Package, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := pkg.Info.Uses[id].(*types.Nil)
+	return isNil
+}
+
+// collectChanFacts records close() calls and make(chan) sites per
+// channel class across the package. Classes are resolved through
+// aliases so facts land on the underlying field or variable.
+func (a *Analysis) collectChanFacts(pkg *Package) {
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.CallExpr:
+				if id, ok := ast.Unparen(v.Fun).(*ast.Ident); ok && id.Name == "close" && len(v.Args) == 1 {
+					if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+						if c := a.Chans.resolve(chanClassOf(pkg, v.Args[0])); c != nil {
+							a.Chans.closed[c] = true
+						}
+					}
+				}
+			case *ast.AssignStmt:
+				for i, rhs := range v.Rhs {
+					if i >= len(v.Lhs) {
+						break
+					}
+					if buffered, ok := makeChan(pkg, rhs); ok {
+						if c := a.Chans.resolve(chanClassOf(pkg, v.Lhs[i])); c != nil {
+							a.recordMake(c, buffered)
+						}
+					}
+				}
+			case *ast.KeyValueExpr:
+				if buffered, ok := makeChan(pkg, v.Value); ok {
+					if key, ok := v.Key.(*ast.Ident); ok {
+						if obj := pkg.Info.Uses[key]; obj != nil {
+							a.recordMake(obj, buffered)
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				for i, val := range v.Values {
+					if buffered, ok := makeChan(pkg, val); ok && i < len(v.Names) {
+						if obj := pkg.Info.Defs[v.Names[i]]; obj != nil {
+							a.recordMake(obj, buffered)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func (a *Analysis) recordMake(class types.Object, buffered bool) {
+	if buffered {
+		a.Chans.makesBuffered[class] = true
+	} else {
+		a.Chans.makesUnbuffered[class] = true
+	}
+}
+
+// makeChan reports whether e is a make(chan ...) call and whether it
+// has a capacity argument.
+func makeChan(pkg *Package, e ast.Expr) (buffered, ok bool) {
+	call, isCall := ast.Unparen(e).(*ast.CallExpr)
+	if !isCall {
+		return false, false
+	}
+	id, isIdent := ast.Unparen(call.Fun).(*ast.Ident)
+	if !isIdent || id.Name != "make" || len(call.Args) == 0 {
+		return false, false
+	}
+	if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); !isBuiltin {
+		return false, false
+	}
+	if t := pkg.Info.Types[call.Args[0]].Type; t != nil {
+		if _, isChan := t.Underlying().(*types.Chan); isChan {
+			return len(call.Args) == 2, true
+		}
+	}
+	return false, false
+}
+
+// safeBuffered reports whether every known make site for the class has
+// a capacity (so a single pending send cannot park forever as long as
+// capacity remains — the conventional result-channel idiom).
+func (c chanFacts) safeBuffered(class types.Object) bool {
+	return c.makesBuffered[class] && !c.makesUnbuffered[class]
+}
+
+// chanClassOf resolves a channel expression to its class: the field
+// object for selector chains, the variable object for identifiers.
+// Unresolvable shapes (calls, index results) return nil, and ops on
+// them are not analyzed.
+func chanClassOf(pkg *Package, e ast.Expr) types.Object {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := pkg.Info.Uses[v]; obj != nil {
+			return obj
+		}
+		return pkg.Info.Defs[v]
+	case *ast.SelectorExpr:
+		if obj, ok := pkg.Info.Uses[v.Sel].(*types.Var); ok && obj.IsField() {
+			return obj
+		}
+	}
+	return nil
+}
+
+// ---- lock classes ----
+
+// lockMethods classifies sync.Mutex/RWMutex method names.
+var lockAcquire = map[string]bool{"Lock": true, "RLock": true}
+var lockRelease = map[string]bool{"Unlock": true, "RUnlock": true}
+
+// lockClassAt resolves a call expression to (class, acquire|release)
+// when it is a Lock/RLock/Unlock/RUnlock on a sync.Mutex or RWMutex.
+// The class is the field or variable object holding the mutex; for a
+// promoted method on an embedding struct, the embedded field object.
+func (a *Analysis) lockClassAt(pkg *Package, call *ast.CallExpr) (class types.Object, acquire, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return nil, false, false
+	}
+	name := sel.Sel.Name
+	if !lockAcquire[name] && !lockRelease[name] {
+		return nil, false, false
+	}
+	fn, isFn := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, false, false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return nil, false, false
+	}
+	rt := recv.Type()
+	if ptr, isPtr := rt.(*types.Pointer); isPtr {
+		rt = ptr.Elem()
+	}
+	named, isNamed := rt.(*types.Named)
+	if !isNamed || (named.Obj().Name() != "Mutex" && named.Obj().Name() != "RWMutex") {
+		return nil, false, false
+	}
+	// Promoted method: follow the selection's embedded-field path to
+	// the field that actually holds the mutex.
+	if selection, found := pkg.Info.Selections[sel]; found {
+		if idx := selection.Index(); len(idx) > 1 {
+			t := pkg.Info.Types[sel.X].Type
+			var field *types.Var
+			for _, i := range idx[:len(idx)-1] {
+				t = derefType(t)
+				st, isStruct := t.Underlying().(*types.Struct)
+				if !isStruct || i >= st.NumFields() {
+					return nil, false, false
+				}
+				field = st.Field(i)
+				t = field.Type()
+			}
+			if field != nil {
+				a.nameLock(pkg, sel.X, field)
+				return field, lockAcquire[name], true
+			}
+		}
+	}
+	class = chanClassOf(pkg, sel.X) // same resolution: field or var object
+	if class == nil {
+		return nil, false, false
+	}
+	a.nameLock(pkg, sel.X, class)
+	return class, lockAcquire[name], true
+}
+
+func derefType(t types.Type) types.Type {
+	if ptr, ok := t.(*types.Pointer); ok {
+		return ptr.Elem()
+	}
+	return t
+}
+
+// nameLock records a human-readable name for a lock class, derived
+// from the receiver expression at an acquisition site.
+func (a *Analysis) nameLock(pkg *Package, recv ast.Expr, class types.Object) {
+	if _, done := a.LockNames[class]; done {
+		return
+	}
+	if v, isVar := class.(*types.Var); isVar && v.IsField() {
+		if t := pkg.Info.Types[recv].Type; t != nil {
+			owner := derefType(t)
+			if sel, isSel := ast.Unparen(recv).(*ast.SelectorExpr); isSel {
+				// recv is the mutex field itself: name by its owner.
+				if xt := pkg.Info.Types[sel.X].Type; xt != nil {
+					owner = derefType(xt)
+				}
+			}
+			a.LockNames[class] = "(" + types.TypeString(owner, nil) + ")." + class.Name()
+			return
+		}
+	}
+	if class.Pkg() != nil {
+		a.LockNames[class] = class.Pkg().Path() + "." + class.Name()
+		return
+	}
+	a.LockNames[class] = class.Name()
+}
+
+// LockName renders a lock class.
+func (a *Analysis) LockName(class types.Object) string {
+	if n := a.LockNames[class]; n != "" {
+		return n
+	}
+	return class.Name()
+}
+
+// ---- summarization ----
+
+// lockState is the per-path analysis state: the ordered set of lock
+// classes currently held.
+type lockState struct {
+	held       []types.Object
+	terminated bool
+}
+
+func (s *lockState) holds(c types.Object) bool {
+	for _, h := range s.held {
+		if h == c {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *lockState) acquire(c types.Object) {
+	if !s.holds(c) {
+		s.held = append(s.held, c)
+	}
+}
+
+func (s *lockState) release(c types.Object) bool {
+	for i, h := range s.held {
+		if h == c {
+			s.held = append(s.held[:i], s.held[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+func (s *lockState) clone() *lockState {
+	return &lockState{held: append([]types.Object(nil), s.held...)}
+}
+
+// intersectHeld keeps only classes held in every state.
+func intersectHeld(states []*lockState) []types.Object {
+	if len(states) == 0 {
+		return nil
+	}
+	var out []types.Object
+	for _, c := range states[0].held {
+		all := true
+		for _, s := range states[1:] {
+			if !s.holds(c) {
+				all = false
+				break
+			}
+		}
+		if all {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// summarizer walks one function body.
+type summarizer struct {
+	a    *Analysis
+	node *CGNode
+	pkg  *Package
+	sum  *Summary
+	// deferred collects lock classes released by defer statements;
+	// subtracted from held at every exit.
+	deferred map[types.Object]bool
+	// selfManaged is true when the body contains its own go statements:
+	// its WaitGroup.Wait is scatter-gather, not a dependence on another
+	// goroutine's Dones.
+	selfManaged bool
+	// localOps are the bare channel ops in this body, including its
+	// nested literals: a function that sends to a channel its own
+	// spawned workers range over (or receives a result its own spawned
+	// literal sends) completes the handshake locally, so the op is not
+	// a block point even if the whole function later runs on a spawned
+	// goroutine.
+	localOps spawnerOps
+	// exitHeld intersects the held set across every exit path seen so
+	// far (nil until the first exit); it becomes HeldAtExit.
+	exitHeld map[types.Object]bool
+	exitSeen bool
+}
+
+func (a *Analysis) summarize(n *CGNode) *Summary {
+	s := &summarizer{
+		a:        a,
+		node:     n,
+		pkg:      n.Pkg,
+		sum:      newSummary(),
+		deferred: map[types.Object]bool{},
+		localOps: spawnerChanOps(a, n.Pkg, n),
+	}
+	ast.Inspect(n.Body(), func(m ast.Node) bool {
+		if lit, ok := m.(*ast.FuncLit); ok && lit != n.Lit {
+			return false
+		}
+		if _, ok := m.(*ast.GoStmt); ok {
+			s.selfManaged = true
+		}
+		return true
+	})
+	ls := &lockState{}
+	s.block(n.Body(), ls)
+	if !ls.terminated {
+		s.exit(ls)
+	}
+	for c := range s.exitHeld {
+		s.sum.HeldAtExit[c] = true
+	}
+	s.sum.AlwaysNilErr = s.alwaysNilError()
+	sort.Slice(s.sum.Blocks, func(i, j int) bool { return s.sum.Blocks[i].Pos < s.sum.Blocks[j].Pos })
+	return s.sum
+}
+
+// exit records one return path. HeldAtExit is the must-hold
+// intersection across every exit, so only locks held on all paths
+// (after deferred unlocks) survive.
+func (s *summarizer) exit(ls *lockState) {
+	cur := map[types.Object]bool{}
+	for _, c := range ls.held {
+		if !s.deferred[c] {
+			cur[c] = true
+		}
+	}
+	if !s.exitSeen {
+		s.exitSeen = true
+		s.exitHeld = cur
+		return
+	}
+	for c := range s.exitHeld {
+		if !cur[c] {
+			delete(s.exitHeld, c)
+		}
+	}
+}
+
+func (s *summarizer) block(b *ast.BlockStmt, ls *lockState) {
+	for _, st := range b.List {
+		if ls.terminated {
+			return
+		}
+		s.stmt(st, ls)
+	}
+}
+
+func (s *summarizer) stmt(st ast.Stmt, ls *lockState) {
+	switch v := st.(type) {
+	case *ast.BlockStmt:
+		s.block(v, ls)
+	case *ast.ExprStmt:
+		s.expr(v.X, ls, false)
+	case *ast.AssignStmt:
+		for _, e := range v.Rhs {
+			s.expr(e, ls, false)
+		}
+		for _, e := range v.Lhs {
+			s.expr(e, ls, false)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := v.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						s.expr(e, ls, false)
+					}
+				}
+			}
+		}
+	case *ast.SendStmt:
+		s.expr(v.Chan, ls, false)
+		s.expr(v.Value, ls, false)
+		s.chanSend(v, false)
+	case *ast.IncDecStmt:
+		s.expr(v.X, ls, false)
+	case *ast.GoStmt:
+		// Arguments and the receiver evaluate on this goroutine; the
+		// callee's effects belong to the spawned one.
+		s.scanCallOperands(v.Call, ls)
+	case *ast.DeferStmt:
+		s.deferCall(v, ls)
+	case *ast.ReturnStmt:
+		for _, e := range v.Results {
+			s.expr(e, ls, false)
+		}
+		s.exit(ls)
+		ls.terminated = true
+	case *ast.BranchStmt:
+		// break/continue/goto end the straight-line path through the
+		// enclosing block; the approximation treats them like returns
+		// without recording exit state.
+		ls.terminated = true
+	case *ast.IfStmt:
+		if v.Init != nil {
+			s.stmt(v.Init, ls)
+		}
+		s.expr(v.Cond, ls, false)
+		s.branches(ls, v.Body, v.Else)
+	case *ast.ForStmt:
+		if v.Init != nil {
+			s.stmt(v.Init, ls)
+		}
+		if v.Cond != nil {
+			s.expr(v.Cond, ls, false)
+		}
+		body := ls.clone()
+		s.block(v.Body, body)
+		if v.Post != nil && !body.terminated {
+			s.stmt(v.Post, body)
+		}
+		states := []*lockState{ls}
+		if !body.terminated {
+			states = append(states, body)
+		}
+		ls.held = intersectHeld(states)
+	case *ast.RangeStmt:
+		s.expr(v.X, ls, false)
+		s.chanRange(v)
+		body := ls.clone()
+		s.block(v.Body, body)
+		states := []*lockState{ls}
+		if !body.terminated {
+			states = append(states, body)
+		}
+		ls.held = intersectHeld(states)
+	case *ast.SwitchStmt:
+		if v.Init != nil {
+			s.stmt(v.Init, ls)
+		}
+		if v.Tag != nil {
+			s.expr(v.Tag, ls, false)
+		}
+		s.caseBodies(ls, v.Body, hasDefaultCase(v.Body))
+	case *ast.TypeSwitchStmt:
+		if v.Init != nil {
+			s.stmt(v.Init, ls)
+		}
+		s.caseBodies(ls, v.Body, hasDefaultCase(v.Body))
+	case *ast.SelectStmt:
+		s.selectStmt(v, ls)
+	case *ast.LabeledStmt:
+		s.stmt(v.Stmt, ls)
+	}
+}
+
+func hasDefaultCase(body *ast.BlockStmt) bool {
+	for _, st := range body.List {
+		switch c := st.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				return true
+			}
+		case *ast.CommClause:
+			if c.Comm == nil {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// branches analyzes if/else arms independently and merges by
+// intersection over the arms that fall through.
+func (s *summarizer) branches(ls *lockState, body *ast.BlockStmt, els ast.Stmt) {
+	then := ls.clone()
+	s.block(body, then)
+	states := []*lockState{}
+	if !then.terminated {
+		states = append(states, then)
+	}
+	if els != nil {
+		alt := ls.clone()
+		s.stmt(els, alt)
+		if !alt.terminated {
+			states = append(states, alt)
+		}
+		if len(states) == 0 {
+			ls.terminated = true
+			return
+		}
+	} else {
+		states = append(states, ls) // no else: the skip path keeps entry state
+	}
+	ls.held = intersectHeld(states)
+}
+
+// caseBodies analyzes each case from the entry state and intersects
+// the fall-through results (plus the entry state when no default
+// guarantees a case runs).
+func (s *summarizer) caseBodies(ls *lockState, body *ast.BlockStmt, hasDefault bool) {
+	var states []*lockState
+	allTerminate := true
+	for _, st := range body.List {
+		var stmts []ast.Stmt
+		switch c := st.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				s.expr(e, ls, false)
+			}
+			stmts = c.Body
+		case *ast.CommClause:
+			// Comm operands were scanned by selectStmt (with the
+			// in-select marker); only the body runs here.
+			stmts = c.Body
+		default:
+			continue
+		}
+		cs := ls.clone()
+		for _, cst := range stmts {
+			if cs.terminated {
+				break
+			}
+			s.stmt(cst, cs)
+		}
+		if !cs.terminated {
+			states = append(states, cs)
+			allTerminate = false
+		}
+	}
+	if !hasDefault {
+		states = append(states, ls)
+		allTerminate = false
+	}
+	if allTerminate && len(body.List) > 0 {
+		ls.terminated = true
+		return
+	}
+	ls.held = intersectHeld(states)
+}
+
+// selectStmt analyzes a select: first the cancellation question (does
+// any case give the goroutine a way out?), then each case body.
+func (s *summarizer) selectStmt(v *ast.SelectStmt, ls *lockState) {
+	if !s.selectCancellable(v) {
+		s.addBlock(BlockPoint{Pos: v.Pos(), What: "select with no default, ctx.Done, timer, or closable case"})
+	}
+	// Scan comm operands for calls evaluated before blocking.
+	for _, st := range v.Body.List {
+		if c, ok := st.(*ast.CommClause); ok && c.Comm != nil {
+			switch comm := c.Comm.(type) {
+			case *ast.SendStmt:
+				s.expr(comm.Chan, ls, true)
+				s.expr(comm.Value, ls, true)
+			case *ast.ExprStmt:
+				s.expr(comm.X, ls, true)
+			case *ast.AssignStmt:
+				for _, e := range comm.Rhs {
+					s.expr(e, ls, true)
+				}
+			}
+		}
+	}
+	s.caseBodies(ls, v.Body, true) // select always runs exactly one ready case
+}
+
+// selectCancellable reports whether the select can always make
+// progress eventually: it has a default, a ctx.Done()/timer case, or a
+// receive on a channel some module code closes.
+func (s *summarizer) selectCancellable(v *ast.SelectStmt) bool {
+	for _, st := range v.Body.List {
+		c, ok := st.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if c.Comm == nil {
+			return true // default
+		}
+		var recvExpr ast.Expr
+		switch comm := c.Comm.(type) {
+		case *ast.ExprStmt:
+			recvExpr = comm.X
+		case *ast.AssignStmt:
+			if len(comm.Rhs) == 1 {
+				recvExpr = comm.Rhs[0]
+			}
+		}
+		if recvExpr == nil {
+			continue
+		}
+		un, ok := ast.Unparen(recvExpr).(*ast.UnaryExpr)
+		if !ok || un.Op != token.ARROW {
+			continue
+		}
+		ch := ast.Unparen(un.X)
+		if isCancellationChan(s.pkg, ch) {
+			return true
+		}
+		if class := s.a.Chans.resolve(chanClassOf(s.pkg, ch)); class != nil && s.a.Chans.closed[class] {
+			return true
+		}
+	}
+	return false
+}
+
+// isCancellationChan recognizes receive operands that fire by
+// construction: ctx.Done(), time.After, and timer/ticker channels
+// (including the injected clock's).
+func isCancellationChan(pkg *Package, ch ast.Expr) bool {
+	switch v := ch.(type) {
+	case *ast.CallExpr:
+		sel, ok := ast.Unparen(v.Fun).(*ast.SelectorExpr)
+		if !ok {
+			if name, ok := stdlibFunc(pkg, v.Fun, "time"); ok && (name == "After" || name == "Tick") {
+				return true
+			}
+			return false
+		}
+		if sel.Sel.Name == "Done" {
+			if t := pkg.Info.Types[sel.X].Type; t != nil && isContextType(t) {
+				return true
+			}
+		}
+		if name, ok := stdlibFunc(pkg, v.Fun, "time"); ok && (name == "After" || name == "Tick") {
+			return true
+		}
+		// clock.Clock.After / injected clock methods returning a timer
+		// channel: any method named After returning <-chan.
+		if sel.Sel.Name == "After" {
+			if t := pkg.Info.Types[v].Type; t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					return true
+				}
+			}
+		}
+	case *ast.SelectorExpr:
+		// timer.C / ticker.C
+		if v.Sel.Name == "C" {
+			if t := pkg.Info.Types[v.X].Type; t != nil {
+				named, ok := derefType(t).(*types.Named)
+				if ok && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "time" {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// chanSend records a blocking point for a send outside a select when
+// the channel class is known and not safely buffered.
+func (s *summarizer) chanSend(v *ast.SendStmt, inSelect bool) {
+	if inSelect {
+		return
+	}
+	class := s.a.Chans.resolve(chanClassOf(s.pkg, v.Chan))
+	if class == nil || s.a.Chans.safeBuffered(class) || s.localOps.recvs[class] {
+		return
+	}
+	s.addBlock(BlockPoint{Pos: v.Pos(), What: "send on " + chanName(class), Class: class, IsSend: true})
+}
+
+// chanRecv records a blocking point for a bare receive when the class
+// is known and never closed anywhere in the module.
+func (s *summarizer) chanRecv(pos token.Pos, ch ast.Expr) {
+	class := s.a.Chans.resolve(chanClassOf(s.pkg, ch))
+	if class == nil || s.a.Chans.closed[class] || s.localOps.sends[class] {
+		return
+	}
+	s.addBlock(BlockPoint{Pos: pos, What: "receive on never-closed " + chanName(class), Class: class, IsRecv: true})
+}
+
+func (s *summarizer) chanRange(v *ast.RangeStmt) {
+	if t := s.pkg.Info.Types[v.X].Type; t != nil {
+		if _, isChan := t.Underlying().(*types.Chan); isChan {
+			s.chanRecv(v.Pos(), v.X)
+		}
+	}
+}
+
+func chanName(class types.Object) string {
+	if v, ok := class.(*types.Var); ok && v.IsField() && v.Pkg() != nil {
+		return "field " + v.Name()
+	}
+	return "channel " + class.Name()
+}
+
+func (s *summarizer) addBlock(bp BlockPoint) {
+	for _, have := range s.sum.Blocks {
+		if have.Pos == bp.Pos {
+			return
+		}
+	}
+	if len(s.sum.Blocks) < maxBlockPoints {
+		s.sum.Blocks = append(s.sum.Blocks, bp)
+	}
+}
+
+// deferCall handles defer statements: deferred unlocks release at
+// exit; deferred calls contribute acquisitions at the site (the
+// standard approximation) and their releases at exit.
+func (s *summarizer) deferCall(v *ast.DeferStmt, ls *lockState) {
+	s.scanCallOperands(v.Call, ls)
+	if class, acquire, ok := s.a.lockClassAt(s.pkg, v.Call); ok {
+		if !acquire {
+			s.deferred[class] = true
+		}
+		return
+	}
+	for _, callee := range s.a.Graph.resolveCall(s.pkg, v.Call) {
+		cs := s.a.Summaries[callee]
+		if cs == nil {
+			continue
+		}
+		s.applyCalleeAcquires(callee, cs, v.Pos(), ls)
+		for c := range cs.Releases {
+			s.deferred[c] = true
+		}
+	}
+}
+
+// scanCallOperands walks the function and argument expressions of a
+// call without applying the callee's effects.
+func (s *summarizer) scanCallOperands(call *ast.CallExpr, ls *lockState) {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		s.expr(sel.X, ls, false)
+	}
+	for _, arg := range call.Args {
+		s.expr(arg, ls, false)
+	}
+}
+
+// expr walks an expression in evaluation order, applying lock
+// operations and callee summaries, and recording channel receives.
+// Nested function literals are skipped: they are their own nodes.
+func (s *summarizer) expr(e ast.Expr, ls *lockState, inSelect bool) {
+	if e == nil {
+		return
+	}
+	switch v := e.(type) {
+	case *ast.FuncLit:
+		return
+	case *ast.ParenExpr:
+		s.expr(v.X, ls, inSelect)
+	case *ast.UnaryExpr:
+		s.expr(v.X, ls, inSelect)
+		if v.Op == token.ARROW && !inSelect {
+			s.chanRecv(v.Pos(), v.X)
+		}
+	case *ast.BinaryExpr:
+		s.expr(v.X, ls, inSelect)
+		s.expr(v.Y, ls, inSelect)
+	case *ast.StarExpr:
+		s.expr(v.X, ls, inSelect)
+	case *ast.SelectorExpr:
+		s.expr(v.X, ls, inSelect)
+	case *ast.IndexExpr:
+		s.expr(v.X, ls, inSelect)
+		s.expr(v.Index, ls, inSelect)
+	case *ast.SliceExpr:
+		s.expr(v.X, ls, inSelect)
+		s.expr(v.Low, ls, inSelect)
+		s.expr(v.High, ls, inSelect)
+		s.expr(v.Max, ls, inSelect)
+	case *ast.TypeAssertExpr:
+		s.expr(v.X, ls, inSelect)
+	case *ast.KeyValueExpr:
+		s.expr(v.Key, ls, inSelect)
+		s.expr(v.Value, ls, inSelect)
+	case *ast.CompositeLit:
+		for _, el := range v.Elts {
+			s.expr(el, ls, inSelect)
+		}
+	case *ast.CallExpr:
+		s.call(v, ls)
+	}
+}
+
+// call applies one call expression to the lock state.
+func (s *summarizer) call(call *ast.CallExpr, ls *lockState) {
+	s.scanCallOperands(call, ls)
+	if what, ok := syncWaitAt(s.pkg, call); ok {
+		// A WaitGroup.Wait in a function that spawns its own workers is
+		// scatter-gather: the Adds and Dones are local and balanced by
+		// construction (wgadd enforces the Add side). And a Wait on a
+		// field or local group is balanced by code the module owns —
+		// only a *sync.WaitGroup PARAMETER is a promise someone else
+		// must keep, so only that shape can be parked forever.
+		if what != "sync.WaitGroup.Wait" || (!s.selfManaged && s.waitOnParam(call)) {
+			s.addBlock(BlockPoint{Pos: call.Pos(), What: what, IsSyncWait: true})
+		}
+		// fall through: Wait has no lock effects
+	}
+	if class, acquire, ok := s.a.lockClassAt(s.pkg, call); ok {
+		if acquire {
+			s.recordAcquire(class, call.Pos(), ls)
+		} else if !ls.release(class) {
+			s.sum.Releases[class] = true
+		}
+		return
+	}
+	callees := s.a.Graph.resolveCall(s.pkg, call)
+	for _, callee := range callees {
+		cs := s.a.Summaries[callee]
+		if cs == nil {
+			continue // same SCC, first iteration
+		}
+		s.applyCalleeAcquires(callee, cs, call.Pos(), ls)
+		for c := range cs.Releases {
+			if !ls.release(c) {
+				s.sum.Releases[c] = true
+			}
+		}
+		for c := range cs.HeldAtExit {
+			ls.acquire(c)
+			s.sum.Acquires[c] = true
+		}
+		for _, bp := range cs.Blocks {
+			via := callee.Name
+			if bp.Via != "" {
+				via = callee.Name + " → " + bp.Via
+			}
+			s.addBlock(BlockPoint{Pos: bp.Pos, What: bp.What, Via: via})
+		}
+	}
+}
+
+// recordAcquire registers a direct acquisition: every held lock forms
+// an ordered pair with the new one.
+func (s *summarizer) recordAcquire(class types.Object, pos token.Pos, ls *lockState) {
+	for _, h := range ls.held {
+		if h != class {
+			s.recordPair(h, class, pos, "")
+		}
+	}
+	ls.acquire(class)
+	s.sum.Acquires[class] = true
+}
+
+// applyCalleeAcquires pairs every held lock against everything the
+// callee may acquire, and folds the callee's acquire set in.
+func (s *summarizer) applyCalleeAcquires(callee *CGNode, cs *Summary, pos token.Pos, ls *lockState) {
+	for acq := range cs.Acquires {
+		for _, h := range ls.held {
+			if h != acq {
+				s.recordPair(h, acq, pos, callee.Name)
+			}
+		}
+		s.sum.Acquires[acq] = true
+	}
+}
+
+func (s *summarizer) recordPair(held, acquired types.Object, pos token.Pos, via string) {
+	key := pairKey{held, acquired}
+	if _, have := s.a.Pairs[key]; have {
+		return
+	}
+	s.a.Pairs[key] = &PairSite{Pos: pos, Func: s.node.Name, Via: via}
+}
+
+// waitOnParam reports whether the Wait receiver is a *sync.WaitGroup
+// parameter (of this function or one it captures from).
+func (s *summarizer) waitOnParam(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	return s.a.Chans.wgParams[s.pkg.Info.Uses[id]]
+}
+
+// syncWaitAt recognizes sync.WaitGroup.Wait and sync.Cond.Wait calls.
+func syncWaitAt(pkg *Package, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Wait" {
+		return "", false
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return "", false
+	}
+	named, ok := derefType(recv.Type()).(*types.Named)
+	if !ok {
+		return "", false
+	}
+	return "sync." + named.Obj().Name() + ".Wait", true
+}
+
+// ---- always-nil error results ----
+
+// alwaysNilError reports whether the function's last result is an
+// error that is literally nil on every return path (possibly via a
+// callee that is itself always-nil). Named results, bare returns, and
+// anything else make the answer false.
+func (s *summarizer) alwaysNilError() bool {
+	var sig *types.Signature
+	if s.node.Fn != nil {
+		sig = s.node.Fn.Type().(*types.Signature)
+	} else if t := s.pkg.Info.Types[s.node.Lit].Type; t != nil {
+		sig, _ = t.(*types.Signature)
+	}
+	if sig == nil || sig.Results().Len() == 0 {
+		return false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1)
+	if !isErrorType(last.Type()) {
+		return false
+	}
+	sawReturn := false
+	ok := true
+	ast.Inspect(s.node.Body(), func(n ast.Node) bool {
+		if lit, isLit := n.(*ast.FuncLit); isLit && lit != s.node.Lit {
+			return false
+		}
+		ret, isRet := n.(*ast.ReturnStmt)
+		if !isRet {
+			return true
+		}
+		sawReturn = true
+		if len(ret.Results) == 0 {
+			ok = false // bare return with named results: unknowable here
+			return true
+		}
+		lastExpr := ast.Unparen(ret.Results[len(ret.Results)-1])
+		if id, isIdent := lastExpr.(*ast.Ident); isIdent && id.Name == "nil" {
+			return true
+		}
+		// return f() where f's error is itself always nil.
+		if call, isCall := lastExpr.(*ast.CallExpr); isCall && len(ret.Results) == 1 {
+			for _, callee := range s.a.Graph.resolveCall(s.pkg, call) {
+				if cs := s.a.Summaries[callee]; cs != nil && cs.AlwaysNilErr {
+					return true
+				}
+			}
+		}
+		ok = false
+		return true
+	})
+	return ok && sawReturn
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}

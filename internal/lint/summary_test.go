@@ -1,0 +1,219 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// summaryOf builds the IPA over src (one package "m/s") and returns
+// the summary for the named node.
+func summaryOf(t *testing.T, src, name string) (*Analysis, *Summary) {
+	t.Helper()
+	prog := loadSrc(t, map[string]map[string]string{"m/s": {"s.go": src}})
+	a := prog.IPA()
+	n := nodeByName(t, a, name)
+	sum := a.Summaries[n]
+	if sum == nil {
+		t.Fatalf("no summary for %q", name)
+	}
+	return a, sum
+}
+
+const lockHelperSrc = `package s
+
+import "sync"
+
+type R struct{ mu sync.Mutex }
+
+func (r *R) lock()   { r.mu.Lock() }
+func (r *R) unlock() { r.mu.Unlock() }
+
+// maybeLock holds the mutex only on the success path, so callers'
+// summaries must not treat it as held unconditionally.
+func (r *R) maybeLock(ok bool) bool {
+	if !ok {
+		return false
+	}
+	r.mu.Lock()
+	return true
+}
+
+// alwaysLock locks on every path.
+func (r *R) alwaysLock(ok bool) {
+	if ok {
+		r.mu.Lock()
+	} else {
+		r.mu.Lock()
+	}
+}
+`
+
+func TestSummaryLockHelperHeldAtExit(t *testing.T) {
+	a, sum := summaryOf(t, lockHelperSrc, "(*R).lock")
+	if len(sum.HeldAtExit) != 1 {
+		t.Fatalf("lock(): HeldAtExit = %d classes, want 1", len(sum.HeldAtExit))
+	}
+	for c := range sum.HeldAtExit {
+		if name := a.LockName(c); !strings.Contains(name, "mu") {
+			t.Errorf("lock(): held class renders as %q, want the mu field", name)
+		}
+	}
+	if len(sum.Acquires) != 1 {
+		t.Errorf("lock(): Acquires = %d classes, want 1", len(sum.Acquires))
+	}
+}
+
+func TestSummaryUnlockHelperReleases(t *testing.T) {
+	_, sum := summaryOf(t, lockHelperSrc, "(*R).unlock")
+	if len(sum.Releases) != 1 {
+		t.Errorf("unlock(): Releases = %d classes, want 1", len(sum.Releases))
+	}
+	if len(sum.HeldAtExit) != 0 {
+		t.Errorf("unlock(): HeldAtExit = %d classes, want 0", len(sum.HeldAtExit))
+	}
+}
+
+// HeldAtExit is a must-hold intersection: a helper that locks only on
+// its success path contributes nothing, while one that locks on every
+// branch does.
+func TestSummaryHeldAtExitIsIntersection(t *testing.T) {
+	_, sum := summaryOf(t, lockHelperSrc, "(*R).maybeLock")
+	if len(sum.HeldAtExit) != 0 {
+		t.Errorf("maybeLock(): HeldAtExit = %d classes, want 0 (early return holds nothing)", len(sum.HeldAtExit))
+	}
+	if len(sum.Acquires) != 1 {
+		t.Errorf("maybeLock(): Acquires = %d classes, want 1 (may-acquire stays a union)", len(sum.Acquires))
+	}
+	_, sum = summaryOf(t, lockHelperSrc, "(*R).alwaysLock")
+	if len(sum.HeldAtExit) != 1 {
+		t.Errorf("alwaysLock(): HeldAtExit = %d classes, want 1 (held on both branches)", len(sum.HeldAtExit))
+	}
+}
+
+func TestSummaryAlwaysNilError(t *testing.T) {
+	src := `package s
+
+import "errors"
+
+func direct() error  { return nil }
+func viaCall() error { return direct() }
+func real() error    { return errors.New("x") }
+`
+	_, sum := summaryOf(t, src, "direct")
+	if !sum.AlwaysNilErr {
+		t.Error("direct(): AlwaysNilErr = false, want true")
+	}
+	_, sum = summaryOf(t, src, "viaCall")
+	if !sum.AlwaysNilErr {
+		t.Error("viaCall(): AlwaysNilErr = false, want true (propagates through callee)")
+	}
+	_, sum = summaryOf(t, src, "real")
+	if sum.AlwaysNilErr {
+		t.Error("real(): AlwaysNilErr = true, want false")
+	}
+}
+
+// A Wait on a *sync.WaitGroup parameter is a block point (the Dones
+// are someone else's promise); a Wait on a local or field group is
+// balanced by code the module owns and stays quiet.
+func TestSummaryWaitGroupProvenance(t *testing.T) {
+	src := `package s
+
+import "sync"
+
+type P struct{ wg sync.WaitGroup }
+
+func OnParam(wg *sync.WaitGroup) { wg.Wait() }
+
+func OnField(p *P) { p.wg.Wait() }
+
+func OnLocal() {
+	var wg sync.WaitGroup
+	wg.Wait()
+}
+`
+	_, sum := summaryOf(t, src, "OnParam")
+	if len(sum.Blocks) != 1 || !sum.Blocks[0].IsSyncWait {
+		t.Errorf("OnParam: Blocks = %+v, want one sync wait", sum.Blocks)
+	}
+	_, sum = summaryOf(t, src, "OnField")
+	if len(sum.Blocks) != 0 {
+		t.Errorf("OnField: Blocks = %+v, want none", sum.Blocks)
+	}
+	_, sum = summaryOf(t, src, "OnLocal")
+	if len(sum.Blocks) != 0 {
+		t.Errorf("OnLocal: Blocks = %+v, want none", sum.Blocks)
+	}
+}
+
+// A function that spawns its own sender and receives the result (or
+// feeds its own spawned workers) completes the handshake locally: the
+// op is not a block point even when the whole function later runs on
+// a spawned goroutine.
+func TestSummaryLocalHandshake(t *testing.T) {
+	src := `package s
+
+type S struct{ ch chan int }
+
+func SelfHandshake() int {
+	done := make(chan int)
+	go func() { done <- 1 }()
+	return <-done
+}
+
+func FeedOwnWorkers() {
+	work := make(chan int)
+	go func() {
+		for range work {
+		}
+	}()
+	work <- 1
+	close(work)
+}
+
+func BareRecv(s *S) int { return <-s.ch }
+`
+	_, sum := summaryOf(t, src, "SelfHandshake")
+	if len(sum.Blocks) != 0 {
+		t.Errorf("SelfHandshake: Blocks = %+v, want none (own literal sends)", sum.Blocks)
+	}
+	_, sum = summaryOf(t, src, "FeedOwnWorkers")
+	if len(sum.Blocks) != 0 {
+		t.Errorf("FeedOwnWorkers: Blocks = %+v, want none (own workers drain)", sum.Blocks)
+	}
+	_, sum = summaryOf(t, src, "BareRecv")
+	if len(sum.Blocks) != 1 || !sum.Blocks[0].IsRecv {
+		t.Errorf("BareRecv: Blocks = %+v, want one receive (never closed, nothing local sends)", sum.Blocks)
+	}
+}
+
+// Channel provenance: a close through a local alias lands on the
+// underlying field; an opaque source (map lookup) stays quiet.
+func TestSummaryChannelAliasAndOpaque(t *testing.T) {
+	src := `package s
+
+type S struct{ done chan struct{} }
+
+func (s *S) Stop() {
+	close(s.done)
+}
+
+func (s *S) WaitAliased() {
+	done := s.done
+	<-done
+}
+
+func FromMap(m map[int]chan int) int {
+	ch := m[0]
+	return <-ch
+}
+`
+	_, sum := summaryOf(t, src, "(*S).WaitAliased")
+	if len(sum.Blocks) != 0 {
+		t.Errorf("WaitAliased: Blocks = %+v, want none (alias resolves to the closed field)", sum.Blocks)
+	}
+	_, sum = summaryOf(t, src, "FromMap")
+	if len(sum.Blocks) != 0 {
+		t.Errorf("FromMap: Blocks = %+v, want none (opaque provenance is trusted)", sum.Blocks)
+	}
+}

@@ -1,0 +1,50 @@
+// Package ctxflowbad severs context propagation every way ctxflow
+// must catch: minting a Background root inline, laundering one
+// through a local, and doing it from a capturing literal — alongside
+// correct forwarding and the sanctioned WithoutCancel detach.
+package ctxflowbad
+
+import "context"
+
+func helper(ctx context.Context) error { return ctx.Err() }
+
+// Sever has ctx in scope but hands the callee a fresh root.
+func Sever(ctx context.Context) error {
+	return helper(context.Background()) // want ctxbg ctxflow
+}
+
+// Derived launders the root through a local definition.
+func Derived(ctx context.Context) error {
+	bg := context.TODO() // want ctxbg
+	return helper(bg)    // want ctxflow
+}
+
+// Wrapped roots a derivation chain in Background and forwards it.
+func Wrapped(ctx context.Context) error {
+	wctx, cancel := context.WithTimeout(context.Background(), 0) // want ctxbg ctxflow
+	defer cancel()
+	return helper(wctx) // want ctxflow
+}
+
+// Captured severs from inside a literal capturing the enclosing ctx.
+func Captured(ctx context.Context) func() error {
+	return func() error {
+		return helper(context.Background()) // want ctxbg ctxflow
+	}
+}
+
+// Forward is the point of the convention: quiet.
+func Forward(ctx context.Context) error {
+	return helper(ctx)
+}
+
+// Detach is the sanctioned way to outlive the caller: quiet.
+func Detach(ctx context.Context) error {
+	return helper(context.WithoutCancel(ctx))
+}
+
+// NoScope has no ctx in scope; minting a root here is ctxbg's
+// business alone.
+func NoScope() error {
+	return helper(context.Background()) // want ctxbg
+}

@@ -1,0 +1,76 @@
+// Package errflowbad drops errors every way errflow must catch —
+// statement calls, go statements, overwrite-before-check — alongside
+// the sanctioned shapes (explicit discard, deferred cleanup, proven
+// always-nil callees) that must stay silent.
+package errflowbad
+
+import "errors"
+
+var errBoom = errors.New("boom")
+
+func commit() error { return errBoom }
+func settle() error { return errBoom }
+
+type closer struct{}
+
+func (closer) Close() error { return errBoom }
+
+// Drop loses the commit error on the floor.
+func Drop() {
+	commit() // want errflow
+}
+
+// GoDrop spawns a call whose error has nowhere to go at all.
+func GoDrop() {
+	go commit() // want errflow
+}
+
+// Shadow overwrites the first error before anything reads it.
+func Shadow() error {
+	err := commit() // want errflow
+	err = settle()
+	return err
+}
+
+// Explicit discard is an audited decision: quiet.
+func Explicit() {
+	_ = commit()
+}
+
+// Deferred cleanup follows the resource idiom: quiet.
+func Deferred(c closer) {
+	defer c.Close()
+}
+
+// Checked reads every error before the next write: quiet.
+func Checked() error {
+	if err := commit(); err != nil {
+		return err
+	}
+	err := commit()
+	if err != nil {
+		return err
+	}
+	err = settle()
+	return err
+}
+
+// Wrapped reads the pending error on the overwriting line: quiet.
+func Wrapped() error {
+	err := commit()
+	err = errors.Join(err, settle())
+	return err
+}
+
+// alwaysNil provably cannot fail; it returns error only to satisfy a
+// facade signature.
+func alwaysNil() error { return nil }
+
+// nilByDelegation bottoms out in alwaysNil.
+func nilByDelegation() error { return alwaysNil() }
+
+// FacadeDrop drops a proven-nil error: quiet, interprocedurally.
+func FacadeDrop() {
+	alwaysNil()
+	nilByDelegation()
+}

@@ -1,0 +1,130 @@
+// Package goroleakbad plants goroutines that can park forever — sends
+// with abandoned receivers, receives nobody closes, cancellation-free
+// selects, bare waits — next to the shapes that are safe by
+// construction and must stay silent.
+package goroleakbad
+
+import (
+	"context"
+	"sync"
+)
+
+type server struct {
+	jobs   chan int // closed by produce: consumers terminate
+	stalls chan int // never closed anywhere
+}
+
+type pair struct {
+	a chan int
+	b chan int
+}
+
+// LeakySend races the select: when ctx.Done wins, nobody ever
+// receives and the goroutine blocks on the unbuffered send forever.
+func LeakySend(ctx context.Context, compute func() int) int {
+	result := make(chan int)
+	go func() { // want goroleak
+		result <- compute()
+	}()
+	select {
+	case v := <-result:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+// Buffered is the fix: a one-slot buffer lets the sender finish and
+// exit whether or not the select takes the result.
+func Buffered(ctx context.Context, compute func() int) int {
+	result := make(chan int, 1)
+	go func() {
+		result <- compute()
+	}()
+	select {
+	case v := <-result:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+// Handshake is drained unconditionally by the spawner: safe.
+func Handshake(compute func() int) int {
+	done := make(chan int)
+	go func() {
+		done <- compute()
+	}()
+	return <-done
+}
+
+// LeakyRecv waits on a channel nobody sends to or closes.
+func LeakyRecv(s *server) {
+	go func() { // want goroleak
+		<-s.stalls
+	}()
+}
+
+// Consume ranges over a channel the producer closes: terminates.
+func Consume(s *server) {
+	go func() {
+		for range s.jobs {
+		}
+	}()
+}
+
+func produce(s *server) {
+	s.jobs <- 1
+	close(s.jobs)
+}
+
+// SelectStuck has no default, Done, timer, or ever-closed case.
+func SelectStuck(p *pair) {
+	go func() { // want goroleak
+		select {
+		case <-p.a:
+		case <-p.b:
+		}
+	}()
+}
+
+// SelectDone can always leave via cancellation.
+func SelectDone(ctx context.Context, p *pair) {
+	go func() {
+		select {
+		case <-p.a:
+		case <-ctx.Done():
+		}
+	}()
+}
+
+// WaitLeak parks on a WaitGroup whose Dones are someone else's
+// promise.
+func WaitLeak(wg *sync.WaitGroup) {
+	go func() { // want goroleak
+		wg.Wait()
+	}()
+}
+
+// WaitSignal is the waiter-closer idiom: Wait exists to become a
+// close, and the spawner owns the Add/Done balance.
+func WaitSignal(wg *sync.WaitGroup) <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	return done
+}
+
+// Run spawns a named method that blocks two calls down — the
+// interprocedural path.
+func Run(s *server) {
+	go s.loop() // want goroleak
+}
+
+func (s *server) loop() { s.step() }
+
+func (s *server) step() {
+	s.stalls <- 1
+}

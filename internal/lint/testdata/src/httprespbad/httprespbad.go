@@ -22,7 +22,7 @@ func CloseOnly(url string) error {
 	if err != nil {
 		return err
 	}
-	resp.Body.Close()
+	resp.Body.Close() // want errflow
 	return nil
 }
 

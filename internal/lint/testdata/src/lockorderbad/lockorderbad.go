@@ -1,0 +1,82 @@
+// Package lockorderbad injects a two-mutex ordering cycle: the
+// registry lock is taken before a topic lock on one path and after it
+// (through a helper, so composition is exercised) on another. Two
+// threads on the two paths deadlock holding one lock each.
+package lockorderbad
+
+import "sync"
+
+type registry struct {
+	mu     sync.Mutex
+	topics map[string]*topic
+}
+
+type topic struct {
+	mu   sync.Mutex
+	subs int
+}
+
+// AddSub follows the documented order: registry before topic.
+func (r *registry) AddSub(t *topic) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t.mu.Lock() // want lockorder
+	t.subs++
+	t.mu.Unlock()
+}
+
+// Drop inverts it: topic held while a helper retakes the registry.
+func (r *registry) Drop(t *topic) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r.deleteTopic("x") // want lockorder
+}
+
+func (r *registry) deleteTopic(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.topics, name)
+}
+
+// stats is a third lock used in one consistent order everywhere: it
+// forms pairs but no cycle, so it must stay silent.
+type stats struct {
+	mu    sync.Mutex
+	seen  int
+	inner sync.Mutex
+}
+
+func (s *stats) bump() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inner.Lock()
+	s.seen++
+	s.inner.Unlock()
+}
+
+func (s *stats) read() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inner.Lock()
+	defer s.inner.Unlock()
+	return s.seen
+}
+
+// lockBoth acquires and hands both locks to the caller (HeldAtExit),
+// and unlockBoth releases caller-held locks (Releases): the helper
+// shapes summaries must carry for composition to stay in order.
+func (s *stats) lockBoth() {
+	s.mu.Lock()
+	s.inner.Lock()
+}
+
+func (s *stats) unlockBoth() {
+	s.inner.Unlock()
+	s.mu.Unlock()
+}
+
+func (s *stats) reset() {
+	s.lockBoth()
+	s.seen = 0
+	s.unlockBoth()
+}

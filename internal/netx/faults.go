@@ -61,7 +61,7 @@ func (l *FlakyListener) Accept() (net.Conn, error) {
 			return nil, err
 		}
 		if l.accepted.Add(1) <= l.Drop {
-			conn.Close()
+			_ = conn.Close()
 			continue
 		}
 		return conn, nil

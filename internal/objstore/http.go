@@ -72,7 +72,7 @@ func Handler(s *Store, auth AuthFunc, opts ...HandlerOption) http.Handler {
 		// /healthz — it reveals backend shape, not data.
 		caps := s.Capabilities()
 		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(Caps{
+		_ = json.NewEncoder(w).Encode(Caps{
 			Stream:       caps.Has(blobstore.CapStream),
 			AtomicRename: caps.Has(blobstore.CapAtomicRename),
 			Watch:        caps.Has(blobstore.CapWatch),
@@ -173,7 +173,7 @@ func Handler(s *Store, auth AuthFunc, opts ...HandlerOption) http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(infos)
+		_ = json.NewEncoder(w).Encode(infos)
 	}))
 	return mux
 }
@@ -558,7 +558,7 @@ func (c *Client) objURL(bucket, key string) string {
 // drainClose consumes what remains of body before closing so the
 // keep-alive connection returns to the pool instead of being torn down.
 func drainClose(body io.ReadCloser) {
-	io.Copy(io.Discard, io.LimitReader(body, 64<<10))
+	_, _ = io.Copy(io.Discard, io.LimitReader(body, 64<<10))
 	body.Close()
 }
 

@@ -97,8 +97,8 @@ func DefaultImages() []Image {
 func NewCourseRegistry() *Registry {
 	r := New()
 	for _, img := range DefaultImages() {
-		r.Add(img)
-		r.Whitelist(img.Ref)
+		_ = r.Add(img)
+		_ = r.Whitelist(img.Ref)
 	}
 	return r
 }

@@ -125,7 +125,7 @@ func NewDeployment(cfg DeployConfig) (*Deployment, error) {
 	if err != nil {
 		return nil, err
 	}
-	d.DataFS.WriteFile("/data/test10.hdf5", blob)
+	_ = d.DataFS.WriteFile("/data/test10.hdf5", blob)
 	full, err := cnn.SynthesizeDataset(d.Network, cfg.Seed+2, cfg.FullImages)
 	if err != nil {
 		return nil, err
@@ -134,7 +134,7 @@ func NewDeployment(cfg DeployConfig) (*Deployment, error) {
 	if err != nil {
 		return nil, err
 	}
-	d.DataFS.WriteFile("/data/testfull.hdf5", blob)
+	_ = d.DataFS.WriteFile("/data/testfull.hdf5", blob)
 
 	for i := 0; i < cfg.Workers; i++ {
 		w := &core.Worker{

@@ -86,7 +86,7 @@ func Figure2(course *workload.Course) (*Figure2Result, error) {
 		if j.Kind != "submit" || j.Failed {
 			continue
 		}
-		db.Upsert(ranking.Collection, docstore.M{"team": j.Team}, docstore.M{"$set": docstore.M{
+		_, _ = db.Upsert(ranking.Collection, docstore.M{"team": j.Team}, docstore.M{"$set": docstore.M{
 			"runtime_s": j.RuntimeS, "accuracy": 1.0,
 		}})
 	}

@@ -78,7 +78,7 @@ func writeHDRFamily(w io.Writer, hf *hdrFamily) {
 	}
 	hf.mu.Unlock()
 	for _, s := range sers {
-		s.h.Snapshot().WritePrometheus(w, hf.name, s.labels...)
+		_ = s.h.Snapshot().WritePrometheus(w, hf.name, s.labels...)
 	}
 }
 
@@ -140,7 +140,7 @@ func (r *Registry) Handler() http.Handler {
 		if req.Method == http.MethodHead {
 			return
 		}
-		r.WritePrometheus(w)
+		_ = r.WritePrometheus(w)
 	})
 }
 
@@ -163,7 +163,7 @@ func (r *Registry) ServeMetrics(addr string, mounts ...func(*http.ServeMux)) (st
 		}
 	}
 	srv := &http.Server{Handler: mux}
-	go srv.Serve(ln)
+	go func() { _ = srv.Serve(ln) }()
 	return ln.Addr().String(), srv.Close, nil
 }
 

@@ -50,7 +50,7 @@ func (h *Health) Mount(mux *http.ServeMux) {
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		w.Write([]byte("ok\n"))
+		_, _ = w.Write([]byte("ok\n"))
 	})
 	mux.HandleFunc("/readyz", func(w http.ResponseWriter, req *http.Request) {
 		if req.Method != http.MethodGet && req.Method != http.MethodHead {
@@ -61,9 +61,9 @@ func (h *Health) Mount(mux *http.ServeMux) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		if !h.Ready() {
 			w.WriteHeader(http.StatusServiceUnavailable)
-			w.Write([]byte("draining\n"))
+			_, _ = w.Write([]byte("draining\n"))
 			return
 		}
-		w.Write([]byte("ready\n"))
+		_, _ = w.Write([]byte("ready\n"))
 	})
 }

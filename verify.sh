@@ -10,9 +10,19 @@ set -eux
 
 go vet ./...
 go build ./...
-go run ./cmd/raivet ./...
+# The full static-analysis pass, with the suppression budget pinned to
+# the current debt: adding a //lint:ignore now means paying one down or
+# raising the number here in review.
+go run ./cmd/raivet -max-ignores 6 ./...
+# Concurrency checks over _test.go too — tests spawn the same
+# goroutines production does, and a leaky test helper poisons -race
+# runs for everyone.
+go run ./cmd/raivet -tests -enable goroleak,lockcopy,wgadd ./...
 go test -race ./...
 go test -run='^$' -bench=. -benchtime=1x .
+# One-iteration smoke of the analysis benchmark: catches the engine
+# regressing into re-type-checking per check (DESIGN.md §15).
+go test -run='^$' -bench=BenchmarkRaivetFullTree -benchtime=1x ./internal/lint
 
 # Macro-benchmark smoke: boot the real daemons, drive 8 simulated
 # students for 10s, and gate on the tracked baseline with generous
