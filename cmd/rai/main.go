@@ -17,6 +17,7 @@ package main
 import (
 	"bufio"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -31,6 +32,7 @@ import (
 	"rai/internal/auth"
 	"rai/internal/brokerd"
 	"rai/internal/build"
+	"rai/internal/cas"
 	"rai/internal/core"
 	"rai/internal/docstore"
 	"rai/internal/netx"
@@ -245,17 +247,6 @@ func submit(ctx context.Context, cmd string, creds auth.Credentials, dir, broker
 		}
 	}
 
-	// Step 3: compress the project directory — streamed through a temp
-	// file, so the archive never has to fit in memory and the upload can
-	// rewind for retries.
-	archive, size, err := packToTemp(dir)
-	if err != nil {
-		fmt.Fprintf(stderr, "rai: packing project: %v\n", err)
-		return 1
-	}
-	defer archive.Close()
-	fmt.Fprintf(stdout, "uploading %d byte project archive\n", size)
-
 	queue, err := rpc.queue(ctx, brokerAddr)
 	if err != nil {
 		fmt.Fprintf(stderr, "rai: connecting to broker: %v\n", err)
@@ -274,12 +265,32 @@ func submit(ctx context.Context, cmd string, creds auth.Credentials, dir, broker
 		Sampler: sampler,
 		Log:     logger,
 	}
-	res, err := client.SubmitReaderContext(ctx, kind, spec, archive, size)
+
+	// Step 3: move the project. Preferred path is the delta protocol
+	// (DESIGN.md §16): hash the tree into a chunk manifest, negotiate,
+	// send only chunks the server lacks. Any capability problem falls
+	// back to the classic full .tar.bz2 upload, so old servers keep
+	// working without a flag.
+	res, err := submitDelta(ctx, client, kind, spec, dir, stdout)
+	if errors.Is(err, core.ErrDeltaUnsupported) {
+		archive, size, perr := packToTemp(dir)
+		if perr != nil {
+			fmt.Fprintf(stderr, "rai: packing project: %v\n", perr)
+			return 1
+		}
+		defer archive.Close()
+		fmt.Fprintf(stdout, "uploading %d byte project archive\n", size)
+		res, err = client.SubmitReaderContext(ctx, kind, spec, archive, size)
+	}
 	if err != nil {
 		fmt.Fprintf(stderr, "rai: %v\n", err)
 		return 1
 	}
-	fmt.Fprintf(stdout, "job %s %s (elapsed %.1fs)\n", res.JobID, res.Status, res.Elapsed.Seconds())
+	cached := ""
+	if res.CachedBuild {
+		cached = " [build cached]"
+	}
+	fmt.Fprintf(stdout, "job %s %s (elapsed %.1fs)%s\n", res.JobID, res.Status, res.Elapsed.Seconds(), cached)
 	if res.BuildKey != "" {
 		fmt.Fprintf(stdout, "build output: %s/%s\n", res.BuildBucket, res.BuildKey)
 	}
@@ -287,6 +298,33 @@ func submit(ctx context.Context, cmd string, creds auth.Credentials, dir, broker
 		return 1
 	}
 	return 0
+}
+
+// submitDelta hashes dir into a manifest and submits it over the delta
+// protocol, printing the one-line transfer summary. Errors that mean
+// "server can't do this" surface as core.ErrDeltaUnsupported.
+func submitDelta(ctx context.Context, client *core.Client, kind string, spec *build.Spec, dir string, stdout io.Writer) (*core.JobResult, error) {
+	m, src, err := cas.BuildDir(dir)
+	if err != nil {
+		// An unhashable tree (permissions, exotic entries) is not fatal:
+		// the tar packer may still manage it.
+		return nil, fmt.Errorf("%w: hashing project tree: %w", core.ErrDeltaUnsupported, err)
+	}
+	res, err := client.SubmitManifestContext(ctx, kind, spec, m, src)
+	if res != nil && res.Transfer != nil {
+		t := res.Transfer
+		reused := t.ChunksTotal - t.ChunksSent
+		if t.SentBytes < t.TotalBytes {
+			fmt.Fprintf(stdout, "transfer: %d of %d bytes sent, %d of %d chunks reused (%.1f%% deduplicated)\n",
+				t.SentBytes, t.TotalBytes, reused, t.ChunksTotal, 100*t.DedupRatio())
+		} else {
+			// Tiny trees: the manifest itself outweighs the content, so an
+			// "X of Y" framing would read as nonsense.
+			fmt.Fprintf(stdout, "transfer: %d bytes sent for a %d-byte tree (%d chunks)\n",
+				t.SentBytes, t.TotalBytes, t.ChunksTotal)
+		}
+	}
+	return res, err
 }
 
 // showRanking prints the anonymized leaderboard (§VI).

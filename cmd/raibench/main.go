@@ -103,6 +103,7 @@ func runBench(args []string, stdout, stderr io.Writer) int {
 	tailKeep := fs.Float64("tail-keep", 0.1, "collector keep rate for boring traces (with -tail-linger)")
 	retain := fs.Duration("retain", 0, "collector TTL for persisted traces/events (0 = keep forever)")
 	sloOn := fs.Bool("slo", false, "run the collector's SLO engine against every daemon and assert rai_slo_* gauges export")
+	resubmit := fs.Bool("resubmit", false, "resubmission workload: each student iterates on one project (cold upload, identical resubmit, then small edits) over the delta protocol; asserts ≥90% transfer reduction and a warm build-cache hit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -189,9 +190,16 @@ func runBench(args []string, stdout, stderr io.Writer) int {
 		DownloadBuild: true,
 		SampleRate:    *traceSample,
 	}
-	plans := bench.BuildPlans(loadCfg, creds)
-	fmt.Fprintf(stdout, "driving %d students for %s\n", *students, *duration)
-	result, err := bench.RunLoad(ctx, clk, cluster, loadCfg, plans, stdout)
+	var result *bench.LoadResult
+	var resubmitStats *bench.ResubmitStats
+	if *resubmit {
+		fmt.Fprintf(stdout, "driving %d students in resubmit mode for %s\n", *students, *duration)
+		result, resubmitStats, err = bench.RunResubmitLoad(ctx, clk, cluster, loadCfg, creds, stdout)
+	} else {
+		plans := bench.BuildPlans(loadCfg, creds)
+		fmt.Fprintf(stdout, "driving %d students for %s\n", *students, *duration)
+		result, err = bench.RunLoad(ctx, clk, cluster, loadCfg, plans, stdout)
+	}
 	daemons := scraper.StopScraper()
 	if err != nil {
 		fmt.Fprintf(stderr, "raibench: %v\n", err)
@@ -236,6 +244,16 @@ func runBench(args []string, stdout, stderr io.Writer) int {
 		Daemons:       daemons,
 	}
 	failed := false
+	if resubmitStats != nil {
+		report.Resubmit = resubmitStats.Report()
+		if err := report.Resubmit.Check(); err != nil {
+			fmt.Fprintf(stderr, "raibench: %v\n", err)
+			failed = true
+		} else {
+			fmt.Fprintf(stdout, "resubmit: %.1f%% unchanged-tree transfer reduction, cache hit rate %.2f\n",
+				100*report.Resubmit.UnchangedReduction, report.Resubmit.CacheHitRate)
+		}
+	}
 	if sampling {
 		if err := checkSamplingHonesty(*traceSample, result.Counts.Sampled, uint64(len(result.JobIDs))); err != nil {
 			fmt.Fprintf(stderr, "raibench: %v\n", err)

@@ -25,6 +25,8 @@ import (
 	"time"
 
 	"rai/internal/auth"
+	"rai/internal/blobstore"
+	"rai/internal/cas"
 	"rai/internal/core"
 	"rai/internal/objstore"
 	"rai/internal/readyfile"
@@ -48,6 +50,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, quit <-ch
 	dataDir := fs.String("dir", "", "directory for durable object storage (empty = in-memory); alias for -store-root")
 	storeBackend := fs.String("store-backend", "", "storage backend: memory or disk (default: disk when -store-root/-dir is set, else memory)")
 	storeRoot := fs.String("store-root", "", "root directory for the disk backend")
+	casRoot := fs.String("cas-root", "", "separate disk root for the content-addressed chunk bucket ("+cas.Bucket+"); empty = same backend as everything else")
 	metricsAddr := fs.String("metrics-addr", "", "serve GET /metrics on this address (empty = disabled)")
 	pprofOn := fs.Bool("pprof", false, "mount /debug/pprof on the metrics address")
 	brokerAddr := fs.String("broker", "", "broker address for shipping spans/events to the collector (empty = off)")
@@ -78,26 +81,45 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, quit <-ch
 			backend = "memory"
 		}
 	}
-	var store *objstore.Store
+	var be blobstore.Backend
 	switch backend {
 	case "disk":
 		if root == "" {
 			fmt.Fprintln(stderr, "raifs: -store-backend disk requires -store-root (or -dir)")
 			return 2
 		}
-		var err error
-		store, err = objstore.Open(root, objstore.WithCapacity(*capacity), objstore.WithDefaultTTL(*ttl))
+		disk, err := blobstore.NewDisk(root, blobstore.WithCapacity(*capacity), blobstore.WithDefaultTTL(*ttl))
 		if err != nil {
 			fmt.Fprintf(stderr, "raifs: %v\n", err)
 			return 1
 		}
+		be = disk
 		fmt.Fprintf(stdout, "raifs persisting to %s\n", root)
 	case "memory":
-		store = objstore.New(objstore.WithCapacity(*capacity), objstore.WithDefaultTTL(*ttl))
+		be = blobstore.NewMemory(blobstore.WithCapacity(*capacity), blobstore.WithDefaultTTL(*ttl))
 	default:
 		fmt.Fprintf(stderr, "raifs: unknown -store-backend %q (want memory or disk)\n", backend)
 		return 2
 	}
+	if *casRoot != "" {
+		// Chunks live on their own spindle: dedup storage is hot (every
+		// delta submission negotiates against it) and long-lived, so
+		// deployments can give it separate durable space without moving
+		// the rest of the buckets.
+		casBE, err := blobstore.NewDisk(*casRoot, blobstore.WithDefaultTTL(*ttl))
+		if err != nil {
+			fmt.Fprintf(stderr, "raifs: -cas-root: %v\n", err)
+			return 1
+		}
+		table := blobstore.NewTable(be)
+		if err := table.Mount(cas.Bucket, casBE); err != nil {
+			fmt.Fprintf(stderr, "raifs: -cas-root: %v\n", err)
+			return 1
+		}
+		be = table
+		fmt.Fprintf(stdout, "raifs chunk store (%s) persisting to %s\n", cas.Bucket, *casRoot)
+	}
+	store := objstore.NewWithBackend(be)
 	var authFn objstore.AuthFunc
 	if *keysPath != "" {
 		reg, err := loadKeys(*keysPath)

@@ -34,8 +34,8 @@ func TestCompareNoRegression(t *testing.T) {
 
 func TestCompareInjectedRegression(t *testing.T) {
 	old, cur := baseReport(), baseReport()
-	cur.Throughput = 2                 // 80% drop vs 50% allowed
-	cur.Latency.P99 = 1.0              // ~6.7x vs 2x allowed
+	cur.Throughput = 2                      // 80% drop vs 50% allowed
+	cur.Latency.P99 = 1.0                   // ~6.7x vs 2x allowed
 	cur.Phases["run"] = Percentiles{P99: 5} // 50x
 	breaches, err := Compare(old, cur, Thresholds{MaxThroughputDrop: 0.5, MaxLatencyGrowth: 1.0, LatencyFloorS: 0})
 	if err != nil {

@@ -14,7 +14,7 @@ import (
 // the collector's span store after the load finishes.
 type PhaseAttribution struct {
 	// Hists holds one HDR histogram per phase name ("upload", "enqueue",
-	// "queue", "download", "build", "run", "total").
+	// "queue", "download", "cache", "build", "run", "total").
 	Hists map[string]*telemetry.HDRHistogram
 	// Traced/Missing count jobs whose span tree was (not) found and
 	// complete by the deadline.

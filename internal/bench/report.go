@@ -106,11 +106,11 @@ type DaemonStats struct {
 
 // Report is the BENCH_*.json document.
 type Report struct {
-	Schema    int             `json:"schema"`
-	Stamp     telemetry.Stamp `json:"stamp"`
-	Config    RunConfig       `json:"config"`
-	Jobs      JobCounts       `json:"jobs"`
-	Throughput float64        `json:"throughput_jobs_per_s"`
+	Schema     int             `json:"schema"`
+	Stamp      telemetry.Stamp `json:"stamp"`
+	Config     RunConfig       `json:"config"`
+	Jobs       JobCounts       `json:"jobs"`
+	Throughput float64         `json:"throughput_jobs_per_s"`
 	// Latency is the client-observed submit-to-End distribution.
 	Latency Percentiles `json:"latency"`
 	// Phases decomposes traced submissions: upload, enqueue, queue,
@@ -122,14 +122,17 @@ type Report struct {
 	// bookkeeping between spans).
 	PhaseCoverage float64 `json:"phase_coverage"`
 	// TracedJobs / MissingTraces report attribution reach.
-	TracedJobs    int            `json:"traced_jobs"`
-	MissingTraces int            `json:"missing_traces"`
-	Daemons       []DaemonStats  `json:"daemons"`
-	Notes         map[string]any `json:"notes,omitempty"`
+	TracedJobs    int           `json:"traced_jobs"`
+	MissingTraces int           `json:"missing_traces"`
+	Daemons       []DaemonStats `json:"daemons"`
+	// Resubmit holds the delta-transfer measurements when the run used
+	// -resubmit mode (nil otherwise).
+	Resubmit *ResubmitReport `json:"resubmit,omitempty"`
+	Notes    map[string]any  `json:"notes,omitempty"`
 }
 
 // PhaseNames is the canonical phase order for rendering.
-var PhaseNames = []string{"upload", "enqueue", "queue", "download", "build", "run", "total"}
+var PhaseNames = []string{"upload", "enqueue", "queue", "download", "cache", "build", "run", "total"}
 
 // WriteFile marshals the report with stable formatting.
 func (r *Report) WriteFile(path string) error {

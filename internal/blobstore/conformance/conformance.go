@@ -535,4 +535,131 @@ func (s Suite) Run(t *testing.T) {
 			}
 		}
 	})
+
+	t.Run("SweepUnderConcurrentCreate", func(t *testing.T) {
+		// Sweeping while writers stream must neither collect a blob that
+		// is being (re)written nor corrupt the byte accounting: after the
+		// dust settles, Used must equal the sum of surviving blob sizes.
+		be, vc := s.New(t)
+		defer be.Close()
+		for i := 0; i < 20; i++ {
+			put(t, be, "b", fmt.Sprintf("old/%02d", i), []byte("stale!"), time.Hour)
+		}
+		vc.Advance(2 * time.Hour) // every old/ blob is now expired
+		done := make(chan error, 4)
+		for g := 0; g < 4; g++ {
+			g := g
+			go func() {
+				done <- func() error {
+					for i := 0; i < 25; i++ {
+						key := fmt.Sprintf("new/%d-%02d", g, i)
+						w, err := be.Create(testCtx, "b", key, blobstore.PutOptions{TTL: time.Hour})
+						if err != nil {
+							return err
+						}
+						if _, err := w.Write(bytes.Repeat([]byte("n"), 64)); err != nil {
+							w.Abort()
+							return err
+						}
+						if err := w.Close(); err != nil {
+							return err
+						}
+					}
+					return nil
+				}()
+			}()
+		}
+		swept := 0
+		for i := 0; i < 10; i++ {
+			n, err := be.Sweep(testCtx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			swept += n
+		}
+		for g := 0; g < 4; g++ {
+			if err := <-done; err != nil {
+				t.Error(err)
+			}
+		}
+		if n, err := be.Sweep(testCtx); err != nil {
+			t.Fatal(err)
+		} else {
+			swept += n
+		}
+		if swept != 20 {
+			t.Errorf("sweeps collected %d blobs, want exactly the 20 expired", swept)
+		}
+		infos, err := be.List(testCtx, "b", "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total int64
+		for _, info := range infos {
+			if strings.HasPrefix(info.Key, "old/") {
+				t.Errorf("expired blob %s survived sweep", info.Key)
+			}
+			total += info.Size
+		}
+		if len(infos) != 100 {
+			t.Errorf("surviving blobs = %d, want 100", len(infos))
+		}
+		if used, _ := be.Used(testCtx); used != total {
+			t.Errorf("Used = %d, sum of listed sizes = %d", used, total)
+		}
+	})
+
+	t.Run("TouchAtomicUnderConcurrentWrites", func(t *testing.T) {
+		// Touch must read-and-refresh in one critical section: racing it
+		// against overwrites of the same key must never resurrect stale
+		// metadata (e.g. the pre-overwrite size) or lose the overwrite.
+		be, _ := s.New(t)
+		defer be.Close()
+		put(t, be, "b", "k", bytes.Repeat([]byte("a"), 10), time.Hour)
+		done := make(chan error, 2)
+		go func() {
+			done <- func() error {
+				for i := 0; i < 100; i++ {
+					size := 10 + i%7
+					w, err := be.Create(testCtx, "b", "k", blobstore.PutOptions{TTL: time.Hour})
+					if err != nil {
+						return err
+					}
+					if _, err := w.Write(bytes.Repeat([]byte("b"), size)); err != nil {
+						w.Abort()
+						return err
+					}
+					if err := w.Close(); err != nil {
+						return err
+					}
+				}
+				return nil
+			}()
+		}()
+		go func() {
+			done <- func() error {
+				for i := 0; i < 100; i++ {
+					if err := be.Touch(testCtx, "b", "k"); err != nil {
+						return err
+					}
+				}
+				return nil
+			}()
+		}()
+		for i := 0; i < 2; i++ {
+			if err := <-done; err != nil {
+				t.Error(err)
+			}
+		}
+		st, err := be.Stat(testCtx, "b", "k")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size != 10+99%7 {
+			t.Errorf("final Size = %d, want the last overwrite's %d", st.Size, 10+99%7)
+		}
+		if used, _ := be.Used(testCtx); used != st.Size {
+			t.Errorf("Used = %d, want %d (single blob)", used, st.Size)
+		}
+	})
 }

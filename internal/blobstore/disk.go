@@ -254,17 +254,18 @@ func (d *Disk) Stat(ctx context.Context, bucket, key string) (Info, error) {
 	return d.idx.stat(bucket, key)
 }
 
-// Touch implements Backend.
+// Touch implements Backend. The refresh and the metadata read happen in
+// one index critical section (touchInfo), so the persisted sidecar is
+// exactly the state this touch produced even when writers race it.
 func (d *Disk) Touch(ctx context.Context, bucket, key string) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	if err := d.idx.touch(bucket, key); err != nil {
+	info, err := d.idx.touchInfo(bucket, key)
+	if err != nil {
 		return err
 	}
-	if info, err := d.idx.stat(bucket, key); err == nil {
-		_ = d.writeMeta(info)
-	}
+	_ = d.writeMeta(info) // best-effort LastUsed persistence
 	return nil
 }
 
@@ -467,8 +468,8 @@ func (a *diskAppender) Close() error {
 	if statErr != nil {
 		return statErr
 	}
-	a.d.idx.appendCommit(a.bucket, a.key, st.Size(), 0)
-	if info, err := a.d.idx.stat(a.bucket, a.key); err == nil {
+	info := a.d.idx.appendCommit(a.bucket, a.key, st.Size(), 0)
+	if info.Bucket != "" {
 		_ = a.d.writeMeta(info)
 	}
 	return nil

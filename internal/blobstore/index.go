@@ -159,20 +159,30 @@ func (x *index) stat(bucket, key string) (Info, error) {
 }
 
 func (x *index) touch(bucket, key string) error {
+	_, err := x.touchInfo(bucket, key)
+	return err
+}
+
+// touchInfo refreshes last-use and returns the updated metadata in the
+// same critical section, so callers that persist the refresh (the disk
+// sidecar write) see exactly the state they produced — a separate
+// touch-then-stat pair would leave a window for a concurrent writer or
+// expiry to change the entry between the two lock acquisitions.
+func (x *index) touchInfo(bucket, key string) (Info, error) {
 	if err := checkNames(bucket, key); err != nil {
-		return err
+		return Info{}, err
 	}
 	x.mu.Lock()
 	defer x.mu.Unlock()
 	if x.closed {
-		return ErrClosed
+		return Info{}, ErrClosed
 	}
 	e, err := x.lookupLocked(bucket, key)
 	if err != nil {
-		return err
+		return Info{}, err
 	}
 	e.info.LastUsed = x.now()
-	return nil
+	return e.info, nil
 }
 
 func (x *index) list(bucket, prefix string) ([]Info, error) {
@@ -321,12 +331,14 @@ func (x *index) commitWith(info Info, data []byte, persist func() error) (Info, 
 // appendCommit records an append: the blob grew by delta bytes and its
 // hash is no longer known. Creates the entry when the append targeted a
 // missing key. Appends are quota-exempt (journals must not lose tail
-// writes to a full cache), so only accounting is updated.
-func (x *index) appendCommit(bucket, key string, newSize int64, ttl time.Duration) {
+// writes to a full cache), so only accounting is updated. The updated
+// metadata is returned from inside the critical section for callers
+// that persist it (same atomicity argument as touchInfo).
+func (x *index) appendCommit(bucket, key string, newSize int64, ttl time.Duration) Info {
 	x.mu.Lock()
 	defer x.mu.Unlock()
 	if x.closed {
-		return
+		return Info{}
 	}
 	bk, ok := x.buckets[bucket]
 	if !ok {
@@ -348,6 +360,7 @@ func (x *index) appendCommit(bucket, key string, newSize int64, ttl time.Duratio
 	e.info.LastUsed = now
 	e.data = nil
 	x.hub.emit(op, bucket, key, newSize)
+	return e.info
 }
 
 // appendData is the memory backend's append: splices extra onto the

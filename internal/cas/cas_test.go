@@ -1,0 +1,310 @@
+package cas
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rai/internal/vfs"
+)
+
+// deterministic pseudo-random payload; the seed fixes the bytes across
+// runs so chunk boundaries (and this test) are stable.
+func randBytes(seed int64, n int) []byte {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]byte, n)
+	r.Read(out)
+	return out
+}
+
+func TestSplitReassembles(t *testing.T) {
+	for _, n := range []int{0, 1, MinChunk - 1, MinChunk, AvgChunk, MaxChunk, MaxChunk + 1, 1 << 20} {
+		data := randBytes(int64(n), n)
+		chunks := Split(data)
+		var joined []byte
+		for _, c := range chunks {
+			if len(c) > MaxChunk {
+				t.Errorf("n=%d: chunk of %d bytes exceeds MaxChunk", n, len(c))
+			}
+			joined = append(joined, c...)
+		}
+		if !bytes.Equal(joined, data) {
+			t.Errorf("n=%d: concatenated chunks differ from input", n)
+		}
+		if n == 0 && len(chunks) != 0 {
+			t.Errorf("empty input produced %d chunks", len(chunks))
+		}
+	}
+}
+
+func TestSplitDeterministicBoundaries(t *testing.T) {
+	data := randBytes(7, 1<<20)
+	a := Split(data)
+	b := Split(data)
+	if len(a) != len(b) {
+		t.Fatalf("two splits of the same data: %d vs %d chunks", len(a), len(b))
+	}
+	for i := range a {
+		if HashHex(a[i]) != HashHex(b[i]) {
+			t.Fatalf("chunk %d differs between runs", i)
+		}
+	}
+	// A megabyte of random bytes should land near the target average.
+	if avg := len(data) / len(a); avg < AvgChunk/4 || avg > AvgChunk*4 {
+		t.Errorf("average chunk size %d far from target %d", avg, AvgChunk)
+	}
+}
+
+// TestEditLocality is the property delta resubmission rests on: a small
+// edit in the middle of a file leaves all but a handful of chunks
+// identical, so only those re-upload.
+func TestEditLocality(t *testing.T) {
+	orig := randBytes(11, 1<<20)
+	edited := append([]byte(nil), orig...)
+	copy(edited[512<<10:], []byte("a one-line edit lands here"))
+
+	count := func(chunks [][]byte) map[string]bool {
+		set := make(map[string]bool)
+		for _, c := range chunks {
+			set[HashHex(c)] = true
+		}
+		return set
+	}
+	before := count(Split(orig))
+	changed := 0
+	for h := range count(Split(edited)) {
+		if !before[h] {
+			changed++
+		}
+	}
+	if changed > 4 {
+		t.Errorf("one edit changed %d chunks of %d — boundaries not content-defined?", changed, len(before))
+	}
+}
+
+func writeTree(t *testing.T, root string, files map[string]string, dirs ...string) {
+	t.Helper()
+	for _, d := range dirs {
+		if err := os.MkdirAll(filepath.Join(root, filepath.FromSlash(d)), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for p, content := range files {
+		full := filepath.Join(root, filepath.FromSlash(p))
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// edgeTree is the satellite's edge-case fixture: empty dirs, 0-byte
+// files, deep nesting, and names that need key-escaping.
+func edgeTree() (map[string]string, []string) {
+	files := map[string]string{
+		"main.cu":                "int main() {}\n",
+		"zero.bin":               "",
+		"a/b/c/d/e/f/g/deep.txt": "bottom of the tree\n",
+		"odd name %2F 100%.txt":  "percent and spaces\n",
+		"src/kernel.cu":          strings.Repeat("__global__ void k();\n", 500),
+		"src/data.raw":           string(randBytes(3, 3*AvgChunk)),
+	}
+	dirs := []string{"empty", "nested/also-empty"}
+	return files, dirs
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	root := t.TempDir()
+	files, dirs := edgeTree()
+	writeTree(t, root, files, dirs...)
+
+	m, src, err := BuildDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TreeHash == "" || len(m.TreeHash) != 64 {
+		t.Fatalf("tree hash = %q", m.TreeHash)
+	}
+
+	// Encode → sniff → Decode survives and validates.
+	enc := m.Encode()
+	if !IsManifest(enc) {
+		t.Fatal("encoded manifest fails its own sniff")
+	}
+	if IsManifest([]byte("BZh91AY&SY...")) {
+		t.Fatal("bzip2 signature sniffed as manifest")
+	}
+	dec, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.TreeHash != m.TreeHash {
+		t.Fatalf("decoded tree hash %s != %s", dec.TreeHash, m.TreeHash)
+	}
+
+	// Materialize through the Source and compare every path exactly.
+	dst := vfs.New()
+	fetches, bytesFetched, err := Materialize(dec, src.Chunk, dst, "/src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fetches == 0 && len(files) > 0 {
+		t.Error("materialize fetched nothing")
+	}
+	if bytesFetched != m.TotalBytes {
+		// Every chunk is distinct in this fixture except dedup; fetched
+		// bytes can be below TotalBytes but never above.
+		if bytesFetched > m.TotalBytes {
+			t.Errorf("fetched %d bytes > tree total %d", bytesFetched, m.TotalBytes)
+		}
+	}
+	for p, want := range files {
+		got, err := dst.ReadFile("/src/" + p)
+		if err != nil {
+			t.Errorf("%s: %v", p, err)
+			continue
+		}
+		if string(got) != want {
+			t.Errorf("%s: content mismatch (%d vs %d bytes)", p, len(got), len(want))
+		}
+	}
+	for _, d := range dirs {
+		fi, err := dst.Stat("/src/" + d)
+		if err != nil || !fi.Dir {
+			t.Errorf("empty dir %s not reproduced: %v", d, err)
+		}
+	}
+}
+
+func TestBuildVFSMatchesBuildDir(t *testing.T) {
+	files, dirs := edgeTree()
+	root := t.TempDir()
+	writeTree(t, root, files, dirs...)
+	// Same tree inside .git must be ignored by both builders.
+	writeTree(t, root, map[string]string{".git/config": "[core]\n"})
+
+	fsys := vfs.New()
+	for _, d := range dirs {
+		if err := fsys.MkdirAll("/src/" + d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fsys.MkdirAll("/src/.git"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.WriteFile("/src/.git/config", []byte("[core]\n")); err != nil {
+		t.Fatal(err)
+	}
+	for p, content := range files {
+		dir := "/src/" + p
+		if i := strings.LastIndex(dir, "/"); i > 0 {
+			if err := fsys.MkdirAll(dir[:i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := fsys.WriteFile("/src/"+p, []byte(content)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	md, _, err := BuildDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mv, _, err := BuildVFS(fsys, "/src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if md.TreeHash != mv.TreeHash {
+		t.Fatalf("host dir and vfs builds disagree:\n dir %s\n vfs %s", md.TreeHash, mv.TreeHash)
+	}
+	for _, f := range mv.Files {
+		if strings.HasPrefix(f.Path, ".git/") {
+			t.Errorf("VCS metadata %s leaked into manifest", f.Path)
+		}
+	}
+}
+
+func TestDecodeRejectsHostileManifests(t *testing.T) {
+	base := &Manifest{
+		Files: []FileEntry{{Path: "ok.txt", Size: 2, Chunks: []ChunkRef{{Hash: HashHex([]byte("hi")), Size: 2}}}},
+	}
+	base.TotalBytes = 2
+	base.Seal()
+
+	mutate := func(f func(*Manifest)) []byte {
+		var m Manifest
+		m.Dirs = append([]string(nil), base.Dirs...)
+		for _, fe := range base.Files {
+			fe.Chunks = append([]ChunkRef(nil), fe.Chunks...)
+			m.Files = append(m.Files, fe)
+		}
+		m.TotalBytes = base.TotalBytes
+		m.TreeHash = base.TreeHash
+		f(&m)
+		return m.Encode()
+	}
+	cases := map[string][]byte{
+		"no magic":       []byte(`{"tree_hash":""}`),
+		"traversal file": mutate(func(m *Manifest) { m.Files[0].Path = "../escape"; m.Seal() }),
+		"absolute file":  mutate(func(m *Manifest) { m.Files[0].Path = "/etc/passwd"; m.Seal() }),
+		"traversal dir":  mutate(func(m *Manifest) { m.Dirs = []string{"a/../../b"}; m.Seal() }),
+		"size mismatch":  mutate(func(m *Manifest) { m.Files[0].Size = 99; m.TreeHash = computeTreeHash(m) }),
+		"bad tree hash":  mutate(func(m *Manifest) { m.TreeHash = strings.Repeat("0", 64) }),
+		"bad chunk ref":  mutate(func(m *Manifest) { m.Files[0].Chunks[0].Hash = "short"; m.TreeHash = computeTreeHash(m) }),
+	}
+	for name, enc := range cases {
+		if _, err := Decode(enc); err == nil {
+			t.Errorf("%s: hostile manifest accepted", name)
+		}
+	}
+	if _, err := Decode(base.Encode()); err != nil {
+		t.Errorf("well-formed manifest rejected: %v", err)
+	}
+}
+
+func TestChunkKeyFanout(t *testing.T) {
+	h := HashHex([]byte("x"))
+	key := ChunkKey(h)
+	if !strings.HasPrefix(key, "sha256/"+h[:2]+"/") || !strings.HasSuffix(key, h) {
+		t.Errorf("ChunkKey(%s) = %s", h, key)
+	}
+}
+
+func TestSourceDetectsConcurrentEdit(t *testing.T) {
+	root := t.TempDir()
+	writeTree(t, root, map[string]string{"f.txt": "original content\n"})
+	m, src, err := BuildDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(root, "f.txt"), []byte("changed under us!\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range m.ChunkSet() {
+		if _, err := src.Chunk(h); err == nil {
+			t.Fatal("source served a chunk whose file changed after hashing")
+		}
+	}
+}
+
+func BenchmarkSplit(b *testing.B) {
+	data := randBytes(1, 4<<20)
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		if got := Split(data); len(got) == 0 {
+			b.Fatal("no chunks")
+		}
+	}
+}
+
+func ExampleChunkKey() {
+	fmt.Println(ChunkKey("ab" + strings.Repeat("0", 62)))
+	// Output: sha256/ab/ab00000000000000000000000000000000000000000000000000000000000000
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+
+	"rai/internal/build"
+)
+
+// Warm build cache (DESIGN.md §16). A job whose resolved build spec and
+// source tree hash match a previously successful run is answered from
+// the cache: the recorded result is replayed and the archived /build
+// directory reused, skipping the container entirely. Entries live in
+// BucketBuildCache as a metadata/archive pair under the same TTL sweep
+// that ages uploads, so the cache needs no eviction logic of its own.
+// Only kind "run" jobs participate — final submissions always execute,
+// because their results land on the ranking board.
+
+// cachedResult is the replayable outcome of a successful execution.
+type cachedResult struct {
+	ElapsedS      float64 `json:"elapsed_s"`
+	InternalTimer float64 `json:"internal_timer_s"`
+	Accuracy      float64 `json:"accuracy,omitempty"`
+	TimeReport    string  `json:"time_report,omitempty"`
+	HasBuild      bool    `json:"has_build"`
+}
+
+// buildCacheKey derives the cache identity: the resolved spec bytes
+// (image, commands, resources — anything that changes the execution)
+// plus the content hash of the source tree. "" disables caching for
+// this job.
+func buildCacheKey(spec *build.Spec, treeHash string) string {
+	if spec == nil || treeHash == "" {
+		return ""
+	}
+	enc, err := spec.Encode()
+	if err != nil {
+		return ""
+	}
+	h := sha256.New()
+	h.Write(enc)
+	h.Write([]byte("\x00"))
+	h.Write([]byte(treeHash))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// lookupBuildCache fetches a cache entry; ok is false on any miss or
+// decode problem (a corrupt entry is treated as absent, then
+// overwritten by the fresh result).
+func (w *Worker) lookupBuildCache(ctx context.Context, key string) (*cachedResult, []byte, bool) {
+	if key == "" {
+		return nil, nil, false
+	}
+	meta, err := w.Objects.Get(ctx, BucketBuildCache, key+".json")
+	if err != nil {
+		return nil, nil, false
+	}
+	var cr cachedResult
+	if err := json.Unmarshal(meta, &cr); err != nil {
+		return nil, nil, false
+	}
+	var archive []byte
+	if cr.HasBuild {
+		archive, err = w.Objects.Get(ctx, BucketBuildCache, key+".build")
+		if err != nil {
+			// Metadata without its archive (half-swept entry): miss, so
+			// the job runs and rewrites both halves.
+			return nil, nil, false
+		}
+	}
+	return &cr, archive, true
+}
+
+// storeBuildCache records a successful execution for replay. Both
+// objects carry UploadTTL so the standard sweep ages them; failures are
+// silent — the cache is an optimization, never a correctness
+// dependency.
+func (w *Worker) storeBuildCache(ctx context.Context, key string, res *execResult) {
+	if key == "" || !res.ok {
+		return
+	}
+	cr := cachedResult{
+		ElapsedS:      res.elapsed.Seconds(),
+		InternalTimer: res.internalTimer.Seconds(),
+		Accuracy:      res.accuracy,
+		TimeReport:    res.timeReport,
+		HasBuild:      res.buildArchive != nil,
+	}
+	meta, err := json.Marshal(&cr)
+	if err != nil {
+		return
+	}
+	if cr.HasBuild {
+		if err := w.Objects.Put(ctx, BucketBuildCache, key+".build", res.buildArchive, UploadTTL); err != nil {
+			return
+		}
+	}
+	_ = w.Objects.Put(ctx, BucketBuildCache, key+".json", meta, UploadTTL)
+}

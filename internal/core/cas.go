@@ -1,0 +1,175 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"rai/internal/build"
+	"rai/internal/cas"
+	"rai/internal/objstore"
+	"rai/internal/telemetry"
+)
+
+// CASObjects is the optional delta-resubmission extension of the
+// Objects port (DESIGN.md §16): negotiate a manifest against the
+// store's chunk inventory, then upload only what is missing. The HTTP
+// client implements it against the /cas endpoints; LocalObjects
+// implements it directly against the engine so simulations exercise the
+// same protocol. Callers type-assert and fall back to full uploads when
+// the port (or the server behind it) lacks the capability.
+type CASObjects interface {
+	// MissingChunks returns the subset of the manifest's chunks absent
+	// from the store, refreshing the TTL of those present.
+	MissingChunks(ctx context.Context, m *cas.Manifest) ([]string, error)
+	// PutChunks uploads the named chunks from src and returns the
+	// payload bytes transferred.
+	PutChunks(ctx context.Context, hashes []string, src cas.Source) (int64, error)
+}
+
+// ErrDeltaUnsupported reports that delta submission cannot be used on
+// this transport/server pair; callers should fall back to
+// SubmitReaderContext with a full archive.
+var ErrDeltaUnsupported = errors.New("core: delta submission unsupported; fall back to full upload")
+
+// TransferStats describes what one delta submission actually moved —
+// the numbers behind the CLI's transfer summary line.
+type TransferStats struct {
+	// TotalBytes is the tree size a full (uncompressed) upload would
+	// have carried.
+	TotalBytes int64
+	// SentBytes is what went over the wire: manifest plus missing-chunk
+	// payloads.
+	SentBytes int64
+	// ChunksTotal/ChunksSent count distinct chunks in the tree and how
+	// many had to be uploaded (the rest were already on the server).
+	ChunksTotal int
+	ChunksSent  int
+}
+
+// DedupRatio is the fraction of tree bytes the negotiation avoided
+// re-uploading (0 when the tree was fully transferred).
+func (t *TransferStats) DedupRatio() float64 {
+	if t.TotalBytes <= 0 {
+		return 0
+	}
+	saved := t.TotalBytes - t.SentBytes
+	if saved < 0 {
+		return 0
+	}
+	return float64(saved) / float64(t.TotalBytes)
+}
+
+// SubmitManifestContext runs the delta submission sequence: negotiate
+// the manifest, stream only missing chunks, store the manifest as the
+// upload object, and enqueue the job exactly like SubmitReaderContext.
+// Returns ErrDeltaUnsupported (possibly wrapping the probe error) when
+// the Objects port or the server cannot speak the protocol — the caller
+// falls back to a full archive upload.
+func (c *Client) SubmitManifestContext(ctx context.Context, kind string, spec *build.Spec, m *cas.Manifest, src cas.Source) (*JobResult, error) {
+	co, ok := c.Objects.(CASObjects)
+	if !ok {
+		return nil, ErrDeltaUnsupported
+	}
+	jobID := NewJobID()
+	root, sampled := c.startJobSpan(jobID, kind)
+	ctx = telemetry.ContextWithJobID(ctx, jobID)
+	ctx = telemetry.ContextWithSampling(ctx, sampled)
+	up := root.Child("upload")
+	upCtx := telemetry.ContextWithSpan(ctx, up)
+
+	missing, err := co.MissingChunks(upCtx, m)
+	if err != nil {
+		up.End()
+		root.End()
+		// A server without the capability — or an unreachable /caps — is
+		// not a failed submission; report "fall back" and let the caller
+		// retry with the archive path, which has its own retry budget.
+		return nil, fmt.Errorf("%w: %w", ErrDeltaUnsupported, err)
+	}
+	sent, err := co.PutChunks(upCtx, missing, src)
+	if err != nil {
+		up.End()
+		root.End()
+		c.Log.Error(upCtx, "chunk upload failed", telemetry.L("error", err.Error()))
+		return nil, fmt.Errorf("core: uploading chunks: %w", err)
+	}
+	enc := m.Encode()
+	uploadKey := fmt.Sprintf("%s/%s/project.manifest", c.Creds.UserName, jobID)
+	if err := c.Objects.Put(upCtx, BucketUploads, uploadKey, enc, UploadTTL); err != nil {
+		up.End()
+		root.End()
+		c.Log.Error(upCtx, "manifest upload failed", telemetry.L("error", err.Error()))
+		return nil, fmt.Errorf("core: uploading manifest: %w", err)
+	}
+	stats := &TransferStats{
+		TotalBytes:  m.TotalBytes,
+		SentBytes:   sent + int64(len(enc)),
+		ChunksTotal: len(m.ChunkSet()),
+		ChunksSent:  len(missing),
+	}
+	up.SetAttr("bytes", fmt.Sprint(stats.SentBytes))
+	up.SetAttr("chunks_sent", fmt.Sprint(stats.ChunksSent))
+	up.SetAttr("chunks_total", fmt.Sprint(stats.ChunksTotal))
+	up.End()
+	c.Telemetry.Counter("rai_client_delta_bytes_total", "bytes sent via delta submission").Add(float64(stats.SentBytes))
+	c.Telemetry.Counter("rai_client_delta_saved_bytes_total", "upload bytes avoided by chunk reuse").
+		Add(float64(max64(0, stats.TotalBytes-stats.SentBytes)))
+
+	res, err := c.submitUploaded(ctx, root, jobID, kind, spec, BucketUploads, uploadKey)
+	if res != nil {
+		res.Transfer = stats
+	}
+	return res, err
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Compile-time: both Objects implementations speak the delta port.
+var _ CASObjects = (*objstore.Client)(nil)
+var _ CASObjects = LocalObjects{}
+
+// MissingChunks implements CASObjects against the in-process engine,
+// mirroring the server handler: present chunks get their TTL refreshed.
+func (o LocalObjects) MissingChunks(ctx context.Context, m *cas.Manifest) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	missing := []string{}
+	for _, h := range m.ChunkSet() {
+		key := cas.ChunkKey(h)
+		if _, err := o.S.Head(cas.Bucket, key); err == nil {
+			_ = o.S.Touch(cas.Bucket, key)
+			continue
+		}
+		missing = append(missing, h)
+	}
+	return missing, nil
+}
+
+// PutChunks implements CASObjects against the in-process engine.
+func (o LocalObjects) PutChunks(ctx context.Context, hashes []string, src cas.Source) (int64, error) {
+	var total int64
+	for _, h := range hashes {
+		if err := ctx.Err(); err != nil {
+			return total, err
+		}
+		data, err := src.Chunk(h)
+		if err != nil {
+			return total, err
+		}
+		if cas.HashHex(data) != h {
+			return total, fmt.Errorf("core: chunk %s payload hashes differently", h)
+		}
+		if _, err := o.S.Put(cas.Bucket, cas.ChunkKey(h), data, 0); err != nil {
+			return total, err
+		}
+		total += int64(len(data))
+	}
+	return total, nil
+}

@@ -66,6 +66,12 @@ type JobResult struct {
 	// report true). Dropped traces never reach the collector, so
 	// tooling should not wait for their spans.
 	Sampled bool
+	// CachedBuild reports that the worker satisfied the job from its
+	// warm build cache instead of running the build commands.
+	CachedBuild bool
+	// Transfer describes the delta upload when the submission went
+	// through SubmitManifestContext; nil for full-archive uploads.
+	Transfer *TransferStats
 }
 
 // PrepareProject inspects the project directory in fs, returning the
@@ -256,6 +262,7 @@ func (c *Client) submitUploaded(ctx context.Context, root *telemetry.Span, jobID
 				res.Accuracy = lm.Accuracy
 				res.BuildBucket = lm.BuildBucket
 				res.BuildKey = lm.BuildKey
+				res.CachedBuild = lm.Cached
 				c.Log.Info(ctx, "job finished", telemetry.L("status", lm.Status))
 				if lm.Status == StatusRejected {
 					return res, fmt.Errorf("%w: %s", ErrRejected, lm.Line)

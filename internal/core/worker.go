@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"errors"
@@ -13,6 +14,7 @@ import (
 	"rai/internal/archivex"
 	"rai/internal/auth"
 	"rai/internal/build"
+	"rai/internal/cas"
 	"rai/internal/clock"
 	"rai/internal/docstore"
 	"rai/internal/registry"
@@ -124,6 +126,13 @@ type workerTelemetry struct {
 	jobHDR *telemetry.HDRHistogram
 	jobs   map[string]*telemetry.Counter   // by terminal status
 	phases map[string]*telemetry.Histogram // by execution phase
+	// Warm build cache and manifest-materialization accounting
+	// (DESIGN.md §16); nil-safe no-ops without a registry.
+	bcHits     *telemetry.Counter
+	bcMisses   *telemetry.Counter
+	bcSavedSec *telemetry.Counter
+	casFetches *telemetry.Counter
+	casBytes   *telemetry.Counter
 }
 
 // initRuntime lazily builds the container runtime.
@@ -152,10 +161,15 @@ func (w *Worker) initRuntime() {
 			w.tel.jobs[st] = reg.Counter("rai_worker_jobs_total", "jobs finished", telemetry.L("status", st))
 		}
 		w.tel.phases = map[string]*telemetry.Histogram{}
-		for _, ph := range []string{"pull", "build", "run"} {
+		for _, ph := range []string{"pull", "build", "run", "cache"} {
 			w.tel.phases[ph] = reg.Histogram("rai_worker_phase_seconds",
 				"modeled time per execution phase", telemetry.QueueDelayBuckets, telemetry.L("phase", ph))
 		}
+		w.tel.bcHits = reg.Counter("rai_buildcache_hits_total", "jobs answered from the warm build cache")
+		w.tel.bcMisses = reg.Counter("rai_buildcache_misses_total", "cacheable jobs that had to execute")
+		w.tel.bcSavedSec = reg.Counter("rai_buildcache_saved_seconds_total", "container wall time avoided by cache hits")
+		w.tel.casFetches = reg.Counter("rai_cas_materialize_chunks_total", "chunks fetched while materializing manifests")
+		w.tel.casBytes = reg.Counter("rai_cas_materialize_bytes_total", "chunk bytes fetched while materializing manifests")
 	}
 }
 
@@ -381,6 +395,7 @@ func (w *Worker) process(ctx context.Context, m QueueMsg) {
 		"build_bucket":     result.buildBucket,
 		"build_key":        result.buildKey,
 		"log_bytes":        result.logBytes,
+		"cached":           result.cached,
 	}
 	w.recordJob(ctx, &req, update)
 
@@ -404,6 +419,7 @@ func (w *Worker) process(ctx context.Context, m QueueMsg) {
 		Accuracy:      result.accuracy,
 		BuildBucket:   result.buildBucket,
 		BuildKey:      result.buildKey,
+		Cached:        result.cached,
 	})
 	_ = m.Ack()
 }
@@ -490,6 +506,8 @@ type execResult struct {
 	buildBucket   string
 	buildKey      string
 	logBytes      int64
+	// cached marks the job as answered from the warm build cache.
+	cached bool
 }
 
 // execute downloads the project, runs the build spec in a container, and
@@ -497,13 +515,16 @@ type execResult struct {
 func (w *Worker) execute(ctx context.Context, req *JobRequest, spec *build.Spec, logf func(kind, format string, args ...any), parent *telemetry.Span) execResult {
 	var res execResult
 
-	// Worker step 4: download and unpack the project archive. The body
-	// streams straight into the unpacker — the worker never holds the
-	// compressed archive in memory. The download span rides the request
-	// context so the objstore server's child span nests under it, and
-	// covers the whole transfer (the bytes arrive while unpacking).
+	// Worker step 4: download and unpack the project. The upload object
+	// is either a legacy tar.bz2 archive or a CAS manifest (DESIGN.md
+	// §16) — sniffed by magic, so old clients need no flag. Archives
+	// stream straight into the unpacker; manifests materialize the tree
+	// chunk by chunk from the store. The download span rides the request
+	// context so storage child spans nest under it, and covers the whole
+	// transfer.
 	dl := parent.Child("download")
-	rc, _, err := w.Objects.GetReader(telemetry.ContextWithSpan(ctx, dl), req.UploadBucket, req.UploadKey)
+	dlCtx := telemetry.ContextWithSpan(ctx, dl)
+	rc, _, err := w.Objects.GetReader(dlCtx, req.UploadBucket, req.UploadKey)
 	if err != nil {
 		dl.End()
 		logf(LogSystem, "cannot download project archive: %v", err)
@@ -511,19 +532,85 @@ func (w *Worker) execute(ctx context.Context, req *JobRequest, spec *build.Spec,
 	}
 	hostFS := vfs.New()
 	counted := &countingReader{r: rc}
-	err = unpackProject(counted, hostFS)
-	rc.Close()
-	dl.SetAttr("bytes", fmt.Sprint(counted.n))
-	dl.End()
-	if err != nil {
-		logf(LogSystem, "cannot unpack project archive: %v", err)
-		return res
+	br := bufio.NewReader(counted)
+	magic, _ := br.Peek(len(cas.Magic))
+	treeHash := ""
+	if cas.IsManifest(magic) {
+		body, rerr := io.ReadAll(io.LimitReader(br, cas.MaxManifestBytes+1))
+		rc.Close()
+		var m *cas.Manifest
+		if rerr == nil {
+			m, rerr = cas.Decode(body)
+		}
+		if rerr != nil {
+			dl.End()
+			logf(LogSystem, "cannot decode project manifest: %v", rerr)
+			return res
+		}
+		fetch := func(hash string) ([]byte, error) {
+			return w.Objects.Get(dlCtx, cas.Bucket, cas.ChunkKey(hash))
+		}
+		fetches, bytesFetched, merr := cas.Materialize(m, fetch, hostFS, "/src")
+		w.tel.casFetches.Add(float64(fetches))
+		w.tel.casBytes.Add(float64(bytesFetched))
+		dl.SetAttr("bytes", fmt.Sprint(counted.n+bytesFetched))
+		dl.SetAttr("chunks", fmt.Sprint(fetches))
+		dl.End()
+		if merr != nil {
+			logf(LogSystem, "cannot materialize project tree: %v", merr)
+			return res
+		}
+		treeHash = m.TreeHash
+	} else {
+		err = unpackProject(br, hostFS)
+		rc.Close()
+		dl.SetAttr("bytes", fmt.Sprint(counted.n))
+		dl.End()
+		if err != nil {
+			logf(LogSystem, "cannot unpack project archive: %v", err)
+			return res
+		}
+		// Hash the unpacked tree so legacy archive uploads share the
+		// build cache with manifest submissions of the same content.
+		if m, _, herr := cas.BuildVFS(hostFS, "/src"); herr == nil {
+			treeHash = m.TreeHash
+		}
 	}
 	if req.Kind == KindSubmit {
 		if err := CheckSubmissionFiles(hostFS, "/src"); err != nil {
 			logf(LogSystem, "%v", err)
 			return res
 		}
+	}
+
+	// Warm build cache: a kind-"run" job whose resolved spec and source
+	// tree match a previously successful execution replays that result —
+	// no container, no build, no run. Final submissions always execute.
+	cacheKey := ""
+	if req.Kind == KindRun {
+		cacheKey = buildCacheKey(spec, treeHash)
+	}
+	if cacheKey != "" {
+		span := parent.Child("cache")
+		lookupStart := w.Clock.Now()
+		cr, archive, hit := w.lookupBuildCache(telemetry.ContextWithSpan(ctx, span), cacheKey)
+		span.SetAttr("hit", fmt.Sprint(hit))
+		span.End()
+		w.tel.phases["cache"].Observe(w.Clock.Now().Sub(lookupStart).Seconds())
+		if hit {
+			w.tel.bcHits.Inc()
+			w.tel.bcSavedSec.Add(cr.ElapsedS)
+			logf(LogSystem, "build cache hit (%s…): identical spec and tree already built; replaying result (saved %.1fs)",
+				cacheKey[:12], cr.ElapsedS)
+			res.ok = true
+			res.cached = true
+			res.internalTimer = time.Duration(cr.InternalTimer * float64(time.Second))
+			res.accuracy = cr.Accuracy
+			res.timeReport = cr.TimeReport
+			res.buildArchive = archive
+			return res
+		}
+		w.tel.bcMisses.Inc()
 	}
 
 	// Worker step 3: start the sandboxed container with the CUDA volume
@@ -589,6 +676,7 @@ func (w *Worker) execute(ctx context.Context, req *JobRequest, spec *build.Spec,
 
 	// Worker step 6: archive the container's /build directory.
 	res.buildArchive = packBuild(ctr.FS(), logf)
+	w.storeBuildCache(ctx, cacheKey, &res)
 	return res
 }
 

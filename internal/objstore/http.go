@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"rai/internal/blobstore"
@@ -41,6 +42,10 @@ type Caps struct {
 	AtomicRename bool `json:"atomic_rename"`
 	Watch        bool `json:"watch"`
 	Append       bool `json:"append"`
+	// CAS advertises the delta-resubmission endpoints (/cas/negotiate,
+	// /cas/chunks). Old servers omit the field, so old-server JSON
+	// decodes to false and new clients fall back to full uploads.
+	CAS bool `json:"cas"`
 }
 
 // Handler serves the store over HTTP:
@@ -77,6 +82,7 @@ func Handler(s *Store, auth AuthFunc, opts ...HandlerOption) http.Handler {
 			AtomicRename: caps.Has(blobstore.CapAtomicRename),
 			Watch:        caps.Has(blobstore.CapWatch),
 			Append:       caps.Has(blobstore.CapAppend),
+			CAS:          true,
 		})
 	})
 	if h.reg != nil {
@@ -175,6 +181,24 @@ func Handler(s *Store, auth AuthFunc, opts ...HandlerOption) http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(infos)
 	}))
+	mux.HandleFunc("/cas/", h.instrument(casOp, func(w http.ResponseWriter, r *http.Request) {
+		if auth != nil && !auth(r.Header.Get(HeaderAccessKey), r.Header.Get(HeaderSignature), r) {
+			http.Error(w, "forbidden", http.StatusForbidden)
+			return
+		}
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		switch strings.TrimPrefix(r.URL.Path, "/cas/") {
+		case "negotiate":
+			h.handleCASNegotiate(s, w, r)
+		case "chunks":
+			h.handleCASChunks(s, w, r)
+		default:
+			http.Error(w, "want /cas/negotiate or /cas/chunks", http.StatusNotFound)
+		}
+	}))
 	return mux
 }
 
@@ -189,7 +213,7 @@ func WithTelemetry(reg *telemetry.Registry) HandlerOption {
 		h.reg = reg
 		h.requests = map[string]*telemetry.Counter{}
 		h.latency = map[string]*telemetry.Histogram{}
-		for _, op := range []string{"put", "get", "head", "delete", "list", "other"} {
+		for _, op := range []string{"put", "get", "head", "delete", "list", "cas-negotiate", "cas-chunks", "other"} {
 			h.requests[op] = reg.Counter("rai_objstore_requests_total", "requests served", telemetry.L("op", op))
 			h.latency[op] = reg.Histogram("rai_objstore_request_seconds", "request latency", telemetry.DefBuckets, telemetry.L("op", op))
 		}
@@ -198,6 +222,7 @@ func WithTelemetry(reg *telemetry.Registry) HandlerOption {
 		h.streamIn = reg.Counter("rai_objstore_stream_bytes_total", "object payload bytes moved through the streaming data path", telemetry.L("direction", "in"))
 		h.streamOut = reg.Counter("rai_objstore_stream_bytes_total", "object payload bytes moved through the streaming data path", telemetry.L("direction", "out"))
 		h.inFlight = reg.Gauge("rai_objstore_requests_in_flight", "requests currently being served")
+		h.registerCASMetrics(reg)
 	}
 }
 
@@ -228,10 +253,10 @@ func WithHandlerSampler(s *telemetry.Sampler) HandlerOption {
 }
 
 type handlerState struct {
-	reg      *telemetry.Registry
-	clk      clock.Clock
-	tracer   *telemetry.Tracer
-	sampler  *telemetry.Sampler
+	reg       *telemetry.Registry
+	clk       clock.Clock
+	tracer    *telemetry.Tracer
+	sampler   *telemetry.Sampler
 	requests  map[string]*telemetry.Counter
 	latency   map[string]*telemetry.Histogram
 	bytesIn   *telemetry.Counter
@@ -240,6 +265,13 @@ type handlerState struct {
 	streamOut *telemetry.Counter
 	inFlight  *telemetry.Gauge
 	maxBytes  int64
+
+	// rai_cas_* counters (cas.go); nil-safe no-ops without telemetry.
+	casHits        *telemetry.Counter
+	casMisses      *telemetry.Counter
+	casSavedBytes  *telemetry.Counter
+	casStored      *telemetry.Counter
+	casStoredBytes *telemetry.Counter
 }
 
 func objOp(r *http.Request) string {
@@ -346,6 +378,10 @@ type Client struct {
 	// Policy governs retries and deadlines; NewClient seeds PerAttempt
 	// with DefaultRequestTimeout when unset.
 	Policy netx.Policy
+
+	// casMu guards casProbe, the memoized /caps CAS verdict (cas.go).
+	casMu    sync.Mutex
+	casProbe *bool
 }
 
 // ClientOption configures NewClient.

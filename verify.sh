@@ -36,6 +36,20 @@ go run ./cmd/raibench compare \
 	-max-throughput-drop 0.6 -max-latency-growth 3.0 -latency-floor 2s \
 	BENCH_6.json "$BENCH_OUT/BENCH_smoke.json"
 
+# Cache smoke: the resubmission workload against real booted daemons.
+# raibench itself exits nonzero unless unchanged trees transfer ≥90%
+# fewer bytes and the warm build cache hits; on top of that, gate the
+# ISSUE's bar — a resubmitted identical tree must move < 5% of the cold
+# upload's bytes — and assert the cache hit is visible in the phase
+# attribution (a "cache" phase resolved from the worker's spans).
+go run ./cmd/raibench run -students 4 -duration 10s -workers 2 \
+	-resubmit -out "$BENCH_OUT/BENCH_resubmit.json"
+awk '/"unchanged_reduction"/ { gsub(/[,]/, ""); r = $2 }
+	/"cache_hits"/ { gsub(/[,]/, ""); h = $2 }
+	END { if (r + 0 < 0.95 || h + 0 < 1) { print "cache smoke: reduction " r ", hits " h; exit 1 } }' \
+	"$BENCH_OUT/BENCH_resubmit.json"
+grep -q '"cache": {' "$BENCH_OUT/BENCH_resubmit.json"
+
 # The SLO engine is the one package whose races would lie to operators
 # (Observe/Evaluate/Export run concurrently in the collector): race it
 # twice on top of the full -race pass above.
